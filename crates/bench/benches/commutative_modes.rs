@@ -1,0 +1,46 @@
+//! Experiment X1 (DESIGN.md): the paper's footnote-1 optimization — the
+//! mediator keeps the encrypted tuple sets and circulates fixed-length IDs
+//! instead of echoing ciphertexts through the opposite datasource.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secmed_core::workload::WorkloadSpec;
+use secmed_core::{CommutativeConfig, CommutativeMode, ProtocolKind, Scenario};
+use std::hint::black_box;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commutative_modes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for rows in [32usize, 96] {
+        let w = WorkloadSpec {
+            left_rows: rows,
+            right_rows: rows,
+            left_domain: rows / 2,
+            right_domain: rows / 2,
+            shared_values: rows / 4,
+            payload_attrs: 4,
+            seed: "bench-comm-modes".to_string(),
+            ..Default::default()
+        }
+        .generate();
+        for (name, mode) in [
+            ("echo-tuples", CommutativeMode::EchoTuples),
+            ("id-references", CommutativeMode::IdReferences),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, rows), &rows, |b, _| {
+                b.iter(|| {
+                    let mut sc = Scenario::from_workload(&w, "bench-comm-modes", 512);
+                    black_box(
+                        sc.run(ProtocolKind::Commutative(CommutativeConfig { mode }))
+                            .unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

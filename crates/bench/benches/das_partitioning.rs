@@ -1,0 +1,67 @@
+//! Experiment S6c (DESIGN.md): the DAS partitioning trade-off — fewer,
+//! larger partitions mean lower inference exposure but a bigger superset
+//! for the client to post-process (paper §6, citing Hore et al. and
+//! Ceselli et al.).  Also the equi-width vs equi-depth ablation.
+//!
+//! The timing here captures the mediator's server-join cost as the
+//! partition count varies; the companion report binary
+//! `figure_das_tradeoff` prints the exposure/superset curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secmed_core::workload::WorkloadSpec;
+use secmed_core::{DasConfig, ProtocolKind, Scenario};
+use secmed_das::PartitionScheme;
+use std::hint::black_box;
+
+fn bench_partition_sweep(c: &mut Criterion) {
+    let w = WorkloadSpec {
+        left_rows: 48,
+        right_rows: 48,
+        left_domain: 32,
+        right_domain: 32,
+        shared_values: 12,
+        seed: "bench-das".to_string(),
+        ..Default::default()
+    }
+    .generate();
+
+    let mut group = c.benchmark_group("das_partitions");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [1usize, 4, 16] {
+        for (name, scheme) in [
+            ("equidepth", PartitionScheme::EquiDepth(k)),
+            ("equiwidth", PartitionScheme::EquiWidth(k)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, _| {
+                b.iter(|| {
+                    let mut sc = Scenario::from_workload(&w, "bench-das", 512);
+                    black_box(
+                        sc.run(ProtocolKind::Das(DasConfig {
+                            scheme,
+                            ..Default::default()
+                        }))
+                        .unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    group.bench_function("pervalue", |b| {
+        b.iter(|| {
+            let mut sc = Scenario::from_workload(&w, "bench-das", 512);
+            black_box(
+                sc.run(ProtocolKind::Das(DasConfig {
+                    scheme: PartitionScheme::PerValue,
+                    ..Default::default()
+                }))
+                .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_sweep);
+criterion_main!(benches);

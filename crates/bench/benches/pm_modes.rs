@@ -1,0 +1,90 @@
+//! Experiment X2 (DESIGN.md): the paper's footnote-2 optimization — per
+//! tuple-set session keys with an ID table versus inlining tuple sets in
+//! the homomorphic payload; plus the evaluation-strategy sweep at protocol
+//! level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relalg::{Relation, Schema, Tuple, Type, Value};
+use secmed_core::workload::Workload;
+use secmed_core::{PmConfig, PmEval, PmPayloadMode, ProtocolKind, Scenario};
+use std::hint::black_box;
+
+/// One small tuple per join value so the inline mode always fits.
+fn slim_workload(values: usize, shared: usize) -> Workload {
+    let schema = |n: &str| Schema::new(&[("k", Type::Int), (n, Type::Str)]);
+    let mut left = Relation::empty(schema("lp"));
+    let mut right = Relation::empty(schema("rp"));
+    for i in 0..values as i64 {
+        left.insert(Tuple::new(vec![Value::Int(i), Value::from("l")]))
+            .unwrap();
+    }
+    let offset = (values - shared) as i64;
+    for i in 0..values as i64 {
+        right
+            .insert(Tuple::new(vec![Value::Int(i + offset), Value::from("r")]))
+            .unwrap();
+    }
+    Workload {
+        left,
+        right,
+        expected_join_size: shared,
+    }
+}
+
+fn bench_payload_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pm_payload_modes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for values in [16usize, 48] {
+        let w = slim_workload(values, values / 4);
+        for (name, payload) in [
+            ("inline", PmPayloadMode::Inline),
+            ("session-table", PmPayloadMode::SessionKeyTable),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, values), &values, |b, _| {
+                b.iter(|| {
+                    let mut sc = Scenario::from_workload(&w, "bench-pm-modes", 512);
+                    black_box(
+                        sc.run(ProtocolKind::Pm(PmConfig {
+                            eval: PmEval::Horner,
+                            payload,
+                        }))
+                        .unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_eval_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pm_eval_modes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let w = slim_workload(48, 12);
+    for (name, eval) in [
+        ("naive", PmEval::Naive),
+        ("horner", PmEval::Horner),
+        ("bucketed-8", PmEval::Bucketed(8)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sc = Scenario::from_workload(&w, "bench-pm-eval", 512);
+                black_box(
+                    sc.run(ProtocolKind::Pm(PmConfig {
+                        eval,
+                        payload: PmPayloadMode::SessionKeyTable,
+                    }))
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_payload_modes, bench_eval_modes);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Experiment S5a (DESIGN.md): the PM protocol's expensive step is the
+//! encrypted polynomial evaluation; Freedman et al.'s tricks make it
+//! tractable.  This bench compares, at growing domain sizes:
+//!
+//! * naive power-sum evaluation,
+//! * Horner's rule,
+//! * bucket allocation (per-evaluation degree drops to ~n/B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpint::Natural;
+use secmed_crypto::drbg::HmacDrbg;
+use secmed_crypto::paillier::Paillier;
+use secmed_crypto::polynomial::{BucketedPoly, EncryptedBucketedPoly, EncryptedPoly, ZnPoly};
+use std::hint::black_box;
+
+fn roots(n: usize) -> Vec<Natural> {
+    (0..n as u64)
+        .map(|i| Natural::from(i * 7919 + 13))
+        .collect()
+}
+
+fn bench_eval_strategies(c: &mut Criterion) {
+    let kp = Paillier::test_keypair(512, "bench-poly");
+    let pk = kp.public();
+    let mut rng = HmacDrbg::from_label("bench-poly-rng");
+    let mut group = c.benchmark_group("pm_eval");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for degree in [8usize, 32, 128] {
+        let rs = roots(degree);
+        let poly = ZnPoly::from_roots(&rs, pk.n());
+        let enc = EncryptedPoly::encrypt(&poly, pk, &mut rng);
+        let point = Natural::from(999_983u64);
+
+        group.bench_with_input(BenchmarkId::new("naive", degree), &degree, |b, _| {
+            b.iter(|| black_box(enc.eval_naive(&point)));
+        });
+        group.bench_with_input(BenchmarkId::new("horner", degree), &degree, |b, _| {
+            b.iter(|| black_box(enc.eval_horner(&point)));
+        });
+
+        let buckets = (degree / 8).max(1);
+        let bp = BucketedPoly::from_roots(&rs, pk.n(), buckets);
+        let benc = EncryptedBucketedPoly::encrypt(&bp, pk, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new(format!("bucketed-B{buckets}"), degree),
+            &degree,
+            |b, _| {
+                let payload = Natural::from(1u64);
+                b.iter(|| black_box(benc.eval_masked(&point, &payload, &mut rng).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_coefficient_encryption(c: &mut Criterion) {
+    let kp = Paillier::test_keypair(512, "bench-poly-enc");
+    let pk = kp.public();
+    let mut rng = HmacDrbg::from_label("bench-poly-enc-rng");
+    let mut group = c.benchmark_group("pm_encrypt_coeffs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for degree in [8usize, 32, 128] {
+        let poly = ZnPoly::from_roots(&roots(degree), pk.n());
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, _| {
+            b.iter(|| black_box(EncryptedPoly::encrypt(&poly, pk, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_strategies, bench_coefficient_encryption);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment S6b (DESIGN.md): end-to-end protocol cost across workload
+//! sizes — the measured backing for the paper's §6 conclusion that "the
+//! commutative approach seems to be the most efficient one to be employed
+//! in a secure mediation system".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secmed_core::workload::WorkloadSpec;
+use secmed_core::{CommutativeConfig, DasConfig, PmConfig, ProtocolKind, Scenario};
+use std::hint::black_box;
+
+fn workload(rows: usize, seed: &str) -> secmed_core::workload::Workload {
+    WorkloadSpec {
+        left_rows: rows,
+        right_rows: rows,
+        left_domain: (rows / 2).max(2),
+        right_domain: (rows / 2).max(2),
+        shared_values: (rows / 4).max(1),
+        payload_attrs: 2,
+        seed: seed.to_string(),
+        ..Default::default()
+    }
+    .generate()
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for rows in [16usize, 64] {
+        let w = workload(rows, "bench-e2e");
+        for (name, kind) in [
+            ("das", ProtocolKind::Das(DasConfig::default())),
+            (
+                "commutative",
+                ProtocolKind::Commutative(CommutativeConfig::default()),
+            ),
+            ("pm", ProtocolKind::Pm(PmConfig::default())),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, rows), &rows, |b, _| {
+                b.iter(|| {
+                    let mut sc = Scenario::from_workload(&w, "bench-e2e", 512);
+                    black_box(sc.run(kind).unwrap())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerates experiment S6c (DESIGN.md): the DAS partition-count
+//! trade-off curve — inference exposure versus client post-processing
+//! (superset factor) — the tension the paper describes in §6 citing Hore
+//! et al. [15] and Ceselli et al. [8].
+//!
+//! Output is a table (one row per partition count, both partitioning
+//! schemes) suitable for plotting.
+
+use secmed_core::workload::WorkloadSpec;
+use secmed_core::{DasConfig, ProtocolKind, Scenario};
+use secmed_das::exposure::{entropy_bits, guessing_exposure, superset_factor};
+use secmed_das::{IndexTable, PartitionScheme};
+
+fn main() {
+    let w = WorkloadSpec {
+        left_rows: 96,
+        right_rows: 96,
+        left_domain: 64,
+        right_domain: 64,
+        shared_values: 24,
+        seed: "figure-das".to_string(),
+        ..Default::default()
+    }
+    .generate();
+    let dom1 = w.left.active_domain("k").unwrap();
+    let true_join = w.expected_join_size;
+
+    println!(
+        "DAS partitioning trade-off (|dom|={}, true join={true_join})",
+        dom1.len()
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>14} {:>12} {:>12}",
+        "scheme", "partitions", "exposure", "entropy(bits)", "|RC|", "superset"
+    );
+
+    let mut ks: Vec<usize> = vec![1, 2, 4, 8, 16, 32];
+    ks.push(dom1.len()); // effectively per-value
+
+    for &k in &ks {
+        for (name, scheme) in [
+            ("equidepth", PartitionScheme::EquiDepth(k)),
+            ("equiwidth", PartitionScheme::EquiWidth(k)),
+        ] {
+            let table = IndexTable::build(&dom1, scheme, 42).expect("partitioning succeeds");
+            let exposure = guessing_exposure(&table, &dom1);
+            let entropy = entropy_bits(&table, &dom1);
+
+            let mut sc = Scenario::from_workload(&w, "figure-das", 512);
+            let report = sc
+                .run(ProtocolKind::Das(DasConfig {
+                    scheme,
+                    ..Default::default()
+                }))
+                .expect("protocol run succeeds");
+            let rc = report.mediator_view.server_result_size.unwrap();
+            assert_eq!(report.result.len(), true_join);
+
+            println!(
+                "{:<12} {:>10} {:>12.4} {:>14.3} {:>12} {:>12.2}",
+                name,
+                table.len(),
+                exposure,
+                entropy,
+                rc,
+                superset_factor(rc, true_join),
+            );
+        }
+    }
+
+    println!("\nreading: more partitions → higher exposure (worse privacy), smaller |RC| (less client post-processing).");
+}

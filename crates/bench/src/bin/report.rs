@@ -1,0 +1,64 @@
+//! Experiment S6b (DESIGN.md): the full cost comparison behind the
+//! paper's §6 conclusion — wall-clock per protocol across workload sizes,
+//! split by what each participant pays, plus communication volume.
+//!
+//! "Based on these performance considerations, the commutative approach
+//! seems to be the most efficient one to be employed in a secure
+//! mediation system."  This binary measures that claim.
+
+use std::time::Instant;
+
+use secmed_core::workload::WorkloadSpec;
+use secmed_core::{CommutativeConfig, DasConfig, PartyId, PmConfig, ProtocolKind, Scenario};
+
+fn main() {
+    println!("End-to-end protocol comparison (S6b). 512-bit groups, 512-bit Paillier.\n");
+    println!(
+        "{:<8} {:<24} {:>12} {:>10} {:>12} {:>14} {:>12}",
+        "rows", "protocol", "time (ms)", "messages", "total bytes", "client bytes", "result"
+    );
+
+    for rows in [16usize, 32, 64, 128] {
+        let w = WorkloadSpec {
+            left_rows: rows,
+            right_rows: rows,
+            left_domain: (rows / 2).max(2),
+            right_domain: (rows / 2).max(2),
+            shared_values: (rows / 4).max(1),
+            seed: "report".to_string(),
+            ..Default::default()
+        }
+        .generate();
+
+        let kinds: [(&str, ProtocolKind); 3] = [
+            (
+                "Database-as-a-Service",
+                ProtocolKind::Das(DasConfig::default()),
+            ),
+            (
+                "Commutative Encryption",
+                ProtocolKind::Commutative(CommutativeConfig::default()),
+            ),
+            ("Private Matching", ProtocolKind::Pm(PmConfig::default())),
+        ];
+
+        for (name, kind) in kinds {
+            let mut sc = Scenario::from_workload(&w, "report", 512);
+            let start = Instant::now();
+            let report = sc.run(kind).expect("protocol run succeeds");
+            let elapsed = start.elapsed();
+            assert_eq!(report.result.len(), w.expected_join_size);
+            println!(
+                "{:<8} {:<24} {:>12.1} {:>10} {:>12} {:>14} {:>12}",
+                rows,
+                name,
+                elapsed.as_secs_f64() * 1000.0,
+                report.transport.message_count(),
+                report.transport.total_bytes(),
+                report.transport.bytes_received_by(&PartyId::Client),
+                report.result.len(),
+            );
+        }
+        println!();
+    }
+}

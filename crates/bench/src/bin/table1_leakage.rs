@@ -1,0 +1,84 @@
+//! Regenerates **Table 1** of the paper — "Extra information disclosed to
+//! client and mediator" — empirically: runs each protocol on the same
+//! workload and prints what the instrumented mediator and client views
+//! actually contained, next to the paper's claims.
+
+use secmed_core::audit::Table1Row;
+use secmed_core::workload::WorkloadSpec;
+use secmed_core::{CommutativeConfig, DasConfig, PmConfig, ProtocolKind, Scenario};
+
+fn main() {
+    let w = WorkloadSpec {
+        left_rows: 40,
+        right_rows: 50,
+        left_domain: 24,
+        right_domain: 30,
+        shared_values: 10,
+        seed: "table1".to_string(),
+        ..Default::default()
+    }
+    .generate();
+
+    let true_join = w.expected_join_size;
+    let dom1 = w.left.active_domain("k").unwrap().len();
+    let dom2 = w.right.active_domain("k").unwrap().len();
+    let intersection = w
+        .left
+        .active_domain("k")
+        .unwrap()
+        .intersection(&w.right.active_domain("k").unwrap())
+        .count();
+
+    println!("Regenerated Table 1: extra information disclosed to client and mediator");
+    println!(
+        "(workload: |R1|={}, |R2|={}, |dom1|={dom1}, |dom2|={dom2}, |dom1∩dom2|={intersection}, |R1⨝R2|={true_join})\n",
+        w.left.len(),
+        w.right.len()
+    );
+
+    let paper_claims = [
+        (
+            "Database-as-a-Service",
+            "superset of global result, index tables",
+            "|Ri| and |RC|",
+        ),
+        (
+            "Commutative Encryption",
+            "(only exact global result)",
+            "|domactive(Ri.Ajoin)| and size of intersection",
+        ),
+        (
+            "Private Matching",
+            "n+m ciphertexts, intersection decryptable",
+            "|domactive(Ri.Ajoin)|",
+        ),
+    ];
+
+    let kinds = [
+        ProtocolKind::Das(DasConfig::default()),
+        ProtocolKind::Commutative(CommutativeConfig::default()),
+        ProtocolKind::Pm(PmConfig::default()),
+    ];
+
+    for (kind, (name, paper_client, paper_mediator)) in kinds.into_iter().zip(paper_claims) {
+        let mut sc = Scenario::from_workload(&w, "table1", 768);
+        let report = sc.run(kind).expect("protocol run succeeds");
+        assert_eq!(report.result.len(), true_join, "{name}: result verified");
+        let row = Table1Row {
+            protocol: name,
+            client_extra: report.client_view.describe(),
+            mediator_extra: report.mediator_view.describe(),
+        };
+        println!("== {name}");
+        println!("   paper    | client: {paper_client:<55} | mediator: {paper_mediator}");
+        println!(
+            "   measured | client: {:<55} | mediator: {}",
+            row.client_extra, row.mediator_extra
+        );
+        println!();
+    }
+
+    println!(
+        "All three protocols delivered the exact global result ({true_join} tuples) to the client."
+    );
+}

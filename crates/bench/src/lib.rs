@@ -1,0 +1,1 @@
+//! Benchmark harness (see benches/ and src/bin/).

@@ -1,0 +1,161 @@
+//! Analytic cost model — the paper's §6 computational analysis as code.
+//!
+//! For each protocol, [`predict`] computes the exact number of public-key
+//! operations a run must perform as a function of the workload shape
+//! (`|R_i|`, `|domactive_i|`, intersection size, DAS parameters).  The
+//! test suite runs the protocols and checks the *measured* operation
+//! counters against these closed forms — if an implementation change adds
+//! a stray encryption somewhere, the model test catches it, and the model
+//! doubles as documentation of where each protocol spends its budget.
+
+use secmed_crypto::metrics::Op;
+
+use crate::protocol::{CommutativeConfig, DasConfig, DasSetting, PmConfig, PmEval, ProtocolKind};
+
+/// The shape parameters the predictions are functions of.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadShape {
+    /// `|R_1|` after access-control filtering.
+    pub left_rows: usize,
+    /// `|R_2|` after access-control filtering.
+    pub right_rows: usize,
+    /// `|domactive(R_1.A_join)|`.
+    pub left_domain: usize,
+    /// `|domactive(R_2.A_join)|`.
+    pub right_domain: usize,
+    /// `|domactive(R_1) ∩ domactive(R_2)|`.
+    pub intersection: usize,
+    /// DAS only: `|R_C|`, the server-query result size.
+    pub server_result: usize,
+}
+
+/// Predicted counts of the protocol-level public-key operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PredictedOps {
+    /// Hybrid encryptions (`encrypt(...)` calls).
+    pub hybrid_encrypt: u64,
+    /// Hybrid decryptions at the client.
+    pub hybrid_decrypt: u64,
+    /// Commutative (SRA) encryptions.
+    pub commutative_encrypt: u64,
+    /// Random-oracle hashes into the group.
+    pub hash_to_group: u64,
+    /// Paillier encryptions.
+    pub paillier_encrypt: u64,
+    /// Paillier decryptions.
+    pub paillier_decrypt: u64,
+    /// Homomorphic additions.
+    pub paillier_add: u64,
+    /// Homomorphic scalar multiplications.
+    pub paillier_scale: u64,
+    /// Fresh polynomial-evaluation masks.
+    pub random_mask: u64,
+}
+
+/// Predicts the public-key operation counts for one protocol run.
+///
+/// Only flat-polynomial PM modes are modeled (`Naive`/`Horner`; the
+/// bucketed mode's padded degrees depend on the hash distribution).
+pub fn predict(kind: &ProtocolKind, shape: &WorkloadShape) -> PredictedOps {
+    let d1 = shape.left_domain as u64;
+    let d2 = shape.right_domain as u64;
+    match kind {
+        ProtocolKind::Das(DasConfig { setting, .. }) => {
+            let table_encryptions = 2; // each source encrypts its index table
+            let table_decryptions = match setting {
+                DasSetting::ClientSetting => 2,
+                DasSetting::MediatorSetting => 0, // tables travel in plaintext
+            };
+            PredictedOps {
+                // One etuple per row, plus the index tables.
+                hybrid_encrypt: (shape.left_rows + shape.right_rows) as u64 + table_encryptions,
+                // The client opens both sides of every candidate pair,
+                // plus the index tables (client setting only).
+                hybrid_decrypt: 2 * shape.server_result as u64 + table_decryptions,
+                ..Default::default()
+            }
+        }
+        ProtocolKind::Commutative(CommutativeConfig { .. }) => PredictedOps {
+            // One tuple-set encryption per active value...
+            hybrid_encrypt: d1 + d2,
+            // ...but the client only opens the matched pairs.
+            hybrid_decrypt: 2 * shape.intersection as u64,
+            // Each hash value is encrypted once at home and once by the
+            // opposite source.
+            commutative_encrypt: 2 * (d1 + d2),
+            hash_to_group: d1 + d2,
+            ..Default::default()
+        },
+        ProtocolKind::Pm(PmConfig { eval, payload }) => {
+            let (adds, scales) = match eval {
+                // Horner: per evaluation of a degree-d polynomial, d adds
+                // and d scales, plus one mask scale and one payload add.
+                PmEval::Horner | PmEval::Bucketed(_) => {
+                    (d1 * (d2 + 1) + d2 * (d1 + 1), d1 * (d2 + 1) + d2 * (d1 + 1))
+                }
+                // Naive: same asymptotics, same op count at the counter
+                // granularity (d scale-and-adds per evaluation) — the
+                // difference is the *size* of the exponents, not their
+                // number.
+                PmEval::Naive => (d1 * (d2 + 1) + d2 * (d1 + 1), d1 * (d2 + 1) + d2 * (d1 + 1)),
+            };
+            let session_encryptions = match payload {
+                crate::protocol::PmPayloadMode::SessionKeyTable => 0, // session keys are symmetric-only
+                crate::protocol::PmPayloadMode::Inline => 0,
+            };
+            PredictedOps {
+                // d+1 coefficients per polynomial.
+                paillier_encrypt: (d1 + 1) + (d2 + 1),
+                // The client decrypts every received evaluation.
+                paillier_decrypt: d1 + d2,
+                paillier_add: adds,
+                paillier_scale: scales,
+                random_mask: d1 + d2,
+                hybrid_encrypt: session_encryptions,
+                ..Default::default()
+            }
+        }
+    }
+}
+
+/// Extracts the comparable counters from a measured primitives delta.
+pub fn observed(primitives: &[(Op, u64)]) -> PredictedOps {
+    let get = |op: Op| {
+        primitives
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
+    PredictedOps {
+        hybrid_encrypt: get(Op::HybridEncrypt),
+        hybrid_decrypt: get(Op::HybridDecrypt),
+        commutative_encrypt: get(Op::CommutativeEncrypt),
+        hash_to_group: get(Op::HashToGroup),
+        paillier_encrypt: get(Op::PaillierEncrypt),
+        paillier_decrypt: get(Op::PaillierDecrypt),
+        paillier_add: get(Op::PaillierAdd),
+        paillier_scale: get(Op::PaillierScale),
+        random_mask: get(Op::RandomMask),
+    }
+}
+
+/// Derives the shape parameters of a scenario's workload (ground truth for
+/// the model tests).
+pub fn shape_of(
+    left: &relalg::Relation,
+    right: &relalg::Relation,
+    join_attr: &str,
+    server_result: usize,
+) -> Result<WorkloadShape, crate::MedError> {
+    let d1 = left.active_domain(join_attr)?;
+    let d2 = right.active_domain(join_attr)?;
+    Ok(WorkloadShape {
+        left_rows: left.len(),
+        right_rows: right.len(),
+        left_domain: d1.len(),
+        right_domain: d2.len(),
+        intersection: d1.intersection(&d2).count(),
+        server_result,
+    })
+}

@@ -1,0 +1,406 @@
+//! Credentials and the certification authority (paper Section 2).
+//!
+//! "Each credential links properties of the client to one of his public
+//! encryption keys but in general does not contain details on his
+//! identity."  A [`Credential`] therefore carries a property set, the
+//! client's hybrid public key (and, for the PM protocol, optionally the
+//! client's Paillier public key — Section 5.1: "this key is distributed
+//! with the client's credentials"), and the CA's Schnorr signature over a
+//! canonical encoding of all of it.
+
+use rand::Rng;
+
+use secmed_crypto::hybrid::HybridPublicKey;
+use secmed_crypto::paillier::PaillierPublicKey;
+use secmed_crypto::schnorr::{SchnorrKeyPair, SchnorrPublicKey, SchnorrSignature};
+use secmed_crypto::SafePrimeGroup;
+
+use crate::MedError;
+
+/// A property asserted by a credential, e.g. `role = physician`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Property {
+    /// Property name.
+    pub name: String,
+    /// Property value.
+    pub value: String,
+}
+
+impl Property {
+    /// Creates a property.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Property {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Property {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// A CA-signed credential: properties bound to the client's public keys.
+#[derive(Debug, Clone)]
+pub struct Credential {
+    properties: Vec<Property>,
+    hybrid_key: HybridPublicKey,
+    paillier_key: Option<PaillierPublicKey>,
+    signature: SchnorrSignature,
+}
+
+impl Credential {
+    /// The asserted properties.
+    pub fn properties(&self) -> &[Property] {
+        &self.properties
+    }
+
+    /// The client's hybrid (KEM) public key — the key datasources encrypt
+    /// partial results under.
+    pub fn hybrid_key(&self) -> &HybridPublicKey {
+        &self.hybrid_key
+    }
+
+    /// The client's homomorphic public key, when present.
+    pub fn paillier_key(&self) -> Option<&PaillierPublicKey> {
+        self.paillier_key.as_ref()
+    }
+
+    /// Does this credential assert `prop`?
+    pub fn asserts(&self, prop: &Property) -> bool {
+        self.properties.contains(prop)
+    }
+
+    /// A credential with the same signature but only the named properties
+    /// visible is NOT constructible — property subsets are selected at the
+    /// credential level (the mediator forwards a *subset of credentials*,
+    /// not parts of one; paper Listing 1, step 2).
+    ///
+    /// Canonical byte encoding covered by the CA signature.
+    fn message_bytes(
+        properties: &[Property],
+        hybrid_key: &HybridPublicKey,
+        paillier_key: Option<&PaillierPublicKey>,
+    ) -> Vec<u8> {
+        let mut msg = Vec::new();
+        msg.extend_from_slice(b"secmed-credential-v1\0");
+        for p in properties {
+            msg.extend_from_slice(p.name.as_bytes());
+            msg.push(0x1f);
+            msg.extend_from_slice(p.value.as_bytes());
+            msg.push(0x1e);
+        }
+        msg.push(0x1d);
+        msg.extend_from_slice(&hybrid_key.element().to_bytes_be());
+        msg.push(0x1d);
+        if let Some(pk) = paillier_key {
+            msg.extend_from_slice(&pk.n().to_bytes_be());
+        }
+        msg
+    }
+
+    /// Verifies the CA signature.
+    pub fn verify(&self, ca_key: &SchnorrPublicKey) -> Result<(), MedError> {
+        let msg = Self::message_bytes(
+            &self.properties,
+            &self.hybrid_key,
+            self.paillier_key.as_ref(),
+        );
+        if ca_key.verify(&msg, &self.signature) {
+            Ok(())
+        } else {
+            Err(MedError::BadCredential(
+                "signature verification failed".to_string(),
+            ))
+        }
+    }
+}
+
+impl Credential {
+    /// Wire encoding of a complete credential (properties, both public
+    /// keys, CA signature) — what actually travels in Listing 1's
+    /// `⟨q_i, CR_i, A_i⟩` messages.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.properties.len() as u16).to_be_bytes());
+        for p in &self.properties {
+            put_str(&mut out, &p.name);
+            put_str(&mut out, &p.value);
+        }
+        put_bytes(&mut out, &self.hybrid_key.element().to_bytes_be());
+        match &self.paillier_key {
+            Some(pk) => {
+                out.push(1);
+                put_bytes(&mut out, &pk.n().to_bytes_be());
+            }
+            None => out.push(0),
+        }
+        put_bytes(&mut out, &self.signature.encode());
+        out
+    }
+
+    /// Decodes a credential; `group` is the deployment's public group
+    /// parameter (needed to rebuild the hybrid key).  The signature is NOT
+    /// verified here — call [`Credential::verify`] afterwards.
+    pub fn decode(bytes: &[u8], group: &secmed_crypto::SafePrimeGroup) -> Result<Self, MedError> {
+        let mut pos = 0usize;
+        let nprops = take_u16(bytes, &mut pos)? as usize;
+        let mut properties = Vec::with_capacity(nprops.min(64));
+        for _ in 0..nprops {
+            let name = take_str(bytes, &mut pos)?;
+            let value = take_str(bytes, &mut pos)?;
+            properties.push(Property { name, value });
+        }
+        let element = mpint::Natural::from_bytes_be(take_bytes(bytes, &mut pos)?);
+        let hybrid_key =
+            HybridPublicKey::from_parts(group.clone(), element).map_err(MedError::Crypto)?;
+        let paillier_key = match take_u8(bytes, &mut pos)? {
+            0 => None,
+            1 => {
+                let n = mpint::Natural::from_bytes_be(take_bytes(bytes, &mut pos)?);
+                Some(PaillierPublicKey::from_modulus(n))
+            }
+            _ => return Err(MedError::BadCredential("bad paillier flag".to_string())),
+        };
+        let signature =
+            SchnorrSignature::decode(take_bytes(bytes, &mut pos)?).map_err(MedError::Crypto)?;
+        if pos != bytes.len() {
+            return Err(MedError::BadCredential("trailing bytes".to_string()));
+        }
+        Ok(Credential {
+            properties,
+            hybrid_key,
+            paillier_key,
+            signature,
+        })
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+    out.extend_from_slice(b);
+}
+
+fn take_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, MedError> {
+    let b = *bytes
+        .get(*pos)
+        .ok_or_else(|| MedError::BadCredential("truncated".to_string()))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn take_u16(bytes: &[u8], pos: &mut usize) -> Result<u16, MedError> {
+    if bytes.len() - *pos < 2 {
+        return Err(MedError::BadCredential("truncated".to_string()));
+    }
+    let v = u16::from_be_bytes(bytes[*pos..*pos + 2].try_into().expect("2 bytes"));
+    *pos += 2;
+    Ok(v)
+}
+
+fn take_bytes<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], MedError> {
+    if bytes.len() - *pos < 4 {
+        return Err(MedError::BadCredential("truncated".to_string()));
+    }
+    let len = u32::from_be_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
+    *pos += 4;
+    if bytes.len() - *pos < len {
+        return Err(MedError::BadCredential("truncated".to_string()));
+    }
+    let out = &bytes[*pos..*pos + len];
+    *pos += len;
+    Ok(out)
+}
+
+fn take_str(bytes: &[u8], pos: &mut usize) -> Result<String, MedError> {
+    let len = take_u16(bytes, pos)? as usize;
+    if bytes.len() - *pos < len {
+        return Err(MedError::BadCredential("truncated".to_string()));
+    }
+    let s = String::from_utf8(bytes[*pos..*pos + len].to_vec())
+        .map_err(|_| MedError::BadCredential("invalid UTF-8".to_string()))?;
+    *pos += len;
+    Ok(s)
+}
+
+/// The trusted certification authority of the preparatory phase.
+pub struct CertificationAuthority {
+    keypair: SchnorrKeyPair,
+}
+
+impl CertificationAuthority {
+    /// Creates a CA with a fresh Schnorr key in `group`.
+    pub fn new(group: SafePrimeGroup, rng: &mut dyn Rng) -> Self {
+        CertificationAuthority {
+            keypair: SchnorrKeyPair::generate(group, rng),
+        }
+    }
+
+    /// The CA's verification key, known to all datasources.
+    pub fn public_key(&self) -> &SchnorrPublicKey {
+        self.keypair.public()
+    }
+
+    /// Issues a credential binding `properties` to the client's keys.
+    pub fn issue(
+        &self,
+        properties: Vec<Property>,
+        hybrid_key: HybridPublicKey,
+        paillier_key: Option<PaillierPublicKey>,
+        rng: &mut dyn Rng,
+    ) -> Credential {
+        let msg = Credential::message_bytes(&properties, &hybrid_key, paillier_key.as_ref());
+        let signature = self.keypair.sign(&msg, rng);
+        Credential {
+            properties,
+            hybrid_key,
+            paillier_key,
+            signature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secmed_crypto::drbg::HmacDrbg;
+    use secmed_crypto::group::GroupSize;
+    use secmed_crypto::hybrid::HybridKeyPair;
+    use secmed_crypto::paillier::Paillier;
+
+    fn setup() -> (CertificationAuthority, HybridKeyPair, HmacDrbg) {
+        let mut rng = HmacDrbg::from_label("credential-tests");
+        let group = SafePrimeGroup::preset(GroupSize::S256);
+        let ca = CertificationAuthority::new(group.clone(), &mut rng);
+        let client = HybridKeyPair::generate(group, &mut rng);
+        (ca, client, rng)
+    }
+
+    #[test]
+    fn issued_credential_verifies() {
+        let (ca, client, mut rng) = setup();
+        let cred = ca.issue(
+            vec![Property::new("role", "physician")],
+            client.public(),
+            None,
+            &mut rng,
+        );
+        assert!(cred.verify(ca.public_key()).is_ok());
+        assert!(cred.asserts(&Property::new("role", "physician")));
+        assert!(!cred.asserts(&Property::new("role", "admin")));
+    }
+
+    #[test]
+    fn credential_with_paillier_key_verifies() {
+        let (ca, client, mut rng) = setup();
+        let paillier = Paillier::test_keypair(256, "cred-paillier");
+        let cred = ca.issue(
+            vec![Property::new("role", "auditor")],
+            client.public(),
+            Some(paillier.public().clone()),
+            &mut rng,
+        );
+        assert!(cred.verify(ca.public_key()).is_ok());
+        assert!(cred.paillier_key().is_some());
+    }
+
+    #[test]
+    fn wrong_ca_rejected() {
+        let (ca, client, mut rng) = setup();
+        let other_ca = CertificationAuthority::new(ca.public_key().group().clone(), &mut rng);
+        let cred = ca.issue(
+            vec![Property::new("a", "b")],
+            client.public(),
+            None,
+            &mut rng,
+        );
+        assert!(cred.verify(other_ca.public_key()).is_err());
+    }
+
+    #[test]
+    fn tampered_properties_rejected() {
+        let (ca, client, mut rng) = setup();
+        let mut cred = ca.issue(
+            vec![Property::new("role", "nurse")],
+            client.public(),
+            None,
+            &mut rng,
+        );
+        cred.properties[0].value = "physician".to_string();
+        assert!(cred.verify(ca.public_key()).is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_verification() {
+        let (ca, client, mut rng) = setup();
+        let paillier = Paillier::test_keypair(256, "cred-wire");
+        let cred = ca.issue(
+            vec![Property::new("role", "auditor"), Property::new("dept", "x")],
+            client.public(),
+            Some(paillier.public().clone()),
+            &mut rng,
+        );
+        let group = ca.public_key().group().clone();
+        let decoded = Credential::decode(&cred.encode(), &group).unwrap();
+        assert_eq!(decoded.properties(), cred.properties());
+        assert_eq!(decoded.hybrid_key(), cred.hybrid_key());
+        assert_eq!(decoded.paillier_key(), cred.paillier_key());
+        assert!(decoded.verify(ca.public_key()).is_ok());
+    }
+
+    #[test]
+    fn wire_decode_rejects_garbage() {
+        let (ca, client, mut rng) = setup();
+        let cred = ca.issue(
+            vec![Property::new("a", "b")],
+            client.public(),
+            None,
+            &mut rng,
+        );
+        let group = ca.public_key().group().clone();
+        let bytes = cred.encode();
+        for cut in [0usize, 1, 5, bytes.len() - 1] {
+            assert!(
+                Credential::decode(&bytes[..cut], &group).is_err(),
+                "cut={cut}"
+            );
+        }
+        // A forged public-key element outside QR_p is rejected structurally.
+        let mut tampered = bytes.clone();
+        tampered.push(0);
+        assert!(Credential::decode(&tampered, &group).is_err());
+    }
+
+    #[test]
+    fn tampered_wire_properties_fail_signature() {
+        let (ca, client, mut rng) = setup();
+        let cred = ca.issue(
+            vec![Property::new("role", "nurse")],
+            client.public(),
+            None,
+            &mut rng,
+        );
+        let group = ca.public_key().group().clone();
+        let mut bytes = cred.encode();
+        // Flip a byte inside the first property's value ("nurse").
+        let idx = bytes.windows(5).position(|w| w == b"nurse").unwrap();
+        bytes[idx] ^= 0x20;
+        let decoded = Credential::decode(&bytes, &group).unwrap();
+        assert!(decoded.verify(ca.public_key()).is_err());
+    }
+
+    #[test]
+    fn property_display() {
+        assert_eq!(
+            Property::new("role", "physician").to_string(),
+            "role=physician"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Mediator hierarchies — the future-work item of the paper's Section 8:
+//! "in a mediator hierarchy one mediator can act as a datasource for other
+//! mediators.  Therefore, the case in which several join queries are
+//! executed successively has to be considered."
+//!
+//! [`chained_join`] executes a two-stage join `(R1 ⨝ R2) ⨝ R3`: the first
+//! mediation's global result is installed as the relation of a derived
+//! datasource (the lower mediator acting as a source for the upper one),
+//! and a second mediation joins it with the third source.  Every stage
+//! runs a full credential-checked protocol and is separately reported.
+
+use relalg::Relation;
+
+use crate::credential::CertificationAuthority;
+use crate::party::{Client, DataSource, Mediator};
+use crate::policy::AccessPolicy;
+use crate::protocol::{ProtocolKind, RunReport, Scenario};
+use crate::MedError;
+
+/// Input for one level of the hierarchy.
+pub struct SourceSpec {
+    /// Relation name (must match the names used in the queries).
+    pub name: String,
+    /// The relation served.
+    pub relation: Relation,
+    /// The source's access policy.
+    pub policy: AccessPolicy,
+}
+
+/// The outcome of a chained join.
+pub struct HierarchyReport {
+    /// The final global result.
+    pub result: Relation,
+    /// Per-stage protocol reports (lower mediation first).
+    pub stages: Vec<RunReport>,
+}
+
+/// Executes `(first ⨝ second) ⨝ third` as two successive mediations with
+/// the given protocol, rebuilding the client from `client_seed` at each
+/// stage (same CA, same credentials, same keys).
+pub fn chained_join(
+    ca: &CertificationAuthority,
+    client_template: impl Fn() -> Client,
+    first: SourceSpec,
+    second: SourceSpec,
+    third: SourceSpec,
+    kind: ProtocolKind,
+) -> Result<HierarchyReport, MedError> {
+    // Stage 1: R1 ⨝ R2 through the lower mediator.
+    let s1 = DataSource::new(
+        &first.name,
+        first.relation,
+        first.policy,
+        ca.public_key().clone(),
+    );
+    let s2 = DataSource::new(
+        &second.name,
+        second.relation,
+        second.policy,
+        ca.public_key().clone(),
+    );
+    let mediator = Mediator::new(&[&s1, &s2]);
+    let query1 = format!("select * from {} natural join {}", first.name, second.name);
+    let mut stage1 = Scenario {
+        client: client_template(),
+        mediator,
+        left: s1,
+        right: s2,
+        query: query1,
+    };
+    let report1 = stage1.run(kind)?;
+
+    // The lower mediation's result becomes a datasource for the upper
+    // mediation.  Rows were already filtered by the stage-1 policies, so
+    // the derived source grants the same client full access.
+    let derived_name = format!("{}_{}", first.name, second.name);
+    let derived = DataSource::new(
+        &derived_name,
+        report1.result.clone(),
+        AccessPolicy::allow_all(),
+        ca.public_key().clone(),
+    );
+
+    // Stage 2: (R1 ⨝ R2) ⨝ R3 through the upper mediator.
+    let s3 = DataSource::new(
+        &third.name,
+        third.relation,
+        third.policy,
+        ca.public_key().clone(),
+    );
+    let mediator2 = Mediator::new(&[&derived, &s3]);
+    let query2 = format!("select * from {} natural join {}", derived_name, third.name);
+    let mut stage2 = Scenario {
+        client: client_template(),
+        mediator: mediator2,
+        left: derived,
+        right: s3,
+        query: query2,
+    };
+    let report2 = stage2.run(kind)?;
+
+    Ok(HierarchyReport {
+        result: report2.result.clone(),
+        stages: vec![report1, report2],
+    })
+}

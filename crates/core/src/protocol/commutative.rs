@@ -1,0 +1,204 @@
+//! The commutative-encryption delivery phase (paper Listing 3, after
+//! Agrawal et al.).
+//!
+//! Each source hashes every active join value into the quadratic-residue
+//! group (the ideal hash `h`), encrypts the hashes under its own secret
+//! SRA exponent, and hybrid-encrypts the matching tuple sets for the
+//! client.  The hash values make a round trip through the *opposite*
+//! source, which applies its own exponent — commutativity makes the double
+//! encryptions comparable — and the mediator matches equal double
+//! encryptions to pair up `encrypt(Tup_1(a))` with `encrypt(Tup_2(a))`.
+//!
+//! [`CommutativeMode::IdReferences`] implements the paper's footnote 1:
+//! the mediator keeps the tuple ciphertexts and circulates only
+//! fixed-length IDs alongside the hash values.
+
+use std::collections::BTreeMap;
+
+use mpint::Natural;
+use rand::Rng;
+use relalg::{decode_tuple_set, encode_tuple_set, Tuple};
+use secmed_crypto::hybrid::HybridCiphertext;
+use secmed_crypto::{SraCipher, SraDomain};
+
+use crate::audit::{ClientView, MediatorView};
+use crate::protocol::{
+    apply_residual, assemble_from_tuple_sets, group_by_join_key, CommutativeConfig,
+    CommutativeMode, Prepared, RunReport, Scenario,
+};
+use crate::transport::{PartyId, Transport};
+use crate::MedError;
+
+/// One element of a source's message set `M_i`: the singly-encrypted hash
+/// with its client-encrypted tuple set.
+struct SourceMessage {
+    enc_hash: Natural,
+    tuple_ct: HybridCiphertext,
+}
+
+/// Runs the delivery phase of Listing 3.
+pub fn deliver(
+    sc: &mut Scenario,
+    p: Prepared,
+    cfg: CommutativeConfig,
+    transport: &mut Transport,
+) -> Result<RunReport, MedError> {
+    // The client key each source encrypts tuple sets under comes from its
+    // forwarded credentials; the SRA domain is the same public group.
+    let left_pk = p.left_client_key().clone();
+    let right_pk = p.right_client_key().clone();
+    let domain = SraDomain::new(left_pk.group().clone());
+    let elem_bytes = domain.element_bytes();
+
+    // Step 1-2 at each source: fresh SRA key; hash+encrypt each active
+    // value; hybrid-encrypt each Tup_i(a).
+    let s1 = SraCipher::generate(domain.clone(), sc.left.rng());
+    let s2 = SraCipher::generate(domain.clone(), sc.right.rng());
+
+    let groups1 = group_by_join_key(&p.left_partial, &p.join_attrs)?;
+    let groups2 = group_by_join_key(&p.right_partial, &p.join_attrs)?;
+
+    let m1 = build_messages(&s1, &groups1, &left_pk, sc.left.rng());
+    let m2 = build_messages(&s2, &groups2, &right_pk, sc.right.rng());
+
+    // Step 3: Si → mediator.
+    let m1_bytes: usize = m1.iter().map(|m| elem_bytes + m.tuple_ct.byte_len()).sum();
+    let m2_bytes: usize = m2.iter().map(|m| elem_bytes + m.tuple_ct.byte_len()).sum();
+    transport.send(
+        PartyId::source(sc.left.name()),
+        PartyId::Mediator,
+        "L3.3 M1",
+        m1_bytes,
+    );
+    transport.send(
+        PartyId::source(sc.right.name()),
+        PartyId::Mediator,
+        "L3.3 M2",
+        m2_bytes,
+    );
+
+    // The mediator sees |M_i| = |domactive(R_i.A_join)| (Table 1).
+    let mut mediator_view = MediatorView {
+        left_domain_size: Some(m1.len()),
+        right_domain_size: Some(m2.len()),
+        ..Default::default()
+    };
+
+    // Steps 4-6: the hash values cross to the opposite source and come
+    // back doubly encrypted.  In `EchoTuples` the tuple ciphertexts ride
+    // along (exactly Listing 3); in `IdReferences` (footnote 1) the
+    // mediator keeps them and circulates fixed-length IDs.
+    let per_msg_extra = match cfg.mode {
+        CommutativeMode::EchoTuples => None,
+        CommutativeMode::IdReferences => Some(8usize),
+    };
+
+    let cross1: usize = m2
+        .iter()
+        .map(|m| elem_bytes + per_msg_extra.unwrap_or(m.tuple_ct.byte_len()))
+        .sum();
+    let cross2: usize = m1
+        .iter()
+        .map(|m| elem_bytes + per_msg_extra.unwrap_or(m.tuple_ct.byte_len()))
+        .sum();
+    transport.send(
+        PartyId::Mediator,
+        PartyId::source(sc.left.name()),
+        "L3.4 M2 → S1",
+        cross1,
+    );
+    transport.send(
+        PartyId::Mediator,
+        PartyId::source(sc.right.name()),
+        "L3.4 M1 → S2",
+        cross2,
+    );
+
+    // Step 5: S1 double-encrypts M2's hashes; step 6: S2 double-encrypts M1's.
+    let doubled_m2: Vec<Natural> = m2.iter().map(|m| s1.encrypt(&m.enc_hash)).collect();
+    let doubled_m1: Vec<Natural> = m1.iter().map(|m| s2.encrypt(&m.enc_hash)).collect();
+    transport.send(
+        PartyId::source(sc.left.name()),
+        PartyId::Mediator,
+        "L3.5 ⟨f_e1(f_e2(h(a))), …⟩",
+        doubled_m2.len() * (elem_bytes + per_msg_extra.unwrap_or(0)),
+    );
+    transport.send(
+        PartyId::source(sc.right.name()),
+        PartyId::Mediator,
+        "L3.6 ⟨f_e2(f_e1(h(a))), …⟩",
+        doubled_m1.len() * (elem_bytes + per_msg_extra.unwrap_or(0)),
+    );
+
+    // Step 7: the mediator matches identical first components.
+    let mut by_double: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
+    for (i, d) in doubled_m1.iter().enumerate() {
+        by_double.insert(d.to_bytes_be(), i);
+    }
+    let mut result_pairs: Vec<(&HybridCiphertext, &HybridCiphertext)> = Vec::new();
+    for (j, d) in doubled_m2.iter().enumerate() {
+        if let Some(&i) = by_double.get(&d.to_bytes_be()) {
+            result_pairs.push((&m1[i].tuple_ct, &m2[j].tuple_ct));
+        }
+    }
+    mediator_view.intersection_size = Some(result_pairs.len());
+
+    let result_bytes: usize = result_pairs
+        .iter()
+        .map(|(a, b)| a.byte_len() + b.byte_len())
+        .sum();
+    transport.send(
+        PartyId::Mediator,
+        PartyId::Client,
+        "L3.7 ⟨encrypt(Tup1(a)), encrypt(Tup2(a))⟩ result messages",
+        result_bytes,
+    );
+
+    // Step 8: the client decrypts and combines (cross product per pair).
+    let mut tuple_set_pairs: Vec<(Vec<Tuple>, Vec<Tuple>)> = Vec::with_capacity(result_pairs.len());
+    for (ct1, ct2) in &result_pairs {
+        let ts1 = decode_tuple_set(&sc.client.hybrid().decrypt(ct1)?)?;
+        let ts2 = decode_tuple_set(&sc.client.hybrid().decrypt(ct2)?)?;
+        tuple_set_pairs.push((ts1, ts2));
+    }
+    let joined = assemble_from_tuple_sets(
+        p.left_partial.schema(),
+        p.right_partial.schema(),
+        &p.join_attrs,
+        &tuple_set_pairs,
+    )?;
+    let result = apply_residual(&joined, &p.residual)?;
+
+    // The client received only the exact global result — the defining
+    // property of this protocol in Table 1.
+    let client_view = ClientView::default();
+
+    Ok(RunReport {
+        result,
+        transport: Transport::new(),
+        mediator_view,
+        client_view,
+        primitives: Vec::new(),
+    })
+}
+
+/// Listing 3 steps 1-2: `⟨f_ei(h(a)), encrypt(Tup_i(a))⟩` for every `a`,
+/// in an order independent of the input order (the paper's "arbitrarily
+/// ordered set" — we sort by the encrypted hash).
+fn build_messages(
+    cipher: &SraCipher,
+    groups: &BTreeMap<Vec<u8>, Vec<Tuple>>,
+    client_pk: &secmed_crypto::HybridPublicKey,
+    rng: &mut dyn Rng,
+) -> Vec<SourceMessage> {
+    let mut messages: Vec<SourceMessage> = groups
+        .iter()
+        .map(|(key_bytes, tuples)| {
+            let enc_hash = cipher.encrypt_value(key_bytes);
+            let tuple_ct = client_pk.encrypt(&encode_tuple_set(tuples), rng);
+            SourceMessage { enc_hash, tuple_ct }
+        })
+        .collect();
+    messages.sort_by(|a, b| a.enc_hash.cmp(&b.enc_hash));
+    messages
+}

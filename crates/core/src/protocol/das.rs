@@ -1,0 +1,178 @@
+//! The DAS delivery phase, client setting (paper Listing 2).
+//!
+//! 1. Each source partitions `domactive(A_join)` into an index table.
+//! 2. Each source encrypts its partial result row-wise (hybrid encryption
+//!    under the client's credential key) and pairs each `etuple` with its
+//!    index value; the index table itself is encrypted for the client.
+//! 3. Sources send `⟨R_i^S, encrypt(ITable_i)⟩` to the mediator.
+//! 4. The mediator forwards the two encrypted index tables to the client.
+//! 5. The client decrypts the tables and translates the query into the
+//!    server query `q_S` and the client query `q_C`; `q_S` goes back to
+//!    the mediator.
+//! 6. The mediator evaluates `q_S` over the encrypted partial results —
+//!    pure ciphertext processing — and returns `R_C`.
+//! 7. The client decrypts `R_C` and applies `q_C` to obtain the global
+//!    result.
+
+use rand::Rng;
+use relalg::{decode_tuple, encode_tuple, Relation, Tuple};
+use secmed_das::{DasRow, EncryptedDasRelation, IndexTable, ServerQuery};
+
+use crate::audit::{ClientView, MediatorView};
+use crate::party::DataSource;
+use crate::protocol::{
+    apply_residual, assemble_from_candidates, DasConfig, DasSetting, Prepared, RunReport, Scenario,
+};
+use crate::transport::{PartyId, Transport};
+use crate::MedError;
+
+/// Runs the delivery phase of Listing 2.
+pub fn deliver(
+    sc: &mut Scenario,
+    p: Prepared,
+    cfg: DasConfig,
+    transport: &mut Transport,
+) -> Result<RunReport, MedError> {
+    if p.join_attrs.len() != 1 {
+        return Err(MedError::Protocol(
+            "the DAS protocol indexes a single join attribute (paper Section 2 assumption); \
+             use the commutative or PM protocol for composite keys"
+                .to_string(),
+        ));
+    }
+    let attr = p.join_attrs[0].clone();
+
+    // Steps 1-3 at each source, encrypting under the public key carried by
+    // the forwarded credentials.  In the mediator setting the index tables
+    // are handed over in plaintext instead (the paper's warned-about
+    // leakage; see `DasSetting`).
+    let left_pk = p.left_client_key().clone();
+    let right_pk = p.right_client_key().clone();
+    let (r1s, table1, enc_table1) =
+        source_prepare(&mut sc.left, &p.left_partial, &attr, cfg, &left_pk)?;
+    let (r2s, table2, enc_table2) =
+        source_prepare(&mut sc.right, &p.right_partial, &attr, cfg, &right_pk)?;
+    let table_bytes = |enc: &secmed_crypto::HybridCiphertext, plain: &IndexTable| match cfg.setting
+    {
+        DasSetting::ClientSetting => enc.byte_len(),
+        DasSetting::MediatorSetting => plain.encode().len(),
+    };
+    transport.send(
+        PartyId::source(sc.left.name()),
+        PartyId::Mediator,
+        "L2.3 ⟨R1S, ITable1⟩",
+        r1s.byte_len() + table_bytes(&enc_table1, &table1),
+    );
+    transport.send(
+        PartyId::source(sc.right.name()),
+        PartyId::Mediator,
+        "L2.3 ⟨R2S, ITable2⟩",
+        r2s.byte_len() + table_bytes(&enc_table2, &table2),
+    );
+
+    // What the mediator sees at this point: row counts — plus, in the
+    // mediator setting, the plaintext partition ranges.
+    let mut mediator_view = MediatorView {
+        left_result_rows: Some(r1s.len()),
+        right_result_rows: Some(r2s.len()),
+        plaintext_index_tables: matches!(cfg.setting, DasSetting::MediatorSetting),
+        ..Default::default()
+    };
+
+    let server_query = match cfg.setting {
+        DasSetting::ClientSetting => {
+            // Step 4: mediator → client (the encrypted index tables).
+            transport.send(
+                PartyId::Mediator,
+                PartyId::Client,
+                "L2.4 encrypt(ITable1), encrypt(ITable2)",
+                enc_table1.byte_len() + enc_table2.byte_len(),
+            );
+            // Step 5: client decrypts the tables and builds the server query.
+            let t1 = IndexTable::decode(&sc.client.hybrid().decrypt(&enc_table1)?)
+                .map_err(MedError::Das)?;
+            let t2 = IndexTable::decode(&sc.client.hybrid().decrypt(&enc_table2)?)
+                .map_err(MedError::Das)?;
+            let q = ServerQuery::translate(&t1, &t2);
+            transport.send(
+                PartyId::Client,
+                PartyId::Mediator,
+                "L2.5 server query qS",
+                q.byte_len(),
+            );
+            q
+        }
+        DasSetting::MediatorSetting => {
+            // The mediator translates directly from the plaintext tables —
+            // one fewer client round trip, much more leakage.
+            ServerQuery::translate(&table1, &table2)
+        }
+    };
+
+    // Step 6: the mediator evaluates qS over ciphertexts.
+    let rc = EncryptedDasRelation::server_join(&r1s, &r2s, &server_query);
+    mediator_view.server_result_size = Some(rc.len());
+    transport.send(PartyId::Mediator, PartyId::Client, "L2.6 RC", rc.byte_len());
+
+    // Step 7: client decrypts RC and applies the client query.
+    let mut candidates: Vec<(Tuple, Tuple)> = Vec::with_capacity(rc.len());
+    for (l, r) in rc.pairs() {
+        let lt = decode_tuple(&sc.client.hybrid().decrypt(&l.etuple)?)?;
+        let rt = decode_tuple(&sc.client.hybrid().decrypt(&r.etuple)?)?;
+        candidates.push((lt, rt));
+    }
+    let joined = assemble_from_candidates(
+        p.left_partial.schema(),
+        p.right_partial.schema(),
+        &p.join_attrs,
+        &candidates,
+    )?;
+    let result = apply_residual(&joined, &p.residual)?;
+
+    let client_view = ClientView {
+        superset_pairs: Some(rc.len()),
+        index_tables_seen: matches!(cfg.setting, DasSetting::ClientSetting),
+        ..Default::default()
+    };
+
+    Ok(RunReport {
+        result,
+        transport: Transport::new(), // replaced by the caller
+        mediator_view,
+        client_view,
+        primitives: Vec::new(),
+    })
+}
+
+/// Listing 2, steps 1-2 at one source: partition, index, encrypt.
+fn source_prepare(
+    src: &mut DataSource,
+    partial: &Relation,
+    attr: &str,
+    cfg: DasConfig,
+    client_pk: &secmed_crypto::HybridPublicKey,
+) -> Result<
+    (
+        EncryptedDasRelation,
+        IndexTable,
+        secmed_crypto::HybridCiphertext,
+    ),
+    MedError,
+> {
+    let salt = src.rng().next_u64();
+    let domain = partial.active_domain(attr)?;
+    let table = if domain.is_empty() {
+        IndexTable::empty(salt)
+    } else {
+        IndexTable::build(&domain, cfg.scheme, salt)?
+    };
+    let attr_idx = partial.schema().index_of(attr)?;
+    let mut encrypted = EncryptedDasRelation::new();
+    for t in partial.tuples() {
+        let etuple = client_pk.encrypt(&encode_tuple(t), src.rng());
+        let index = table.index_of(t.at(attr_idx))?;
+        encrypted.push(DasRow { etuple, index });
+    }
+    let enc_table = client_pk.encrypt(&table.encode(), src.rng());
+    Ok((encrypted, table, enc_table))
+}

@@ -1,0 +1,372 @@
+//! The private-matching delivery phase (paper Listing 4, after Freedman
+//! et al.).
+//!
+//! Each source builds a polynomial whose roots are (encodings of) its
+//! active join values and ships the Paillier-encrypted coefficients —
+//! under the client's homomorphic credential key — through the mediator to
+//! the *opposite* source.  That source evaluates
+//! `E(r * P(a) + (a || payload))` for each of its own values: the client
+//! can decrypt a useful payload exactly for values in the intersection,
+//! and sees uniformly random garbage otherwise.
+//!
+//! Options:
+//! * [`PmEval`] — naive power-sum, Horner, or Freedman's bucket allocation,
+//! * [`PmPayloadMode`] — tuple sets inline in the polynomial payload
+//!   (Listing 4 verbatim) or the footnote-2 session-key table.
+
+use std::collections::BTreeMap;
+
+use mpint::Natural;
+use rand::Rng;
+use relalg::{decode_tuple_set, encode_tuple_set, Tuple};
+use secmed_crypto::hybrid::{SessionCiphertext, SessionKey};
+use secmed_crypto::paillier::{PaillierCiphertext, PaillierPublicKey};
+use secmed_crypto::polynomial::{BucketedPoly, EncryptedBucketedPoly, EncryptedPoly, ZnPoly};
+use secmed_crypto::sha256::sha256;
+use secmed_crypto::CryptoError;
+
+use crate::audit::{ClientView, MediatorView};
+use crate::protocol::{
+    apply_residual, assemble_from_tuple_sets, group_by_join_key, PmConfig, PmEval, PmPayloadMode,
+    Prepared, RunReport, Scenario,
+};
+use crate::transport::{PartyId, Transport};
+use crate::MedError;
+
+/// Payload framing version tags.
+const TAG_INLINE: u8 = 0x01;
+const TAG_SESSION: u8 = 0x02;
+/// Truncated join-value tag length (collision probability 2^-64 per pair
+/// at 2^32 values — ample for a semi-honest matching protocol).
+const VALUE_TAG_LEN: usize = 16;
+
+/// The encrypted polynomial a source ships: flat or bucketed.
+enum ShippedPoly {
+    Flat(EncryptedPoly),
+    Bucketed(EncryptedBucketedPoly),
+}
+
+impl ShippedPoly {
+    fn total_ciphertexts(&self) -> usize {
+        match self {
+            ShippedPoly::Flat(p) => p.len(),
+            ShippedPoly::Bucketed(p) => p.total_len(),
+        }
+    }
+
+    fn byte_len(&self, pk: &PaillierPublicKey) -> usize {
+        self.total_ciphertexts() * ((pk.n2().bit_len() as usize).div_ceil(8))
+    }
+}
+
+/// Runs the delivery phase of Listing 4.
+pub fn deliver(
+    sc: &mut Scenario,
+    p: Prepared,
+    cfg: PmConfig,
+    transport: &mut Transport,
+) -> Result<RunReport, MedError> {
+    // Step 1: the client's homomorphic public key is distributed with the
+    // credentials — each source reads it from its forwarded subset.
+    let paillier_pk = p
+        .left_creds
+        .iter()
+        .chain(p.right_creds.iter())
+        .find_map(|c| c.paillier_key())
+        .ok_or_else(|| {
+            MedError::Protocol("no credential carries a homomorphic public key".to_string())
+        })?
+        .clone();
+
+    let groups1 = group_by_join_key(&p.left_partial, &p.join_attrs)?;
+    let groups2 = group_by_join_key(&p.right_partial, &p.join_attrs)?;
+
+    // Steps 2-3: each source builds and encrypts its polynomial.
+    let poly1 = build_poly(&groups1, &paillier_pk, cfg.eval, sc.left.rng());
+    let poly2 = build_poly(&groups2, &paillier_pk, cfg.eval, sc.right.rng());
+    transport.send(
+        PartyId::source(sc.left.name()),
+        PartyId::Mediator,
+        "L4.2 E(c_k) coefficients of P1",
+        poly1.byte_len(&paillier_pk),
+    );
+    transport.send(
+        PartyId::source(sc.right.name()),
+        PartyId::Mediator,
+        "L4.3 E(d_l) coefficients of P2",
+        poly2.byte_len(&paillier_pk),
+    );
+
+    // The mediator sees the polynomial degrees = |domactive| (Table 1).
+    let mediator_view = MediatorView {
+        left_domain_size: Some(groups1.len()),
+        right_domain_size: Some(groups2.len()),
+        ..Default::default()
+    };
+
+    // Step 4: the mediator forwards each polynomial to the opposite source.
+    transport.send(
+        PartyId::Mediator,
+        PartyId::source(sc.right.name()),
+        "L4.4 E(P1) → S2",
+        poly1.byte_len(&paillier_pk),
+    );
+    transport.send(
+        PartyId::Mediator,
+        PartyId::source(sc.left.name()),
+        "L4.4 E(P2) → S1",
+        poly2.byte_len(&paillier_pk),
+    );
+
+    // Steps 5-6: masked evaluations with payloads.
+    let naive = matches!(cfg.eval, PmEval::Naive);
+    let (evals1, table1) = evaluate_side(
+        &groups1,
+        &poly2,
+        &paillier_pk,
+        cfg.payload,
+        naive,
+        sc.left.rng(),
+    )?;
+    let (evals2, table2) = evaluate_side(
+        &groups2,
+        &poly1,
+        &paillier_pk,
+        cfg.payload,
+        naive,
+        sc.right.rng(),
+    )?;
+    let ct_bytes = (paillier_pk.n2().bit_len() as usize).div_ceil(8);
+    let table_bytes = |t: &BTreeMap<u64, SessionCiphertext>| -> usize {
+        t.values().map(|c| 8 + c.byte_len()).sum()
+    };
+    transport.send(
+        PartyId::source(sc.left.name()),
+        PartyId::Mediator,
+        "L4.5 e_k values (+ session table)",
+        evals1.len() * ct_bytes + table_bytes(&table1),
+    );
+    transport.send(
+        PartyId::source(sc.right.name()),
+        PartyId::Mediator,
+        "L4.6 e'_l values (+ session table)",
+        evals2.len() * ct_bytes + table_bytes(&table2),
+    );
+
+    // Step 7: mediator → client, all n + m encrypted values.
+    transport.send(
+        PartyId::Mediator,
+        PartyId::Client,
+        "L4.7 n+m encrypted values (+ session tables)",
+        (evals1.len() + evals2.len()) * ct_bytes + table_bytes(&table1) + table_bytes(&table2),
+    );
+
+    // Step 8: the client decrypts everything and matches value tags.
+    let parsed1 = parse_side(&evals1, sc)?;
+    let parsed2 = parse_side(&evals2, sc)?;
+    let useful = parsed1.len() + parsed2.len();
+
+    let mut tuple_set_pairs: Vec<(Vec<Tuple>, Vec<Tuple>)> = Vec::new();
+    for (tag, payload1) in &parsed1 {
+        if let Some(payload2) = parsed2.get(tag) {
+            let ts1 = open_payload(payload1, &table1)?;
+            let ts2 = open_payload(payload2, &table2)?;
+            tuple_set_pairs.push((ts1, ts2));
+        }
+    }
+    let joined = assemble_from_tuple_sets(
+        p.left_partial.schema(),
+        p.right_partial.schema(),
+        &p.join_attrs,
+        &tuple_set_pairs,
+    )?;
+    let result = apply_residual(&joined, &p.residual)?;
+
+    let client_view = ClientView {
+        ciphertexts_received: Some(evals1.len() + evals2.len()),
+        useful_payloads: Some(useful),
+        ..Default::default()
+    };
+
+    Ok(RunReport {
+        result,
+        transport: Transport::new(),
+        mediator_view,
+        client_view,
+        primitives: Vec::new(),
+    })
+}
+
+/// Encodes a join key as a polynomial root in `Z_n`: SHA-256 of the key
+/// bytes, reduced mod `n`.
+fn encode_root(key_bytes: &[u8], pk: &PaillierPublicKey) -> Natural {
+    Natural::from_bytes_be(&sha256(key_bytes)).rem(pk.n())
+}
+
+/// Truncated value tag carried inside payloads for client-side matching.
+fn value_tag(key_bytes: &[u8]) -> [u8; VALUE_TAG_LEN] {
+    let digest = sha256(key_bytes);
+    digest[..VALUE_TAG_LEN].try_into().expect("16 bytes")
+}
+
+/// Listing 4 steps 2-3 at one source.
+fn build_poly(
+    groups: &BTreeMap<Vec<u8>, Vec<Tuple>>,
+    pk: &PaillierPublicKey,
+    eval: PmEval,
+    rng: &mut dyn Rng,
+) -> ShippedPoly {
+    let roots: Vec<Natural> = groups.keys().map(|k| encode_root(k, pk)).collect();
+    match eval {
+        PmEval::Bucketed(buckets) => {
+            let bp = BucketedPoly::from_roots(&roots, pk.n(), buckets.max(1));
+            ShippedPoly::Bucketed(EncryptedBucketedPoly::encrypt(&bp, pk, rng))
+        }
+        PmEval::Naive | PmEval::Horner => {
+            let zp = ZnPoly::from_roots(&roots, pk.n());
+            ShippedPoly::Flat(EncryptedPoly::encrypt(&zp, pk, rng))
+        }
+    }
+}
+
+/// A parsed client-side payload.
+enum Payload {
+    Inline(Vec<Tuple>),
+    Session { key: SessionKey, id: u64 },
+}
+
+/// Listing 4 steps 5-6 at one source: one masked evaluation per active
+/// value, plus (in session mode) the ID-keyed table of symmetric
+/// ciphertexts.
+fn evaluate_side(
+    groups: &BTreeMap<Vec<u8>, Vec<Tuple>>,
+    opposite_poly: &ShippedPoly,
+    pk: &PaillierPublicKey,
+    mode: PmPayloadMode,
+    naive: bool,
+    rng: &mut dyn Rng,
+) -> Result<(Vec<PaillierCiphertext>, BTreeMap<u64, SessionCiphertext>), MedError> {
+    let mut evals = Vec::with_capacity(groups.len());
+    let mut table = BTreeMap::new();
+    for (key_bytes, tuples) in groups {
+        let root = encode_root(key_bytes, pk);
+        let tag = value_tag(key_bytes);
+        let payload_bytes = match mode {
+            PmPayloadMode::Inline => {
+                let ts = encode_tuple_set(tuples);
+                let mut out = Vec::with_capacity(1 + VALUE_TAG_LEN + 4 + ts.len());
+                out.push(TAG_INLINE);
+                out.extend_from_slice(&tag);
+                out.extend_from_slice(&(ts.len() as u32).to_be_bytes());
+                out.extend_from_slice(&ts);
+                out
+            }
+            PmPayloadMode::SessionKeyTable => {
+                let key = SessionKey::generate(rng);
+                let mut id_bytes = [0u8; 8];
+                rng.fill_bytes(&mut id_bytes);
+                let id = u64::from_be_bytes(id_bytes);
+                let ct = key.encrypt(&encode_tuple_set(tuples), rng);
+                table.insert(id, ct);
+                let mut out = Vec::with_capacity(1 + VALUE_TAG_LEN + 32 + 8);
+                out.push(TAG_SESSION);
+                out.extend_from_slice(&tag);
+                out.extend_from_slice(&key.0);
+                out.extend_from_slice(&id.to_be_bytes());
+                out
+            }
+        };
+        if payload_bytes.len() > pk.plaintext_bytes() {
+            return Err(MedError::Crypto(CryptoError::MessageTooLarge));
+        }
+        let payload = Natural::from_bytes_be(&payload_bytes);
+        let masked = match opposite_poly {
+            // The evaluation strategy only changes how E(P(a)) is computed;
+            // `Naive` uses the power sum, everything else Horner's rule.
+            ShippedPoly::Flat(p) => {
+                let p_at_a = if naive {
+                    p.eval_naive(&root)
+                } else {
+                    p.eval_horner(&root)
+                };
+                p.mask(&p_at_a, &payload, rng)?
+            }
+            ShippedPoly::Bucketed(bp) => bp.eval_masked(&root, &payload, rng)?,
+        };
+        evals.push(masked);
+    }
+    // Order independence: sort by ciphertext value.
+    evals.sort_by(|a, b| a.element().cmp(b.element()));
+    Ok((evals, table))
+}
+
+/// Client step 8a: decrypt and parse one side's evaluations.  Returns
+/// tag → payload for every value that decrypts to well-formed protocol
+/// data (values outside the intersection decrypt to random garbage and are
+/// dropped here).
+fn parse_side(
+    evals: &[PaillierCiphertext],
+    sc: &mut Scenario,
+) -> Result<BTreeMap<[u8; VALUE_TAG_LEN], Payload>, MedError> {
+    let mut out = BTreeMap::new();
+    for ct in evals {
+        let m = sc.client.paillier().decrypt(ct);
+        let bytes = m.to_bytes_be();
+        if let Some(p) = parse_payload(&bytes) {
+            let tag: [u8; VALUE_TAG_LEN] =
+                bytes[1..1 + VALUE_TAG_LEN].try_into().expect("tag length");
+            out.insert(tag, p);
+        }
+    }
+    Ok(out)
+}
+
+/// Strict payload parsing — any structural mismatch means "not in the
+/// intersection".
+fn parse_payload(bytes: &[u8]) -> Option<Payload> {
+    match *bytes.first()? {
+        TAG_INLINE => {
+            if bytes.len() < 1 + VALUE_TAG_LEN + 4 {
+                return None;
+            }
+            let len_off = 1 + VALUE_TAG_LEN;
+            let len = u32::from_be_bytes(bytes[len_off..len_off + 4].try_into().ok()?) as usize;
+            let body = &bytes[len_off + 4..];
+            if body.len() != len {
+                return None;
+            }
+            let tuples = decode_tuple_set(body).ok()?;
+            Some(Payload::Inline(tuples))
+        }
+        TAG_SESSION => {
+            if bytes.len() != 1 + VALUE_TAG_LEN + 32 + 8 {
+                return None;
+            }
+            let key_off = 1 + VALUE_TAG_LEN;
+            let mut key = [0u8; 32];
+            key.copy_from_slice(&bytes[key_off..key_off + 32]);
+            let id = u64::from_be_bytes(bytes[key_off + 32..].try_into().ok()?);
+            Some(Payload::Session {
+                key: SessionKey(key),
+                id,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Client step 8b: recover the tuple set behind a parsed payload.
+fn open_payload(
+    payload: &Payload,
+    table: &BTreeMap<u64, SessionCiphertext>,
+) -> Result<Vec<Tuple>, MedError> {
+    match payload {
+        Payload::Inline(tuples) => Ok(tuples.clone()),
+        Payload::Session { key, id } => {
+            let ct = table.get(id).ok_or_else(|| {
+                MedError::Protocol(format!("session table has no entry for id {id}"))
+            })?;
+            Ok(decode_tuple_set(&key.decrypt(ct)?)?)
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The recorded message fabric.
+//!
+//! The paper's prototype was "a prototypical web based system"; networking
+//! is irrelevant to its claims, so parties here exchange messages through
+//! an in-process [`Transport`] that records every envelope.  The recorder
+//! is the ground truth for:
+//!
+//! * the interaction-pattern analysis of Section 6 ("the client has to
+//!   interact twice with the mediator", "the datasources have to interact
+//!   twice"),
+//! * communication-volume accounting in the benches,
+//! * the leakage audit: a party's *view* is exactly the set of envelopes
+//!   it received.
+
+use std::fmt;
+
+/// A protocol participant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PartyId {
+    /// The querying client.
+    Client,
+    /// The (untrusted) mediator.
+    Mediator,
+    /// A datasource by name.
+    Source(String),
+    /// The certification authority (preparatory phase only).
+    Ca,
+}
+
+impl PartyId {
+    /// Datasource convenience constructor.
+    pub fn source(name: impl Into<String>) -> Self {
+        PartyId::Source(name.into())
+    }
+}
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartyId::Client => write!(f, "client"),
+            PartyId::Mediator => write!(f, "mediator"),
+            PartyId::Source(s) => write!(f, "source:{s}"),
+            PartyId::Ca => write!(f, "ca"),
+        }
+    }
+}
+
+/// One recorded message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender.
+    pub from: PartyId,
+    /// Receiver.
+    pub to: PartyId,
+    /// Human-readable step label, e.g. `"L3.3 M_i"` for Listing 3 step 3.
+    pub label: String,
+    /// Payload size in bytes (ciphertext sizes; plaintext never rides the
+    /// fabric except from/to the client's own state).
+    pub bytes: usize,
+}
+
+/// The in-process message fabric with full recording.
+#[derive(Debug, Default)]
+pub struct Transport {
+    log: Vec<Envelope>,
+}
+
+impl Transport {
+    /// A fresh, empty fabric.
+    pub fn new() -> Self {
+        Transport::default()
+    }
+
+    /// Records a message.
+    pub fn send(&mut self, from: PartyId, to: PartyId, label: impl Into<String>, bytes: usize) {
+        self.log.push(Envelope {
+            from,
+            to,
+            label: label.into(),
+            bytes,
+        });
+    }
+
+    /// The full log, in order.
+    pub fn log(&self) -> &[Envelope] {
+        &self.log
+    }
+
+    /// Number of messages.
+    pub fn message_count(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> usize {
+        self.log.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Messages on one directed link.
+    pub fn link(&self, from: &PartyId, to: &PartyId) -> Vec<&Envelope> {
+        self.log
+            .iter()
+            .filter(|e| &e.from == from && &e.to == to)
+            .collect()
+    }
+
+    /// Number of *interactions* of a party: maximal runs of consecutive
+    /// envelopes it sends (a burst of messages in one protocol step counts
+    /// as one interaction) — the unit of the paper's "interacts twice".
+    pub fn interactions_of(&self, party: &PartyId) -> usize {
+        let mut count = 0;
+        let mut in_run = false;
+        for e in &self.log {
+            if &e.from == party {
+                if !in_run {
+                    count += 1;
+                    in_run = true;
+                }
+            } else {
+                in_run = false;
+            }
+        }
+        count
+    }
+
+    /// Bytes received by a party (the size of its view).
+    pub fn bytes_received_by(&self, party: &PartyId) -> usize {
+        self.log
+            .iter()
+            .filter(|e| &e.to == party)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Renders the flow as an indented trace (used by the quickstart
+    /// example to regenerate Figure 1/2's message flow).
+    pub fn render_flow(&self) -> String {
+        let mut out = String::new();
+        for e in &self.log {
+            out.push_str(&format!(
+                "{:>12} → {:<12} [{:>8} B]  {}\n",
+                e.from.to_string(),
+                e.to.to_string(),
+                e.bytes,
+                e.label
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Transport {
+        let mut t = Transport::new();
+        t.send(PartyId::Client, PartyId::Mediator, "query", 100);
+        t.send(PartyId::Mediator, PartyId::source("s1"), "q1", 50);
+        t.send(PartyId::Mediator, PartyId::source("s2"), "q2", 50);
+        t.send(PartyId::source("s1"), PartyId::Mediator, "r1", 500);
+        t.send(PartyId::source("s2"), PartyId::Mediator, "r2", 700);
+        t.send(PartyId::Mediator, PartyId::Client, "result", 900);
+        t
+    }
+
+    #[test]
+    fn accounting() {
+        let t = t();
+        assert_eq!(t.message_count(), 6);
+        assert_eq!(t.total_bytes(), 2300);
+        assert_eq!(t.bytes_received_by(&PartyId::Mediator), 1300);
+        assert_eq!(t.link(&PartyId::Mediator, &PartyId::Client).len(), 1);
+    }
+
+    #[test]
+    fn interactions_group_bursts() {
+        let t = t();
+        // Mediator sends twice: the (q1,q2) burst and the final result.
+        assert_eq!(t.interactions_of(&PartyId::Mediator), 2);
+        assert_eq!(t.interactions_of(&PartyId::Client), 1);
+        assert_eq!(t.interactions_of(&PartyId::source("s1")), 1);
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let flow = t().render_flow();
+        assert!(flow.contains("query"));
+        assert!(flow.contains("source:s1"));
+    }
+
+    #[test]
+    fn party_display() {
+        assert_eq!(PartyId::Client.to_string(), "client");
+        assert_eq!(PartyId::source("x").to_string(), "source:x");
+    }
+}

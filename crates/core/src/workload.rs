@@ -1,0 +1,237 @@
+//! Synthetic relational workloads.
+//!
+//! The paper evaluates no concrete dataset, so the benches and examples
+//! generate controlled workloads: two relations with tunable sizes, join
+//! attribute domains, overlap, and skew.  The generator reports the exact
+//! expected join size so protocol output can be verified.
+
+use rand::Rng;
+use relalg::{Relation, Schema, Type, Value};
+use secmed_crypto::drbg::HmacDrbg;
+
+/// Parameters of a two-relation join workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Rows in the left relation.
+    pub left_rows: usize,
+    /// Rows in the right relation.
+    pub right_rows: usize,
+    /// Distinct join values available to the left relation.
+    pub left_domain: usize,
+    /// Distinct join values available to the right relation.
+    pub right_domain: usize,
+    /// How many join values the two domains share.
+    pub shared_values: usize,
+    /// Zipf-like skew exponent; `0.0` = uniform.
+    pub skew: f64,
+    /// Width of the non-join payload (extra attributes per relation).
+    pub payload_attrs: usize,
+    /// Seed label for reproducibility.
+    pub seed: String,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            left_rows: 50,
+            right_rows: 50,
+            left_domain: 30,
+            right_domain: 30,
+            shared_values: 10,
+            skew: 0.0,
+            payload_attrs: 2,
+            seed: "workload".to_string(),
+        }
+    }
+}
+
+/// A generated workload: the two relations plus ground truth.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The left relation (named `r1`, join attribute `k`).
+    pub left: Relation,
+    /// The right relation (named `r2`, join attribute `k`).
+    pub right: Relation,
+    /// The exact natural-join size.
+    pub expected_join_size: usize,
+}
+
+impl WorkloadSpec {
+    /// Generates the workload.
+    ///
+    /// Join values are integers: `0..shared` are common to both domains;
+    /// the remainders are disjoint per side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shared_values` exceeds either domain size, or a domain
+    /// is zero while rows are requested.
+    pub fn generate(&self) -> Workload {
+        assert!(self.shared_values <= self.left_domain.min(self.right_domain));
+        assert!(self.left_domain > 0 && self.right_domain > 0);
+        let mut rng = HmacDrbg::from_label(&self.seed);
+
+        // Value pools: shared ids first, then side-private ids.
+        let left_pool: Vec<i64> = (0..self.left_domain as i64).collect();
+        let right_pool: Vec<i64> = (0..self.shared_values as i64)
+            .chain((0..(self.right_domain - self.shared_values) as i64).map(|i| 1_000_000 + i))
+            .collect();
+
+        let left = self.build_relation("r1", &left_pool, self.left_rows, &mut rng);
+        let right = self.build_relation("r2", &right_pool, self.right_rows, &mut rng);
+
+        // Ground truth join size: per shared value, (#left rows) * (#right rows).
+        let expected_join_size = (0..self.shared_values as i64)
+            .map(|v| {
+                let l = left
+                    .tuples()
+                    .iter()
+                    .filter(|t| t.at(0) == &Value::Int(v))
+                    .count();
+                let r = right
+                    .tuples()
+                    .iter()
+                    .filter(|t| t.at(0) == &Value::Int(v))
+                    .count();
+                l * r
+            })
+            .sum();
+
+        Workload {
+            left,
+            right,
+            expected_join_size,
+        }
+    }
+
+    fn build_relation(
+        &self,
+        name: &str,
+        pool: &[i64],
+        rows: usize,
+        rng: &mut HmacDrbg,
+    ) -> Relation {
+        let mut attrs = vec![("k", Type::Int)];
+        let payload_names: Vec<String> = (0..self.payload_attrs)
+            .map(|i| format!("{name}_p{i}"))
+            .collect();
+        for n in &payload_names {
+            attrs.push((n.as_str(), Type::Str));
+        }
+        let schema = Schema::new(&attrs);
+        let mut rel = Relation::empty(schema);
+        for row in 0..rows {
+            let v = pool[self.pick(pool.len(), rng)];
+            let mut values = vec![Value::Int(v)];
+            for (i, _) in payload_names.iter().enumerate() {
+                values.push(Value::Str(format!("{name}:{row}:{i}")));
+            }
+            rel.insert(relalg::Tuple::new(values))
+                .expect("generated row conforms");
+        }
+        rel
+    }
+
+    /// Index selection with optional Zipf-like skew.
+    fn pick(&self, n: usize, rng: &mut HmacDrbg) -> usize {
+        if self.skew <= 0.0 {
+            return (rng.next_u64() % n as u64) as usize;
+        }
+        // Inverse-CDF sampling of a truncated power law by rejection.
+        loop {
+            let idx = (rng.next_u64() % n as u64) as usize;
+            let weight = 1.0 / ((idx + 1) as f64).powf(self.skew);
+            let coin = (rng.next_u64() as f64) / (u64::MAX as f64);
+            if coin < weight {
+                return idx;
+            }
+        }
+    }
+}
+
+/// Quick helper for tests: a small workload with a known overlap.
+pub fn small_workload(seed: &str) -> Workload {
+    WorkloadSpec {
+        left_rows: 20,
+        right_rows: 25,
+        left_domain: 12,
+        right_domain: 15,
+        shared_values: 6,
+        seed: seed.to_string(),
+        ..Default::default()
+    }
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = small_workload("s");
+        let b = small_workload("s");
+        assert_eq!(a.left, b.left);
+        assert_eq!(a.right, b.right);
+        let c = small_workload("t");
+        assert_ne!(a.left, c.left);
+    }
+
+    #[test]
+    fn expected_join_size_matches_actual_join() {
+        for seed in ["a", "b", "c"] {
+            let w = small_workload(seed);
+            let joined = w.left.natural_join(&w.right).unwrap();
+            assert_eq!(joined.len(), w.expected_join_size, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn respects_row_counts_and_schema() {
+        let w = WorkloadSpec {
+            left_rows: 7,
+            right_rows: 3,
+            ..Default::default()
+        }
+        .generate();
+        assert_eq!(w.left.len(), 7);
+        assert_eq!(w.right.len(), 3);
+        assert_eq!(w.left.schema().attr_names()[0], "k");
+        assert_eq!(w.left.schema().arity(), 3);
+    }
+
+    #[test]
+    fn disjoint_domains_give_empty_join() {
+        let w = WorkloadSpec {
+            shared_values: 0,
+            seed: "d".to_string(),
+            ..Default::default()
+        }
+        .generate();
+        assert_eq!(w.expected_join_size, 0);
+        assert_eq!(w.left.natural_join(&w.right).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn skewed_workload_still_verifies() {
+        let w = WorkloadSpec {
+            skew: 1.2,
+            seed: "skew".to_string(),
+            ..Default::default()
+        }
+        .generate();
+        let joined = w.left.natural_join(&w.right).unwrap();
+        assert_eq!(joined.len(), w.expected_join_size);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_overlap_panics() {
+        WorkloadSpec {
+            shared_values: 100,
+            left_domain: 5,
+            ..Default::default()
+        }
+        .generate();
+    }
+}

@@ -1,0 +1,54 @@
+//! The analytic cost model (paper §6 as closed forms) must match the
+//! measured operation counters exactly.
+
+use secmed_core::cost::{observed, predict, shape_of};
+use secmed_core::workload::small_workload;
+use secmed_core::{
+    CommutativeConfig, CommutativeMode, DasConfig, DasSetting, PmConfig, PmEval, PmPayloadMode,
+    ProtocolKind, Scenario,
+};
+
+fn check(kind: ProtocolKind, seed: &str) {
+    let w = small_workload(seed);
+    let mut sc = Scenario::from_workload(&w, seed, 768);
+    let report = sc.run(kind).unwrap();
+    let shape = shape_of(
+        &w.left,
+        &w.right,
+        "k",
+        report.mediator_view.server_result_size.unwrap_or(0),
+    )
+    .unwrap();
+    let predicted = predict(&kind, &shape);
+    let measured = observed(&report.primitives);
+    assert_eq!(measured, predicted, "{kind:?} on seed {seed}");
+}
+
+// One test function: the primitive counters are process-global, so the
+// model checks must not run concurrently with other protocol executions.
+#[test]
+fn cost_model_is_exact_for_every_protocol() {
+    for (mode, seed) in [
+        (CommutativeMode::EchoTuples, "cost-echo"),
+        (CommutativeMode::IdReferences, "cost-ids"),
+    ] {
+        check(ProtocolKind::Commutative(CommutativeConfig { mode }), seed);
+    }
+    check(ProtocolKind::Das(DasConfig::default()), "cost-das");
+    check(
+        ProtocolKind::Das(DasConfig {
+            setting: DasSetting::MediatorSetting,
+            ..Default::default()
+        }),
+        "cost-das-med",
+    );
+    for (eval, seed) in [(PmEval::Horner, "cost-pm-h"), (PmEval::Naive, "cost-pm-n")] {
+        check(
+            ProtocolKind::Pm(PmConfig {
+                eval,
+                payload: PmPayloadMode::SessionKeyTable,
+            }),
+            seed,
+        );
+    }
+}

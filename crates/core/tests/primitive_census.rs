@@ -1,0 +1,40 @@
+//! Table 2 census in its own test binary: the primitive counters are
+//! process-global, so this must not share a process with other protocol
+//! runs.
+
+use secmed_core::workload::small_workload;
+use secmed_core::{CommutativeConfig, DasConfig, PmConfig, ProtocolKind, Scenario};
+
+#[test]
+fn primitive_census_matches_table_2() {
+    use secmed_crypto::metrics::Op;
+    let w = small_workload("census");
+
+    let has = |prims: &[(Op, u64)], op: Op| prims.iter().any(|(o, c)| *o == op && *c > 0);
+
+    // DAS: hash function (for index values) + hybrid encryption; no
+    // commutative or homomorphic operations.
+    let mut sc = Scenario::from_workload(&w, "census", 768);
+    let das = sc.run(ProtocolKind::Das(DasConfig::default())).unwrap();
+    assert!(has(&das.primitives, Op::HashMessage));
+    assert!(has(&das.primitives, Op::HybridEncrypt));
+    assert!(!has(&das.primitives, Op::CommutativeEncrypt));
+    assert!(!has(&das.primitives, Op::PaillierEncrypt));
+
+    // Commutative: hash-to-group + commutative encryption; no Paillier.
+    let mut sc = Scenario::from_workload(&w, "census", 768);
+    let comm = sc
+        .run(ProtocolKind::Commutative(CommutativeConfig::default()))
+        .unwrap();
+    assert!(has(&comm.primitives, Op::HashToGroup));
+    assert!(has(&comm.primitives, Op::CommutativeEncrypt));
+    assert!(!has(&comm.primitives, Op::PaillierEncrypt));
+
+    // PM: homomorphic encryption + random masks; no commutative encryption.
+    let mut sc = Scenario::from_workload(&w, "census", 768);
+    let pm = sc.run(ProtocolKind::Pm(PmConfig::default())).unwrap();
+    assert!(has(&pm.primitives, Op::PaillierEncrypt));
+    assert!(has(&pm.primitives, Op::PaillierScale));
+    assert!(has(&pm.primitives, Op::RandomMask));
+    assert!(!has(&pm.primitives, Op::CommutativeEncrypt));
+}

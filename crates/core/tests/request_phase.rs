@@ -1,0 +1,114 @@
+//! Tests for the request phase (paper Listing 1), in particular the
+//! mediator's credential-subset selection of step 2.
+
+use relalg::{Relation, Schema, Type, Value};
+use secmed_core::protocol::request_phase;
+use secmed_core::{
+    AccessPolicy, AccessRule, CertificationAuthority, Client, DataSource, Mediator, Property,
+    Scenario, Transport,
+};
+use secmed_crypto::drbg::HmacDrbg;
+use secmed_crypto::group::{GroupSize, SafePrimeGroup};
+
+fn relation(name_attr: &str) -> Relation {
+    Relation::build(
+        Schema::new(&[("k", Type::Int), (name_attr, Type::Str)]),
+        vec![vec![Value::Int(1), Value::from("x")]],
+    )
+    .unwrap()
+}
+
+fn scenario_with_two_credentials() -> Scenario {
+    let group = SafePrimeGroup::preset(GroupSize::S256);
+    let mut rng = HmacDrbg::from_label("reqphase/ca");
+    let ca = CertificationAuthority::new(group.clone(), &mut rng);
+    let mut client = Client::setup(
+        &ca,
+        vec![Property::new("role", "auditor")],
+        group.clone(),
+        256,
+        "reqphase/client",
+    );
+    // A second credential asserting an unrelated property.
+    let dept_cred = ca.issue(
+        vec![Property::new("dept", "claims")],
+        client.hybrid().public(),
+        None,
+        &mut rng,
+    );
+    client.add_credential(dept_cred);
+
+    let left_policy = AccessPolicy::new(vec![AccessRule::full_access(vec![Property::new(
+        "role", "auditor",
+    )])]);
+    let right_policy = AccessPolicy::new(vec![AccessRule::full_access(vec![Property::new(
+        "dept", "claims",
+    )])]);
+    let left = DataSource::new("r1", relation("a"), left_policy, ca.public_key().clone());
+    let right = DataSource::new("r2", relation("b"), right_policy, ca.public_key().clone());
+    let mediator = Mediator::new(&[&left, &right]);
+    Scenario {
+        client,
+        mediator,
+        left,
+        right,
+        query: "select * from r1 natural join r2".to_string(),
+    }
+}
+
+#[test]
+fn mediator_forwards_only_relevant_credentials() {
+    let mut sc = scenario_with_two_credentials();
+    let mut transport = Transport::new();
+    let prepared = request_phase(&mut sc, &mut transport).unwrap();
+    // Each source received exactly the credential its policy asks for.
+    assert_eq!(prepared.left_creds.len(), 1);
+    assert!(prepared.left_creds[0].asserts(&Property::new("role", "auditor")));
+    assert_eq!(prepared.right_creds.len(), 1);
+    assert!(prepared.right_creds[0].asserts(&Property::new("dept", "claims")));
+}
+
+#[test]
+fn sources_with_open_policies_still_get_a_key_carrier() {
+    let mut sc = scenario_with_two_credentials();
+    // Replace policies with allow-all: no advertised properties, but a
+    // credential must still travel because it carries the client's keys.
+    let group = SafePrimeGroup::preset(GroupSize::S256);
+    let mut rng = HmacDrbg::from_label("reqphase/ca2");
+    let ca = CertificationAuthority::new(group.clone(), &mut rng);
+    let client = Client::setup(&ca, vec![], group, 256, "reqphase/client2");
+    sc.client = client;
+    sc.left = DataSource::new(
+        "r1",
+        relation("a"),
+        AccessPolicy::allow_all(),
+        ca.public_key().clone(),
+    );
+    sc.right = DataSource::new(
+        "r2",
+        relation("b"),
+        AccessPolicy::allow_all(),
+        ca.public_key().clone(),
+    );
+    let mut transport = Transport::new();
+    let prepared = request_phase(&mut sc, &mut transport).unwrap();
+    assert_eq!(prepared.left_creds.len(), 1);
+    assert_eq!(prepared.left_client_key(), &sc.client.hybrid().public());
+}
+
+#[test]
+fn request_phase_records_four_messages() {
+    let mut sc = scenario_with_two_credentials();
+    let mut transport = Transport::new();
+    request_phase(&mut sc, &mut transport).unwrap();
+    // L1.1 client→mediator, two L1.3 mediator→source messages.
+    assert_eq!(transport.message_count(), 3);
+}
+
+#[test]
+fn query_against_unknown_sources_is_rejected() {
+    let mut sc = scenario_with_two_credentials();
+    sc.query = "select * from ghost natural join r2".to_string();
+    let mut transport = Transport::new();
+    assert!(request_phase(&mut sc, &mut transport).is_err());
+}

@@ -1,0 +1,186 @@
+//! ChaCha20 stream cipher (RFC 8439), used as the symmetric half of the
+//! paper's hybrid `encrypt(...)` and for per-tuple-set session keys in the
+//! PM protocol's footnote-2 optimization.
+
+use crate::metrics::{count, Op};
+
+/// ChaCha20 keystream generator / cipher for one (key, nonce) pair.
+///
+/// Encryption and decryption are the same XOR operation:
+///
+/// ```
+/// use secmed_crypto::chacha20::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [1u8; 12];
+/// let ct = ChaCha20::new(&key, &nonce).apply(b"attack at dawn");
+/// let pt = ChaCha20::new(&key, &nonce).apply(&ct);
+/// assert_eq!(pt, b"attack at dawn");
+/// ```
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+    counter: u32,
+}
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574]; // "expand 32-byte k"
+
+impl ChaCha20 {
+    /// New cipher with block counter starting at 1 (RFC 8439 convention for
+    /// AEAD payloads; counter 0 is reserved for one-time keys there).
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        Self::with_counter(key, nonce, 1)
+    }
+
+    /// New cipher with an explicit initial block counter.
+    pub fn with_counter(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut k = [0u32; 8];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            k[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let mut n = [0u32; 3];
+        for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+            n[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha20 {
+            key: k,
+            nonce: n,
+            counter,
+        }
+    }
+
+    /// XORs the keystream into `data`, returning the result.
+    pub fn apply(mut self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        for chunk in out.chunks_mut(64) {
+            let ks = self.block();
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+        out
+    }
+
+    /// Produces the next 64-byte keystream block and advances the counter.
+    pub fn block(&mut self) -> [u8; 64] {
+        count(Op::ChaCha20Block);
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter;
+        state[13..16].copy_from_slice(&self.nonce);
+        let mut working = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.counter = self.counter.wrapping_add(1);
+        out
+    }
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    #[test]
+    fn rfc8439_quarter_round_vector() {
+        // RFC 8439 section 2.1.1.
+        let mut s = [0u32; 16];
+        s[0] = 0x11111111;
+        s[1] = 0x01020304;
+        s[2] = 0x9b8d6f43;
+        s[3] = 0x01234567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a92f4);
+        assert_eq!(s[1], 0xcb1cf8ce);
+        assert_eq!(s[2], 0x4581472e);
+        assert_eq!(s[3], 0x5881c4bb);
+    }
+
+    #[test]
+    fn rfc8439_block_function_vector() {
+        // RFC 8439 section 2.3.2: key 00..1f, nonce 00:00:00:09:00:00:00:4a:00:00:00:00, counter 1.
+        let key: [u8; 32] = std::array::from_fn(|i| i as u8);
+        let nonce = [0u8, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = ChaCha20::with_counter(&key, &nonce, 1).block();
+        assert_eq!(
+            to_hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 section 2.4.2.
+        let key: [u8; 32] = std::array::from_fn(|i| i as u8);
+        let nonce = [0u8, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let ct = ChaCha20::new(&key, &nonce).apply(plaintext);
+        assert_eq!(
+            to_hex(&ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let key = [0x42u8; 32];
+        let nonce = [0x24u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let msg: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = ChaCha20::new(&key, &nonce).apply(&msg);
+            let pt = ChaCha20::new(&key, &nonce).apply(&ct);
+            assert_eq!(pt, msg, "len={len}");
+            if len > 0 {
+                assert_ne!(ct, msg, "ciphertext differs from plaintext, len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_nonces_give_different_keystreams() {
+        let key = [9u8; 32];
+        let b1 = ChaCha20::new(&key, &[0u8; 12]).block();
+        let b2 = ChaCha20::new(&key, &[1u8; 12]).block();
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn counter_advances() {
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        let mut c = ChaCha20::new(&key, &nonce);
+        assert_ne!(c.block(), c.block());
+    }
+}

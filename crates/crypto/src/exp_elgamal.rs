@@ -1,0 +1,271 @@
+//! Exponential (additively homomorphic) ElGamal.
+//!
+//! Section 5 of the paper notes that besides Paillier, "the elliptic curve
+//! variant of ElGamal" satisfies the homomorphic demands of private
+//! matching.  This module implements the multiplicative-group analogue
+//! over our safe-prime groups: messages are encrypted *in the exponent*,
+//!
+//! ```text
+//! E(m) = (g^r, g^m * y^r)
+//! ```
+//!
+//! so ciphertext multiplication adds plaintexts and exponentiation scales
+//! them — exactly the two properties the PM protocol needs.  The price is
+//! decryption: recovering `m` from `g^m` is a discrete logarithm, feasible
+//! only for *small* message spaces (solved here with baby-step/giant-step).
+//! That restriction is why the shipped PM protocol uses Paillier — whole
+//! tuple payloads do not fit a BSGS-sized message space — but the scheme
+//! is complete and benchmarked as the paper's alternative instantiation.
+
+use std::collections::HashMap;
+
+use mpint::numtheory::modinv;
+use mpint::Natural;
+use rand::Rng;
+
+use crate::group::SafePrimeGroup;
+use crate::metrics::{count, Op};
+use crate::CryptoError;
+
+/// An exponential-ElGamal public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpElGamalPublicKey {
+    group: SafePrimeGroup,
+    y: Natural,
+}
+
+/// The matching key pair.
+#[derive(Clone)]
+pub struct ExpElGamalKeyPair {
+    public: ExpElGamalPublicKey,
+    x: Natural,
+}
+
+/// A ciphertext `(c1, c2) = (g^r, g^m * y^r)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpElGamalCiphertext {
+    c1: Natural,
+    c2: Natural,
+}
+
+impl ExpElGamalKeyPair {
+    /// Generates a key pair in `group`.
+    pub fn generate(group: SafePrimeGroup, rng: &mut dyn Rng) -> Self {
+        let x = group.random_exponent(rng);
+        let y = group.pow_g(&x);
+        ExpElGamalKeyPair {
+            public: ExpElGamalPublicKey { group, y },
+            x,
+        }
+    }
+
+    /// The public key.
+    pub fn public(&self) -> &ExpElGamalPublicKey {
+        &self.public
+    }
+
+    /// Recovers `g^m` (always possible); the caller may already know how
+    /// to interpret it — e.g. "is it `g^0 = 1`?" costs no discrete log.
+    pub fn decrypt_element(&self, ct: &ExpElGamalCiphertext) -> Natural {
+        let g = &self.public.group;
+        let s = g.pow(&ct.c1, &self.x);
+        let s_inv = modinv(&s, g.p()).expect("group elements are invertible");
+        ct.c2.modmul(&s_inv, g.p())
+    }
+
+    /// Full decryption via baby-step/giant-step over `[0, bound)`.
+    ///
+    /// Costs `O(sqrt(bound))` group operations and memory; returns
+    /// [`CryptoError::Malformed`] if the plaintext is outside the bound.
+    pub fn decrypt(&self, ct: &ExpElGamalCiphertext, bound: u64) -> Result<u64, CryptoError> {
+        let gm = self.decrypt_element(ct);
+        discrete_log(&self.public.group, &gm, bound)
+            .ok_or(CryptoError::Malformed("plaintext outside the BSGS bound"))
+    }
+
+    /// Cheap membership test: does this ciphertext encrypt zero?
+    ///
+    /// Useful for private matching where only "P(a) = 0?" matters.
+    pub fn decrypts_to_zero(&self, ct: &ExpElGamalCiphertext) -> bool {
+        self.decrypt_element(ct).is_one()
+    }
+}
+
+impl ExpElGamalPublicKey {
+    /// The group.
+    pub fn group(&self) -> &SafePrimeGroup {
+        &self.group
+    }
+
+    /// Encrypts `m` (in the exponent).  The message space is `Z_q`, but
+    /// only small values decrypt feasibly.
+    pub fn encrypt(&self, m: &Natural, rng: &mut dyn Rng) -> ExpElGamalCiphertext {
+        count(Op::PaillierEncrypt); // homomorphic-encryption op class
+        let g = &self.group;
+        let r = g.random_exponent(rng);
+        let c1 = g.pow_g(&r);
+        let gm = g.pow_g(&m.rem(g.q()));
+        let c2 = gm.modmul(&g.pow(&self.y, &r), g.p());
+        ExpElGamalCiphertext { c1, c2 }
+    }
+
+    /// Homomorphic addition: componentwise multiplication.
+    pub fn add(&self, a: &ExpElGamalCiphertext, b: &ExpElGamalCiphertext) -> ExpElGamalCiphertext {
+        count(Op::PaillierAdd);
+        let p = self.group.p();
+        ExpElGamalCiphertext {
+            c1: a.c1.modmul(&b.c1, p),
+            c2: a.c2.modmul(&b.c2, p),
+        }
+    }
+
+    /// Homomorphic scalar multiplication: componentwise exponentiation.
+    pub fn scale(&self, a: &ExpElGamalCiphertext, gamma: &Natural) -> ExpElGamalCiphertext {
+        count(Op::PaillierScale);
+        ExpElGamalCiphertext {
+            c1: self.group.pow(&a.c1, gamma),
+            c2: self.group.pow(&a.c2, gamma),
+        }
+    }
+}
+
+impl ExpElGamalCiphertext {
+    /// The two transported group elements.
+    pub fn elements(&self) -> (&Natural, &Natural) {
+        (&self.c1, &self.c2)
+    }
+
+    /// Serialized size in bytes (two group elements).
+    pub fn byte_len(&self) -> usize {
+        self.c1.to_bytes_be().len() + self.c2.to_bytes_be().len()
+    }
+}
+
+/// Baby-step/giant-step: finds `m < bound` with `g^m = target`, if any.
+pub fn discrete_log(group: &SafePrimeGroup, target: &Natural, bound: u64) -> Option<u64> {
+    if target.is_one() {
+        return Some(0);
+    }
+    let m = (bound as f64).sqrt().ceil() as u64 + 1;
+    // Baby steps: g^j for j in 0..m.
+    let mut table: HashMap<Vec<u8>, u64> = HashMap::with_capacity(m as usize);
+    let mut cur = Natural::one();
+    for j in 0..m {
+        table.insert(cur.to_bytes_be(), j);
+        cur = cur.modmul(group.g(), group.p());
+    }
+    // Giant steps: target * (g^-m)^i.
+    let g_m = group.pow_g(&Natural::from(m));
+    let g_m_inv = modinv(&g_m, group.p()).expect("group element invertible");
+    let mut gamma = target.clone();
+    for i in 0..=m {
+        if let Some(&j) = table.get(&gamma.to_bytes_be()) {
+            let candidate = i * m + j;
+            if candidate < bound {
+                return Some(candidate);
+            }
+            return None;
+        }
+        gamma = gamma.modmul(&g_m_inv, group.p());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HmacDrbg;
+    use crate::group::GroupSize;
+
+    fn setup() -> (ExpElGamalKeyPair, HmacDrbg) {
+        let mut rng = HmacDrbg::from_label("exp-elgamal-tests");
+        let kp = ExpElGamalKeyPair::generate(SafePrimeGroup::preset(GroupSize::S256), &mut rng);
+        (kp, rng)
+    }
+
+    #[test]
+    fn roundtrip_small_messages() {
+        let (kp, mut rng) = setup();
+        for m in [0u64, 1, 42, 999, 65535] {
+            let ct = kp.public().encrypt(&Natural::from(m), &mut rng);
+            assert_eq!(kp.decrypt(&ct, 100_000).unwrap(), m, "m={m}");
+        }
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let (kp, mut rng) = setup();
+        let a = kp.public().encrypt(&Natural::from(1200u64), &mut rng);
+        let b = kp.public().encrypt(&Natural::from(34u64), &mut rng);
+        let sum = kp.public().add(&a, &b);
+        assert_eq!(kp.decrypt(&sum, 10_000).unwrap(), 1234);
+    }
+
+    #[test]
+    fn scalar_homomorphism() {
+        let (kp, mut rng) = setup();
+        let a = kp.public().encrypt(&Natural::from(11u64), &mut rng);
+        let scaled = kp.public().scale(&a, &Natural::from(9u64));
+        assert_eq!(kp.decrypt(&scaled, 1_000).unwrap(), 99);
+    }
+
+    #[test]
+    fn zero_test_is_cheap_and_correct() {
+        let (kp, mut rng) = setup();
+        let zero = kp.public().encrypt(&Natural::zero(), &mut rng);
+        let one = kp.public().encrypt(&Natural::one(), &mut rng);
+        assert!(kp.decrypts_to_zero(&zero));
+        assert!(!kp.decrypts_to_zero(&one));
+        // Sum of m and -m (as q - m) is zero in the exponent.
+        let q = kp.public().group().q().clone();
+        let m = kp.public().encrypt(&Natural::from(77u64), &mut rng);
+        let neg_m = kp.public().encrypt(&(q - Natural::from(77u64)), &mut rng);
+        assert!(kp.decrypts_to_zero(&kp.public().add(&m, &neg_m)));
+    }
+
+    #[test]
+    fn out_of_bound_plaintext_is_detected() {
+        let (kp, mut rng) = setup();
+        let ct = kp.public().encrypt(&Natural::from(5000u64), &mut rng);
+        assert!(kp.decrypt(&ct, 100).is_err());
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let (kp, mut rng) = setup();
+        let a = kp.public().encrypt(&Natural::from(5u64), &mut rng);
+        let b = kp.public().encrypt(&Natural::from(5u64), &mut rng);
+        assert_ne!(a, b);
+        assert_eq!(kp.decrypt(&a, 100).unwrap(), kp.decrypt(&b, 100).unwrap());
+    }
+
+    #[test]
+    fn discrete_log_edge_cases() {
+        let g = SafePrimeGroup::preset(GroupSize::S256);
+        assert_eq!(discrete_log(&g, &Natural::one(), 10), Some(0));
+        assert_eq!(
+            discrete_log(&g, &g.pow_g(&Natural::from(9u64)), 10),
+            Some(9)
+        );
+        assert_eq!(discrete_log(&g, &g.pow_g(&Natural::from(10u64)), 10), None);
+    }
+
+    #[test]
+    fn masked_polynomial_zero_test_matches_pm_semantics() {
+        // The PM core property, instantiated with exponential ElGamal: for
+        // P with root a, E(r * P(a)) decrypts to zero; elsewhere it does
+        // not (whp).  This is the "is it in the intersection?" bit without
+        // any payload — the variant usable when only membership matters.
+        use crate::polynomial::ZnPoly;
+        let (kp, mut rng) = setup();
+        let q = kp.public().group().q().clone();
+        let poly = ZnPoly::from_roots(&[Natural::from(3u64), Natural::from(7u64)], &q);
+        for (x, expect_zero) in [(3u64, true), (7, true), (8, false)] {
+            let p_at_x = poly.eval(&Natural::from(x));
+            let ct = kp.public().encrypt(&p_at_x, &mut rng);
+            let r = kp.public().group().random_exponent(&mut rng);
+            let masked = kp.public().scale(&ct, &r);
+            assert_eq!(kp.decrypts_to_zero(&masked), expect_zero, "x={x}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! HMAC-SHA-256 (RFC 2104) and an HKDF-style key-derivation function
+//! (RFC 5869), used for MACs and for deriving session keys from KEM shared
+//! secrets.
+
+use crate::metrics::{count, Op};
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// `HMAC-SHA256(key, data)`.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    count(Op::Hmac);
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let digest = crate::sha256::sha256(key);
+        key_block[..32].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time comparison of two MACs.
+pub fn mac_eq(a: &[u8; 32], b: &[u8; 32]) -> bool {
+    let mut diff = 0u8;
+    for i in 0..32 {
+        diff |= a[i] ^ b[i];
+    }
+    diff == 0
+}
+
+/// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derives `len` bytes (`len <= 255 * 32`) from a PRK.
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "HKDF output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut msg = t.clone();
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        t = hmac_sha256(prk, &msg).to_vec();
+        let take = (len - out.len()).min(32);
+        out.extend_from_slice(&t[..take]);
+        counter += 1;
+    }
+    out
+}
+
+/// One-call KDF: extract-then-expand.
+pub fn kdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = hkdf_extract(salt, ikm);
+    hkdf_expand(&prk, info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed_first() {
+        // Keys longer than the block size go through SHA-256; this matches
+        // RFC 4231 test case 6 (131-byte key).
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            to_hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn mac_eq_detects_differences() {
+        let a = hmac_sha256(b"k", b"m");
+        let mut b = a;
+        assert!(mac_eq(&a, &b));
+        b[31] ^= 1;
+        assert!(!mac_eq(&a, &b));
+    }
+
+    #[test]
+    fn hkdf_lengths_and_determinism() {
+        let out1 = kdf(b"salt", b"secret", b"ctx", 44);
+        let out2 = kdf(b"salt", b"secret", b"ctx", 44);
+        assert_eq!(out1, out2);
+        assert_eq!(out1.len(), 44);
+        let out3 = kdf(b"salt", b"secret", b"other", 44);
+        assert_ne!(out1, out3);
+    }
+
+    #[test]
+    fn hkdf_expand_prefix_property() {
+        // A shorter expansion is a prefix of a longer one (same PRK/info).
+        let prk = hkdf_extract(b"s", b"ikm");
+        let short = hkdf_expand(&prk, b"i", 16);
+        let long = hkdf_expand(&prk, b"i", 64);
+        assert_eq!(&long[..16], &short[..]);
+    }
+}

@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! From-scratch cryptographic primitives for secure mediation.
+//!
+//! Everything the three JOIN protocols of the paper need, implemented on top
+//! of the [`mpint`] big-integer substrate:
+//!
+//! * [`sha256`] / [`hmac`] — hashing, MACs, and a KDF,
+//! * [`chacha20`] — the symmetric stream cipher used for session-key
+//!   encryption of tuple payloads,
+//! * [`drbg`] — a deterministic HMAC-DRBG usable anywhere a
+//!   [`rand::Rng`] is expected (reproducible protocol runs),
+//! * [`group`] — safe-prime groups (with precomputed parameters) whose
+//!   quadratic-residue subgroup has prime order,
+//! * [`elgamal`] + [`hybrid`] — the paper's `encrypt(...)`/`decrypt(...)`:
+//!   an ElGamal KEM carrying a fresh ChaCha20 session key, encrypt-then-MAC,
+//! * [`sra`] — commutative encryption (Pohlig–Hellman/SRA exponentiation)
+//!   for the Agrawal-style protocol of Section 4,
+//! * [`paillier`] — the additively homomorphic cryptosystem for the
+//!   Freedman-style private-matching protocol of Section 5,
+//! * [`exp_elgamal`] — exponential ElGamal, the paper's *alternative*
+//!   additively homomorphic instantiation (Section 5 cites the elliptic
+//!   curve ElGamal variant), with baby-step/giant-step decryption,
+//! * [`polynomial`] — plaintext and *encrypted* polynomial evaluation,
+//!   including Horner's rule and Freedman's bucket-allocation optimization,
+//! * [`schnorr`] — signatures for the certification authority,
+//! * [`metrics`] — global operation counters used to regenerate the
+//!   paper's Table 2 (which primitives each protocol applies).
+//!
+//! # Security caveat
+//!
+//! These implementations are written for protocol research: they are
+//! reviewable and correct against published test vectors, but they are not
+//! hardened (no constant-time guarantees, no side-channel protections).
+//! The threat model, exactly as in the paper, is semi-honest parties.
+
+pub mod chacha20;
+pub mod drbg;
+pub mod elgamal;
+pub mod exp_elgamal;
+pub mod group;
+pub mod hmac;
+pub mod hybrid;
+pub mod metrics;
+pub mod paillier;
+pub mod polynomial;
+pub mod schnorr;
+pub mod sha256;
+pub mod sra;
+
+pub use drbg::HmacDrbg;
+pub use group::SafePrimeGroup;
+pub use hybrid::{HybridCiphertext, HybridKeyPair, HybridPublicKey};
+pub use paillier::{Paillier, PaillierCiphertext, PaillierKeyPair, PaillierPublicKey};
+pub use schnorr::{SchnorrKeyPair, SchnorrPublicKey, SchnorrSignature};
+pub use sra::{SraCipher, SraDomain};
+
+/// Errors surfaced by the cryptographic layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A MAC check failed: the ciphertext was corrupted or the wrong key
+    /// was used.
+    MacMismatch,
+    /// A ciphertext was structurally malformed (wrong length, value out of
+    /// range for the group/modulus).
+    Malformed(&'static str),
+    /// A plaintext does not fit the scheme's message space.
+    MessageTooLarge,
+    /// Key material was rejected (e.g. an SRA exponent not coprime to the
+    /// group order).
+    InvalidKey(&'static str),
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::MacMismatch => write!(f, "MAC verification failed"),
+            CryptoError::Malformed(what) => write!(f, "malformed ciphertext: {what}"),
+            CryptoError::MessageTooLarge => write!(f, "plaintext exceeds the message space"),
+            CryptoError::InvalidKey(what) => write!(f, "invalid key: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

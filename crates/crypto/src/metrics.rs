@@ -1,0 +1,187 @@
+//! Global cryptographic-operation counters.
+//!
+//! The paper's Table 2 lists which cryptographic primitives each protocol
+//! applies.  Rather than asserting that table by hand, the bench harness
+//! resets these counters, runs a protocol, and reports the primitives that
+//! were *actually* invoked.  Counters are process-global atomics, so they
+//! also work across the in-process parties of a protocol run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A countable cryptographic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Op {
+    /// SHA-256 compression-function invocations.
+    Sha256Block,
+    /// Full hash computations (one message digested).
+    HashMessage,
+    /// HMAC computations.
+    Hmac,
+    /// ChaCha20 64-byte keystream blocks.
+    ChaCha20Block,
+    /// Symmetric (hybrid) encryptions of a payload.
+    HybridEncrypt,
+    /// Symmetric (hybrid) decryptions of a payload.
+    HybridDecrypt,
+    /// ElGamal KEM encapsulations.
+    KemEncapsulate,
+    /// ElGamal KEM decapsulations.
+    KemDecapsulate,
+    /// Commutative (SRA) encryptions `x -> x^e mod p`.
+    CommutativeEncrypt,
+    /// Hash-into-quadratic-residues evaluations (random-oracle hash).
+    HashToGroup,
+    /// Paillier encryptions.
+    PaillierEncrypt,
+    /// Paillier decryptions.
+    PaillierDecrypt,
+    /// Homomorphic additions of two Paillier ciphertexts.
+    PaillierAdd,
+    /// Homomorphic scalar multiplications of a Paillier ciphertext.
+    PaillierScale,
+    /// Schnorr signature issuances.
+    SchnorrSign,
+    /// Schnorr signature verifications.
+    SchnorrVerify,
+    /// Fresh random masks drawn for polynomial evaluation.
+    RandomMask,
+}
+
+const OP_COUNT: usize = 17;
+
+static COUNTERS: [AtomicU64; OP_COUNT] = [const { AtomicU64::new(0) }; OP_COUNT];
+
+const ALL_OPS: [Op; OP_COUNT] = [
+    Op::Sha256Block,
+    Op::HashMessage,
+    Op::Hmac,
+    Op::ChaCha20Block,
+    Op::HybridEncrypt,
+    Op::HybridDecrypt,
+    Op::KemEncapsulate,
+    Op::KemDecapsulate,
+    Op::CommutativeEncrypt,
+    Op::HashToGroup,
+    Op::PaillierEncrypt,
+    Op::PaillierDecrypt,
+    Op::PaillierAdd,
+    Op::PaillierScale,
+    Op::SchnorrSign,
+    Op::SchnorrVerify,
+    Op::RandomMask,
+];
+
+impl Op {
+    /// Human-readable name, used by the Table 2 report binary.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Sha256Block => "sha256-block",
+            Op::HashMessage => "hash-message",
+            Op::Hmac => "hmac",
+            Op::ChaCha20Block => "chacha20-block",
+            Op::HybridEncrypt => "hybrid-encrypt",
+            Op::HybridDecrypt => "hybrid-decrypt",
+            Op::KemEncapsulate => "kem-encapsulate",
+            Op::KemDecapsulate => "kem-decapsulate",
+            Op::CommutativeEncrypt => "commutative-encrypt",
+            Op::HashToGroup => "hash-to-group",
+            Op::PaillierEncrypt => "paillier-encrypt",
+            Op::PaillierDecrypt => "paillier-decrypt",
+            Op::PaillierAdd => "paillier-add",
+            Op::PaillierScale => "paillier-scale",
+            Op::SchnorrSign => "schnorr-sign",
+            Op::SchnorrVerify => "schnorr-verify",
+            Op::RandomMask => "random-mask",
+        }
+    }
+}
+
+/// Increments the counter for `op`.
+#[inline]
+pub fn count(op: Op) {
+    COUNTERS[op as usize].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Current value of the counter for `op`.
+pub fn get(op: Op) -> u64 {
+    COUNTERS[op as usize].load(Ordering::Relaxed)
+}
+
+/// Resets every counter to zero.
+pub fn reset() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    counts: [u64; OP_COUNT],
+}
+
+impl Snapshot {
+    /// Captures the current counter values.
+    pub fn capture() -> Self {
+        let mut counts = [0u64; OP_COUNT];
+        for (slot, c) in counts.iter_mut().zip(COUNTERS.iter()) {
+            *slot = c.load(Ordering::Relaxed);
+        }
+        Snapshot { counts }
+    }
+
+    /// Per-op difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &Snapshot) -> Vec<(Op, u64)> {
+        ALL_OPS
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &op)| {
+                let d = self.counts[i].saturating_sub(earlier.counts[i]);
+                (d > 0).then_some((op, d))
+            })
+            .collect()
+    }
+
+    /// Count recorded for one op.
+    pub fn get(&self, op: Op) -> u64 {
+        self.counts[op as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: counters are process-global, so these tests use `since` deltas
+    // rather than absolute values to stay robust under parallel testing.
+
+    #[test]
+    fn count_and_diff() {
+        let before = Snapshot::capture();
+        count(Op::PaillierEncrypt);
+        count(Op::PaillierEncrypt);
+        count(Op::Hmac);
+        let after = Snapshot::capture();
+        let delta = after.since(&before);
+        assert!(
+            delta.contains(&(Op::PaillierEncrypt, 2))
+                || after.get(Op::PaillierEncrypt) >= before.get(Op::PaillierEncrypt) + 2
+        );
+        assert!(after.get(Op::Hmac) > before.get(Op::Hmac));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ALL_OPS.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), OP_COUNT);
+    }
+
+    #[test]
+    fn snapshot_since_is_empty_without_activity() {
+        let s = Snapshot::capture();
+        assert!(s.since(&s).is_empty());
+    }
+}

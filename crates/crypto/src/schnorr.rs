@@ -1,0 +1,208 @@
+//! Schnorr signatures over a safe-prime group.
+//!
+//! Used by the certification authority to sign credentials (paper Section 2:
+//! credentials are "issued by a trusted certification authority").  The
+//! scheme is standard Schnorr with the challenge derived by SHA-256
+//! (Fiat–Shamir).
+
+use mpint::Natural;
+use rand::Rng;
+
+use crate::group::SafePrimeGroup;
+use crate::metrics::{count, Op};
+use crate::sha256::Sha256;
+
+/// A Schnorr verification key `y = g^x`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchnorrPublicKey {
+    group: SafePrimeGroup,
+    y: Natural,
+}
+
+/// A Schnorr signing key pair.
+#[derive(Clone)]
+pub struct SchnorrKeyPair {
+    public: SchnorrPublicKey,
+    x: Natural,
+}
+
+/// A signature `(c, s)` with `c = H(g^k || y || m)` and `s = k - c*x mod q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchnorrSignature {
+    c: Natural,
+    s: Natural,
+}
+
+impl SchnorrKeyPair {
+    /// Generates a signing key pair in `group`.
+    pub fn generate(group: SafePrimeGroup, rng: &mut dyn Rng) -> Self {
+        let x = group.random_exponent(rng);
+        let y = group.pow_g(&x);
+        SchnorrKeyPair {
+            public: SchnorrPublicKey { group, y },
+            x,
+        }
+    }
+
+    /// The verification key.
+    pub fn public(&self) -> &SchnorrPublicKey {
+        &self.public
+    }
+
+    /// Signs `message`.
+    pub fn sign(&self, message: &[u8], rng: &mut dyn Rng) -> SchnorrSignature {
+        count(Op::SchnorrSign);
+        let group = &self.public.group;
+        let q = group.q();
+        let k = group.random_exponent(rng);
+        let r = group.pow_g(&k);
+        let c = challenge(group, &r, &self.public.y, message);
+        // s = k - c*x mod q
+        let cx = c.modmul(&self.x.rem(q), q);
+        let s = k.rem(q).modsub(&cx, q);
+        SchnorrSignature { c, s }
+    }
+}
+
+impl SchnorrPublicKey {
+    /// The group of this key.
+    pub fn group(&self) -> &SafePrimeGroup {
+        &self.group
+    }
+
+    /// Verifies `sig` over `message`.
+    pub fn verify(&self, message: &[u8], sig: &SchnorrSignature) -> bool {
+        count(Op::SchnorrVerify);
+        let group = &self.group;
+        // r' = g^s * y^c; valid iff H(r' || y || m) == c.
+        let gs = group.pow_g(&sig.s);
+        let yc = group.pow(&self.y, &sig.c);
+        let r = gs.modmul(&yc, group.p());
+        challenge(group, &r, &self.y, message) == sig.c
+    }
+}
+
+impl SchnorrSignature {
+    /// Serialized size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.c.to_bytes_be().len() + self.s.to_bytes_be().len()
+    }
+
+    /// Wire encoding: `u32 |c| ‖ c ‖ u32 |s| ‖ s`.
+    pub fn encode(&self) -> Vec<u8> {
+        let c = self.c.to_bytes_be();
+        let s = self.s.to_bytes_be();
+        let mut out = Vec::with_capacity(8 + c.len() + s.len());
+        out.extend_from_slice(&(c.len() as u32).to_be_bytes());
+        out.extend_from_slice(&c);
+        out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+        out.extend_from_slice(&s);
+        out
+    }
+
+    /// Decodes a wire-format signature.
+    pub fn decode(bytes: &[u8]) -> Result<Self, crate::CryptoError> {
+        fn take(bytes: &[u8], pos: &mut usize) -> Result<Natural, crate::CryptoError> {
+            let err = crate::CryptoError::Malformed("truncated signature");
+            if bytes.len() - *pos < 4 {
+                return Err(err);
+            }
+            let len =
+                u32::from_be_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
+            *pos += 4;
+            if bytes.len() - *pos < len {
+                return Err(err);
+            }
+            let v = Natural::from_bytes_be(&bytes[*pos..*pos + len]);
+            *pos += len;
+            Ok(v)
+        }
+        let mut pos = 0;
+        let c = take(bytes, &mut pos)?;
+        let s = take(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(crate::CryptoError::Malformed("trailing signature bytes"));
+        }
+        Ok(SchnorrSignature { c, s })
+    }
+}
+
+/// Fiat–Shamir challenge reduced mod q.
+fn challenge(group: &SafePrimeGroup, r: &Natural, y: &Natural, message: &[u8]) -> Natural {
+    let mut h = Sha256::new();
+    h.update(b"secmed-schnorr");
+    h.update(&r.to_bytes_be());
+    h.update(&y.to_bytes_be());
+    h.update(message);
+    Natural::from_bytes_be(&h.finalize()).rem(group.q())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HmacDrbg;
+    use crate::group::GroupSize;
+
+    fn setup() -> (SchnorrKeyPair, HmacDrbg) {
+        let mut rng = HmacDrbg::from_label("schnorr-tests");
+        let group = SafePrimeGroup::preset(GroupSize::S256);
+        (SchnorrKeyPair::generate(group, &mut rng), rng)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (kp, mut rng) = setup();
+        let sig = kp.sign(b"credential: role=physician", &mut rng);
+        assert!(kp.public().verify(b"credential: role=physician", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let (kp, mut rng) = setup();
+        let sig = kp.sign(b"message", &mut rng);
+        assert!(!kp.public().verify(b"other message", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (kp, mut rng) = setup();
+        let other = SchnorrKeyPair::generate(kp.public().group().clone(), &mut rng);
+        let sig = kp.sign(b"message", &mut rng);
+        assert!(!other.public().verify(b"message", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (kp, mut rng) = setup();
+        let mut sig = kp.sign(b"message", &mut rng);
+        sig.s = sig.s.modadd(&Natural::one(), kp.public().group().q());
+        assert!(!kp.public().verify(b"message", &sig));
+    }
+
+    #[test]
+    fn signatures_are_randomized() {
+        let (kp, mut rng) = setup();
+        let s1 = kp.sign(b"m", &mut rng);
+        let s2 = kp.sign(b"m", &mut rng);
+        assert_ne!(s1, s2);
+        assert!(kp.public().verify(b"m", &s1));
+        assert!(kp.public().verify(b"m", &s2));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let (kp, mut rng) = setup();
+        let sig = kp.sign(b"msg", &mut rng);
+        let decoded = SchnorrSignature::decode(&sig.encode()).unwrap();
+        assert_eq!(decoded, sig);
+        assert!(kp.public().verify(b"msg", &decoded));
+        assert!(SchnorrSignature::decode(&sig.encode()[..5]).is_err());
+    }
+
+    #[test]
+    fn empty_message_signs() {
+        let (kp, mut rng) = setup();
+        let sig = kp.sign(b"", &mut rng);
+        assert!(kp.public().verify(b"", &sig));
+    }
+}

@@ -1,0 +1,135 @@
+//! Inference-exposure metrics for bucketized data.
+//!
+//! The paper (Section 6) warns that "small partitions with only a few
+//! values are more efficient (less post-processing is necessary) but can
+//! leak confidential information", citing Hore et al. [15] and Ceselli et
+//! al. [8].  This module quantifies both sides of that trade-off so the
+//! `das_partitioning` bench can sweep it:
+//!
+//! * [`guessing_exposure`] — the adversary's expected probability of
+//!   guessing a tuple's join value given only its index value (1.0 for
+//!   per-value partitioning, `1/|dom|` for a single partition),
+//! * [`entropy_bits`] — average residual entropy of the value within its
+//!   partition,
+//! * [`superset_factor`] — `|R_C| / |true join|`, the client
+//!   post-processing cost.
+
+use std::collections::BTreeSet;
+
+use relalg::Value;
+
+use crate::index::IndexTable;
+
+/// For each partition, the number of *active* values it contains.
+fn partition_loads(table: &IndexTable, domain: &BTreeSet<Value>) -> Vec<usize> {
+    table
+        .entries()
+        .iter()
+        .map(|(p, _)| domain.iter().filter(|v| p.contains(v)).count())
+        .collect()
+}
+
+/// Expected probability that an adversary who sees an index value guesses
+/// the underlying join value, assuming values are uniform over the active
+/// domain: `Σ_p (|p| / N) * (1 / |p|) = #partitions / N` for full-cover
+/// partitions — reported per-table so schemes compare directly.
+///
+/// Returns a value in `(0, 1]`; higher is worse (more exposed).
+pub fn guessing_exposure(table: &IndexTable, domain: &BTreeSet<Value>) -> f64 {
+    let loads = partition_loads(table, domain);
+    let n: usize = loads.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    loads
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| (l as f64 / n as f64) * (1.0 / l as f64))
+        .sum()
+}
+
+/// Average residual Shannon entropy (bits) of a value given its partition,
+/// under a uniform prior over active values.  Higher is better (less
+/// exposed).
+pub fn entropy_bits(table: &IndexTable, domain: &BTreeSet<Value>) -> f64 {
+    let loads = partition_loads(table, domain);
+    let n: usize = loads.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    loads
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| (l as f64 / n as f64) * (l as f64).log2())
+        .sum()
+}
+
+/// The client-side post-processing cost: size of the server superset
+/// relative to the true join size (`>= 1`; `1.0` means the server query
+/// was exact).  `true_join_size == 0` yields `f64::INFINITY` when the
+/// superset is non-empty and `1.0` when it is empty too.
+pub fn superset_factor(server_result_size: usize, true_join_size: usize) -> f64 {
+    match (server_result_size, true_join_size) {
+        (0, 0) => 1.0,
+        (_, 0) => f64::INFINITY,
+        (s, t) => s as f64 / t as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionScheme;
+
+    fn domain(n: i64) -> BTreeSet<Value> {
+        (0..n).map(Value::Int).collect()
+    }
+
+    #[test]
+    fn per_value_has_full_exposure_and_zero_entropy() {
+        let dom = domain(16);
+        let t = IndexTable::build(&dom, PartitionScheme::PerValue, 0).unwrap();
+        assert!((guessing_exposure(&t, &dom) - 1.0).abs() < 1e-12);
+        assert!(entropy_bits(&t, &dom).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_partition_minimizes_exposure() {
+        let dom = domain(16);
+        let t = IndexTable::build(&dom, PartitionScheme::EquiDepth(1), 0).unwrap();
+        assert!((guessing_exposure(&t, &dom) - 1.0 / 16.0).abs() < 1e-12);
+        assert!((entropy_bits(&t, &dom) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exposure_is_monotone_in_partition_count() {
+        let dom = domain(64);
+        let mut last = 0.0;
+        for k in [1usize, 2, 4, 8, 16, 32] {
+            let t = IndexTable::build(&dom, PartitionScheme::EquiDepth(k), 0).unwrap();
+            let e = guessing_exposure(&t, &dom);
+            assert!(e >= last, "k={k}: {e} < {last}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn entropy_decreases_with_partition_count() {
+        let dom = domain(64);
+        let mut last = f64::INFINITY;
+        for k in [1usize, 2, 4, 8, 16, 32] {
+            let t = IndexTable::build(&dom, PartitionScheme::EquiDepth(k), 0).unwrap();
+            let h = entropy_bits(&t, &dom);
+            assert!(h <= last, "k={k}");
+            last = h;
+        }
+    }
+
+    #[test]
+    fn superset_factor_edges() {
+        assert_eq!(superset_factor(0, 0), 1.0);
+        assert_eq!(superset_factor(10, 5), 2.0);
+        assert!(superset_factor(3, 0).is_infinite());
+        assert_eq!(superset_factor(5, 5), 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Index tables: the mapping from partitions to opaque index values
+//! (`ITable_{R_i.A_join}` in the paper).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use relalg::Value;
+use secmed_crypto::sha256::Sha256;
+
+use crate::partition::{Partition, PartitionScheme};
+use crate::DasError;
+use std::collections::BTreeSet;
+
+/// An opaque partition identifier.
+///
+/// The paper: "these identifiers can for example be computed with a
+/// collision free hash function that uses properties of the partition."
+/// We hash the partition description together with a per-table salt, so
+/// index values do not themselves reveal partition contents to the
+/// mediator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexValue(pub u64);
+
+/// The partition → index mapping for one attribute of one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexTable {
+    entries: Vec<(Partition, IndexValue)>,
+    salt: u64,
+}
+
+impl IndexTable {
+    /// Builds an index table by partitioning `domain` with `scheme`; `salt`
+    /// should be fresh per table (it keys the collision-free hash).
+    pub fn build(
+        domain: &BTreeSet<Value>,
+        scheme: PartitionScheme,
+        salt: u64,
+    ) -> Result<Self, DasError> {
+        let partitions = scheme.partition(domain)?;
+        let mut entries = Vec::with_capacity(partitions.len());
+        let mut used = BTreeSet::new();
+        for p in partitions {
+            let mut id = hash_partition(&p, salt, 0);
+            let mut nonce = 1u64;
+            while !used.insert(id) {
+                id = hash_partition(&p, salt, nonce);
+                nonce += 1;
+            }
+            entries.push((p, IndexValue(id)));
+        }
+        Ok(IndexTable { entries, salt })
+    }
+
+    /// An index table with no partitions — the degenerate case of an empty
+    /// partial result (nothing to index, nothing to leak).
+    pub fn empty(salt: u64) -> Self {
+        IndexTable {
+            entries: Vec::new(),
+            salt,
+        }
+    }
+
+    /// The entries in order.
+    pub fn entries(&self) -> &[(Partition, IndexValue)] {
+        &self.entries
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no partitions (never produced by `build`).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The index value of the partition containing `v`.
+    pub fn index_of(&self, v: &Value) -> Result<IndexValue, DasError> {
+        self.entries
+            .iter()
+            .find(|(p, _)| p.contains(v))
+            .map(|(_, id)| *id)
+            .ok_or_else(|| DasError::Unindexed(v.to_string()))
+    }
+
+    /// Serializes the table (this byte string is what the datasource
+    /// encrypts for the client — `encrypt(ITable)` in Listing 2).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u64(self.salt);
+        buf.put_u32(self.entries.len() as u32);
+        for (p, id) in &self.entries {
+            buf.put_u64(id.0);
+            match p {
+                Partition::Range { lo, hi } => {
+                    buf.put_u8(0);
+                    buf.put_i64(*lo);
+                    buf.put_i64(*hi);
+                }
+                Partition::Values(set) => {
+                    buf.put_u8(1);
+                    buf.put_u32(set.len() as u32);
+                    for v in set {
+                        let enc = relalg::encode_tuple(&relalg::Tuple::new(vec![v.clone()]));
+                        buf.put_u32(enc.len() as u32);
+                        buf.put_slice(&enc);
+                    }
+                }
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Deserializes a table.
+    pub fn decode(data: &[u8]) -> Result<Self, DasError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        let need = |buf: &Bytes, n: usize| -> Result<(), DasError> {
+            if buf.remaining() < n {
+                Err(DasError::Codec("truncated index table".to_string()))
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, 12)?;
+        let salt = buf.get_u64();
+        let count = buf.get_u32() as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            need(&buf, 9)?;
+            let id = IndexValue(buf.get_u64());
+            let partition = match buf.get_u8() {
+                0 => {
+                    need(&buf, 16)?;
+                    let lo = buf.get_i64();
+                    let hi = buf.get_i64();
+                    Partition::Range { lo, hi }
+                }
+                1 => {
+                    need(&buf, 4)?;
+                    let n = buf.get_u32() as usize;
+                    let mut set = BTreeSet::new();
+                    for _ in 0..n {
+                        need(&buf, 4)?;
+                        let len = buf.get_u32() as usize;
+                        need(&buf, len)?;
+                        let enc = buf.copy_to_bytes(len);
+                        let t = relalg::decode_tuple(&enc)
+                            .map_err(|e| DasError::Codec(e.to_string()))?;
+                        let v = t
+                            .values()
+                            .first()
+                            .cloned()
+                            .ok_or_else(|| DasError::Codec("empty value tuple".to_string()))?;
+                        set.insert(v);
+                    }
+                    Partition::Values(set)
+                }
+                tag => return Err(DasError::Codec(format!("unknown partition tag {tag}"))),
+            };
+            entries.push((partition, id));
+        }
+        if buf.has_remaining() {
+            return Err(DasError::Codec("trailing bytes".to_string()));
+        }
+        Ok(IndexTable { entries, salt })
+    }
+}
+
+/// Collision-free hash of a partition: SHA-256 over salt, description, and
+/// a disambiguating nonce, truncated to 64 bits.
+fn hash_partition(p: &Partition, salt: u64, nonce: u64) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"secmed-das-index");
+    h.update(&salt.to_be_bytes());
+    h.update(&nonce.to_be_bytes());
+    h.update(p.describe().as_bytes());
+    let digest = h.finalize();
+    u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain(vals: &[i64]) -> BTreeSet<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn every_domain_value_is_indexed() {
+        let dom = domain(&[1, 3, 7, 20, 50]);
+        for scheme in [
+            PartitionScheme::EquiWidth(3),
+            PartitionScheme::EquiDepth(2),
+            PartitionScheme::PerValue,
+        ] {
+            let t = IndexTable::build(&dom, scheme, 42).unwrap();
+            for v in &dom {
+                t.index_of(v).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn index_values_are_unique() {
+        let dom = domain(&(0..100).collect::<Vec<_>>());
+        let t = IndexTable::build(&dom, PartitionScheme::PerValue, 7).unwrap();
+        let mut ids: Vec<u64> = t.entries().iter().map(|(_, i)| i.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn unindexed_value_is_error() {
+        let dom = domain(&[1, 2]);
+        let t = IndexTable::build(&dom, PartitionScheme::PerValue, 0).unwrap();
+        assert!(matches!(
+            t.index_of(&Value::Int(99)),
+            Err(DasError::Unindexed(_))
+        ));
+    }
+
+    #[test]
+    fn different_salts_give_different_ids() {
+        let dom = domain(&[1, 2, 3]);
+        let t1 = IndexTable::build(&dom, PartitionScheme::PerValue, 1).unwrap();
+        let t2 = IndexTable::build(&dom, PartitionScheme::PerValue, 2).unwrap();
+        let ids1: Vec<u64> = t1.entries().iter().map(|(_, i)| i.0).collect();
+        let ids2: Vec<u64> = t2.entries().iter().map(|(_, i)| i.0).collect();
+        assert_ne!(ids1, ids2);
+    }
+
+    #[test]
+    fn codec_roundtrip_ranges() {
+        let dom = domain(&(0..50).collect::<Vec<_>>());
+        let t = IndexTable::build(&dom, PartitionScheme::EquiWidth(5), 9).unwrap();
+        assert_eq!(IndexTable::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn codec_roundtrip_value_sets() {
+        let dom: BTreeSet<Value> = ["alice", "bob", "carol"]
+            .iter()
+            .map(|&s| Value::from(s))
+            .collect();
+        let t = IndexTable::build(&dom, PartitionScheme::EquiDepth(2), 9).unwrap();
+        assert_eq!(IndexTable::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn codec_rejects_truncation() {
+        let dom = domain(&[1, 2, 3]);
+        let t = IndexTable::build(&dom, PartitionScheme::PerValue, 0).unwrap();
+        let bytes = t.encode();
+        for cut in [0, 4, 11, bytes.len() - 1] {
+            assert!(IndexTable::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

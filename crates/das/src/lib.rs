@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Database-as-a-Service (DAS) bucketization — the Hacıgümüş-style
+//! encryption scheme of the paper's Section 3.
+//!
+//! A datasource partitions the active domain of the join attribute
+//! ([`partition`]), maps each partition to an opaque index value in an
+//! *index table* ([`index`]), and publishes its partial result as
+//! `⟨etuple, index⟩` rows ([`encrypted`]).  The client's query translator
+//! turns the join into a *server query* over index values (the DNF
+//! `Cond_S` over overlapping partitions) and a *client query* for
+//! post-processing ([`translate`]).  The [`exposure`] module quantifies the
+//! partition-size/inference trade-off the paper cites ([15], [8]).
+
+pub mod encrypted;
+pub mod exposure;
+pub mod index;
+pub mod partition;
+pub mod translate;
+
+pub use encrypted::{DasRow, EncryptedDasRelation, ServerResult};
+pub use index::{IndexTable, IndexValue};
+pub use partition::{Partition, PartitionScheme};
+pub use translate::{ClientQuery, ServerQuery};
+
+/// Errors from the DAS layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DasError {
+    /// The active domain was empty — nothing to partition.
+    EmptyDomain,
+    /// A value fell outside every partition of an index table.
+    Unindexed(String),
+    /// An index table could not be decoded.
+    Codec(String),
+    /// Partitioning parameters were invalid (e.g. zero buckets).
+    BadParameters(&'static str),
+}
+
+impl std::fmt::Display for DasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DasError::EmptyDomain => write!(f, "active domain is empty"),
+            DasError::Unindexed(v) => write!(f, "value {v} not covered by any partition"),
+            DasError::Codec(m) => write!(f, "index-table codec error: {m}"),
+            DasError::BadParameters(m) => write!(f, "bad partitioning parameters: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DasError {}

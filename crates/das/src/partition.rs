@@ -1,0 +1,258 @@
+//! Active-domain partitioning.
+//!
+//! The paper (Section 6) notes the central tension: "Small partitions with
+//! only a few values are more efficient (less post-processing is
+//! necessary) but can leak confidential information."  The schemes here
+//! span that spectrum; `benches/das_partitioning.rs` sweeps it.
+
+use std::collections::BTreeSet;
+
+use relalg::Value;
+
+use crate::DasError;
+
+/// One partition of an attribute domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partition {
+    /// An inclusive integer range `[lo, hi]` (equi-width partitioning of
+    /// `Int` domains).
+    Range {
+        /// Lower bound, inclusive.
+        lo: i64,
+        /// Upper bound, inclusive.
+        hi: i64,
+    },
+    /// An explicit value set (equi-depth and per-value partitioning, and
+    /// any non-integer domain).
+    Values(BTreeSet<Value>),
+}
+
+impl Partition {
+    /// Does this partition contain `v`?
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            Partition::Range { lo, hi } => match v {
+                Value::Int(i) => lo <= i && i <= hi,
+                _ => false,
+            },
+            Partition::Values(set) => set.contains(v),
+        }
+    }
+
+    /// Could this partition share a value with `other`?
+    ///
+    /// This is the `p1 ∩ p2 ≠ ∅` test of the paper's `Cond_S`.  For two
+    /// ranges the test is interval overlap (which may be a false positive
+    /// with respect to *active* values — that is exactly the DAS superset
+    /// cost); explicit sets are tested for true intersection.
+    pub fn overlaps(&self, other: &Partition) -> bool {
+        match (self, other) {
+            (Partition::Range { lo: a, hi: b }, Partition::Range { lo: c, hi: d }) => {
+                a.max(c) <= b.min(d)
+            }
+            (Partition::Range { .. }, Partition::Values(set)) => {
+                set.iter().any(|v| self.contains(v))
+            }
+            (Partition::Values(set), Partition::Range { .. }) => {
+                set.iter().any(|v| other.contains(v))
+            }
+            (Partition::Values(a), Partition::Values(b)) => a.intersection(b).next().is_some(),
+        }
+    }
+
+    /// A human-readable description (also the basis of the partition's
+    /// collision-free hash in the index table).
+    pub fn describe(&self) -> String {
+        match self {
+            Partition::Range { lo, hi } => format!("[{lo},{hi}]"),
+            Partition::Values(set) => {
+                let vals: Vec<String> = set.iter().map(Value::to_string).collect();
+                format!("{{{}}}", vals.join(","))
+            }
+        }
+    }
+}
+
+/// How a datasource partitions `domactive(A_join)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// `k` equal-width integer ranges spanning the active min..max.
+    /// Requires an `Int` domain.
+    EquiWidth(usize),
+    /// `k` partitions with (nearly) equal numbers of distinct active
+    /// values.  Works for any domain type.
+    EquiDepth(usize),
+    /// One partition per distinct value — most efficient, most revealing.
+    PerValue,
+}
+
+impl PartitionScheme {
+    /// Partitions an active domain.
+    pub fn partition(&self, domain: &BTreeSet<Value>) -> Result<Vec<Partition>, DasError> {
+        if domain.is_empty() {
+            return Err(DasError::EmptyDomain);
+        }
+        match self {
+            PartitionScheme::EquiWidth(k) => {
+                if *k == 0 {
+                    return Err(DasError::BadParameters("zero buckets"));
+                }
+                let ints: Vec<i64> = domain
+                    .iter()
+                    .map(|v| {
+                        v.as_int()
+                            .ok_or(DasError::BadParameters("equi-width needs an Int domain"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let lo = *ints.first().expect("non-empty domain");
+                let hi = *ints.last().expect("non-empty domain");
+                let span = (hi - lo + 1).max(1) as u64;
+                let k = (*k as u64).min(span);
+                let width = span.div_ceil(k);
+                let mut parts = Vec::with_capacity(k as usize);
+                let mut start = lo;
+                while start <= hi {
+                    let end = (start as i128 + width as i128 - 1).min(hi as i128) as i64;
+                    parts.push(Partition::Range { lo: start, hi: end });
+                    start = match end.checked_add(1) {
+                        Some(s) => s,
+                        None => break,
+                    };
+                }
+                Ok(parts)
+            }
+            PartitionScheme::EquiDepth(k) => {
+                if *k == 0 {
+                    return Err(DasError::BadParameters("zero buckets"));
+                }
+                let values: Vec<&Value> = domain.iter().collect();
+                let k = (*k).min(values.len());
+                let per = values.len().div_ceil(k);
+                Ok(values
+                    .chunks(per)
+                    .map(|chunk| Partition::Values(chunk.iter().map(|v| (*v).clone()).collect()))
+                    .collect())
+            }
+            PartitionScheme::PerValue => Ok(domain
+                .iter()
+                .map(|v| Partition::Values(BTreeSet::from([v.clone()])))
+                .collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_domain(vals: &[i64]) -> BTreeSet<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn equi_width_covers_domain() {
+        let dom = int_domain(&[1, 5, 10, 15, 20]);
+        let parts = PartitionScheme::EquiWidth(4).partition(&dom).unwrap();
+        assert_eq!(parts.len(), 4);
+        for v in &dom {
+            assert_eq!(parts.iter().filter(|p| p.contains(v)).count(), 1, "{v}");
+        }
+    }
+
+    #[test]
+    fn equi_width_single_value_domain() {
+        let dom = int_domain(&[7]);
+        let parts = PartitionScheme::EquiWidth(5).partition(&dom).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].contains(&Value::Int(7)));
+    }
+
+    #[test]
+    fn equi_width_rejects_strings() {
+        let dom: BTreeSet<Value> = [Value::from("x")].into();
+        assert!(PartitionScheme::EquiWidth(2).partition(&dom).is_err());
+    }
+
+    #[test]
+    fn equi_depth_balances_counts() {
+        let dom = int_domain(&(0..10).collect::<Vec<_>>());
+        let parts = PartitionScheme::EquiDepth(3).partition(&dom).unwrap();
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = parts
+            .iter()
+            .map(|p| match p {
+                Partition::Values(s) => s.len(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| (2..=4).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn equi_depth_works_for_strings() {
+        let dom: BTreeSet<Value> = ["a", "b", "c"].iter().map(|&s| Value::from(s)).collect();
+        let parts = PartitionScheme::EquiDepth(2).partition(&dom).unwrap();
+        assert_eq!(parts.len(), 2);
+        for v in &dom {
+            assert!(parts.iter().any(|p| p.contains(v)));
+        }
+    }
+
+    #[test]
+    fn per_value_gives_singletons() {
+        let dom = int_domain(&[1, 2, 3]);
+        let parts = PartitionScheme::PerValue.partition(&dom).unwrap();
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn empty_domain_is_error() {
+        assert_eq!(
+            PartitionScheme::PerValue.partition(&BTreeSet::new()),
+            Err(DasError::EmptyDomain)
+        );
+    }
+
+    #[test]
+    fn zero_buckets_is_error() {
+        let dom = int_domain(&[1]);
+        assert!(PartitionScheme::EquiWidth(0).partition(&dom).is_err());
+        assert!(PartitionScheme::EquiDepth(0).partition(&dom).is_err());
+    }
+
+    #[test]
+    fn range_overlap() {
+        let a = Partition::Range { lo: 0, hi: 10 };
+        let b = Partition::Range { lo: 10, hi: 20 };
+        let c = Partition::Range { lo: 11, hi: 20 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn mixed_overlap() {
+        let r = Partition::Range { lo: 0, hi: 10 };
+        let inside = Partition::Values(BTreeSet::from([Value::Int(5)]));
+        let outside = Partition::Values(BTreeSet::from([Value::Int(50)]));
+        assert!(r.overlaps(&inside) && inside.overlaps(&r));
+        assert!(!r.overlaps(&outside) && !outside.overlaps(&r));
+    }
+
+    #[test]
+    fn set_overlap() {
+        let a = Partition::Values(BTreeSet::from([Value::Int(1), Value::Int(2)]));
+        let b = Partition::Values(BTreeSet::from([Value::Int(2), Value::Int(3)]));
+        let c = Partition::Values(BTreeSet::from([Value::Int(9)]));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let p = Partition::Range { lo: 1, hi: 9 };
+        assert_eq!(p.describe(), "[1,9]");
+        let v = Partition::Values(BTreeSet::from([Value::Int(1), Value::from("x")]));
+        assert_eq!(v.describe(), "{1,'x'}");
+    }
+}

@@ -1,0 +1,165 @@
+//! The DAS query translator (client setting, paper Listing 2 step 5).
+//!
+//! From the two decrypted index tables, the client derives:
+//!
+//! * the **server query** `q_S = σ_{Cond_S}(R1^S × R2^S)` where `Cond_S`
+//!   is the disjunction over all pairs of *overlapping* partitions of
+//!   `R1^S.A_join = index(p1) ∧ R2^S.A_join = index(p2)`,
+//! * the **client query** `q_C` that re-checks the true join condition on
+//!   the decrypted superset.
+
+use relalg::{Predicate, Tuple, Value};
+
+use crate::index::{IndexTable, IndexValue};
+
+/// The server query: the set of index-value pairs the mediator may combine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerQuery {
+    pairs: Vec<(IndexValue, IndexValue)>,
+}
+
+impl ServerQuery {
+    /// Builds `Cond_S` from the two index tables: one disjunct per pair of
+    /// overlapping partitions.
+    pub fn translate(t1: &IndexTable, t2: &IndexTable) -> Self {
+        let mut pairs = Vec::new();
+        for (p1, i1) in t1.entries() {
+            for (p2, i2) in t2.entries() {
+                if p1.overlaps(p2) {
+                    pairs.push((*i1, *i2));
+                }
+            }
+        }
+        ServerQuery { pairs }
+    }
+
+    /// The allowed index pairs.
+    pub fn pairs(&self) -> &[(IndexValue, IndexValue)] {
+        &self.pairs
+    }
+
+    /// Number of disjuncts in `Cond_S`.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no partitions overlap (empty join).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Does `Cond_S` admit this pair of index values?
+    pub fn admits(&self, left: IndexValue, right: IndexValue) -> bool {
+        self.pairs.contains(&(left, right))
+    }
+
+    /// Renders `Cond_S` as a relalg predicate over the encrypted schemas
+    /// (`R1S.Ajoin`, `R2S.Ajoin` as integer index columns) — the form in
+    /// which it would be shipped as SQL.
+    pub fn to_predicate(&self, left_col: &str, right_col: &str) -> Predicate {
+        Predicate::any(self.pairs.iter().map(|(i1, i2)| {
+            Predicate::eq_lit(left_col, i1.0 as i64).and(Predicate::eq_lit(right_col, i2.0 as i64))
+        }))
+    }
+
+    /// Transported size in bytes (two u64 per disjunct).
+    pub fn byte_len(&self) -> usize {
+        self.pairs.len() * 16
+    }
+}
+
+/// The client query: the true join condition, applied after decryption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientQuery {
+    /// The join attribute base names (usually one: the paper's `A_join`).
+    pub join_attrs: Vec<String>,
+}
+
+impl ClientQuery {
+    /// Builds the post-processing query for the given join attributes.
+    pub fn new(join_attrs: Vec<String>) -> Self {
+        ClientQuery { join_attrs }
+    }
+
+    /// The true join test `Cond_C` between a decrypted tuple of `R1` and
+    /// one of `R2`, given the column indices of the join attributes.
+    pub fn matches(&self, t1: &Tuple, idx1: &[usize], t2: &Tuple, idx2: &[usize]) -> bool {
+        idx1.len() == idx2.len() && idx1.iter().zip(idx2).all(|(&a, &b)| t1.at(a) == t2.at(b))
+    }
+
+    /// Convenience for the single-attribute case.
+    pub fn matches_single(&self, v1: &Value, v2: &Value) -> bool {
+        v1 == v2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionScheme;
+    use std::collections::BTreeSet;
+
+    fn domain(vals: &[i64]) -> BTreeSet<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn per_value_translation_is_exact() {
+        let d1 = domain(&[1, 2, 3]);
+        let d2 = domain(&[2, 3, 4]);
+        let t1 = IndexTable::build(&d1, PartitionScheme::PerValue, 1).unwrap();
+        let t2 = IndexTable::build(&d2, PartitionScheme::PerValue, 2).unwrap();
+        let q = ServerQuery::translate(&t1, &t2);
+        // Exactly the two common values produce overlapping partitions.
+        assert_eq!(q.len(), 2);
+        let i1 = t1.index_of(&Value::Int(2)).unwrap();
+        let i2 = t2.index_of(&Value::Int(2)).unwrap();
+        assert!(q.admits(i1, i2));
+        let i3 = t1.index_of(&Value::Int(1)).unwrap();
+        assert!(!q.admits(i3, i2));
+    }
+
+    #[test]
+    fn coarse_partitions_admit_superset() {
+        let d1 = domain(&(0..20).collect::<Vec<_>>());
+        let d2 = domain(&(10..30).collect::<Vec<_>>());
+        let t1 = IndexTable::build(&d1, PartitionScheme::EquiWidth(2), 1).unwrap();
+        let t2 = IndexTable::build(&d2, PartitionScheme::EquiWidth(2), 2).unwrap();
+        let q = ServerQuery::translate(&t1, &t2);
+        // Every genuinely shared value must be admitted through its pair of
+        // partitions — soundness of Cond_S.
+        for v in 10..20 {
+            let i1 = t1.index_of(&Value::Int(v)).unwrap();
+            let i2 = t2.index_of(&Value::Int(v)).unwrap();
+            assert!(q.admits(i1, i2), "shared value {v} not admitted");
+        }
+    }
+
+    #[test]
+    fn disjoint_domains_give_empty_query() {
+        let t1 = IndexTable::build(&domain(&[1, 2]), PartitionScheme::PerValue, 1).unwrap();
+        let t2 = IndexTable::build(&domain(&[8, 9]), PartitionScheme::PerValue, 2).unwrap();
+        let q = ServerQuery::translate(&t1, &t2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn predicate_rendering_counts_atoms() {
+        let t1 = IndexTable::build(&domain(&[1, 2]), PartitionScheme::PerValue, 1).unwrap();
+        let t2 = IndexTable::build(&domain(&[1, 2]), PartitionScheme::PerValue, 2).unwrap();
+        let q = ServerQuery::translate(&t1, &t2);
+        let pred = q.to_predicate("R1S.Ajoin", "R2S.Ajoin");
+        assert_eq!(pred.atom_count(), 2 * q.len());
+    }
+
+    #[test]
+    fn client_query_checks_true_equality() {
+        let cq = ClientQuery::new(vec!["ssn".to_string()]);
+        let t1 = Tuple::new(vec![Value::Int(5), Value::from("a")]);
+        let t2 = Tuple::new(vec![Value::Int(5), Value::Int(100)]);
+        let t3 = Tuple::new(vec![Value::Int(6), Value::Int(100)]);
+        assert!(cq.matches(&t1, &[0], &t2, &[0]));
+        assert!(!cq.matches(&t1, &[0], &t3, &[0]));
+        assert!(cq.matches_single(&Value::Int(1), &Value::Int(1)));
+    }
+}

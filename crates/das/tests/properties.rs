@@ -1,0 +1,109 @@
+//! Property-based tests for the DAS layer: partition soundness, index
+//! totality, server-query soundness (no false negatives — the superset
+//! property), and codec totality.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use relalg::Value;
+use secmed_das::exposure::{entropy_bits, guessing_exposure};
+use secmed_das::{IndexTable, PartitionScheme, ServerQuery};
+
+fn int_domain() -> impl Strategy<Value = BTreeSet<Value>> {
+    prop::collection::btree_set(-1000i64..1000, 1..60)
+        .prop_map(|s| s.into_iter().map(Value::Int).collect())
+}
+
+fn scheme() -> impl Strategy<Value = PartitionScheme> {
+    prop_oneof![
+        (1usize..20).prop_map(PartitionScheme::EquiWidth),
+        (1usize..20).prop_map(PartitionScheme::EquiDepth),
+        Just(PartitionScheme::PerValue),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn partitions_cover_domain_exactly_once(dom in int_domain(), sch in scheme()) {
+        let parts = sch.partition(&dom).unwrap();
+        for v in &dom {
+            let covering = parts.iter().filter(|p| p.contains(v)).count();
+            prop_assert_eq!(covering, 1, "value {} covered {} times", v, covering);
+        }
+    }
+
+    #[test]
+    fn index_table_is_total_and_injective_per_partition(dom in int_domain(), sch in scheme(), salt in any::<u64>()) {
+        let table = IndexTable::build(&dom, sch, salt).unwrap();
+        let mut ids = BTreeSet::new();
+        for (_, id) in table.entries() {
+            prop_assert!(ids.insert(*id), "duplicate index value");
+        }
+        for v in &dom {
+            table.index_of(v).unwrap();
+        }
+    }
+
+    #[test]
+    fn index_table_codec_total_roundtrip(dom in int_domain(), sch in scheme(), salt in any::<u64>()) {
+        let table = IndexTable::build(&dom, sch, salt).unwrap();
+        prop_assert_eq!(IndexTable::decode(&table.encode()).unwrap(), table);
+    }
+
+    #[test]
+    fn server_query_never_misses_shared_values(
+        d1 in int_domain(),
+        d2 in int_domain(),
+        s1 in scheme(),
+        s2 in scheme(),
+    ) {
+        let t1 = IndexTable::build(&d1, s1, 1).unwrap();
+        let t2 = IndexTable::build(&d2, s2, 2).unwrap();
+        let q = ServerQuery::translate(&t1, &t2);
+        // Soundness of Cond_S: every genuinely shared value must pass.
+        for v in d1.intersection(&d2) {
+            let i1 = t1.index_of(v).unwrap();
+            let i2 = t2.index_of(v).unwrap();
+            prop_assert!(q.admits(i1, i2), "shared value {} rejected", v);
+        }
+    }
+
+    #[test]
+    fn pervalue_query_is_exact(d1 in int_domain(), d2 in int_domain()) {
+        let t1 = IndexTable::build(&d1, PartitionScheme::PerValue, 1).unwrap();
+        let t2 = IndexTable::build(&d2, PartitionScheme::PerValue, 2).unwrap();
+        let q = ServerQuery::translate(&t1, &t2);
+        prop_assert_eq!(q.len(), d1.intersection(&d2).count());
+    }
+
+    #[test]
+    fn exposure_bounds(dom in int_domain(), sch in scheme()) {
+        let table = IndexTable::build(&dom, sch, 3).unwrap();
+        let e = guessing_exposure(&table, &dom);
+        prop_assert!(e > 0.0 && e <= 1.0 + 1e-9, "exposure {e} out of range");
+        let h = entropy_bits(&table, &dom);
+        prop_assert!(h >= -1e-9, "negative entropy {h}");
+        prop_assert!(h <= (dom.len() as f64).log2() + 1e-9, "entropy above log2(|dom|)");
+    }
+
+    #[test]
+    fn coarsening_equidepth_never_shrinks_cond_s(
+        d1 in int_domain(),
+        d2 in int_domain(),
+        k in 2usize..16,
+    ) {
+        let fine1 = IndexTable::build(&d1, PartitionScheme::EquiDepth(k), 1).unwrap();
+        let fine2 = IndexTable::build(&d2, PartitionScheme::EquiDepth(k), 2).unwrap();
+        let coarse1 = IndexTable::build(&d1, PartitionScheme::EquiDepth(1), 1).unwrap();
+        let coarse2 = IndexTable::build(&d2, PartitionScheme::EquiDepth(1), 2).unwrap();
+        let fine = ServerQuery::translate(&fine1, &fine2);
+        let coarse = ServerQuery::translate(&coarse1, &coarse2);
+        // With single buckets, either everything matches (1 pair) or the
+        // domains are disjoint; the fine query can only admit fewer or
+        // equal *fractions* of the cross product.
+        let fine_fraction = fine.len() as f64 / (fine1.len() * fine2.len()) as f64;
+        let coarse_fraction =
+            coarse.len() as f64 / (coarse1.len() * coarse2.len()) as f64;
+        prop_assert!(fine_fraction <= coarse_fraction + 1e-9);
+    }
+}

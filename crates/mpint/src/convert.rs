@@ -1,0 +1,233 @@
+//! Conversions: decimal / hexadecimal strings and big-endian byte strings.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::natural::Natural;
+use crate::Error;
+
+impl Natural {
+    /// Parses a decimal string (no sign, no whitespace).
+    pub fn from_decimal(s: &str) -> Result<Self, Error> {
+        if s.is_empty() {
+            return Err(Error::Empty);
+        }
+        let mut acc = Natural::zero();
+        let ten = Natural::from(10u64);
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(Error::InvalidDigit(c))? as u64;
+            acc = &acc * &ten + Natural::from(d);
+        }
+        Ok(acc)
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
+    pub fn from_hex(s: &str) -> Result<Self, Error> {
+        if s.is_empty() {
+            return Err(Error::Empty);
+        }
+        let mut acc = Natural::zero();
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(Error::InvalidDigit(c))? as u64;
+            acc = acc.shl_bits(4) + Natural::from(d);
+        }
+        Ok(acc)
+    }
+
+    /// Decimal rendering (used by `Display`).
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Divide by 10^19 (the largest power of ten in a u64) per step.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let chunk = Natural::from(CHUNK);
+        let mut groups: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&chunk);
+            groups.push(r.to_u64().expect("remainder below u64 chunk"));
+            cur = q;
+        }
+        let mut out = groups
+            .last()
+            .expect("non-zero value has groups")
+            .to_string();
+        for g in groups.iter().rev().skip(1) {
+            out.push_str(&format!("{g:019}"));
+        }
+        out
+    }
+
+    /// Lowercase hexadecimal rendering, no prefix, no leading zeros.
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut out = format!("{:x}", self.limbs[self.limbs.len() - 1]);
+        for l in self.limbs.iter().rev().skip(1) {
+            out.push_str(&format!("{l:016x}"));
+        }
+        out
+    }
+
+    /// Big-endian byte representation; empty for zero.
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for l in self.limbs.iter().rev() {
+            out.extend_from_slice(&l.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.split_off(skip)
+    }
+
+    /// Big-endian byte representation left-padded with zeros to `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let bytes = self.to_bytes_be();
+        assert!(bytes.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - bytes.len()];
+        out.extend_from_slice(&bytes);
+        out
+    }
+
+    /// Interprets big-endian bytes as an integer (empty slice is zero).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Natural::from_limbs(limbs)
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal())
+    }
+}
+
+impl fmt::Debug for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bit_len() <= 128 {
+            write!(f, "Natural({})", self.to_decimal())
+        } else {
+            write!(f, "Natural(0x{}, {} bits)", self.to_hex(), self.bit_len())
+        }
+    }
+}
+
+impl fmt::LowerHex for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex())
+    }
+}
+
+impl FromStr for Natural {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Natural::from_hex(hex)
+        } else {
+            Natural::from_decimal(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
+            let v = Natural::from_decimal(s).unwrap();
+            assert_eq!(v.to_decimal(), s);
+        }
+    }
+
+    #[test]
+    fn decimal_with_internal_zero_groups() {
+        // Exercises the zero-padding of middle 19-digit groups.
+        let s = "100000000000000000000000000000000000001";
+        assert_eq!(Natural::from_decimal(s).unwrap().to_decimal(), s);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "deadbeef",
+            "ffffffffffffffff",
+            "10000000000000000",
+        ] {
+            let v = Natural::from_hex(s).unwrap();
+            assert_eq!(v.to_hex(), s);
+        }
+    }
+
+    #[test]
+    fn hex_decimal_agree() {
+        let v = Natural::from_hex("ff").unwrap();
+        assert_eq!(v, Natural::from(255u64));
+        assert_eq!("0xff".parse::<Natural>().unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(Natural::from_decimal(""), Err(Error::Empty));
+        assert_eq!(Natural::from_decimal("12a"), Err(Error::InvalidDigit('a')));
+        assert_eq!(Natural::from_hex("xyz"), Err(Error::InvalidDigit('x')));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v: Natural = "123456789123456789123456789".parse().unwrap();
+        assert_eq!(Natural::from_bytes_be(&v.to_bytes_be()), v);
+        assert!(Natural::zero().to_bytes_be().is_empty());
+        assert_eq!(Natural::from_bytes_be(&[]), Natural::zero());
+    }
+
+    #[test]
+    fn bytes_ignore_leading_zeros() {
+        assert_eq!(
+            Natural::from_bytes_be(&[0, 0, 1, 2]),
+            Natural::from(0x0102u64)
+        );
+        assert_eq!(Natural::from(0x0102u64).to_bytes_be(), vec![1, 2]);
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let v = Natural::from(0x0102u64);
+        assert_eq!(v.to_bytes_be_padded(4), vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_too_small() {
+        Natural::from(0x010203u64).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let v = Natural::from(1234u64);
+        assert_eq!(format!("{v}"), "1234");
+        assert_eq!(format!("{v:?}"), "Natural(1234)");
+        assert_eq!(format!("{v:x}"), "4d2");
+    }
+}

@@ -1,0 +1,205 @@
+//! Division with remainder: single-limb short division and Knuth's
+//! Algorithm D (TAOCP vol. 2, 4.3.1) for multi-limb divisors.
+
+use crate::natural::{Natural, LIMB_BITS};
+use crate::Error;
+
+impl Natural {
+    /// Computes `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero; use [`Natural::checked_div_rem`] for a
+    /// fallible variant.
+    pub fn div_rem(&self, divisor: &Natural) -> (Natural, Natural) {
+        self.checked_div_rem(divisor).expect("division by zero")
+    }
+
+    /// Fallible `(quotient, remainder)`.
+    pub fn checked_div_rem(&self, divisor: &Natural) -> Result<(Natural, Natural), Error> {
+        if divisor.is_zero() {
+            return Err(Error::DivisionByZero);
+        }
+        if self < divisor {
+            return Ok((Natural::zero(), self.clone()));
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = div_rem_limb(&self.limbs, divisor.limbs[0]);
+            return Ok((Natural::from_limbs(q), Natural::from(r)));
+        }
+        Ok(knuth_d(self, divisor))
+    }
+
+    /// `self % modulus`.
+    pub fn rem(&self, modulus: &Natural) -> Natural {
+        self.div_rem(modulus).1
+    }
+}
+
+/// Short division by a single limb.
+fn div_rem_limb(limbs: &[u64], d: u64) -> (Vec<u64>, u64) {
+    debug_assert!(d != 0);
+    let mut q = vec![0u64; limbs.len()];
+    let mut rem = 0u128;
+    for i in (0..limbs.len()).rev() {
+        let cur = (rem << 64) | limbs[i] as u128;
+        q[i] = (cur / d as u128) as u64;
+        rem = cur % d as u128;
+    }
+    (q, rem as u64)
+}
+
+/// Knuth Algorithm D.  Requires `divisor` with at least 2 limbs and
+/// `dividend >= divisor`.
+fn knuth_d(dividend: &Natural, divisor: &Natural) -> (Natural, Natural) {
+    let n = divisor.limbs.len();
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = divisor.limbs[n - 1].leading_zeros() as u64;
+    let v = divisor.shl_bits(shift);
+    let mut u = dividend.shl_bits(shift);
+    // Ensure u has an extra high limb for the first quotient digit.
+    let m = u.limbs.len() - n; // number of quotient digits is m+1
+    u.limbs.push(0);
+
+    let vn1 = v.limbs[n - 1];
+    let vn2 = v.limbs[n - 2];
+    let mut q = vec![0u64; m + 1];
+
+    // D2-D7: main loop, most significant quotient digit first.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top three dividend limbs and the top
+        // two divisor limbs.
+        let top = ((u.limbs[j + n] as u128) << 64) | u.limbs[j + n - 1] as u128;
+        let mut qhat = top / vn1 as u128;
+        let mut rhat = top % vn1 as u128;
+        while qhat >= 1u128 << 64
+            || qhat * vn2 as u128 > ((rhat << 64) | u.limbs[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += vn1 as u128;
+            if rhat >= 1u128 << 64 {
+                break;
+            }
+        }
+        // D4: multiply and subtract u[j..j+n+1] -= qhat * v.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat * v.limbs[i] as u128 + carry;
+            carry = p >> 64;
+            let sub = (u.limbs[j + i] as i128) - (p as u64 as i128) - borrow;
+            u.limbs[j + i] = sub as u64;
+            borrow = if sub < 0 { 1 } else { 0 };
+        }
+        let sub = (u.limbs[j + n] as i128) - (carry as i128) - borrow;
+        u.limbs[j + n] = sub as u64;
+
+        let mut qj = qhat as u64;
+        // D6: add back if we subtracted one time too many.
+        if sub < 0 {
+            qj -= 1;
+            let mut c = 0u64;
+            for i in 0..n {
+                let (s1, c1) = u.limbs[j + i].overflowing_add(v.limbs[i]);
+                let (s2, c2) = s1.overflowing_add(c);
+                u.limbs[j + i] = s2;
+                c = (c1 as u64) + (c2 as u64);
+            }
+            u.limbs[j + n] = u.limbs[j + n].wrapping_add(c);
+        }
+        q[j] = qj;
+    }
+
+    // D8: denormalize the remainder.
+    u.limbs.truncate(n);
+    u.normalize();
+    let rem = u.shr_bits(shift);
+    (Natural::from_limbs(q), rem)
+}
+
+#[allow(dead_code)]
+fn limb_bits_unused() -> u32 {
+    LIMB_BITS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert_eq!(n(5).checked_div_rem(&n(0)), Err(Error::DivisionByZero));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_rem_panics_on_zero() {
+        let _ = n(5).div_rem(&n(0));
+    }
+
+    #[test]
+    fn small_cases() {
+        assert_eq!(n(7).div_rem(&n(2)), (n(3), n(1)));
+        assert_eq!(n(0).div_rem(&n(3)), (n(0), n(0)));
+        assert_eq!(n(3).div_rem(&n(7)), (n(0), n(3)));
+        assert_eq!(n(42).div_rem(&n(42)), (n(1), n(0)));
+    }
+
+    #[test]
+    fn single_limb_divisor() {
+        let a = n(u128::MAX);
+        let (q, r) = a.div_rem(&n(10));
+        assert_eq!(&q * &n(10) + &r, a);
+        assert!(r < n(10));
+    }
+
+    #[test]
+    fn multi_limb_divisor_roundtrip() {
+        let a: Natural = "340282366920938463463374607431768211455123456789"
+            .parse()
+            .unwrap();
+        let b: Natural = "18446744073709551617".parse().unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn knuth_add_back_case() {
+        // Crafted to exercise the D6 add-back branch: dividend top limbs
+        // just below a multiple of the divisor.
+        let u = Natural::from_limbs(vec![0, 0, 0x8000_0000_0000_0000, 0x7fff_ffff_ffff_ffff]);
+        let v = Natural::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&q * &v + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn exact_division() {
+        let b: Natural = "987654321987654321987654321".parse().unwrap();
+        let q0: Natural = "123456789123456789".parse().unwrap();
+        let a = &b * &q0;
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, q0);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn rem_alias() {
+        assert_eq!(n(17).rem(&n(5)), n(2));
+    }
+
+    #[test]
+    fn large_known_quotient() {
+        let a = Natural::from(10u64).pow(50);
+        let b = Natural::from(10u64).pow(20);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, Natural::from(10u64).pow(30));
+        assert!(r.is_zero());
+    }
+}

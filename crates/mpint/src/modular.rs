@@ -1,0 +1,314 @@
+//! Modular arithmetic: reduction-based helpers and Montgomery-form
+//! windowed exponentiation for odd moduli.
+//!
+//! The cryptosystems in this workspace spend nearly all of their time in
+//! [`Natural::modpow`]; the [`Montgomery`] context exists so that repeated
+//! exponentiations against the same modulus (the common case: a fixed group
+//! or Paillier modulus) avoid a full division per multiplication.  The
+//! `benches/mpint.rs` ablation quantifies the speedup.
+
+use crate::natural::Natural;
+
+impl Natural {
+    /// `(self + other) mod m`; operands must already be reduced.
+    pub fn modadd(&self, other: &Natural, m: &Natural) -> Natural {
+        debug_assert!(self < m && other < m);
+        let s = self + other;
+        if &s >= m {
+            s - m
+        } else {
+            s
+        }
+    }
+
+    /// `(self - other) mod m`; operands must already be reduced.
+    pub fn modsub(&self, other: &Natural, m: &Natural) -> Natural {
+        debug_assert!(self < m && other < m);
+        if self >= other {
+            self - other
+        } else {
+            m - other + self
+        }
+    }
+
+    /// `(self * other) mod m`.
+    pub fn modmul(&self, other: &Natural, m: &Natural) -> Natural {
+        (self * other).rem(m)
+    }
+
+    /// `self^exp mod m`.
+    ///
+    /// Uses Montgomery exponentiation when `m` is odd, falling back to
+    /// square-and-multiply with division-based reduction otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero or one (no canonical representatives).
+    pub fn modpow(&self, exp: &Natural, m: &Natural) -> Natural {
+        assert!(!m.is_zero() && !m.is_one(), "modpow modulus must be >= 2");
+        if m.is_odd() {
+            let ctx = Montgomery::new(m.clone());
+            return ctx.modpow(self, exp);
+        }
+        self.modpow_plain(exp, m)
+    }
+
+    /// Square-and-multiply with a division per step.  Kept public for the
+    /// Montgomery-vs-plain ablation bench.
+    pub fn modpow_plain(&self, exp: &Natural, m: &Natural) -> Natural {
+        assert!(!m.is_zero() && !m.is_one(), "modpow modulus must be >= 2");
+        let mut base = self.rem(m);
+        let mut acc = Natural::one();
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                acc = acc.modmul(&base, m);
+            }
+            base = base.modmul(&base, m);
+        }
+        acc
+    }
+}
+
+/// Precomputed context for Montgomery arithmetic modulo an odd `n`.
+///
+/// Values in Montgomery form are `a * R mod n` with `R = 2^(64 * limbs)`.
+/// Multiplication uses the CIOS (coarsely integrated operand scanning)
+/// method, and exponentiation a fixed 4-bit window.
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    n: Natural,
+    /// `-n^{-1} mod 2^64`.
+    n_prime: u64,
+    /// Limb count of `n`; all Montgomery residues use exactly this length.
+    limbs: usize,
+    /// `R^2 mod n`, used to convert into Montgomery form.
+    r2: Natural,
+    /// `R mod n` — the Montgomery representation of one.
+    r1: Natural,
+}
+
+impl Montgomery {
+    /// Creates a context for odd modulus `n >= 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or `< 3`.
+    pub fn new(n: Natural) -> Self {
+        assert!(n.is_odd(), "Montgomery requires an odd modulus");
+        assert!(n > Natural::one(), "modulus must be >= 3");
+        let limbs = n.limbs().len();
+        let n0 = n.limbs()[0];
+        // Newton iteration for the inverse of n0 mod 2^64 (5 steps suffice).
+        let mut inv = n0; // correct to 3 bits
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n_prime = inv.wrapping_neg();
+        let r1 = Natural::one().shl_bits(64 * limbs as u64).rem(&n);
+        let r2 = r1.modmul(&r1, &n);
+        Montgomery {
+            n,
+            n_prime,
+            limbs,
+            r2,
+            r1,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Natural {
+        &self.n
+    }
+
+    /// Converts `a` (any size) into Montgomery form.
+    pub fn to_mont(&self, a: &Natural) -> Natural {
+        self.mont_mul(&a.rem(&self.n), &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    pub fn from_mont(&self, a: &Natural) -> Natural {
+        self.mont_mul(a, &Natural::one())
+    }
+
+    // CIOS interleaves reads and writes at shifted indices; indexed loops
+    // are the canonical presentation of the algorithm.
+    #[allow(clippy::needless_range_loop)]
+    /// Montgomery product `a * b * R^{-1} mod n` via CIOS.
+    pub fn mont_mul(&self, a: &Natural, b: &Natural) -> Natural {
+        let k = self.limbs;
+        let n = self.n.limbs();
+        let a_limbs = a.limbs();
+        let b_limbs = b.limbs();
+        // t has k+2 limbs: accumulator for the interleaved product/reduction.
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            let ai = a_limbs.get(i).copied().unwrap_or(0);
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let bj = b_limbs.get(j).copied().unwrap_or(0);
+                let cur = t[j] as u128 + ai as u128 * bj as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+            // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n_prime);
+            let mut carry = (t[0] as u128 + m as u128 * n[0] as u128) >> 64;
+            for j in 1..k {
+                let cur = t[j] as u128 + m as u128 * n[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k - 1] = cur as u64;
+            t[k] = t[k + 1].wrapping_add((cur >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        t.truncate(k + 1);
+        let mut r = Natural::from_limbs(t);
+        if r >= self.n {
+            r -= &self.n;
+        }
+        r
+    }
+
+    /// `base^exp mod n` using a fixed 4-bit window over Montgomery residues.
+    pub fn modpow(&self, base: &Natural, exp: &Natural) -> Natural {
+        if exp.is_zero() {
+            return Natural::one().rem(&self.n);
+        }
+        let base_m = self.to_mont(base);
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone());
+        for i in 1..16 {
+            let prev: &Natural = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+        let bits = exp.bit_len();
+        // Process exponent in 4-bit windows, most significant first.
+        let windows = bits.div_ceil(4);
+        let mut acc = self.r1.clone();
+        for w in (0..windows).rev() {
+            for _ in 0..4 {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let mut nib = 0usize;
+            for b in 0..4 {
+                let bit_idx = w * 4 + (3 - b);
+                nib <<= 1;
+                if bit_idx < bits && exp.bit(bit_idx) {
+                    nib |= 1;
+                }
+            }
+            if nib != 0 {
+                acc = self.mont_mul(&acc, &table[nib]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn modadd_wraps() {
+        let m = n(10);
+        assert_eq!(n(7).modadd(&n(5), &m), n(2));
+        assert_eq!(n(3).modadd(&n(4), &m), n(7));
+    }
+
+    #[test]
+    fn modsub_wraps() {
+        let m = n(10);
+        assert_eq!(n(3).modsub(&n(7), &m), n(6));
+        assert_eq!(n(7).modsub(&n(3), &m), n(4));
+        assert_eq!(n(7).modsub(&n(7), &m), n(0));
+    }
+
+    #[test]
+    fn modmul() {
+        assert_eq!(n(7).modmul(&n(8), &n(10)), n(6));
+    }
+
+    #[test]
+    fn modpow_small_known() {
+        assert_eq!(n(2).modpow(&n(10), &n(1000)), n(24));
+        assert_eq!(n(3).modpow(&n(0), &n(7)), n(1));
+        assert_eq!(n(0).modpow(&n(5), &n(7)), n(0));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // p = 1000003 is prime: a^(p-1) = 1 mod p.
+        let p = n(1_000_003);
+        for a in [2u128, 3, 65537, 999_999] {
+            assert_eq!(n(a).modpow(&(&p - &n(1)), &p), n(1), "a={a}");
+        }
+    }
+
+    #[test]
+    fn modpow_even_modulus_falls_back() {
+        assert_eq!(n(3).modpow(&n(4), &n(16)), n(81 % 16));
+        assert_eq!(n(5).modpow(&n(3), &n(100)), n(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 2")]
+    fn modpow_modulus_one_panics() {
+        n(3).modpow(&n(4), &n(1));
+    }
+
+    #[test]
+    fn montgomery_roundtrip() {
+        let m = Montgomery::new(n(1_000_003));
+        for v in [0u128, 1, 2, 999_999, 1_000_002] {
+            let mont = m.to_mont(&n(v));
+            assert_eq!(m.from_mont(&mont), n(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn montgomery_mul_matches_plain() {
+        let modulus = n(0xffff_ffff_ffff_ffc5); // large odd 64-bit
+        let m = Montgomery::new(modulus.clone());
+        let a = n(0x1234_5678_9abc_def0);
+        let b = n(0xfedc_ba98_7654_3210);
+        let am = m.to_mont(&a);
+        let bm = m.to_mont(&b);
+        let prod = m.from_mont(&m.mont_mul(&am, &bm));
+        assert_eq!(prod, a.modmul(&b, &modulus));
+    }
+
+    #[test]
+    fn montgomery_modpow_matches_plain_multi_limb() {
+        // 128-bit odd modulus spanning two limbs.
+        let modulus: Natural = "340282366920938463463374607431768211297".parse().unwrap();
+        let base: Natural = "123456789012345678901234567890".parse().unwrap();
+        let exp: Natural = "98765432109876543210".parse().unwrap();
+        let m = Montgomery::new(modulus.clone());
+        assert_eq!(m.modpow(&base, &exp), base.modpow_plain(&exp, &modulus));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn montgomery_rejects_even() {
+        Montgomery::new(n(10));
+    }
+
+    #[test]
+    fn exponent_one_and_base_bigger_than_modulus() {
+        let m = n(97);
+        assert_eq!(n(1000).modpow(&n(1), &m), n(1000 % 97));
+    }
+}

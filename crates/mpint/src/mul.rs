@@ -1,0 +1,205 @@
+//! Multiplication: schoolbook for short operands, Karatsuba above a
+//! threshold.  The threshold was picked with `benches/mpint.rs` (see the
+//! Karatsuba ablation in the bench crate).
+
+use crate::natural::Natural;
+
+/// Limb count above which Karatsuba beats schoolbook on typical x86-64.
+pub(crate) const KARATSUBA_THRESHOLD: usize = 32;
+
+pub(crate) fn mul(a: &Natural, b: &Natural) -> Natural {
+    if a.is_zero() || b.is_zero() {
+        return Natural::zero();
+    }
+    let out = mul_slices(&a.limbs, &b.limbs);
+    Natural::from_limbs(out)
+}
+
+fn mul_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        schoolbook(a, b)
+    } else {
+        karatsuba(a, b)
+    }
+}
+
+/// O(n*m) long multiplication with 128-bit intermediate products.
+pub(crate) fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Karatsuba split: `a = a1*B + a0`, `b = b1*B + b0`,
+/// `a*b = a1*b1*B^2 + ((a1+a0)(b1+b0) - a1*b1 - a0*b0)*B + a0*b0`.
+pub(crate) fn karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let split = a.len().max(b.len()) / 2;
+    let (a0, a1) = split_at(a, split);
+    let (b0, b1) = split_at(b, split);
+
+    let mut z0 = mul_slices(a0, b0);
+    let mut z2 = mul_slices(a1, b1);
+    let asum = add_slices(a0, a1);
+    let bsum = add_slices(b0, b1);
+    let mut z1 = mul_slices(&asum, &bsum);
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+    // Trim all-zero high limbs so the shifted accumulations below never
+    // index past the output buffer.
+    trim(&mut z0);
+    trim(&mut z1);
+    trim(&mut z2);
+
+    let mut out = vec![0u64; a.len() + b.len() + 1];
+    add_at(&mut out, &z0, 0);
+    add_at(&mut out, &z1, split);
+    add_at(&mut out, &z2, 2 * split);
+    // The true product fits in a.len() + b.len() limbs; drop the scratch limb
+    // so recursive callers see exact-length operands.
+    debug_assert_eq!(out[a.len() + b.len()], 0);
+    out.truncate(a.len() + b.len());
+    out
+}
+
+fn trim(v: &mut Vec<u64>) {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+fn split_at(x: &[u64], at: usize) -> (&[u64], &[u64]) {
+    if x.len() <= at {
+        (x, &[])
+    } else {
+        x.split_at(at)
+    }
+}
+
+// Limb kernels below walk two arrays in lockstep; indexed loops are the
+// clearest form (clippy would have us zip slices of unequal length).
+#[allow(clippy::needless_range_loop)]
+fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let s = short.get(i).copied().unwrap_or(0);
+        let (s1, c1) = long[i].overflowing_add(s);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out.push(s2);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+#[allow(clippy::needless_range_loop)]
+/// `a -= b`; `a` must be at least `b` numerically.
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let bv = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = a[i].overflowing_sub(bv);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+        if borrow == 0 && i >= b.len() {
+            break;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "karatsuba middle term went negative");
+}
+
+/// `out[at..] += b` with carry propagation.
+fn add_at(out: &mut [u64], b: &[u64], at: usize) {
+    let mut carry = 0u64;
+    for (i, &bv) in b.iter().enumerate() {
+        let (s1, c1) = out[at + i].overflowing_add(bv);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out[at + i] = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    let mut k = at + b.len();
+    while carry != 0 {
+        let (s, c) = out[k].overflowing_add(carry);
+        out[k] = s;
+        carry = c as u64;
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Natural;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn small_products() {
+        assert_eq!(&n(6) * &n(7), n(42));
+        assert_eq!(&n(0) * &n(7), n(0));
+        assert_eq!(&n(1) * &n(7), n(7));
+    }
+
+    #[test]
+    fn cross_limb_product() {
+        let a = n(u64::MAX as u128);
+        assert_eq!(&a * &a, n((u64::MAX as u128) * (u64::MAX as u128)));
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Build operands long enough to force the Karatsuba path.
+        let limbs_a: Vec<u64> = (0..80)
+            .map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1))
+            .collect();
+        let limbs_b: Vec<u64> = (0..75)
+            .map(|i| 0xbf58_476d_1ce4_e5b9u64.wrapping_mul(i + 3))
+            .collect();
+        let a = Natural::from_limbs(limbs_a.clone());
+        let b = Natural::from_limbs(limbs_b.clone());
+        let fast = &a * &b;
+        let slow = Natural::from_limbs(schoolbook(&limbs_a, &limbs_b));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn karatsuba_uneven_lengths() {
+        let limbs_a: Vec<u64> = (0..100).map(|i| i as u64 + 1).collect();
+        let limbs_b: Vec<u64> = vec![u64::MAX; 40];
+        let a = Natural::from_limbs(limbs_a.clone());
+        let b = Natural::from_limbs(limbs_b.clone());
+        assert_eq!(&a * &b, Natural::from_limbs(schoolbook(&limbs_a, &limbs_b)));
+        assert_eq!(&b * &a, &a * &b);
+    }
+
+    #[test]
+    fn decimal_known_product() {
+        let a: Natural = "123456789012345678901234567890".parse().unwrap();
+        let b: Natural = "987654321098765432109876543210".parse().unwrap();
+        let expected = "121932631137021795226185032733622923332237463801111263526900";
+        assert_eq!((&a * &b).to_string(), expected);
+    }
+}

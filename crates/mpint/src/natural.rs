@@ -1,0 +1,518 @@
+//! The unsigned big-integer type and its ring operations.
+
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, BitAnd, Mul, Shl, Shr, Sub, SubAssign};
+
+use crate::Error;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Limbs are `u64`, stored little-endian (least significant first) and kept
+/// *normalized*: the most significant limb is never zero, and the value zero
+/// is represented by an empty limb vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Natural {
+    pub(crate) limbs: Vec<u64>,
+}
+
+pub(crate) const LIMB_BITS: u32 = 64;
+
+impl Natural {
+    /// The value zero.
+    pub const fn zero() -> Self {
+        Natural { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Natural { limbs: vec![1] }
+    }
+
+    /// Builds a `Natural` from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Natural { limbs }
+    }
+
+    /// Read-only view of the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Is this the value zero?
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Is this the value one?
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Is the least significant bit clear?
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Is the least significant bit set?
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * LIMB_BITS as u64
+                    + (LIMB_BITS - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        let off = (i % LIMB_BITS as u64) as u32;
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to `value`, growing the limb vector if needed.
+    pub fn set_bit(&mut self, i: u64, value: bool) {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        let off = (i % LIMB_BITS as u64) as u32;
+        if value {
+            if self.limbs.len() <= limb {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1u64 << off;
+        } else if let Some(l) = self.limbs.get_mut(limb) {
+            *l &= !(1u64 << off);
+            self.normalize();
+        }
+    }
+
+    /// Number of trailing zero bits; `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        let idx = self.limbs.iter().position(|&l| l != 0)?;
+        Some(idx as u64 * LIMB_BITS as u64 + self.limbs[idx].trailing_zeros() as u64)
+    }
+
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    // Lockstep limb walk over unequal-length slices; indexed form is clearest.
+    #[allow(clippy::needless_range_loop)]
+    /// `self + other`.
+    pub fn add_ref(&self, other: &Natural) -> Natural {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// `self - other`, or [`Error::Underflow`] if `other > self`.
+    pub fn checked_sub(&self, other: &Natural) -> Result<Natural, Error> {
+        if self < other {
+            return Err(Error::Underflow);
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Ok(Natural::from_limbs(out))
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: u64) -> Natural {
+        if self.is_zero() {
+            return Natural::zero();
+        }
+        if bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / LIMB_BITS as u64) as usize;
+        let bit_shift = (bits % LIMB_BITS as u64) as u32;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// Right shift by `bits` (floor division by `2^bits`).
+    pub fn shr_bits(&self, bits: u64) -> Natural {
+        let limb_shift = (bits / LIMB_BITS as u64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Natural::zero();
+        }
+        let bit_shift = (bits % LIMB_BITS as u64) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (LIMB_BITS - bit_shift)));
+            }
+        }
+        Natural::from_limbs(out)
+    }
+
+    /// `self^exp` by square-and-multiply (plain, not modular).
+    pub fn pow(&self, exp: u32) -> Natural {
+        let mut base = self.clone();
+        let mut exp = exp;
+        let mut acc = Natural::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Returns `self` as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns `self` as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Natural {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Natural::zero()
+        } else {
+            Natural { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for Natural {
+    fn from(v: u32) -> Self {
+        Natural::from(v as u64)
+    }
+}
+
+impl From<u128> for Natural {
+    fn from(v: u128) -> Self {
+        Natural::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for Natural {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for Natural {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &Natural {
+    type Output = Natural;
+    fn add(self, rhs: &Natural) -> Natural {
+        self.add_ref(rhs)
+    }
+}
+
+impl Add for Natural {
+    type Output = Natural;
+    fn add(self, rhs: Natural) -> Natural {
+        self.add_ref(&rhs)
+    }
+}
+
+impl Add<Natural> for &Natural {
+    type Output = Natural;
+    fn add(self, rhs: Natural) -> Natural {
+        self.add_ref(&rhs)
+    }
+}
+
+impl Add<&Natural> for Natural {
+    type Output = Natural;
+    fn add(self, rhs: &Natural) -> Natural {
+        self.add_ref(rhs)
+    }
+}
+
+impl AddAssign<&Natural> for Natural {
+    fn add_assign(&mut self, rhs: &Natural) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl Sub for &Natural {
+    type Output = Natural;
+    /// Panics on underflow; use [`Natural::checked_sub`] for fallible subtraction.
+    fn sub(self, rhs: &Natural) -> Natural {
+        self.checked_sub(rhs)
+            .expect("Natural subtraction underflow")
+    }
+}
+
+impl Sub for Natural {
+    type Output = Natural;
+    fn sub(self, rhs: Natural) -> Natural {
+        &self - &rhs
+    }
+}
+
+impl Sub<&Natural> for Natural {
+    type Output = Natural;
+    fn sub(self, rhs: &Natural) -> Natural {
+        &self - rhs
+    }
+}
+
+impl SubAssign<&Natural> for Natural {
+    fn sub_assign(&mut self, rhs: &Natural) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul for &Natural {
+    type Output = Natural;
+    fn mul(self, rhs: &Natural) -> Natural {
+        crate::mul::mul(self, rhs)
+    }
+}
+
+impl Mul for Natural {
+    type Output = Natural;
+    fn mul(self, rhs: Natural) -> Natural {
+        &self * &rhs
+    }
+}
+
+impl Mul<&Natural> for Natural {
+    type Output = Natural;
+    fn mul(self, rhs: &Natural) -> Natural {
+        &self * rhs
+    }
+}
+
+impl Mul<Natural> for &Natural {
+    type Output = Natural;
+    fn mul(self, rhs: Natural) -> Natural {
+        self * &rhs
+    }
+}
+
+impl Shl<u64> for &Natural {
+    type Output = Natural;
+    fn shl(self, bits: u64) -> Natural {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<u64> for &Natural {
+    type Output = Natural;
+    fn shr(self, bits: u64) -> Natural {
+        self.shr_bits(bits)
+    }
+}
+
+impl BitAnd for &Natural {
+    type Output = Natural;
+    fn bitand(self, rhs: &Natural) -> Natural {
+        let n = self.limbs.len().min(rhs.limbs.len());
+        let out = (0..n).map(|i| self.limbs[i] & rhs.limbs[i]).collect();
+        Natural::from_limbs(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Natural::zero().is_zero());
+        assert!(Natural::one().is_one());
+        assert!(!Natural::one().is_zero());
+        assert_eq!(Natural::zero().bit_len(), 0);
+        assert_eq!(Natural::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn normalization_strips_zero_limbs() {
+        let a = Natural::from_limbs(vec![5, 0, 0]);
+        assert_eq!(a.limbs(), &[5]);
+        assert_eq!(a, n(5));
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = Natural::from(u64::MAX);
+        let b = Natural::one();
+        assert_eq!(&a + &b, n(1u128 << 64));
+    }
+
+    #[test]
+    fn add_asymmetric_lengths() {
+        let a = n((1u128 << 100) - 1);
+        let b = n(1);
+        assert_eq!(&a + &b, n(1u128 << 100));
+        assert_eq!(&b + &a, n(1u128 << 100));
+    }
+
+    #[test]
+    fn sub_with_borrow() {
+        let a = n(1u128 << 64);
+        let b = n(1);
+        assert_eq!(&a - &b, n(u64::MAX as u128));
+    }
+
+    #[test]
+    fn sub_underflow_is_error() {
+        assert_eq!(n(3).checked_sub(&n(5)), Err(Error::Underflow));
+        assert_eq!(n(5).checked_sub(&n(5)), Ok(Natural::zero()));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(n(3) < n(5));
+        assert!(n(1u128 << 64) > n(u64::MAX as u128));
+        assert_eq!(n(7).cmp(&n(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_len_and_bit_access() {
+        let a = n(0b1011);
+        assert_eq!(a.bit_len(), 4);
+        assert!(a.bit(0) && a.bit(1) && !a.bit(2) && a.bit(3));
+        assert!(!a.bit(100));
+    }
+
+    #[test]
+    fn set_bit_roundtrip() {
+        let mut a = Natural::zero();
+        a.set_bit(127, true);
+        assert_eq!(a, n(1u128 << 127));
+        a.set_bit(127, false);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let a = n(0xdead_beef);
+        assert_eq!(a.shl_bits(64).shr_bits(64), a);
+        assert_eq!(a.shl_bits(3), n(0xdead_beef << 3));
+        assert_eq!(a.shr_bits(100), Natural::zero());
+        assert_eq!(n(0).shl_bits(77), Natural::zero());
+    }
+
+    #[test]
+    fn shift_non_multiple_of_limb() {
+        let a = n(0x1_0000_0000_0000_0001);
+        assert_eq!(a.shl_bits(13).shr_bits(13), a);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(Natural::zero().is_even());
+        assert!(n(7).is_odd());
+        assert!(n(8).is_even());
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(Natural::zero().trailing_zeros(), None);
+        assert_eq!(n(1).trailing_zeros(), Some(0));
+        assert_eq!(n(1u128 << 77).trailing_zeros(), Some(77));
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(n(2).pow(10), n(1024));
+        assert_eq!(n(3).pow(0), n(1));
+        assert_eq!(n(0).pow(5), n(0));
+        assert_eq!(n(10).pow(25).to_string(), "10000000000000000000000000");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(n(42).to_u64(), Some(42));
+        assert_eq!(n(1u128 << 80).to_u64(), None);
+        assert_eq!(n(1u128 << 80).to_u128(), Some(1u128 << 80));
+    }
+
+    #[test]
+    fn bitand() {
+        assert_eq!(&n(0b1100) & &n(0b1010), n(0b1000));
+        assert_eq!(&n(u64::MAX as u128 + 1) & &n(1), Natural::zero());
+    }
+}

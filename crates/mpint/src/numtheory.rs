@@ -1,0 +1,239 @@
+//! Number-theoretic helpers: gcd, extended gcd, modular inverse, and the
+//! Jacobi symbol.
+
+use crate::Error;
+use crate::{Int, Natural, Sign};
+
+/// Greatest common divisor (binary GCD).
+pub fn gcd(a: &Natural, b: &Natural) -> Natural {
+    if a.is_zero() {
+        return b.clone();
+    }
+    if b.is_zero() {
+        return a.clone();
+    }
+    let mut a = a.clone();
+    let mut b = b.clone();
+    let az = a.trailing_zeros().expect("a is non-zero");
+    let bz = b.trailing_zeros().expect("b is non-zero");
+    let shift = az.min(bz);
+    a = a.shr_bits(az);
+    loop {
+        let bz = b.trailing_zeros().expect("b stays non-zero in the loop");
+        b = b.shr_bits(bz);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b = &b - &a;
+        if b.is_zero() {
+            return a.shl_bits(shift);
+        }
+    }
+}
+
+/// Extended Euclidean algorithm: returns `(g, x, y)` with
+/// `a*x + b*y = g = gcd(a, b)`.
+pub fn extended_gcd(a: &Natural, b: &Natural) -> (Natural, Int, Int) {
+    let mut r0 = Int::from(a.clone());
+    let mut r1 = Int::from(b.clone());
+    let mut s0 = Int::one();
+    let mut s1 = Int::zero();
+    let mut t0 = Int::zero();
+    let mut t1 = Int::one();
+    while !r1.is_zero() {
+        let (q, r) = r0.magnitude().div_rem(r1.magnitude());
+        // Signs: r0, r1 stay non-negative throughout, so plain division works.
+        let q = Int::from(q);
+        let r = Int::from(r);
+        r0 = r1;
+        r1 = r;
+        let s = &s0 - &(&q * &s1);
+        s0 = s1;
+        s1 = s;
+        let t = &t0 - &(&q * &t1);
+        t0 = t1;
+        t1 = t;
+    }
+    (r0.magnitude().clone(), s0, t0)
+}
+
+/// Modular inverse of `a` modulo `m`, if `gcd(a, m) = 1`.
+pub fn modinv(a: &Natural, m: &Natural) -> Result<Natural, Error> {
+    if m.is_zero() {
+        return Err(Error::DivisionByZero);
+    }
+    let (g, x, _) = extended_gcd(&a.rem(m), m);
+    if !g.is_one() {
+        return Err(Error::NotInvertible);
+    }
+    Ok(x.rem_euclid(m))
+}
+
+/// Jacobi symbol `(a/n)` for odd positive `n`.
+///
+/// Returns `0` when `gcd(a, n) != 1`, otherwise `±1`.  For prime `n` this is
+/// the Legendre symbol, so `1` means `a` is a quadratic residue mod `n`.
+///
+/// # Panics
+///
+/// Panics if `n` is even or zero.
+pub fn jacobi(a: &Natural, n: &Natural) -> i32 {
+    assert!(n.is_odd(), "Jacobi symbol requires odd n");
+    let mut a = a.rem(n);
+    let mut n = n.clone();
+    let mut result = 1i32;
+    while !a.is_zero() {
+        // Pull out factors of two: (2/n) = (-1)^((n^2-1)/8).
+        let tz = a.trailing_zeros().expect("a non-zero");
+        a = a.shr_bits(tz);
+        if tz % 2 == 1 {
+            let n_mod_8 = n.limbs().first().copied().unwrap_or(0) % 8;
+            if n_mod_8 == 3 || n_mod_8 == 5 {
+                result = -result;
+            }
+        }
+        // Quadratic reciprocity flip.
+        let a_mod_4 = a.limbs().first().copied().unwrap_or(0) % 4;
+        let n_mod_4 = n.limbs().first().copied().unwrap_or(0) % 4;
+        if a_mod_4 == 3 && n_mod_4 == 3 {
+            result = -result;
+        }
+        std::mem::swap(&mut a, &mut n);
+        a = a.rem(&n);
+    }
+    if n.is_one() {
+        result
+    } else {
+        0
+    }
+}
+
+/// Least common multiple.
+pub fn lcm(a: &Natural, b: &Natural) -> Natural {
+    if a.is_zero() || b.is_zero() {
+        return Natural::zero();
+    }
+    let g = gcd(a, b);
+    (a / &g) * b
+}
+
+impl std::ops::Div<&Natural> for &Natural {
+    type Output = Natural;
+    fn div(self, rhs: &Natural) -> Natural {
+        self.div_rem(rhs).0
+    }
+}
+
+impl std::ops::Rem<&Natural> for &Natural {
+    type Output = Natural;
+    fn rem(self, rhs: &Natural) -> Natural {
+        self.div_rem(rhs).1
+    }
+}
+
+/// Re-exported so callers can pattern-match the sign of Bézout coefficients.
+pub use crate::int::Sign as BezoutSign;
+
+#[allow(unused)]
+fn _sign_used(s: Sign) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(&n(12), &n(18)), n(6));
+        assert_eq!(gcd(&n(17), &n(5)), n(1));
+        assert_eq!(gcd(&n(0), &n(5)), n(5));
+        assert_eq!(gcd(&n(5), &n(0)), n(5));
+        assert_eq!(gcd(&n(0), &n(0)), n(0));
+        assert_eq!(gcd(&n(48), &n(48)), n(48));
+    }
+
+    #[test]
+    fn gcd_large() {
+        let a: Natural = "123456789012345678901234567890".parse().unwrap();
+        let b = &a * &n(77);
+        assert_eq!(gcd(&a, &b), a);
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        for (a, b) in [(240u128, 46), (17, 5), (5, 17), (100, 75), (1, 1)] {
+            let (g, x, y) = extended_gcd(&n(a), &n(b));
+            let lhs = &(&Int::from(n(a)) * &x) + &(&Int::from(n(b)) * &y);
+            assert_eq!(lhs, Int::from(g.clone()), "a={a} b={b}");
+            assert_eq!(g, gcd(&n(a), &n(b)));
+        }
+    }
+
+    #[test]
+    fn modinv_small() {
+        assert_eq!(modinv(&n(3), &n(7)).unwrap(), n(5));
+        assert_eq!(modinv(&n(10), &n(17)).unwrap(), n(12));
+        assert_eq!(modinv(&n(2), &n(4)), Err(Error::NotInvertible));
+        assert_eq!(modinv(&n(2), &n(0)), Err(Error::DivisionByZero));
+    }
+
+    #[test]
+    fn modinv_verifies() {
+        let m = n(1_000_003);
+        for a in [2u128, 3, 65537, 999_999] {
+            let inv = modinv(&n(a), &m).unwrap();
+            assert_eq!(n(a).modmul(&inv, &m), n(1), "a={a}");
+        }
+    }
+
+    #[test]
+    fn jacobi_legendre_on_prime() {
+        // mod 7: QRs are {1, 2, 4}.
+        let p = n(7);
+        assert_eq!(jacobi(&n(1), &p), 1);
+        assert_eq!(jacobi(&n(2), &p), 1);
+        assert_eq!(jacobi(&n(3), &p), -1);
+        assert_eq!(jacobi(&n(4), &p), 1);
+        assert_eq!(jacobi(&n(5), &p), -1);
+        assert_eq!(jacobi(&n(6), &p), -1);
+        assert_eq!(jacobi(&n(0), &p), 0);
+        assert_eq!(jacobi(&n(7), &p), 0);
+    }
+
+    #[test]
+    fn jacobi_composite() {
+        // (2/15) = (2/3)(2/5) = (-1)(-1) = 1
+        assert_eq!(jacobi(&n(2), &n(15)), 1);
+        // (3/15): gcd != 1 -> 0
+        assert_eq!(jacobi(&n(3), &n(15)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd n")]
+    fn jacobi_even_panics() {
+        jacobi(&n(3), &n(8));
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(&n(4), &n(6)), n(12));
+        assert_eq!(lcm(&n(0), &n(6)), n(0));
+        assert_eq!(lcm(&n(7), &n(13)), n(91));
+    }
+
+    #[test]
+    fn quadratic_residues_match_squares() {
+        let p = n(101);
+        let mut squares = std::collections::HashSet::new();
+        for a in 1..101u128 {
+            squares.insert((a * a % 101) as u64);
+        }
+        for a in 1..101u128 {
+            let expected = if squares.contains(&(a as u64)) { 1 } else { -1 };
+            assert_eq!(jacobi(&n(a), &p), expected, "a={a}");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Probabilistic primality testing (Miller–Rabin) and generation of random
+//! primes and safe primes.
+//!
+//! Safe primes `p = 2q + 1` (with `q` prime) are the group parameters for
+//! the SRA commutative encryption and the ElGamal KEM: the subgroup of
+//! quadratic residues mod `p` then has prime order `q`.
+
+use rand::Rng;
+
+use crate::random::{random_below, random_bits};
+use crate::Natural;
+
+/// Small primes used for trial division before Miller–Rabin.
+fn small_primes() -> &'static [u64] {
+    use std::sync::OnceLock;
+    static SIEVE: OnceLock<Vec<u64>> = OnceLock::new();
+    SIEVE.get_or_init(|| {
+        const LIMIT: usize = 8192;
+        let mut composite = vec![false; LIMIT];
+        let mut primes = Vec::new();
+        for i in 2..LIMIT {
+            if !composite[i] {
+                primes.push(i as u64);
+                let mut j = i * i;
+                while j < LIMIT {
+                    composite[j] = true;
+                    j += i;
+                }
+            }
+        }
+        primes
+    })
+}
+
+/// Returns `true` if `n` is divisible by a small prime strictly below itself.
+fn has_small_factor(n: &Natural) -> bool {
+    for &p in small_primes() {
+        let pn = Natural::from(p);
+        if &pn >= n {
+            return false;
+        }
+        if n.rem(&pn).is_zero() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// A composite passes with probability at most `4^-rounds`; 40 rounds is
+/// the conventional choice for cryptographic parameters.
+pub fn is_probable_prime(n: &Natural, rounds: u32, rng: &mut dyn Rng) -> bool {
+    if n < &Natural::from(2u64) {
+        return false;
+    }
+    let two = Natural::from(2u64);
+    let three = Natural::from(3u64);
+    if n == &two || n == &three {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    if has_small_factor(n) {
+        return false;
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n - &Natural::one();
+    let s = n_minus_1.trailing_zeros().expect("n - 1 > 0");
+    let d = n_minus_1.shr_bits(s);
+    let mont = crate::Montgomery::new(n.clone());
+
+    'witness: for _ in 0..rounds {
+        // Base in [2, n - 2].
+        let a = random_below(rng, &(n - &three)) + &two;
+        let mut x = mont.modpow(&a, &d);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = x.modmul(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime(bits: u64, rng: &mut dyn Rng) -> Natural {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = random_bits(rng, bits);
+        candidate.set_bit(0, true); // force odd
+        if is_probable_prime(&candidate, 40, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a safe prime `p = 2q + 1` with exactly `bits` bits; returns
+/// `(p, q)`.
+///
+/// Both halves are screened with trial division and a cheap 1-round
+/// Miller–Rabin before the full 40-round certification, so most candidates
+/// die cheaply.
+///
+/// # Panics
+///
+/// Panics if `bits < 4`.
+pub fn gen_safe_prime(bits: u64, rng: &mut dyn Rng) -> (Natural, Natural) {
+    assert!(bits >= 4, "safe primes need at least 4 bits");
+    let one = Natural::one();
+    let three = Natural::from(3u64);
+    loop {
+        let mut q = random_bits(rng, bits - 1);
+        q.set_bit(0, true);
+        // p = 2q + 1 is divisible by 3 iff q = 1 mod 3; skip those early
+        // (q = 3 itself is fine: p = 7).
+        if q != three && q.rem(&three).is_one() {
+            continue;
+        }
+        let p = q.shl_bits(1) + &one;
+        if has_small_factor(&q) || has_small_factor(&p) {
+            continue;
+        }
+        if !is_probable_prime(&q, 1, rng) || !is_probable_prime(&p, 1, rng) {
+            continue;
+        }
+        if is_probable_prime(&q, 40, rng) && is_probable_prime(&p, 40, rng) {
+            return (p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn n(v: u128) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut r = rng();
+        for p in [2u128, 3, 5, 7, 11, 13, 8191, 1_000_003] {
+            assert!(is_probable_prime(&n(p), 20, &mut r), "p={p}");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u128, 1, 4, 6, 9, 15, 8192, 1_000_001, 561, 41041] {
+            // 561 and 41041 are Carmichael numbers.
+            assert!(!is_probable_prime(&n(c), 20, &mut r), "c={c}");
+        }
+    }
+
+    #[test]
+    fn large_known_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let mut r = rng();
+        let p = Natural::one().shl_bits(127) - Natural::one();
+        assert!(is_probable_prime(&p, 20, &mut r));
+        // 2^128 - 1 = 3 * 5 * 17 * ... is not.
+        let c = Natural::one().shl_bits(128) - Natural::one();
+        assert!(!is_probable_prime(&c, 20, &mut r));
+    }
+
+    #[test]
+    fn product_of_two_primes_rejected() {
+        let mut r = rng();
+        let p = gen_prime(48, &mut r);
+        let q = gen_prime(48, &mut r);
+        assert!(!is_probable_prime(&(&p * &q), 20, &mut r));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_size() {
+        let mut r = rng();
+        for bits in [16u64, 32, 64, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bit_len(), bits);
+            assert!(is_probable_prime(&p, 20, &mut r));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_structure() {
+        let mut r = rng();
+        let (p, q) = gen_safe_prime(64, &mut r);
+        assert_eq!(p.bit_len(), 64);
+        assert_eq!(p, q.shl_bits(1) + Natural::one());
+        assert!(is_probable_prime(&p, 20, &mut r));
+        assert!(is_probable_prime(&q, 20, &mut r));
+    }
+
+    #[test]
+    fn safe_prime_group_order() {
+        // Every quadratic residue g satisfies g^q = 1 mod p.
+        let mut r = rng();
+        let (p, q) = gen_safe_prime(48, &mut r);
+        let x = random_below(&mut r, &p);
+        let g = x.modmul(&x, &p);
+        if !g.is_zero() {
+            assert!(g.modpow(&q, &p).is_one());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Uniform random sampling of big integers from any [`rand::Rng`].
+
+use rand::Rng;
+
+use crate::Natural;
+
+/// A uniformly random integer with exactly `bits` significant bits
+/// (the top bit is forced to one).
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn random_bits(rng: &mut dyn Rng, bits: u64) -> Natural {
+    assert!(bits > 0, "cannot sample zero bits");
+    let limbs = bits.div_ceil(64) as usize;
+    let mut out = vec![0u64; limbs];
+    for l in out.iter_mut() {
+        *l = rng.next_u64();
+    }
+    // Mask off excess bits, then force the top bit.
+    let top_bits = ((bits - 1) % 64 + 1) as u32;
+    let mask = if top_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << top_bits) - 1
+    };
+    out[limbs - 1] &= mask;
+    out[limbs - 1] |= 1u64 << (top_bits - 1);
+    Natural::from_limbs(out)
+}
+
+/// A uniformly random integer in `[0, bound)` by rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below(rng: &mut dyn Rng, bound: &Natural) -> Natural {
+    assert!(!bound.is_zero(), "empty sampling range");
+    let bits = bound.bit_len();
+    let limbs = bits.div_ceil(64) as usize;
+    let top_bits = ((bits - 1) % 64 + 1) as u32;
+    let mask = if top_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << top_bits) - 1
+    };
+    loop {
+        let mut out = vec![0u64; limbs];
+        for l in out.iter_mut() {
+            *l = rng.next_u64();
+        }
+        out[limbs - 1] &= mask;
+        let candidate = Natural::from_limbs(out);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// A uniformly random integer in `[low, high)`.
+///
+/// # Panics
+///
+/// Panics if `low >= high`.
+pub fn random_range(rng: &mut dyn Rng, low: &Natural, high: &Natural) -> Natural {
+    assert!(low < high, "empty sampling range");
+    let width = high - low;
+    low + random_below(rng, &width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5ec4ed)
+    }
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut r = rng();
+        for bits in [1u64, 2, 63, 64, 65, 127, 128, 512] {
+            let v = random_bits(&mut r, bits);
+            assert_eq!(v.bit_len(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut r = rng();
+        let bound = Natural::from(1000u64);
+        for _ in 0..200 {
+            assert!(random_below(&mut r, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_small_range() {
+        let mut r = rng();
+        let bound = Natural::from(4u64);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[random_below(&mut r, &bound).to_u64().unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues sampled: {seen:?}");
+    }
+
+    #[test]
+    fn random_range_bounds() {
+        let mut r = rng();
+        let low = Natural::from(10u64);
+        let high = Natural::from(20u64);
+        for _ in 0..100 {
+            let v = random_range(&mut r, &low, &high);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sampling range")]
+    fn random_below_zero_bound_panics() {
+        random_below(&mut rng(), &Natural::zero());
+    }
+}

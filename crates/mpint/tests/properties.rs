@@ -1,0 +1,198 @@
+//! Property-based tests for the big-integer substrate: ring laws checked
+//! against `u128` reference arithmetic and against internal consistency on
+//! operands far beyond 128 bits.
+
+use mpint::{numtheory, Natural};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary Natural up to ~6 limbs, built from raw limbs.
+fn natural() -> impl Strategy<Value = Natural> {
+    prop::collection::vec(any::<u64>(), 0..6).prop_map(Natural::from_limbs)
+}
+
+/// Strategy: a non-zero Natural.
+fn natural_nonzero() -> impl Strategy<Value = Natural> {
+    natural().prop_filter("non-zero", |n| !n.is_zero())
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = Natural::from(a) + Natural::from(b);
+        prop_assert_eq!(sum, Natural::from(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = Natural::from(a) * Natural::from(b);
+        prop_assert_eq!(prod, Natural::from(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_matches_u128(a in any::<u128>(), b in 1..=u64::MAX) {
+        let (q, r) = Natural::from(a).div_rem(&Natural::from(b));
+        prop_assert_eq!(q, Natural::from(a / b as u128));
+        prop_assert_eq!(r, Natural::from(a % b as u128));
+    }
+
+    #[test]
+    fn add_commutative(a in natural(), b in natural()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in natural(), b in natural(), c in natural()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutative(a in natural(), b in natural()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in natural(), b in natural(), c in natural()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in natural(), b in natural()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in natural(), b in natural_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&q * &b + &r, a);
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers_of_two(a in natural(), s in 0u64..200) {
+        let two_s = Natural::one().shl_bits(s);
+        prop_assert_eq!(a.shl_bits(s), &a * &two_s);
+        prop_assert_eq!(a.shr_bits(s), a.div_rem(&two_s).0);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in natural()) {
+        let s = a.to_decimal();
+        prop_assert_eq!(Natural::from_decimal(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in natural()) {
+        let s = a.to_hex();
+        prop_assert_eq!(Natural::from_hex(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in natural()) {
+        prop_assert_eq!(Natural::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn bit_len_bounds(a in natural_nonzero()) {
+        let bits = a.bit_len();
+        prop_assert!(Natural::one().shl_bits(bits - 1) <= a);
+        prop_assert!(a < Natural::one().shl_bits(bits));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in natural_nonzero(), b in natural_nonzero()) {
+        let g = numtheory::gcd(&a, &b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn gcd_matches_u128(a in 1..=u128::MAX, b in 1..=u128::MAX) {
+        fn ref_gcd(mut a: u128, mut b: u128) -> u128 {
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        let g = numtheory::gcd(&Natural::from(a), &Natural::from(b));
+        prop_assert_eq!(g, Natural::from(ref_gcd(a, b)));
+    }
+
+    #[test]
+    fn extended_gcd_is_bezout(a in natural_nonzero(), b in natural_nonzero()) {
+        use mpint::Int;
+        let (g, x, y) = numtheory::extended_gcd(&a, &b);
+        let lhs = &(&Int::from(a) * &x) + &(&Int::from(b) * &y);
+        prop_assert_eq!(lhs, Int::from(g));
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in natural_nonzero(), m in natural()) {
+        // Pick an odd modulus >= 3 so inverses usually exist.
+        let m = &(&m * &Natural::from(2u64)) + &Natural::from(3u64);
+        if let Ok(inv) = numtheory::modinv(&a, &m) {
+            prop_assert_eq!(a.rem(&m).modmul(&inv, &m), Natural::one().rem(&m));
+        }
+    }
+
+    #[test]
+    fn modpow_matches_plain(a in natural(), e in any::<u32>(), m in natural_nonzero()) {
+        // Force the modulus odd so the Montgomery path is taken.
+        let m = if m.is_even() { m + Natural::one() } else { m };
+        prop_assume!(!m.is_one());
+        let e = Natural::from(e as u64);
+        prop_assert_eq!(a.modpow(&e, &m), a.modpow_plain(&e, &m));
+    }
+
+    #[test]
+    fn modpow_respects_exponent_addition(a in natural(), e1 in any::<u16>(), e2 in any::<u16>(), m in natural_nonzero()) {
+        let m = if m.is_even() { m + Natural::one() } else { m };
+        prop_assume!(!m.is_one());
+        let p1 = a.modpow(&Natural::from(e1 as u64), &m);
+        let p2 = a.modpow(&Natural::from(e2 as u64), &m);
+        let sum = a.modpow(&Natural::from(e1 as u64 + e2 as u64), &m);
+        prop_assert_eq!(p1.modmul(&p2, &m), sum);
+    }
+
+    #[test]
+    fn jacobi_is_multiplicative(a in 1..10_000u64, b in 1..10_000u64, n in 0..5_000u64) {
+        let n = Natural::from(2 * n + 3); // odd, >= 3
+        let ja = numtheory::jacobi(&Natural::from(a), &n);
+        let jb = numtheory::jacobi(&Natural::from(b), &n);
+        let jab = numtheory::jacobi(&Natural::from(a as u128 * b as u128), &n);
+        prop_assert_eq!(jab, ja * jb);
+    }
+
+    #[test]
+    fn montgomery_matches_plain_on_random_odd_moduli(
+        a in any::<u128>(),
+        b in any::<u128>(),
+        m in 1u128..,
+    ) {
+        use mpint::Montgomery;
+        let m = Natural::from(m | 1); // force odd
+        prop_assume!(!m.is_one());
+        let ctx = Montgomery::new(m.clone());
+        let am = ctx.to_mont(&Natural::from(a));
+        let bm = ctx.to_mont(&Natural::from(b));
+        let prod = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+        prop_assert_eq!(prod, Natural::from(a).modmul(&Natural::from(b), &m));
+    }
+
+    #[test]
+    fn prime_generation_sizes_hold(bits in 8u64..40, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = mpint::prime::gen_prime(bits, &mut rng);
+        prop_assert_eq!(p.bit_len(), bits);
+    }
+
+    #[test]
+    fn int_rem_euclid_in_range(v in any::<i64>(), m in 1..=u64::MAX) {
+        use mpint::Int;
+        let m = Natural::from(m);
+        let r = Int::from(v).rem_euclid(&m);
+        prop_assert!(r < m);
+    }
+}

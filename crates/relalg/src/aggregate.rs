@@ -1,0 +1,294 @@
+//! Set operations and grouping aggregates.
+//!
+//! The paper's future-work section calls the "inclusion of other
+//! relational operations" a demanding field; these operators round out the
+//! local engine (set semantics and GROUP BY aggregates) so downstream work
+//! on encrypted aggregation (the Hacıgümüş/Mykletun line the related-work
+//! section surveys) has a plaintext reference semantics to verify against.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::relation::Relation;
+use crate::schema::{Attribute, Schema};
+use crate::tuple::Tuple;
+use crate::value::{Type, Value};
+use crate::RelError;
+
+/// An aggregate function over one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Row count (column-independent, but bound to one for uniformity).
+    Count,
+    /// Sum of an `Int` column (wrapping is an error).
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+}
+
+impl AggFn {
+    fn name(&self) -> &'static str {
+        match self {
+            AggFn::Count => "count",
+            AggFn::Sum => "sum",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+        }
+    }
+
+    fn output_type(&self, input: Type) -> Type {
+        match self {
+            AggFn::Count | AggFn::Sum => Type::Int,
+            AggFn::Min | AggFn::Max => input,
+        }
+    }
+
+    fn apply(&self, values: &[&Value]) -> Result<Value, RelError> {
+        match self {
+            AggFn::Count => Ok(Value::Int(values.len() as i64)),
+            AggFn::Sum => {
+                let mut acc = 0i64;
+                for v in values {
+                    let i = v.as_int().ok_or_else(|| {
+                        RelError::SchemaMismatch("sum requires an Int column".to_string())
+                    })?;
+                    acc = acc.checked_add(i).ok_or_else(|| {
+                        RelError::SchemaMismatch("sum overflowed i64".to_string())
+                    })?;
+                }
+                Ok(Value::Int(acc))
+            }
+            AggFn::Min => values
+                .iter()
+                .min()
+                .map(|v| (*v).clone())
+                .ok_or_else(|| RelError::SchemaMismatch("min of empty group".to_string())),
+            AggFn::Max => values
+                .iter()
+                .max()
+                .map(|v| (*v).clone())
+                .ok_or_else(|| RelError::SchemaMismatch("max of empty group".to_string())),
+        }
+    }
+}
+
+impl Relation {
+    /// ∩ — set intersection (distinct tuples present in both); schemas
+    /// must be identical.
+    pub fn intersect(&self, other: &Relation) -> Result<Relation, RelError> {
+        if self.schema() != other.schema() {
+            return Err(RelError::Incompatible(
+                "intersection requires identical schemas".to_string(),
+            ));
+        }
+        let theirs: BTreeSet<&Tuple> = other.tuples().iter().collect();
+        let mut seen = BTreeSet::new();
+        let mut out = Relation::empty(self.schema().clone());
+        for t in self.tuples() {
+            if theirs.contains(t) && seen.insert(t.clone()) {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// − — set difference (distinct tuples of `self` not in `other`).
+    pub fn difference(&self, other: &Relation) -> Result<Relation, RelError> {
+        if self.schema() != other.schema() {
+            return Err(RelError::Incompatible(
+                "difference requires identical schemas".to_string(),
+            ));
+        }
+        let theirs: BTreeSet<&Tuple> = other.tuples().iter().collect();
+        let mut seen = BTreeSet::new();
+        let mut out = Relation::empty(self.schema().clone());
+        for t in self.tuples() {
+            if !theirs.contains(t) && seen.insert(t.clone()) {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// γ — GROUP BY `group_cols` with aggregates `(fn, column)`.
+    ///
+    /// Output schema: the group columns followed by one
+    /// `"{fn}_{column}"` column per aggregate.
+    ///
+    /// ```
+    /// use relalg::{AggFn, Relation, Schema, Type, Value};
+    ///
+    /// let sales = Relation::build(
+    ///     Schema::new(&[("region", Type::Str), ("amount", Type::Int)]),
+    ///     vec![
+    ///         vec![Value::from("north"), Value::Int(10)],
+    ///         vec![Value::from("north"), Value::Int(30)],
+    ///     ],
+    /// ).unwrap();
+    /// let by_region = sales.aggregate(&["region"], &[(AggFn::Sum, "amount")]).unwrap();
+    /// assert_eq!(by_region.tuples()[0].at(1), &Value::Int(40));
+    /// ```
+    pub fn aggregate(
+        &self,
+        group_cols: &[&str],
+        aggs: &[(AggFn, &str)],
+    ) -> Result<Relation, RelError> {
+        let group_idx: Vec<usize> = group_cols
+            .iter()
+            .map(|c| self.schema().index_of(c))
+            .collect::<Result<_, _>>()?;
+        let agg_idx: Vec<usize> = aggs
+            .iter()
+            .map(|(_, c)| self.schema().index_of(c))
+            .collect::<Result<_, _>>()?;
+
+        // Output schema.
+        let mut attrs: Vec<Attribute> = group_idx
+            .iter()
+            .map(|&i| self.schema().attributes()[i].clone())
+            .collect();
+        for ((f, c), &i) in aggs.iter().zip(&agg_idx) {
+            attrs.push(Attribute::new(
+                format!("{}_{}", f.name(), c),
+                f.output_type(self.schema().attributes()[i].ty),
+            ));
+        }
+        let schema = Schema::from_attributes(attrs);
+
+        // Group rows.
+        let mut groups: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
+        for t in self.tuples() {
+            let key: Vec<Value> = group_idx.iter().map(|&i| t.at(i).clone()).collect();
+            groups.entry(key).or_default().push(t);
+        }
+
+        let mut out = Relation::empty(schema);
+        for (key, rows) in groups {
+            let mut values = key;
+            for ((f, _), &i) in aggs.iter().zip(&agg_idx) {
+                let column: Vec<&Value> = rows.iter().map(|t| t.at(i)).collect();
+                values.push(f.apply(&column)?);
+            }
+            out.insert(Tuple::new(values))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> Relation {
+        Relation::build(
+            Schema::new(&[("region", Type::Str), ("amount", Type::Int)]),
+            vec![
+                vec![Value::from("north"), Value::Int(10)],
+                vec![Value::from("north"), Value::Int(30)],
+                vec![Value::from("south"), Value::Int(5)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn group_by_with_count_and_sum() {
+        let g = sales()
+            .aggregate(
+                &["region"],
+                &[(AggFn::Count, "amount"), (AggFn::Sum, "amount")],
+            )
+            .unwrap();
+        assert_eq!(
+            g.schema().attr_names(),
+            vec!["region", "count_amount", "sum_amount"]
+        );
+        assert_eq!(g.len(), 2);
+        let north = g
+            .tuples()
+            .iter()
+            .find(|t| t.at(0) == &Value::from("north"))
+            .unwrap();
+        assert_eq!(north.at(1), &Value::Int(2));
+        assert_eq!(north.at(2), &Value::Int(40));
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let g = sales()
+            .aggregate(
+                &["region"],
+                &[(AggFn::Min, "amount"), (AggFn::Max, "amount")],
+            )
+            .unwrap();
+        let north = g
+            .tuples()
+            .iter()
+            .find(|t| t.at(0) == &Value::from("north"))
+            .unwrap();
+        assert_eq!(north.at(1), &Value::Int(10));
+        assert_eq!(north.at(2), &Value::Int(30));
+    }
+
+    #[test]
+    fn global_aggregate_without_groups() {
+        let g = sales().aggregate(&[], &[(AggFn::Sum, "amount")]).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.tuples()[0].at(0), &Value::Int(45));
+    }
+
+    #[test]
+    fn sum_rejects_string_columns() {
+        assert!(sales().aggregate(&[], &[(AggFn::Sum, "region")]).is_err());
+    }
+
+    #[test]
+    fn sum_overflow_is_an_error() {
+        let r = Relation::build(
+            Schema::new(&[("v", Type::Int)]),
+            vec![vec![Value::Int(i64::MAX)], vec![Value::Int(1)]],
+        )
+        .unwrap();
+        assert!(r.aggregate(&[], &[(AggFn::Sum, "v")]).is_err());
+    }
+
+    #[test]
+    fn intersect_and_difference() {
+        let a = Relation::build(
+            Schema::new(&[("v", Type::Int)]),
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let b = Relation::build(
+            Schema::new(&[("v", Type::Int)]),
+            vec![vec![Value::Int(2)], vec![Value::Int(3)]],
+        )
+        .unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.tuples()[0].at(0), &Value::Int(2));
+        let d = a.difference(&b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.tuples()[0].at(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn set_ops_reject_mismatched_schemas() {
+        let a = Relation::empty(Schema::new(&[("v", Type::Int)]));
+        let b = Relation::empty(Schema::new(&[("w", Type::Int)]));
+        assert!(a.intersect(&b).is_err());
+        assert!(a.difference(&b).is_err());
+    }
+
+    #[test]
+    fn aggregate_unknown_column_errors() {
+        assert!(sales().aggregate(&["ghost"], &[]).is_err());
+        assert!(sales().aggregate(&[], &[(AggFn::Count, "ghost")]).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Binary tuple codec.
+//!
+//! The protocols encrypt *byte strings*; this module defines the canonical
+//! serialization of tuples and tuple sets (`Tup_i(a)` in the paper).  The
+//! format is self-describing and length-prefixed:
+//!
+//! ```text
+//! tuple      := u16 arity, value*
+//! value      := tag u8 (0=Int, 1=Str, 2=Bool), payload
+//! Int        := i64 big-endian
+//! Str        := u32 length, utf-8 bytes
+//! Bool       := u8 (0|1)
+//! tuple set  := u32 count, tuple*
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::RelError;
+
+const TAG_INT: u8 = 0;
+const TAG_STR: u8 = 1;
+const TAG_BOOL: u8 = 2;
+
+/// Serializes one tuple.
+pub fn encode_tuple(tuple: &Tuple) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    put_tuple(&mut buf, tuple);
+    buf.to_vec()
+}
+
+/// Deserializes one tuple, requiring the buffer to be fully consumed.
+pub fn decode_tuple(data: &[u8]) -> Result<Tuple, RelError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    let t = get_tuple(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(RelError::Codec("trailing bytes after tuple".to_string()));
+    }
+    Ok(t)
+}
+
+/// Serializes a tuple set (the payload unit of all three protocols).
+pub fn encode_tuple_set(tuples: &[Tuple]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u32(tuples.len() as u32);
+    for t in tuples {
+        put_tuple(&mut buf, t);
+    }
+    buf.to_vec()
+}
+
+/// Deserializes a tuple set.
+pub fn decode_tuple_set(data: &[u8]) -> Result<Vec<Tuple>, RelError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 4 {
+        return Err(RelError::Codec("truncated tuple-set header".to_string()));
+    }
+    let count = buf.get_u32() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        out.push(get_tuple(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(RelError::Codec(
+            "trailing bytes after tuple set".to_string(),
+        ));
+    }
+    Ok(out)
+}
+
+fn put_tuple(buf: &mut BytesMut, tuple: &Tuple) {
+    buf.put_u16(tuple.arity() as u16);
+    for v in tuple.values() {
+        match v {
+            Value::Int(i) => {
+                buf.put_u8(TAG_INT);
+                buf.put_i64(*i);
+            }
+            Value::Str(s) => {
+                buf.put_u8(TAG_STR);
+                buf.put_u32(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                buf.put_u8(TAG_BOOL);
+                buf.put_u8(*b as u8);
+            }
+        }
+    }
+}
+
+fn get_tuple(buf: &mut Bytes) -> Result<Tuple, RelError> {
+    if buf.remaining() < 2 {
+        return Err(RelError::Codec("truncated tuple header".to_string()));
+    }
+    let arity = buf.get_u16() as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(get_value(buf)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value, RelError> {
+    if !buf.has_remaining() {
+        return Err(RelError::Codec("truncated value tag".to_string()));
+    }
+    match buf.get_u8() {
+        TAG_INT => {
+            if buf.remaining() < 8 {
+                return Err(RelError::Codec("truncated int".to_string()));
+            }
+            Ok(Value::Int(buf.get_i64()))
+        }
+        TAG_STR => {
+            if buf.remaining() < 4 {
+                return Err(RelError::Codec("truncated string length".to_string()));
+            }
+            let len = buf.get_u32() as usize;
+            if buf.remaining() < len {
+                return Err(RelError::Codec("truncated string body".to_string()));
+            }
+            let bytes = buf.copy_to_bytes(len);
+            let s = String::from_utf8(bytes.to_vec())
+                .map_err(|_| RelError::Codec("invalid UTF-8 in string".to_string()))?;
+            Ok(Value::Str(s))
+        }
+        TAG_BOOL => {
+            if !buf.has_remaining() {
+                return Err(RelError::Codec("truncated bool".to_string()));
+            }
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        tag => Err(RelError::Codec(format!("unknown value tag {tag}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> Tuple {
+        Tuple::new(vec![
+            Value::Int(-42),
+            Value::from("héllo"),
+            Value::from(true),
+        ])
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = tuple();
+        assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_tuple_roundtrip() {
+        let t = Tuple::new(vec![]);
+        assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn tuple_set_roundtrip() {
+        let set = vec![tuple(), Tuple::new(vec![Value::Int(7)]), Tuple::new(vec![])];
+        assert_eq!(decode_tuple_set(&encode_tuple_set(&set)).unwrap(), set);
+        assert_eq!(decode_tuple_set(&encode_tuple_set(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode_tuple(&tuple());
+        for cut in [0, 1, 2, 5, bytes.len() - 1] {
+            assert!(decode_tuple(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_tuple(&tuple());
+        bytes.push(0);
+        assert!(decode_tuple(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        // arity 1, tag 9
+        let bytes = [0u8, 1, 9];
+        assert!(decode_tuple(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // arity 1, tag STR, len 2, invalid bytes
+        let bytes = [0u8, 1, 1, 0, 0, 0, 2, 0xff, 0xfe];
+        assert!(decode_tuple(&bytes).is_err());
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        assert_eq!(encode_tuple(&tuple()), encode_tuple(&tuple()));
+        assert_ne!(
+            encode_tuple(&Tuple::new(vec![Value::Int(1)])),
+            encode_tuple(&Tuple::new(vec![Value::Int(2)]))
+        );
+    }
+}

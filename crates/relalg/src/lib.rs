@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+
+//! A minimal relational-algebra engine.
+//!
+//! This is the data-model substrate of the secure-mediation system: typed
+//! relations, the algebra operators the mediator needs (selection,
+//! projection, cross product, natural/equi join, union), a binary tuple
+//! codec (the byte strings that get encrypted), and a SQL-subset parser
+//! with the paper's "SQL2Algebra" translation and the mediator's query
+//! decomposition into partial queries plus a JOIN node.
+//!
+//! # Example
+//!
+//! ```
+//! use relalg::{Relation, Schema, Type, Value};
+//!
+//! let patients = Relation::build(
+//!     Schema::new(&[("ssn", Type::Int), ("name", Type::Str)]),
+//!     vec![
+//!         vec![Value::Int(1), Value::from("ada")],
+//!         vec![Value::Int(2), Value::from("grace")],
+//!     ],
+//! ).unwrap();
+//! let claims = Relation::build(
+//!     Schema::new(&[("ssn", Type::Int), ("amount", Type::Int)]),
+//!     vec![
+//!         vec![Value::Int(2), Value::Int(1200)],
+//!     ],
+//! ).unwrap();
+//! let joined = patients.natural_join(&claims).unwrap();
+//! assert_eq!(joined.len(), 1);
+//! assert_eq!(joined.schema().attr_names(), vec!["ssn", "name", "amount"]);
+//! ```
+
+mod aggregate;
+mod codec;
+mod predicate;
+mod relation;
+mod schema;
+mod tuple;
+mod value;
+
+pub mod sql;
+
+pub use aggregate::AggFn;
+pub use codec::{decode_tuple, decode_tuple_set, encode_tuple, encode_tuple_set};
+pub use predicate::{Operand, Predicate};
+pub use relation::Relation;
+pub use schema::{Attribute, Schema};
+pub use tuple::Tuple;
+pub use value::{Type, Value};
+
+/// Errors from schema mismatches, unknown attributes, codec failures, and
+/// SQL parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// An attribute name did not resolve against a schema.
+    UnknownAttribute(String),
+    /// A tuple's arity or value types did not match the schema.
+    SchemaMismatch(String),
+    /// Two relations were combined in an incompatible way.
+    Incompatible(String),
+    /// A byte string could not be decoded as a tuple.
+    Codec(String),
+    /// A SQL string could not be parsed.
+    Sql(String),
+}
+
+impl std::fmt::Display for RelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
+            RelError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            RelError::Incompatible(m) => write!(f, "incompatible relations: {m}"),
+            RelError::Codec(m) => write!(f, "codec error: {m}"),
+            RelError::Sql(m) => write!(f, "SQL parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}

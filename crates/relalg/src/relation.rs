@@ -1,0 +1,359 @@
+//! Relations and the algebra operators.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::predicate::Predicate;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::RelError;
+
+/// A relation: a schema plus a bag of tuples (duplicates allowed, as in SQL;
+/// [`Relation::distinct`] gives set semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Builds a relation, validating every row against the schema.
+    pub fn build(schema: Schema, rows: Vec<Vec<Value>>) -> Result<Self, RelError> {
+        let mut rel = Relation::empty(schema);
+        for row in rows {
+            rel.insert(Tuple::new(row))?;
+        }
+        Ok(rel)
+    }
+
+    /// Inserts a tuple after schema validation.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<(), RelError> {
+        tuple.conforms_to(&self.schema)?;
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples (the `|R_i|` of the paper's leakage table).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// σ — keeps tuples satisfying `pred`.
+    pub fn select(&self, pred: &Predicate) -> Result<Relation, RelError> {
+        let mut out = Relation::empty(self.schema.clone());
+        for t in &self.tuples {
+            if pred.eval(&self.schema, t)? {
+                out.tuples.push(t.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// π — keeps the named columns, in the given order.
+    pub fn project(&self, cols: &[&str]) -> Result<Relation, RelError> {
+        let indices: Vec<usize> = cols
+            .iter()
+            .map(|c| self.schema.index_of(c))
+            .collect::<Result<_, _>>()?;
+        let attrs = indices
+            .iter()
+            .map(|&i| self.schema.attributes()[i].clone())
+            .collect();
+        let schema = Schema::from_attributes(attrs);
+        let tuples = self.tuples.iter().map(|t| t.project(&indices)).collect();
+        Ok(Relation { schema, tuples })
+    }
+
+    /// × — cross product; attribute names must not collide (qualify first).
+    pub fn cross(&self, other: &Relation) -> Result<Relation, RelError> {
+        let mut attrs = self.schema.attributes().to_vec();
+        attrs.extend(other.schema.attributes().iter().cloned());
+        for (i, a) in attrs.iter().enumerate() {
+            for b in &attrs[i + 1..] {
+                if a.name == b.name {
+                    return Err(RelError::Incompatible(format!(
+                        "cross product would duplicate attribute {}",
+                        a.name
+                    )));
+                }
+            }
+        }
+        let schema = Schema::from_attributes(attrs);
+        let mut tuples = Vec::with_capacity(self.len() * other.len());
+        for l in &self.tuples {
+            for r in &other.tuples {
+                tuples.push(l.concat_skipping(r, &[]));
+            }
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// ⨝ — natural join on all common (base-name) attributes.
+    ///
+    /// The paper's global queries are exactly of this shape: one JOIN of two
+    /// relations on their shared attribute `A_join`.
+    pub fn natural_join(&self, other: &Relation) -> Result<Relation, RelError> {
+        let common = self.schema.common_attributes(&other.schema);
+        if common.is_empty() {
+            return Err(RelError::Incompatible(
+                "natural join requires at least one common attribute".to_string(),
+            ));
+        }
+        self.join_on(other, &common)
+    }
+
+    /// Equi-join on explicit (base-name) attributes.
+    pub fn join_on(&self, other: &Relation, attrs: &[String]) -> Result<Relation, RelError> {
+        let left_idx: Vec<usize> = attrs
+            .iter()
+            .map(|a| self.schema.index_of(a))
+            .collect::<Result<_, _>>()?;
+        let right_idx: Vec<usize> = attrs
+            .iter()
+            .map(|a| other.schema.index_of(a))
+            .collect::<Result<_, _>>()?;
+        let schema = self.schema.join_schema(&other.schema, attrs);
+        let mut out = Relation::empty(schema);
+        for l in &self.tuples {
+            for r in &other.tuples {
+                let matches = left_idx
+                    .iter()
+                    .zip(&right_idx)
+                    .all(|(&li, &ri)| l.at(li) == r.at(ri));
+                if matches {
+                    out.tuples.push(l.concat_skipping(r, &right_idx));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// ∪ — bag union; schemas must be identical.
+    pub fn union(&self, other: &Relation) -> Result<Relation, RelError> {
+        if self.schema != other.schema {
+            return Err(RelError::Incompatible(
+                "union requires identical schemas".to_string(),
+            ));
+        }
+        let mut tuples = self.tuples.clone();
+        tuples.extend(other.tuples.iter().cloned());
+        Ok(Relation {
+            schema: self.schema.clone(),
+            tuples,
+        })
+    }
+
+    /// Removes duplicate tuples (set semantics).
+    pub fn distinct(&self) -> Relation {
+        let mut seen = BTreeSet::new();
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| seen.insert((*t).clone()))
+            .cloned()
+            .collect();
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// The active domain of an attribute: the set of values actually
+    /// occurring — the paper's `domactive(A)`.
+    pub fn active_domain(&self, attr: &str) -> Result<BTreeSet<Value>, RelError> {
+        let idx = self.schema.index_of(attr)?;
+        Ok(self.tuples.iter().map(|t| t.at(idx).clone()).collect())
+    }
+
+    /// The paper's `Tup_i(a)`: all tuples whose `attr` equals `value`.
+    pub fn tuples_with(&self, attr: &str, value: &Value) -> Result<Vec<Tuple>, RelError> {
+        let idx = self.schema.index_of(attr)?;
+        Ok(self
+            .tuples
+            .iter()
+            .filter(|t| t.at(idx) == value)
+            .cloned()
+            .collect())
+    }
+
+    /// Renames all attributes with a relation-name prefix.
+    pub fn qualified(&self, prefix: &str) -> Relation {
+        Relation {
+            schema: self.schema.qualified(prefix),
+            tuples: self.tuples.clone(),
+        }
+    }
+
+    /// Sorts tuples (canonical order, for comparisons in tests).
+    pub fn sorted(&self) -> Relation {
+        let mut tuples = self.tuples.clone();
+        tuples.sort();
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Type;
+
+    fn patients() -> Relation {
+        Relation::build(
+            Schema::new(&[("ssn", Type::Int), ("name", Type::Str)]),
+            vec![
+                vec![Value::Int(1), Value::from("ada")],
+                vec![Value::Int(2), Value::from("grace")],
+                vec![Value::Int(3), Value::from("edsger")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn claims() -> Relation {
+        Relation::build(
+            Schema::new(&[("ssn", Type::Int), ("amount", Type::Int)]),
+            vec![
+                vec![Value::Int(2), Value::Int(100)],
+                vec![Value::Int(2), Value::Int(250)],
+                vec![Value::Int(4), Value::Int(10)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_validates_rows() {
+        let bad = Relation::build(
+            Schema::new(&[("x", Type::Int)]),
+            vec![vec![Value::from("oops")]],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = patients()
+            .select(&Predicate::eq_lit("name", "grace"))
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].at(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn project_reorders_and_drops() {
+        let r = patients().project(&["name"]).unwrap();
+        assert_eq!(r.schema().attr_names(), vec!["name"]);
+        assert_eq!(r.len(), 3);
+        assert!(patients().project(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn natural_join_matches_and_drops_duplicate_column() {
+        let j = patients().natural_join(&claims()).unwrap();
+        assert_eq!(j.schema().attr_names(), vec!["ssn", "name", "amount"]);
+        assert_eq!(j.len(), 2); // grace has two claims
+        for t in j.tuples() {
+            assert_eq!(t.at(0), &Value::Int(2));
+            assert_eq!(t.at(1), &Value::from("grace"));
+        }
+    }
+
+    #[test]
+    fn join_without_common_attrs_is_error() {
+        let a = Relation::empty(Schema::new(&[("x", Type::Int)]));
+        let b = Relation::empty(Schema::new(&[("y", Type::Int)]));
+        assert!(a.natural_join(&b).is_err());
+    }
+
+    #[test]
+    fn cross_product_sizes() {
+        let a = patients().qualified("p");
+        let b = claims().qualified("c");
+        let x = a.cross(&b).unwrap();
+        assert_eq!(x.len(), 9);
+        assert_eq!(x.schema().arity(), 4);
+    }
+
+    #[test]
+    fn cross_rejects_name_collisions() {
+        assert!(patients().cross(&claims()).is_err());
+    }
+
+    #[test]
+    fn union_and_distinct() {
+        let u = patients().union(&patients()).unwrap();
+        assert_eq!(u.len(), 6);
+        assert_eq!(u.distinct().len(), 3);
+        assert!(patients().union(&claims()).is_err());
+    }
+
+    #[test]
+    fn active_domain() {
+        let dom = claims().active_domain("ssn").unwrap();
+        assert_eq!(dom.len(), 2);
+        assert!(dom.contains(&Value::Int(2)) && dom.contains(&Value::Int(4)));
+    }
+
+    #[test]
+    fn tuples_with_groups_by_join_value() {
+        let tup2 = claims().tuples_with("ssn", &Value::Int(2)).unwrap();
+        assert_eq!(tup2.len(), 2);
+        let tup9 = claims().tuples_with("ssn", &Value::Int(9)).unwrap();
+        assert!(tup9.is_empty());
+    }
+
+    #[test]
+    fn qualified_join_via_explicit_attrs() {
+        let a = patients().qualified("p");
+        let b = claims().qualified("c");
+        // After qualification there are no common base names conflicts; join
+        // explicitly on ssn.
+        let j = a.join_on(&b, &["ssn".to_string()]).unwrap();
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn empty_relation_behaviour() {
+        let e = Relation::empty(patients().schema().clone());
+        assert!(e.is_empty());
+        assert_eq!(e.natural_join(&claims()).unwrap().len(), 0);
+        assert_eq!(e.active_domain("ssn").unwrap().len(), 0);
+    }
+}

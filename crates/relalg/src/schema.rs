@@ -1,0 +1,221 @@
+//! Relation schemas.
+
+use std::fmt;
+
+use crate::value::Type;
+use crate::RelError;
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Attribute name; may be qualified (`"R1.ssn"`) or bare (`"ssn"`).
+    pub name: String,
+    /// Attribute type.
+    pub ty: Type,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, ty: Type) -> Self {
+        Attribute {
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// The unqualified part of the name (after the last `.`).
+    pub fn base_name(&self) -> &str {
+        self.name
+            .rsplit('.')
+            .next()
+            .expect("rsplit yields at least one piece")
+    }
+}
+
+/// An ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two attributes share a name.
+    pub fn new(attrs: &[(&str, Type)]) -> Self {
+        Self::from_attributes(attrs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect())
+    }
+
+    /// Builds a schema from owned attributes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two attributes share a name.
+    pub fn from_attributes(attrs: Vec<Attribute>) -> Self {
+        for (i, a) in attrs.iter().enumerate() {
+            for b in &attrs[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
+            }
+        }
+        Schema { attrs }
+    }
+
+    /// The attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names in order.
+    pub fn attr_names(&self) -> Vec<&str> {
+        self.attrs.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// Resolves a (possibly unqualified) name to its column index.
+    ///
+    /// A bare name matches a qualified attribute when exactly one attribute
+    /// has that base name.
+    pub fn index_of(&self, name: &str) -> Result<usize, RelError> {
+        if let Some(i) = self.attrs.iter().position(|a| a.name == name) {
+            return Ok(i);
+        }
+        let base_matches: Vec<usize> = self
+            .attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.base_name() == name)
+            .map(|(i, _)| i)
+            .collect();
+        match base_matches.as_slice() {
+            [i] => Ok(*i),
+            [] => Err(RelError::UnknownAttribute(name.to_string())),
+            _ => Err(RelError::UnknownAttribute(format!("{name} is ambiguous"))),
+        }
+    }
+
+    /// The attribute at a resolved name.
+    pub fn attribute(&self, name: &str) -> Result<&Attribute, RelError> {
+        Ok(&self.attrs[self.index_of(name)?])
+    }
+
+    /// Names common to both schemas (by base name) — the natural-join
+    /// attributes.
+    pub fn common_attributes(&self, other: &Schema) -> Vec<String> {
+        self.attrs
+            .iter()
+            .filter(|a| other.attrs.iter().any(|b| b.base_name() == a.base_name()))
+            .map(|a| a.base_name().to_string())
+            .collect()
+    }
+
+    /// Schema of `self ⨝ other`: all of `self`, then `other` minus the
+    /// join attributes.
+    pub fn join_schema(&self, other: &Schema, join_attrs: &[String]) -> Schema {
+        let mut attrs = self.attrs.clone();
+        for b in &other.attrs {
+            if !join_attrs.iter().any(|j| j == b.base_name()) {
+                attrs.push(b.clone());
+            }
+        }
+        Schema::from_attributes(attrs)
+    }
+
+    /// Renames every attribute to `prefix.base_name` (schema embedding into
+    /// the mediator's global schema).
+    pub fn qualified(&self, prefix: &str) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .map(|a| Attribute::new(format!("{prefix}.{}", a.base_name()), a.ty))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(&[
+            ("ssn", Type::Int),
+            ("name", Type::Str),
+            ("insured", Type::Bool),
+        ])
+    }
+
+    #[test]
+    fn index_resolution() {
+        let s = schema();
+        assert_eq!(s.index_of("ssn").unwrap(), 0);
+        assert_eq!(s.index_of("insured").unwrap(), 2);
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(RelError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let s = schema().qualified("patients");
+        assert_eq!(s.index_of("patients.ssn").unwrap(), 0);
+        // Bare base name resolves when unambiguous.
+        assert_eq!(s.index_of("name").unwrap(), 1);
+    }
+
+    #[test]
+    fn ambiguous_base_name_rejected() {
+        let s = Schema::new(&[("a.x", Type::Int), ("b.x", Type::Int)]);
+        assert!(matches!(
+            s.index_of("x"),
+            Err(RelError::UnknownAttribute(_))
+        ));
+        assert_eq!(s.index_of("a.x").unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_panic() {
+        Schema::new(&[("x", Type::Int), ("x", Type::Str)]);
+    }
+
+    #[test]
+    fn common_attributes_for_natural_join() {
+        let a = Schema::new(&[("ssn", Type::Int), ("name", Type::Str)]);
+        let b = Schema::new(&[("ssn", Type::Int), ("amount", Type::Int)]);
+        assert_eq!(a.common_attributes(&b), vec!["ssn"]);
+    }
+
+    #[test]
+    fn join_schema_drops_duplicate_join_attr() {
+        let a = Schema::new(&[("ssn", Type::Int), ("name", Type::Str)]);
+        let b = Schema::new(&[("ssn", Type::Int), ("amount", Type::Int)]);
+        let j = a.join_schema(&b, &["ssn".to_string()]);
+        assert_eq!(j.attr_names(), vec!["ssn", "name", "amount"]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(schema().to_string(), "(ssn: int, name: str, insured: bool)");
+    }
+}

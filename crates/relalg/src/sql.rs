@@ -1,0 +1,854 @@
+//! A SQL subset and the "SQL2Algebra" translation.
+//!
+//! The paper (Section 2) has the mediator transform SQL queries "into a
+//! so-called 'algebra tree' (with relational operators in the inner nodes
+//! of the tree and partial queries at the leaves) by using the
+//! 'SQL2Algebra' library".  This module is that library:
+//!
+//! * [`parse`] — SQL text → [`Algebra`] tree,
+//! * [`Algebra::eval`] — evaluate a tree against a catalog of relations,
+//! * [`decompose`] — the mediator's step 2 of Listing 1: split a two-
+//!   relation JOIN query into `select *` partial queries plus a
+//!   [`JoinSpec`], with any residual selection/projection kept for post-
+//!   processing.
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! query  := SELECT (* | col[, col]*) FROM table_ref [WHERE cond]
+//! table_ref := ident
+//!            | ident NATURAL JOIN ident
+//!            | ident JOIN ident ON col = col
+//!            | ident, ident            -- equi-join via WHERE
+//! cond   := atom (AND atom)*
+//! atom   := operand (= | < | <=) operand
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::aggregate::AggFn;
+use crate::predicate::{Operand, Predicate};
+use crate::relation::Relation;
+use crate::value::Value;
+use crate::RelError;
+
+/// A relational algebra tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Algebra {
+    /// Leaf: scan a named base relation (a partial query target).
+    Scan(String),
+    /// σ.
+    Select {
+        /// Input expression.
+        input: Box<Algebra>,
+        /// Filter predicate.
+        pred: Predicate,
+    },
+    /// π.
+    Project {
+        /// Input expression.
+        input: Box<Algebra>,
+        /// Output column names, in order.
+        cols: Vec<String>,
+    },
+    /// γ — GROUP BY with aggregates.
+    Aggregate {
+        /// Input expression.
+        input: Box<Algebra>,
+        /// Grouping columns.
+        group_cols: Vec<String>,
+        /// Aggregates `(fn, column)`.
+        aggs: Vec<(AggFn, String)>,
+    },
+    /// ⨝ on equal base names.
+    Join {
+        /// Left input.
+        left: Box<Algebra>,
+        /// Right input.
+        right: Box<Algebra>,
+        /// Explicit join attributes (base names).
+        on: Vec<String>,
+        /// True for `NATURAL JOIN` (join attributes inferred from the
+        /// schemas — in the mediator, from the global-schema embedding).
+        natural: bool,
+    },
+}
+
+impl Algebra {
+    /// Evaluates the tree against named base relations.
+    pub fn eval(&self, catalog: &HashMap<String, Relation>) -> Result<Relation, RelError> {
+        match self {
+            Algebra::Scan(name) => catalog
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RelError::UnknownAttribute(format!("relation {name}"))),
+            Algebra::Select { input, pred } => input.eval(catalog)?.select(pred),
+            Algebra::Project { input, cols } => {
+                let rel = input.eval(catalog)?;
+                let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                rel.project(&refs)
+            }
+            Algebra::Aggregate {
+                input,
+                group_cols,
+                aggs,
+            } => {
+                let rel = input.eval(catalog)?;
+                let groups: Vec<&str> = group_cols.iter().map(String::as_str).collect();
+                let agg_refs: Vec<(AggFn, &str)> =
+                    aggs.iter().map(|(f, c)| (*f, c.as_str())).collect();
+                rel.aggregate(&groups, &agg_refs)
+            }
+            Algebra::Join {
+                left,
+                right,
+                on,
+                natural,
+            } => {
+                let l = left.eval(catalog)?;
+                let r = right.eval(catalog)?;
+                if *natural || on.is_empty() {
+                    l.natural_join(&r)
+                } else {
+                    l.join_on(&r, on)
+                }
+            }
+        }
+    }
+
+    /// Names of the base relations scanned by this tree.
+    pub fn scans(&self) -> Vec<&str> {
+        match self {
+            Algebra::Scan(name) => vec![name.as_str()],
+            Algebra::Select { input, .. }
+            | Algebra::Project { input, .. }
+            | Algebra::Aggregate { input, .. } => input.scans(),
+            Algebra::Join { left, right, .. } => {
+                let mut s = left.scans();
+                s.extend(right.scans());
+                s
+            }
+        }
+    }
+}
+
+/// The JOIN the mediator must mediate: two source relations and their join
+/// attributes (the paper's `A_join`, generalized to several attributes as
+/// suggested in the future-work section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// Left relation name (source `S1`).
+    pub left: String,
+    /// Right relation name (source `S2`).
+    pub right: String,
+    /// Join attribute base names.
+    pub attrs: Vec<String>,
+}
+
+/// A GROUP BY clause: grouping columns plus `(function, column)` aggregates.
+pub type GroupBy = (Vec<String>, Vec<(AggFn, String)>);
+
+/// Residual work the *client* performs after the mediated join (projection
+/// and non-join selection; Listing 1 partial queries are plain `select *`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Residual {
+    /// Post-join filter.
+    pub pred: Option<Predicate>,
+    /// Post-join projection.
+    pub cols: Option<Vec<String>>,
+    /// Post-join aggregation (GROUP BY columns, aggregates).
+    pub aggregate: Option<GroupBy>,
+}
+
+/// The mediator's decomposition: partial queries plus join spec plus
+/// residual client work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    /// `select * from <left>` — the partial query `q1`.
+    pub q1: String,
+    /// `select * from <right>` — the partial query `q2`.
+    pub q2: String,
+    /// The JOIN to execute over encrypted partial results.
+    pub join: JoinSpec,
+    /// What remains for the client.
+    pub residual: Residual,
+}
+
+/// Parses SQL text into an algebra tree.
+pub fn parse(sql: &str) -> Result<Algebra, RelError> {
+    Parser::new(sql)?.parse_query()
+}
+
+/// Decomposes a parsed two-relation join query (Listing 1, step 2).
+///
+/// Join-attribute equalities in the `WHERE` clause (e.g.
+/// `R1.ssn = R2.ssn`) become join attributes; all other conjuncts and any
+/// projection become the client's residual work.
+pub fn decompose(tree: &Algebra) -> Result<Decomposition, RelError> {
+    // Peel aggregation (always client-side work in the mediated setting).
+    let (aggregate, tree) = match tree {
+        Algebra::Aggregate {
+            input,
+            group_cols,
+            aggs,
+        } => (Some((group_cols.clone(), aggs.clone())), input.as_ref()),
+        other => (None, other),
+    };
+    // Peel projection.
+    let (cols, inner) = match tree {
+        Algebra::Project { input, cols } => (Some(cols.clone()), input.as_ref()),
+        other => (None, other),
+    };
+    // Peel selection.
+    let (pred, inner) = match inner {
+        Algebra::Select { input, pred } => (Some(pred.clone()), input.as_ref()),
+        other => (None, other),
+    };
+    let Algebra::Join {
+        left,
+        right,
+        on,
+        natural,
+    } = inner
+    else {
+        return Err(RelError::Sql(
+            "query is not a two-relation join".to_string(),
+        ));
+    };
+    let (Algebra::Scan(l), Algebra::Scan(r)) = (left.as_ref(), right.as_ref()) else {
+        return Err(RelError::Sql(
+            "join inputs must be base relations".to_string(),
+        ));
+    };
+
+    // Split WHERE conjuncts into join equalities and residual filters.
+    let mut attrs = on.clone();
+    let mut residual_pred: Option<Predicate> = None;
+    if let Some(p) = pred {
+        for conjunct in flatten_and(&p) {
+            match join_attr_of(&conjunct, l, r) {
+                Some(a) if !attrs.contains(&a) => attrs.push(a),
+                Some(_) => {}
+                None => {
+                    residual_pred = Some(match residual_pred.take() {
+                        Some(acc) => acc.and(conjunct),
+                        None => conjunct,
+                    });
+                }
+            }
+        }
+    }
+    if attrs.is_empty() && !natural {
+        return Err(RelError::Sql(
+            "no join attribute: use NATURAL JOIN, JOIN..ON, or a WHERE equality".to_string(),
+        ));
+    }
+    Ok(Decomposition {
+        q1: format!("select * from {l}"),
+        q2: format!("select * from {r}"),
+        join: JoinSpec {
+            left: l.clone(),
+            right: r.clone(),
+            attrs,
+        },
+        residual: Residual {
+            pred: residual_pred,
+            cols,
+            aggregate,
+        },
+    })
+}
+
+/// Conjuncts of a predicate (flattening nested ANDs).
+fn flatten_and(p: &Predicate) -> Vec<Predicate> {
+    match p {
+        Predicate::And(a, b) => {
+            let mut out = flatten_and(a);
+            out.extend(flatten_and(b));
+            out
+        }
+        Predicate::True => vec![],
+        other => vec![other.clone()],
+    }
+}
+
+/// If `p` is `l.x = r.x` (one column from each relation, equal base names),
+/// returns the base name.
+fn join_attr_of(p: &Predicate, l: &str, r: &str) -> Option<String> {
+    let Predicate::Eq(Operand::Col(a), Operand::Col(b)) = p else {
+        return None;
+    };
+    let (qa, na) = split_qualified(a);
+    let (qb, nb) = split_qualified(b);
+    if na != nb {
+        return None;
+    }
+    match (qa, qb) {
+        (Some(x), Some(y)) if (x == l && y == r) || (x == r && y == l) => Some(na.to_string()),
+        (None, None) => Some(na.to_string()),
+        _ => None,
+    }
+}
+
+fn split_qualified(name: &str) -> (Option<&str>, &str) {
+    match name.rsplit_once('.') {
+        Some((q, n)) => (Some(q), n),
+        None => (None, name),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer and parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Star,
+    Comma,
+    LParen,
+    RParen,
+    Eq,
+    Lt,
+    Le,
+    Kw(Keyword),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    Natural,
+    Join,
+    On,
+    Group,
+    By,
+    True,
+    False,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Star => write!(f, "*"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Eq => write!(f, "="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Kw(k) => write!(f, "{k:?}"),
+        }
+    }
+}
+
+fn lex(sql: &str) -> Result<Vec<Token>, RelError> {
+    let mut tokens = Vec::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token::Eq);
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Le);
+                } else {
+                    tokens.push(Token::Lt);
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(RelError::Sql("unterminated string".to_string())),
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                chars.next();
+                let mut s = c.to_string();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v = s
+                    .parse()
+                    .map_err(|_| RelError::Sql(format!("bad integer literal {s}")))?;
+                tokens.push(Token::Int(v));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '.' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(match s.to_ascii_lowercase().as_str() {
+                    "select" => Token::Kw(Keyword::Select),
+                    "from" => Token::Kw(Keyword::From),
+                    "where" => Token::Kw(Keyword::Where),
+                    "and" => Token::Kw(Keyword::And),
+                    "natural" => Token::Kw(Keyword::Natural),
+                    "join" => Token::Kw(Keyword::Join),
+                    "on" => Token::Kw(Keyword::On),
+                    "group" => Token::Kw(Keyword::Group),
+                    "by" => Token::Kw(Keyword::By),
+                    "true" => Token::Kw(Keyword::True),
+                    "false" => Token::Kw(Keyword::False),
+                    _ => Token::Ident(s),
+                });
+            }
+            other => return Err(RelError::Sql(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self, RelError> {
+        Ok(Parser {
+            tokens: lex(sql)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), RelError> {
+        match self.next() {
+            Some(Token::Kw(k)) if k == kw => Ok(()),
+            other => Err(RelError::Sql(format!("expected {kw:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, RelError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(RelError::Sql(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Algebra, RelError> {
+        self.expect_kw(Keyword::Select)?;
+        let (cols, aggs) = self.parse_select_list()?;
+        self.expect_kw(Keyword::From)?;
+        let mut tree = self.parse_table_ref()?;
+        if matches!(self.peek(), Some(Token::Kw(Keyword::Where))) {
+            self.next();
+            let pred = self.parse_condition()?;
+            tree = Algebra::Select {
+                input: Box::new(tree),
+                pred,
+            };
+        }
+        let mut group_cols = Vec::new();
+        if matches!(self.peek(), Some(Token::Kw(Keyword::Group))) {
+            self.next();
+            self.expect_kw(Keyword::By)?;
+            group_cols.push(self.expect_ident()?);
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.next();
+                group_cols.push(self.expect_ident()?);
+            }
+        }
+        if let Some(t) = self.peek() {
+            return Err(RelError::Sql(format!("unexpected trailing token {t}")));
+        }
+        if !aggs.is_empty() {
+            // Aggregated query: plain columns must equal the GROUP BY list.
+            if let Some(plain) = &cols {
+                if *plain != group_cols {
+                    return Err(RelError::Sql(
+                        "non-aggregated select columns must match GROUP BY".to_string(),
+                    ));
+                }
+            }
+            tree = Algebra::Aggregate {
+                input: Box::new(tree),
+                group_cols,
+                aggs,
+            };
+        } else {
+            if !group_cols.is_empty() {
+                return Err(RelError::Sql("GROUP BY without aggregates".to_string()));
+            }
+            if let Some(cols) = cols {
+                tree = Algebra::Project {
+                    input: Box::new(tree),
+                    cols,
+                };
+            }
+        }
+        Ok(tree)
+    }
+
+    /// `(None, [])` means `*`; aggregates are `fn(col)` items.
+    #[allow(clippy::type_complexity)]
+    fn parse_select_list(
+        &mut self,
+    ) -> Result<(Option<Vec<String>>, Vec<(AggFn, String)>), RelError> {
+        if matches!(self.peek(), Some(Token::Star)) {
+            self.next();
+            return Ok((None, Vec::new()));
+        }
+        let mut cols = Vec::new();
+        let mut aggs = Vec::new();
+        loop {
+            let ident = self.expect_ident()?;
+            if matches!(self.peek(), Some(Token::LParen)) {
+                self.next();
+                let col = self.expect_ident()?;
+                match self.next() {
+                    Some(Token::RParen) => {}
+                    other => return Err(RelError::Sql(format!("expected ), found {other:?}"))),
+                }
+                let f = match ident.to_ascii_lowercase().as_str() {
+                    "count" => AggFn::Count,
+                    "sum" => AggFn::Sum,
+                    "min" => AggFn::Min,
+                    "max" => AggFn::Max,
+                    other => return Err(RelError::Sql(format!("unknown aggregate {other}"))),
+                };
+                aggs.push((f, col));
+            } else {
+                cols.push(ident);
+            }
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        let cols = if cols.is_empty() && !aggs.is_empty() {
+            Some(Vec::new())
+        } else {
+            Some(cols)
+        };
+        Ok((cols, aggs))
+    }
+
+    fn parse_table_ref(&mut self) -> Result<Algebra, RelError> {
+        let first = self.expect_ident()?;
+        let left = Algebra::Scan(first);
+        match self.peek() {
+            Some(Token::Kw(Keyword::Natural)) => {
+                self.next();
+                self.expect_kw(Keyword::Join)?;
+                let right = Algebra::Scan(self.expect_ident()?);
+                Ok(Algebra::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    on: vec![],
+                    natural: true,
+                })
+            }
+            Some(Token::Kw(Keyword::Join)) => {
+                self.next();
+                let right = Algebra::Scan(self.expect_ident()?);
+                self.expect_kw(Keyword::On)?;
+                let a = self.expect_ident()?;
+                match self.next() {
+                    Some(Token::Eq) => {}
+                    other => {
+                        return Err(RelError::Sql(format!("expected = in ON, found {other:?}")))
+                    }
+                }
+                let b = self.expect_ident()?;
+                let (_, na) = split_qualified(&a);
+                let (_, nb) = split_qualified(&b);
+                if na != nb {
+                    return Err(RelError::Sql(format!(
+                        "ON requires equal attribute names, got {na} and {nb}"
+                    )));
+                }
+                Ok(Algebra::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    on: vec![na.to_string()],
+                    natural: false,
+                })
+            }
+            Some(Token::Comma) => {
+                self.next();
+                let right = Algebra::Scan(self.expect_ident()?);
+                // Implicit cross; the WHERE equalities turn it into a join
+                // during decomposition.
+                Ok(Algebra::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    on: vec![],
+                    natural: false,
+                })
+            }
+            _ => Ok(left),
+        }
+    }
+
+    fn parse_condition(&mut self) -> Result<Predicate, RelError> {
+        let mut pred = self.parse_atom()?;
+        while matches!(self.peek(), Some(Token::Kw(Keyword::And))) {
+            self.next();
+            pred = pred.and(self.parse_atom()?);
+        }
+        Ok(pred)
+    }
+
+    fn parse_atom(&mut self) -> Result<Predicate, RelError> {
+        let left = self.parse_operand()?;
+        let op = self.next();
+        let right = self.parse_operand()?;
+        match op {
+            Some(Token::Eq) => Ok(Predicate::Eq(left, right)),
+            Some(Token::Lt) => Ok(Predicate::Lt(left, right)),
+            Some(Token::Le) => Ok(Predicate::Le(left, right)),
+            other => Err(RelError::Sql(format!(
+                "expected comparison, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_operand(&mut self) -> Result<Operand, RelError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(Operand::Col(s)),
+            Some(Token::Int(v)) => Ok(Operand::Lit(Value::Int(v))),
+            Some(Token::Str(s)) => Ok(Operand::Lit(Value::Str(s))),
+            Some(Token::Kw(Keyword::True)) => Ok(Operand::Lit(Value::Bool(true))),
+            Some(Token::Kw(Keyword::False)) => Ok(Operand::Lit(Value::Bool(false))),
+            other => Err(RelError::Sql(format!("expected operand, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Type;
+
+    fn catalog() -> HashMap<String, Relation> {
+        let mut c = HashMap::new();
+        c.insert(
+            "patients".to_string(),
+            Relation::build(
+                Schema::new(&[("ssn", Type::Int), ("name", Type::Str)]),
+                vec![
+                    vec![Value::Int(1), Value::from("ada")],
+                    vec![Value::Int(2), Value::from("grace")],
+                ],
+            )
+            .unwrap(),
+        );
+        c.insert(
+            "claims".to_string(),
+            Relation::build(
+                Schema::new(&[("ssn", Type::Int), ("amount", Type::Int)]),
+                vec![
+                    vec![Value::Int(2), Value::Int(500)],
+                    vec![Value::Int(3), Value::Int(900)],
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn parse_simple_select() {
+        let tree = parse("select * from patients").unwrap();
+        assert_eq!(tree, Algebra::Scan("patients".to_string()));
+        assert_eq!(tree.eval(&catalog()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_projection_and_filter() {
+        let tree = parse("select name from patients where ssn = 2").unwrap();
+        let r = tree.eval(&catalog()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].at(0), &Value::from("grace"));
+    }
+
+    #[test]
+    fn parse_natural_join() {
+        let tree = parse("SELECT * FROM patients NATURAL JOIN claims").unwrap();
+        let r = tree.eval(&catalog()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.schema().attr_names(), vec!["ssn", "name", "amount"]);
+    }
+
+    #[test]
+    fn parse_join_on() {
+        let tree =
+            parse("select * from patients join claims on patients.ssn = claims.ssn").unwrap();
+        assert_eq!(tree.eval(&catalog()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parse_string_and_bool_literals() {
+        let tree = parse("select * from patients where name = 'ada'").unwrap();
+        assert_eq!(tree.eval(&catalog()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("select").is_err());
+        assert!(parse("select * from").is_err());
+        assert!(parse("select * from t where").is_err());
+        assert!(parse("select * from t extra").is_err());
+        assert!(parse("select * from t where a = 'unterminated").is_err());
+        assert!(parse("select * from a join b on a.x = b.y").is_err());
+    }
+
+    #[test]
+    fn decompose_natural_join() {
+        let tree = parse("select * from patients natural join claims").unwrap();
+        let d = decompose(&tree).unwrap();
+        assert_eq!(d.q1, "select * from patients");
+        assert_eq!(d.q2, "select * from claims");
+        assert_eq!(d.join.left, "patients");
+        assert_eq!(d.join.right, "claims");
+        // NATURAL JOIN leaves `attrs` to be inferred from schemas at run
+        // time — here the parse carries no explicit attribute, so attrs
+        // comes from ON/WHERE only.
+        assert!(d.join.attrs.is_empty() || d.join.attrs == vec!["ssn"]);
+    }
+
+    #[test]
+    fn decompose_where_join() {
+        let tree = parse(
+            "select * from patients, claims where patients.ssn = claims.ssn and amount < 600",
+        )
+        .unwrap();
+        let d = decompose(&tree).unwrap();
+        assert_eq!(d.join.attrs, vec!["ssn"]);
+        assert!(d.residual.pred.is_some());
+        assert!(d.residual.cols.is_none());
+    }
+
+    #[test]
+    fn decompose_with_projection() {
+        let tree = parse("select name from patients join claims on ssn = ssn").unwrap();
+        let d = decompose(&tree).unwrap();
+        assert_eq!(d.join.attrs, vec!["ssn"]);
+        assert_eq!(d.residual.cols, Some(vec!["name".to_string()]));
+    }
+
+    #[test]
+    fn decompose_rejects_single_relation() {
+        let tree = parse("select * from patients").unwrap();
+        assert!(decompose(&tree).is_err());
+    }
+
+    #[test]
+    fn decompose_rejects_missing_join_attr() {
+        let tree = parse("select * from patients, claims where amount < 100").unwrap();
+        assert!(decompose(&tree).is_err());
+    }
+
+    #[test]
+    fn parse_group_by_aggregates() {
+        let tree =
+            parse("select ssn, count(amount), sum(amount) from claims group by ssn").unwrap();
+        let r = tree.eval(&catalog()).unwrap();
+        assert_eq!(
+            r.schema().attr_names(),
+            vec!["ssn", "count_amount", "sum_amount"]
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn parse_global_aggregate() {
+        let tree = parse("select sum(amount) from claims").unwrap();
+        let r = tree.eval(&catalog()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].at(0), &Value::Int(1400));
+    }
+
+    #[test]
+    fn aggregate_parse_errors() {
+        // GROUP BY without aggregates.
+        assert!(parse("select ssn from claims group by ssn").is_err());
+        // Plain columns not matching GROUP BY.
+        assert!(parse("select amount, count(ssn) from claims group by ssn").is_err());
+        // Unknown aggregate function.
+        assert!(parse("select median(amount) from claims").is_err());
+        // Unbalanced parens.
+        assert!(parse("select sum(amount from claims").is_err());
+    }
+
+    #[test]
+    fn decompose_peels_aggregation_into_residual() {
+        let tree = parse("select k, sum(v) from a, b where a.k = b.k group by k").unwrap();
+        let d = decompose(&tree).unwrap();
+        assert_eq!(d.join.attrs, vec!["k"]);
+        let (groups, aggs) = d.residual.aggregate.expect("aggregate residual");
+        assert_eq!(groups, vec!["k"]);
+        assert_eq!(aggs.len(), 1);
+    }
+
+    #[test]
+    fn scans_lists_base_relations() {
+        let tree = parse("select * from a natural join b").unwrap();
+        assert_eq!(tree.scans(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Tuples (rows).
+
+use std::fmt;
+
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::RelError;
+
+/// A row: an ordered list of values matching some [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Wraps values as a tuple.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at a column index.
+    pub fn at(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// The value of the named attribute under `schema` — the paper's
+    /// `t[A_join]` notation.
+    pub fn get(&self, schema: &Schema, name: &str) -> Result<&Value, RelError> {
+        Ok(&self.values[schema.index_of(name)?])
+    }
+
+    /// Checks the tuple against a schema (arity and types).
+    pub fn conforms_to(&self, schema: &Schema) -> Result<(), RelError> {
+        if self.values.len() != schema.arity() {
+            return Err(RelError::SchemaMismatch(format!(
+                "arity {} vs schema arity {}",
+                self.values.len(),
+                schema.arity()
+            )));
+        }
+        for (v, a) in self.values.iter().zip(schema.attributes()) {
+            if v.ty() != a.ty {
+                return Err(RelError::SchemaMismatch(format!(
+                    "attribute {} expects {} but value is {}",
+                    a.name,
+                    a.ty,
+                    v.ty()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// A new tuple keeping only the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Concatenation `self ++ other`, skipping `skip_right` indices of
+    /// `other` (used by natural join to drop duplicated join columns).
+    pub fn concat_skipping(&self, other: &Tuple, skip_right: &[usize]) -> Tuple {
+        let mut values = self.values.clone();
+        for (i, v) in other.values.iter().enumerate() {
+            if !skip_right.contains(&i) {
+                values.push(v.clone());
+            }
+        }
+        Tuple::new(values)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Type;
+
+    fn schema() -> Schema {
+        Schema::new(&[("id", Type::Int), ("name", Type::Str)])
+    }
+
+    fn tuple() -> Tuple {
+        Tuple::new(vec![Value::Int(7), Value::from("ada")])
+    }
+
+    #[test]
+    fn get_by_name() {
+        assert_eq!(tuple().get(&schema(), "name").unwrap(), &Value::from("ada"));
+        assert!(tuple().get(&schema(), "zzz").is_err());
+    }
+
+    #[test]
+    fn conformance() {
+        assert!(tuple().conforms_to(&schema()).is_ok());
+        let wrong_type = Tuple::new(vec![Value::from("x"), Value::from("y")]);
+        assert!(wrong_type.conforms_to(&schema()).is_err());
+        let wrong_arity = Tuple::new(vec![Value::Int(1)]);
+        assert!(wrong_arity.conforms_to(&schema()).is_err());
+    }
+
+    #[test]
+    fn projection() {
+        assert_eq!(tuple().project(&[1]), Tuple::new(vec![Value::from("ada")]));
+        assert_eq!(tuple().project(&[1, 0]).at(1), &Value::Int(7));
+    }
+
+    #[test]
+    fn concat_skipping_drops_columns() {
+        let a = tuple();
+        let b = Tuple::new(vec![Value::Int(7), Value::Int(100)]);
+        let joined = a.concat_skipping(&b, &[0]);
+        assert_eq!(joined.values().len(), 3);
+        assert_eq!(joined.at(2), &Value::Int(100));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple().to_string(), "⟨7, 'ada'⟩");
+    }
+}

@@ -1,0 +1,211 @@
+//! Typed attribute values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Str => write!(f, "str"),
+            Type::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// An attribute value.
+///
+/// Values of different types order by type tag first (`Int < Str < Bool`),
+/// so heterogeneous collections (e.g. active domains in `BTreeSet`s) have a
+/// total order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn ty(&self) -> Type {
+        match self {
+            Value::Int(_) => Type::Int,
+            Value::Str(_) => Type::Str,
+            Value::Bool(_) => Type::Bool,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A canonical byte encoding used when hashing join values into
+    /// cryptographic domains.  Distinct values encode distinctly (the tag
+    /// byte separates types; strings are length-free here because the
+    /// encoding is used atomically).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        match self {
+            Value::Int(v) => {
+                let mut out = Vec::with_capacity(9);
+                out.push(0u8);
+                out.extend_from_slice(&v.to_be_bytes());
+                out
+            }
+            Value::Str(s) => {
+                let mut out = Vec::with_capacity(1 + s.len());
+                out.push(1u8);
+                out.extend_from_slice(s.as_bytes());
+                out
+            }
+            Value::Bool(b) => vec![2u8, *b as u8],
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Str(_) => 1,
+            Value::Bool(_) => 2,
+        }
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_str(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(5).ty(), Type::Int);
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::from("a") < Value::from("b"));
+        assert!(Value::from(false) < Value::from(true));
+    }
+
+    #[test]
+    fn ordering_across_types_is_total() {
+        assert!(Value::Int(i64::MAX) < Value::from(""));
+        assert!(Value::from("zzz") < Value::from(false));
+    }
+
+    #[test]
+    fn canonical_bytes_distinct() {
+        let values = [
+            Value::Int(1),
+            Value::Int(-1),
+            Value::from("1"),
+            Value::from(""),
+            Value::from(true),
+            Value::from(false),
+        ];
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                assert_eq!(
+                    a.canonical_bytes() == b.canonical_bytes(),
+                    i == j,
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::from("hi").to_string(), "'hi'");
+        assert_eq!(Value::from(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the relational-algebra engine: algebraic laws
+//! of the operators and total codec roundtrips.
+
+use proptest::prelude::*;
+use relalg::{
+    decode_tuple, decode_tuple_set, encode_tuple, encode_tuple_set, Predicate, Relation, Schema,
+    Tuple, Type, Value,
+};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "[a-zA-Z0-9 _äöü€]{0,24}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    prop::collection::vec(arb_value(), 0..6).prop_map(Tuple::new)
+}
+
+/// Rows for a fixed (k: Int, v: Int) schema.
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0..20i64, any::<i64>()), 0..max)
+}
+
+fn relation(rows: &[(i64, i64)], names: (&str, &str)) -> Relation {
+    let mut rel = Relation::empty(Schema::new(&[(names.0, Type::Int), (names.1, Type::Int)]));
+    for &(k, v) in rows {
+        rel.insert(Tuple::new(vec![Value::Int(k), Value::Int(v)]))
+            .unwrap();
+    }
+    rel
+}
+
+proptest! {
+    #[test]
+    fn tuple_codec_total_roundtrip(t in arb_tuple()) {
+        prop_assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn tuple_set_codec_total_roundtrip(ts in prop::collection::vec(arb_tuple(), 0..8)) {
+        prop_assert_eq!(decode_tuple_set(&encode_tuple_set(&ts)).unwrap(), ts);
+    }
+
+    #[test]
+    fn codec_is_injective(a in arb_tuple(), b in arb_tuple()) {
+        prop_assert_eq!(encode_tuple(&a) == encode_tuple(&b), a == b);
+    }
+
+    #[test]
+    fn decode_rejects_arbitrary_garbage_or_roundtrips(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Decoding must never panic; if it succeeds, re-encoding gives the
+        // same bytes (canonical form).
+        if let Ok(t) = decode_tuple(&bytes) {
+            prop_assert_eq!(encode_tuple(&t), bytes);
+        }
+    }
+
+    #[test]
+    fn join_size_matches_key_multiplicity(l in arb_rows(15), r in arb_rows(15)) {
+        let left = relation(&l, ("k", "a"));
+        let right = relation(&r, ("k", "b"));
+        let joined = left.natural_join(&right).unwrap();
+        let expected: usize = (0..20i64)
+            .map(|k| {
+                l.iter().filter(|(lk, _)| *lk == k).count()
+                    * r.iter().filter(|(rk, _)| *rk == k).count()
+            })
+            .sum();
+        prop_assert_eq!(joined.len(), expected);
+    }
+
+    #[test]
+    fn join_is_commutative_in_size(l in arb_rows(12), r in arb_rows(12)) {
+        let left = relation(&l, ("k", "a"));
+        let right = relation(&r, ("k", "b"));
+        prop_assert_eq!(
+            left.natural_join(&right).unwrap().len(),
+            right.natural_join(&left).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn select_fusion(rows in arb_rows(20), k1 in 0..20i64, v1 in any::<i64>()) {
+        let rel = relation(&rows, ("k", "v"));
+        let p = Predicate::eq_lit("k", k1);
+        let q = Predicate::Lt(relalg::Operand::col("v"), relalg::Operand::lit(v1));
+        let sequential = rel.select(&p).unwrap().select(&q).unwrap();
+        let fused = rel.select(&p.clone().and(q.clone())).unwrap();
+        prop_assert_eq!(sequential, fused);
+    }
+
+    #[test]
+    fn select_never_grows(rows in arb_rows(20), k in 0..20i64) {
+        let rel = relation(&rows, ("k", "v"));
+        let selected = rel.select(&Predicate::eq_lit("k", k)).unwrap();
+        prop_assert!(selected.len() <= rel.len());
+    }
+
+    #[test]
+    fn project_preserves_cardinality(rows in arb_rows(20)) {
+        let rel = relation(&rows, ("k", "v"));
+        prop_assert_eq!(rel.project(&["v"]).unwrap().len(), rel.len());
+        prop_assert_eq!(rel.project(&["v", "k"]).unwrap().len(), rel.len());
+    }
+
+    #[test]
+    fn distinct_is_idempotent(rows in arb_rows(20)) {
+        let rel = relation(&rows, ("k", "v"));
+        let once = rel.distinct();
+        prop_assert_eq!(once.distinct(), once);
+    }
+
+    #[test]
+    fn union_cardinality_is_additive(l in arb_rows(10), r in arb_rows(10)) {
+        let a = relation(&l, ("k", "v"));
+        let b = relation(&r, ("k", "v"));
+        prop_assert_eq!(a.union(&b).unwrap().len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn active_domain_bounds(rows in arb_rows(20)) {
+        let rel = relation(&rows, ("k", "v"));
+        let dom = rel.active_domain("k").unwrap();
+        prop_assert!(dom.len() <= rel.len());
+        for t in rel.tuples() {
+            prop_assert!(dom.contains(t.at(0)));
+        }
+    }
+
+    #[test]
+    fn tuples_with_partition_the_relation(rows in arb_rows(20)) {
+        let rel = relation(&rows, ("k", "v"));
+        let total: usize = rel
+            .active_domain("k")
+            .unwrap()
+            .iter()
+            .map(|v| rel.tuples_with("k", v).unwrap().len())
+            .sum();
+        prop_assert_eq!(total, rel.len());
+    }
+
+    #[test]
+    fn sql_roundtrip_filters_like_api(rows in arb_rows(20), k in 0..20i64) {
+        use std::collections::HashMap;
+        let rel = relation(&rows, ("k", "v"));
+        let mut catalog = HashMap::new();
+        catalog.insert("t".to_string(), rel.clone());
+        let tree = relalg::sql::parse(&format!("select * from t where k = {k}")).unwrap();
+        let via_sql = tree.eval(&catalog).unwrap();
+        let via_api = rel.select(&Predicate::eq_lit("k", k)).unwrap();
+        prop_assert_eq!(via_sql, via_api);
+    }
+}

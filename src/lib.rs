@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! `secmed` — umbrella crate for the Secure Mediation of Join Queries
+//! reproduction.
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! integration tests have a single dependency:
+//!
+//! * [`mpint`] — big integers,
+//! * [`crypto`] — the cryptographic primitives,
+//! * [`relalg`] — the relational-algebra engine,
+//! * [`das`] — Database-as-a-Service bucketization,
+//! * [`core`] — the Multimedia Mediator and the three JOIN protocols.
+//!
+//! See `README.md` for a guided tour and `examples/quickstart.rs` for a
+//! complete end-to-end run.
+
+pub use mpint;
+pub use relalg;
+pub use secmed_core as core;
+pub use secmed_crypto as crypto;
+pub use secmed_das as das;
