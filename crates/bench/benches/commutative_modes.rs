@@ -2,16 +2,14 @@
 //! mediator keeps the encrypted tuple sets and circulates fixed-length IDs
 //! instead of echoing ciphertexts through the opposite datasource.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
 use secmed_core::workload::WorkloadSpec;
 use secmed_core::{CommutativeConfig, CommutativeMode, ProtocolKind, Scenario};
-use std::hint::black_box;
+use secmed_obs::bench::{black_box, cli_filter, Bench, Suite};
 
-fn bench_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("commutative_modes");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_modes(filter: &Option<String>) {
+    let mut suite = Suite::new("commutative_modes").filter(filter.clone());
     for rows in [32usize, 96] {
         let w = WorkloadSpec {
             left_rows: rows,
@@ -28,19 +26,25 @@ fn bench_modes(c: &mut Criterion) {
             ("echo-tuples", CommutativeMode::EchoTuples),
             ("id-references", CommutativeMode::IdReferences),
         ] {
-            group.bench_with_input(BenchmarkId::new(name, rows), &rows, |b, _| {
-                b.iter(|| {
+            suite.bench(
+                Bench::new(format!("{name}/{rows}"))
+                    .samples(10)
+                    .warmup(Duration::from_millis(500)),
+                || {
                     let mut sc = Scenario::from_workload(&w, "bench-comm-modes", 512);
                     black_box(
                         sc.run(ProtocolKind::Commutative(CommutativeConfig { mode }))
                             .unwrap(),
-                    )
-                });
-            });
+                    );
+                },
+            );
+            secmed_obs::trace::reset();
         }
     }
-    group.finish();
+    suite.finish();
 }
 
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);
+fn main() {
+    let filter = cli_filter();
+    bench_modes(&filter);
+}

@@ -7,13 +7,20 @@
 //! partition count varies; the companion report binary
 //! `figure_das_tradeoff` prints the exposure/superset curves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
 use secmed_core::workload::WorkloadSpec;
 use secmed_core::{DasConfig, ProtocolKind, Scenario};
 use secmed_das::PartitionScheme;
-use std::hint::black_box;
+use secmed_obs::bench::{black_box, cli_filter, Bench, Suite};
 
-fn bench_partition_sweep(c: &mut Criterion) {
+fn slow(name: String) -> Bench {
+    Bench::new(name)
+        .samples(10)
+        .warmup(Duration::from_millis(500))
+}
+
+fn bench_partition_sweep(filter: &Option<String>) {
     let w = WorkloadSpec {
         left_rows: 48,
         right_rows: 48,
@@ -25,43 +32,41 @@ fn bench_partition_sweep(c: &mut Criterion) {
     }
     .generate();
 
-    let mut group = c.benchmark_group("das_partitions");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    for k in [1usize, 4, 16] {
-        for (name, scheme) in [
-            ("equidepth", PartitionScheme::EquiDepth(k)),
-            ("equiwidth", PartitionScheme::EquiWidth(k)),
-        ] {
-            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, _| {
-                b.iter(|| {
-                    let mut sc = Scenario::from_workload(&w, "bench-das", 512);
-                    black_box(
-                        sc.run(ProtocolKind::Das(DasConfig {
-                            scheme,
-                            ..Default::default()
-                        }))
-                        .unwrap(),
-                    )
-                });
-            });
-        }
-    }
-    group.bench_function("pervalue", |b| {
-        b.iter(|| {
+    let mut suite = Suite::new("das_partitions").filter(filter.clone());
+    let run_scheme = |suite: &mut Suite, name: String, scheme: PartitionScheme| {
+        suite.bench(slow(name), || {
             let mut sc = Scenario::from_workload(&w, "bench-das", 512);
             black_box(
                 sc.run(ProtocolKind::Das(DasConfig {
-                    scheme: PartitionScheme::PerValue,
+                    scheme,
                     ..Default::default()
                 }))
                 .unwrap(),
-            )
+            );
         });
-    });
-    group.finish();
+        secmed_obs::trace::reset();
+    };
+    for k in [1usize, 4, 16] {
+        run_scheme(
+            &mut suite,
+            format!("equidepth/{k}"),
+            PartitionScheme::EquiDepth(k),
+        );
+        run_scheme(
+            &mut suite,
+            format!("equiwidth/{k}"),
+            PartitionScheme::EquiWidth(k),
+        );
+    }
+    run_scheme(
+        &mut suite,
+        "pervalue".to_string(),
+        PartitionScheme::PerValue,
+    );
+    suite.finish();
 }
 
-criterion_group!(benches, bench_partition_sweep);
-criterion_main!(benches);
+fn main() {
+    let filter = cli_filter();
+    bench_partition_sweep(&filter);
+}

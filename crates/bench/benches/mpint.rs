@@ -6,10 +6,9 @@
 //!   the threshold in `mpint::mul`,
 //! * Knuth-D division at cryptographic operand sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpint::{Montgomery, Natural};
 use secmed_crypto::drbg::HmacDrbg;
-use std::hint::black_box;
+use secmed_obs::bench::{black_box, cli_filter, Bench, Suite};
 
 fn random_odd(bits: u64, rng: &mut HmacDrbg) -> Natural {
     let mut n = mpint::random::random_bits(rng, bits);
@@ -17,53 +16,53 @@ fn random_odd(bits: u64, rng: &mut HmacDrbg) -> Natural {
     n
 }
 
-fn bench_modpow(c: &mut Criterion) {
+fn bench_modpow(filter: &Option<String>) {
     let mut rng = HmacDrbg::from_label("bench-modpow");
-    let mut group = c.benchmark_group("modpow");
+    let mut suite = Suite::new("modpow").filter(filter.clone());
     for bits in [256u64, 512, 1024] {
         let m = random_odd(bits, &mut rng);
         let base = mpint::random::random_below(&mut rng, &m);
         let exp = mpint::random::random_bits(&mut rng, bits);
-        group.bench_with_input(BenchmarkId::new("montgomery", bits), &bits, |b, _| {
-            let ctx = Montgomery::new(m.clone());
-            b.iter(|| black_box(ctx.modpow(&base, &exp)));
+        let ctx = Montgomery::new(m.clone());
+        suite.bench(Bench::new(format!("montgomery/{bits}")), || {
+            black_box(ctx.modpow(&base, &exp));
         });
-        group.bench_with_input(BenchmarkId::new("plain-division", bits), &bits, |b, _| {
-            b.iter(|| black_box(base.modpow_plain(&exp, &m)));
+        suite.bench(Bench::new(format!("plain-division/{bits}")), || {
+            black_box(base.modpow_plain(&exp, &m));
         });
     }
-    group.finish();
+    suite.finish();
 }
 
-fn bench_mul(c: &mut Criterion) {
+fn bench_mul(filter: &Option<String>) {
     let mut rng = HmacDrbg::from_label("bench-mul");
-    let mut group = c.benchmark_group("mul");
+    let mut suite = Suite::new("mul").filter(filter.clone());
     for limbs in [8u64, 32, 64, 128, 256] {
         let a = mpint::random::random_bits(&mut rng, limbs * 64);
         let b = mpint::random::random_bits(&mut rng, limbs * 64);
-        group.bench_with_input(BenchmarkId::new("auto", limbs), &limbs, |bch, _| {
-            bch.iter(|| black_box(&a * &b));
+        suite.bench(Bench::new(format!("auto/{limbs}")), || {
+            black_box(&a * &b);
         });
     }
-    group.finish();
+    suite.finish();
 }
 
-fn bench_div(c: &mut Criterion) {
+fn bench_div(filter: &Option<String>) {
     let mut rng = HmacDrbg::from_label("bench-div");
-    let mut group = c.benchmark_group("div_rem");
+    let mut suite = Suite::new("div_rem").filter(filter.clone());
     for (nbits, dbits) in [(1024u64, 512u64), (2048, 1024)] {
         let a = mpint::random::random_bits(&mut rng, nbits);
         let b = mpint::random::random_bits(&mut rng, dbits);
-        group.bench_with_input(
-            BenchmarkId::new("knuth-d", format!("{nbits}/{dbits}")),
-            &nbits,
-            |bch, _| {
-                bch.iter(|| black_box(a.div_rem(&b)));
-            },
-        );
+        suite.bench(Bench::new(format!("knuth-d/{nbits}/{dbits}")), || {
+            black_box(a.div_rem(&b));
+        });
     }
-    group.finish();
+    suite.finish();
 }
 
-criterion_group!(benches, bench_modpow, bench_mul, bench_div);
-criterion_main!(benches);
+fn main() {
+    let filter = cli_filter();
+    bench_modpow(&filter);
+    bench_mul(&filter);
+    bench_div(&filter);
+}

@@ -3,11 +3,12 @@
 //! the homomorphic payload; plus the evaluation-strategy sweep at protocol
 //! level.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
 use relalg::{Relation, Schema, Tuple, Type, Value};
 use secmed_core::workload::Workload;
 use secmed_core::{PmConfig, PmEval, PmPayloadMode, ProtocolKind, Scenario};
-use std::hint::black_box;
+use secmed_obs::bench::{black_box, cli_filter, Bench, Suite};
 
 /// One small tuple per join value so the inline mode always fits.
 fn slim_workload(values: usize, shared: usize) -> Workload {
@@ -31,60 +32,61 @@ fn slim_workload(values: usize, shared: usize) -> Workload {
     }
 }
 
-fn bench_payload_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pm_payload_modes");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn slow(name: String) -> Bench {
+    Bench::new(name)
+        .samples(10)
+        .warmup(Duration::from_millis(500))
+}
+
+fn bench_payload_modes(filter: &Option<String>) {
+    let mut suite = Suite::new("pm_payload_modes").filter(filter.clone());
     for values in [16usize, 48] {
         let w = slim_workload(values, values / 4);
         for (name, payload) in [
             ("inline", PmPayloadMode::Inline),
             ("session-table", PmPayloadMode::SessionKeyTable),
         ] {
-            group.bench_with_input(BenchmarkId::new(name, values), &values, |b, _| {
-                b.iter(|| {
-                    let mut sc = Scenario::from_workload(&w, "bench-pm-modes", 512);
-                    black_box(
-                        sc.run(ProtocolKind::Pm(PmConfig {
-                            eval: PmEval::Horner,
-                            payload,
-                        }))
-                        .unwrap(),
-                    )
-                });
+            suite.bench(slow(format!("{name}/{values}")), || {
+                let mut sc = Scenario::from_workload(&w, "bench-pm-modes", 512);
+                black_box(
+                    sc.run(ProtocolKind::Pm(PmConfig {
+                        eval: PmEval::Horner,
+                        payload,
+                    }))
+                    .unwrap(),
+                );
             });
+            secmed_obs::trace::reset();
         }
     }
-    group.finish();
+    suite.finish();
 }
 
-fn bench_eval_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pm_eval_modes");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_eval_modes(filter: &Option<String>) {
+    let mut suite = Suite::new("pm_eval_modes").filter(filter.clone());
     let w = slim_workload(48, 12);
     for (name, eval) in [
         ("naive", PmEval::Naive),
         ("horner", PmEval::Horner),
         ("bucketed-8", PmEval::Bucketed(8)),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut sc = Scenario::from_workload(&w, "bench-pm-eval", 512);
-                black_box(
-                    sc.run(ProtocolKind::Pm(PmConfig {
-                        eval,
-                        payload: PmPayloadMode::SessionKeyTable,
-                    }))
-                    .unwrap(),
-                )
-            });
+        suite.bench(slow(name.to_string()), || {
+            let mut sc = Scenario::from_workload(&w, "bench-pm-eval", 512);
+            black_box(
+                sc.run(ProtocolKind::Pm(PmConfig {
+                    eval,
+                    payload: PmPayloadMode::SessionKeyTable,
+                }))
+                .unwrap(),
+            );
         });
+        secmed_obs::trace::reset();
     }
-    group.finish();
+    suite.finish();
 }
 
-criterion_group!(benches, bench_payload_modes, bench_eval_modes);
-criterion_main!(benches);
+fn main() {
+    let filter = cli_filter();
+    bench_payload_modes(&filter);
+    bench_eval_modes(&filter);
+}

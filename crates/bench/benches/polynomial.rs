@@ -6,12 +6,13 @@
 //! * Horner's rule,
 //! * bucket allocation (per-evaluation degree drops to ~n/B).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
 use mpint::Natural;
 use secmed_crypto::drbg::HmacDrbg;
 use secmed_crypto::paillier::Paillier;
 use secmed_crypto::polynomial::{BucketedPoly, EncryptedBucketedPoly, EncryptedPoly, ZnPoly};
-use std::hint::black_box;
+use secmed_obs::bench::{black_box, cli_filter, Bench, Suite};
 
 fn roots(n: usize) -> Vec<Natural> {
     (0..n as u64)
@@ -19,14 +20,19 @@ fn roots(n: usize) -> Vec<Natural> {
         .collect()
 }
 
-fn bench_eval_strategies(c: &mut Criterion) {
+/// These measurements are expensive per iteration, so fewer samples with a
+/// shorter warmup (criterion's former `sample_size(10)` configuration).
+fn slow(name: String) -> Bench {
+    Bench::new(name)
+        .samples(10)
+        .warmup(Duration::from_millis(500))
+}
+
+fn bench_eval_strategies(filter: &Option<String>) {
     let kp = Paillier::test_keypair(512, "bench-poly");
     let pk = kp.public();
     let mut rng = HmacDrbg::from_label("bench-poly-rng");
-    let mut group = c.benchmark_group("pm_eval");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+    let mut suite = Suite::new("pm_eval").filter(filter.clone());
 
     for degree in [8usize, 32, 128] {
         let rs = roots(degree);
@@ -34,44 +40,40 @@ fn bench_eval_strategies(c: &mut Criterion) {
         let enc = EncryptedPoly::encrypt(&poly, pk, &mut rng);
         let point = Natural::from(999_983u64);
 
-        group.bench_with_input(BenchmarkId::new("naive", degree), &degree, |b, _| {
-            b.iter(|| black_box(enc.eval_naive(&point)));
+        suite.bench(slow(format!("naive/{degree}")), || {
+            black_box(enc.eval_naive(&point));
         });
-        group.bench_with_input(BenchmarkId::new("horner", degree), &degree, |b, _| {
-            b.iter(|| black_box(enc.eval_horner(&point)));
+        suite.bench(slow(format!("horner/{degree}")), || {
+            black_box(enc.eval_horner(&point));
         });
 
         let buckets = (degree / 8).max(1);
         let bp = BucketedPoly::from_roots(&rs, pk.n(), buckets);
         let benc = EncryptedBucketedPoly::encrypt(&bp, pk, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new(format!("bucketed-B{buckets}"), degree),
-            &degree,
-            |b, _| {
-                let payload = Natural::from(1u64);
-                b.iter(|| black_box(benc.eval_masked(&point, &payload, &mut rng).unwrap()));
-            },
-        );
+        let payload = Natural::from(1u64);
+        suite.bench(slow(format!("bucketed-B{buckets}/{degree}")), || {
+            black_box(benc.eval_masked(&point, &payload, &mut rng).unwrap());
+        });
     }
-    group.finish();
+    suite.finish();
 }
 
-fn bench_coefficient_encryption(c: &mut Criterion) {
+fn bench_coefficient_encryption(filter: &Option<String>) {
     let kp = Paillier::test_keypair(512, "bench-poly-enc");
     let pk = kp.public();
     let mut rng = HmacDrbg::from_label("bench-poly-enc-rng");
-    let mut group = c.benchmark_group("pm_encrypt_coeffs");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+    let mut suite = Suite::new("pm_encrypt_coeffs").filter(filter.clone());
     for degree in [8usize, 32, 128] {
         let poly = ZnPoly::from_roots(&roots(degree), pk.n());
-        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, _| {
-            b.iter(|| black_box(EncryptedPoly::encrypt(&poly, pk, &mut rng)));
+        suite.bench(slow(format!("{degree}")), || {
+            black_box(EncryptedPoly::encrypt(&poly, pk, &mut rng));
         });
     }
-    group.finish();
+    suite.finish();
 }
 
-criterion_group!(benches, bench_eval_strategies, bench_coefficient_encryption);
-criterion_main!(benches);
+fn main() {
+    let filter = cli_filter();
+    bench_eval_strategies(&filter);
+    bench_coefficient_encryption(&filter);
+}

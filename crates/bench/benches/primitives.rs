@@ -1,7 +1,6 @@
 //! Microbenchmarks for every cryptographic primitive the protocols invoke
 //! (the cost model behind Table 2 / §6 of the paper).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpint::Natural;
 use secmed_crypto::chacha20::ChaCha20;
 use secmed_crypto::drbg::HmacDrbg;
@@ -12,154 +11,149 @@ use secmed_crypto::paillier::Paillier;
 use secmed_crypto::schnorr::SchnorrKeyPair;
 use secmed_crypto::sha256::sha256;
 use secmed_crypto::{SraCipher, SraDomain};
-use std::hint::black_box;
+use secmed_obs::bench::{black_box, cli_filter, Bench, Suite};
 
-fn bench_hash_and_cipher(c: &mut Criterion) {
-    let mut group = c.benchmark_group("symmetric");
+fn bench_hash_and_cipher(filter: &Option<String>) {
+    let mut suite = Suite::new("symmetric").filter(filter.clone());
     for size in [64usize, 1024, 16384] {
         let data = vec![0xabu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("sha256", size), &size, |b, _| {
-            b.iter(|| black_box(sha256(&data)));
-        });
-        group.bench_with_input(BenchmarkId::new("chacha20", size), &size, |b, _| {
-            let key = [7u8; 32];
-            let nonce = [1u8; 12];
-            b.iter(|| black_box(ChaCha20::new(&key, &nonce).apply(&data)));
-        });
-        group.bench_with_input(BenchmarkId::new("hmac-sha256", size), &size, |b, _| {
-            b.iter(|| black_box(hmac_sha256(b"key", &data)));
-        });
+        suite.bench(
+            Bench::new(format!("sha256/{size}")).throughput_bytes(size as u64),
+            || {
+                black_box(sha256(&data));
+            },
+        );
+        let key = [7u8; 32];
+        let nonce = [1u8; 12];
+        suite.bench(
+            Bench::new(format!("chacha20/{size}")).throughput_bytes(size as u64),
+            || {
+                black_box(ChaCha20::new(&key, &nonce).apply(&data));
+            },
+        );
+        suite.bench(
+            Bench::new(format!("hmac-sha256/{size}")).throughput_bytes(size as u64),
+            || {
+                black_box(hmac_sha256(b"key", &data));
+            },
+        );
     }
-    group.finish();
+    suite.finish();
 }
 
-fn bench_hybrid(c: &mut Criterion) {
+fn bench_hybrid(filter: &Option<String>) {
     let mut rng = HmacDrbg::from_label("bench-hybrid");
-    let mut group = c.benchmark_group("hybrid");
+    let mut suite = Suite::new("hybrid").filter(filter.clone());
     for bits in [GroupSize::S512, GroupSize::S1024] {
         let kp = HybridKeyPair::generate(SafePrimeGroup::preset(bits), &mut rng);
         let msg = vec![0x42u8; 256];
-        group.bench_with_input(
-            BenchmarkId::new("encrypt-256B", bits.bits()),
-            &bits,
-            |b, _| {
-                b.iter(|| black_box(kp.public().encrypt(&msg, &mut rng)));
-            },
-        );
+        suite.bench(Bench::new(format!("encrypt-256B/{}", bits.bits())), || {
+            black_box(kp.public().encrypt(&msg, &mut rng));
+        });
         let ct = kp.public().encrypt(&msg, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("decrypt-256B", bits.bits()),
-            &bits,
-            |b, _| {
-                b.iter(|| black_box(kp.decrypt(&ct).unwrap()));
-            },
-        );
+        suite.bench(Bench::new(format!("decrypt-256B/{}", bits.bits())), || {
+            black_box(kp.decrypt(&ct).unwrap());
+        });
     }
-    group.finish();
+    suite.finish();
 }
 
-fn bench_sra(c: &mut Criterion) {
+fn bench_sra(filter: &Option<String>) {
     let mut rng = HmacDrbg::from_label("bench-sra");
-    let mut group = c.benchmark_group("commutative");
+    let mut suite = Suite::new("commutative").filter(filter.clone());
     for bits in [GroupSize::S512, GroupSize::S1024] {
         let domain = SraDomain::new(SafePrimeGroup::preset(bits));
         let cipher = SraCipher::generate(domain.clone(), &mut rng);
         let x = domain.hash(b"join-value");
-        group.bench_with_input(
-            BenchmarkId::new("hash-to-group", bits.bits()),
-            &bits,
-            |b, _| {
-                b.iter(|| black_box(domain.hash(b"join-value")));
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("encrypt", bits.bits()), &bits, |b, _| {
-            b.iter(|| black_box(cipher.encrypt(&x)));
+        suite.bench(Bench::new(format!("hash-to-group/{}", bits.bits())), || {
+            black_box(domain.hash(b"join-value"));
+        });
+        suite.bench(Bench::new(format!("encrypt/{}", bits.bits())), || {
+            black_box(cipher.encrypt(&x));
         });
         let y = cipher.encrypt(&x);
-        group.bench_with_input(BenchmarkId::new("decrypt", bits.bits()), &bits, |b, _| {
-            b.iter(|| black_box(cipher.decrypt(&y)));
+        suite.bench(Bench::new(format!("decrypt/{}", bits.bits())), || {
+            black_box(cipher.decrypt(&y));
         });
     }
-    group.finish();
+    suite.finish();
 }
 
-fn bench_paillier(c: &mut Criterion) {
+fn bench_paillier(filter: &Option<String>) {
     let mut rng = HmacDrbg::from_label("bench-paillier");
-    let mut group = c.benchmark_group("paillier");
+    let mut suite = Suite::new("paillier").filter(filter.clone());
     for bits in [512u64, 1024] {
         let kp = Paillier::test_keypair(bits, &format!("bench-{bits}"));
         let m = Natural::from(123_456u64);
-        group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |b, _| {
-            b.iter(|| black_box(kp.public().encrypt(&m, &mut rng).unwrap()));
+        suite.bench(Bench::new(format!("encrypt/{bits}")), || {
+            black_box(kp.public().encrypt(&m, &mut rng).unwrap());
         });
         let ct = kp.public().encrypt(&m, &mut rng).unwrap();
-        group.bench_with_input(BenchmarkId::new("decrypt-crt", bits), &bits, |b, _| {
-            b.iter(|| black_box(kp.decrypt(&ct)));
+        suite.bench(Bench::new(format!("decrypt-crt/{bits}")), || {
+            black_box(kp.decrypt(&ct));
         });
-        group.bench_with_input(BenchmarkId::new("decrypt-plain", bits), &bits, |b, _| {
-            b.iter(|| black_box(kp.decrypt_plain(&ct)));
+        suite.bench(Bench::new(format!("decrypt-plain/{bits}")), || {
+            black_box(kp.decrypt_plain(&ct));
         });
-        group.bench_with_input(BenchmarkId::new("add", bits), &bits, |b, _| {
-            b.iter(|| black_box(kp.public().add(&ct, &ct)));
+        suite.bench(Bench::new(format!("add/{bits}")), || {
+            black_box(kp.public().add(&ct, &ct));
         });
         let gamma = Natural::from(0xffff_ffffu64);
-        group.bench_with_input(BenchmarkId::new("scale", bits), &bits, |b, _| {
-            b.iter(|| black_box(kp.public().scale(&ct, &gamma)));
+        suite.bench(Bench::new(format!("scale/{bits}")), || {
+            black_box(kp.public().scale(&ct, &gamma));
         });
     }
-    group.finish();
+    suite.finish();
 }
 
 /// The paper's alternative homomorphic instantiation (§5): exponential
 /// ElGamal vs Paillier on the same operations.
-fn bench_exp_elgamal(c: &mut Criterion) {
+fn bench_exp_elgamal(filter: &Option<String>) {
     use secmed_crypto::exp_elgamal::ExpElGamalKeyPair;
     let mut rng = HmacDrbg::from_label("bench-expeg");
     let kp = ExpElGamalKeyPair::generate(SafePrimeGroup::preset(GroupSize::S512), &mut rng);
     let m = Natural::from(12_345u64);
-    let mut group = c.benchmark_group("exp_elgamal");
-    group.bench_function("encrypt/512", |b| {
-        b.iter(|| black_box(kp.public().encrypt(&m, &mut rng)));
+    let mut suite = Suite::new("exp_elgamal").filter(filter.clone());
+    suite.bench(Bench::new("encrypt/512"), || {
+        black_box(kp.public().encrypt(&m, &mut rng));
     });
     let ct = kp.public().encrypt(&m, &mut rng);
-    group.bench_function("add/512", |b| {
-        b.iter(|| black_box(kp.public().add(&ct, &ct)));
+    suite.bench(Bench::new("add/512"), || {
+        black_box(kp.public().add(&ct, &ct));
     });
-    group.bench_function("scale/512", |b| {
-        b.iter(|| black_box(kp.public().scale(&ct, &Natural::from(999u64))));
+    suite.bench(Bench::new("scale/512"), || {
+        black_box(kp.public().scale(&ct, &Natural::from(999u64)));
     });
-    group.bench_function("decrypt-bsgs-64k/512", |b| {
-        b.iter(|| black_box(kp.decrypt(&ct, 65_536).unwrap()));
+    suite.bench(Bench::new("decrypt-bsgs-64k/512"), || {
+        black_box(kp.decrypt(&ct, 65_536).unwrap());
     });
-    group.bench_function("zero-test/512", |b| {
-        b.iter(|| black_box(kp.decrypts_to_zero(&ct)));
+    suite.bench(Bench::new("zero-test/512"), || {
+        black_box(kp.decrypts_to_zero(&ct));
     });
-    group.finish();
+    suite.finish();
 }
 
-fn bench_schnorr(c: &mut Criterion) {
+fn bench_schnorr(filter: &Option<String>) {
     let mut rng = HmacDrbg::from_label("bench-schnorr");
     let kp = SchnorrKeyPair::generate(SafePrimeGroup::preset(GroupSize::S512), &mut rng);
     let msg = b"credential: role=physician, dept=cardiology";
-    let mut group = c.benchmark_group("schnorr");
-    group.bench_function("sign", |b| {
-        b.iter(|| black_box(kp.sign(msg, &mut rng)));
+    let mut suite = Suite::new("schnorr").filter(filter.clone());
+    suite.bench(Bench::new("sign"), || {
+        black_box(kp.sign(msg, &mut rng));
     });
     let sig = kp.sign(msg, &mut rng);
-    group.bench_function("verify", |b| {
-        b.iter(|| black_box(kp.public().verify(msg, &sig)));
+    suite.bench(Bench::new("verify"), || {
+        black_box(kp.public().verify(msg, &sig));
     });
-    group.finish();
+    suite.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_hash_and_cipher,
-    bench_hybrid,
-    bench_sra,
-    bench_paillier,
-    bench_exp_elgamal,
-    bench_schnorr
-);
-criterion_main!(benches);
+fn main() {
+    let filter = cli_filter();
+    bench_hash_and_cipher(&filter);
+    bench_hybrid(&filter);
+    bench_sra(&filter);
+    bench_paillier(&filter);
+    bench_exp_elgamal(&filter);
+    bench_schnorr(&filter);
+}

@@ -3,10 +3,11 @@
 //! commutative approach seems to be the most efficient one to be employed
 //! in a secure mediation system".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
 use secmed_core::workload::WorkloadSpec;
 use secmed_core::{CommutativeConfig, DasConfig, PmConfig, ProtocolKind, Scenario};
-use std::hint::black_box;
+use secmed_obs::bench::{black_box, cli_filter, Bench, Suite};
 
 fn workload(rows: usize, seed: &str) -> secmed_core::workload::Workload {
     WorkloadSpec {
@@ -22,11 +23,8 @@ fn workload(rows: usize, seed: &str) -> secmed_core::workload::Workload {
     .generate()
 }
 
-fn bench_protocols(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_protocols(filter: &Option<String>) {
+    let mut suite = Suite::new("end_to_end").filter(filter.clone());
     for rows in [16usize, 64] {
         let w = workload(rows, "bench-e2e");
         for (name, kind) in [
@@ -37,16 +35,24 @@ fn bench_protocols(c: &mut Criterion) {
             ),
             ("pm", ProtocolKind::Pm(PmConfig::default())),
         ] {
-            group.bench_with_input(BenchmarkId::new(name, rows), &rows, |b, _| {
-                b.iter(|| {
+            suite.bench(
+                Bench::new(format!("{name}/{rows}"))
+                    .samples(10)
+                    .warmup(Duration::from_millis(500)),
+                || {
                     let mut sc = Scenario::from_workload(&w, "bench-e2e", 512);
-                    black_box(sc.run(kind).unwrap())
-                });
-            });
+                    black_box(sc.run(kind).unwrap());
+                },
+            );
+            // Each run appends trace spans to the process-global buffer;
+            // drain between measurements to keep memory flat.
+            secmed_obs::trace::reset();
         }
     }
-    group.finish();
+    suite.finish();
 }
 
-criterion_group!(benches, bench_protocols);
-criterion_main!(benches);
+fn main() {
+    let filter = cli_filter();
+    bench_protocols(&filter);
+}

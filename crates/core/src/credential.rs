@@ -8,7 +8,7 @@
 //! with the client's credentials"), and the CA's Schnorr signature over a
 //! canonical encoding of all of it.
 
-use rand::Rng;
+use mpint::rng::Rng;
 
 use secmed_crypto::hybrid::HybridPublicKey;
 use secmed_crypto::paillier::PaillierPublicKey;

@@ -23,6 +23,8 @@
 //!   client actually observe,
 //! * [`cost`] — the §6 computational analysis as closed-form operation
 //!   counts, checked against the measured counters,
+//! * [`observe`] — the bridge into the unified `secmed_obs` run report
+//!   (phase timings + traffic + primitive census + leakage in one record),
 //! * [`workload`] — synthetic relation generators standing in for the
 //!   paper's (unavailable) enterprise datasets,
 //! * [`hierarchy`] — mediator-as-datasource chaining (the future-work
@@ -32,6 +34,7 @@ pub mod audit;
 pub mod cost;
 pub mod credential;
 pub mod hierarchy;
+pub mod observe;
 pub mod party;
 pub mod policy;
 pub mod protocol;

@@ -1,0 +1,104 @@
+//! Bridge from protocol-level artifacts to the unified observability
+//! report.
+//!
+//! [`unified_report`] joins the four measurement surfaces of one protocol
+//! run — trace spans (phase wall-clock), the transport log (per-edge
+//! messages and bytes), the primitive census, and the leakage audit — into
+//! one [`secmed_obs::RunReport`].  The totals in the unified report are
+//! *derived from the same recorders the tests assert against*, so report
+//! numbers and test numbers can never drift apart.
+
+use secmed_obs::report::{EdgeStat, OpStat, RunReport as UnifiedReport};
+use secmed_obs::trace::Record;
+
+use crate::protocol::{ProtocolKind, RunReport};
+use crate::transport::PartyId;
+use crate::workload::WorkloadSpec;
+
+/// Builds the unified report for one finished run.
+///
+/// `records` are the trace records of the run (collect them with
+/// `secmed_obs::trace::checkpoint()` before `Scenario::run` and
+/// `take_since` after); phase rows keep only spans prefixed with the
+/// protocol key, so records from other instrumented code are harmless.
+pub fn unified_report(
+    kind: ProtocolKind,
+    report: &RunReport,
+    records: &[Record],
+    workload: Vec<(String, u64)>,
+) -> UnifiedReport {
+    let key = kind.key();
+    let phases = UnifiedReport::phases_from_records(records, Some(&format!("{key}.")));
+
+    // Per-edge traffic, in first-use order, straight from the transport log.
+    let mut edges: Vec<EdgeStat> = Vec::new();
+    for e in report.transport.log() {
+        let from = e.from.to_string();
+        let to = e.to.to_string();
+        match edges.iter_mut().find(|x| x.from == from && x.to == to) {
+            Some(x) => {
+                x.messages += 1;
+                x.bytes += e.bytes as u64;
+            }
+            None => edges.push(EdgeStat {
+                from,
+                to,
+                messages: 1,
+                bytes: e.bytes as u64,
+            }),
+        }
+    }
+
+    let ops: Vec<OpStat> = report
+        .primitives
+        .iter()
+        .map(|(op, count)| OpStat {
+            name: op.name().to_string(),
+            count: *count,
+        })
+        .collect();
+
+    // §6 interaction pattern: for every party that talked to the fabric,
+    // the number of maximal send-runs ("the client has to interact twice
+    // with the mediator").
+    let mut partners: Vec<PartyId> = Vec::new();
+    for e in report.transport.log() {
+        for p in [&e.from, &e.to] {
+            if *p != PartyId::Mediator && !partners.contains(p) {
+                partners.push(p.clone());
+            }
+        }
+    }
+    let interactions: Vec<(String, u64)> = partners
+        .iter()
+        .map(|p| (p.to_string(), report.transport.interactions_of(p) as u64))
+        .collect();
+
+    let leakage = vec![
+        format!("mediator: {}", report.mediator_view.describe()),
+        format!("client: {}", report.client_view.describe()),
+    ];
+
+    UnifiedReport {
+        protocol: key.to_string(),
+        workload,
+        phases,
+        edges,
+        ops,
+        interactions,
+        leakage,
+        result_rows: report.result.len() as u64,
+    }
+}
+
+/// The workload key/value pairs a report carries, derived from a spec.
+pub fn workload_pairs(spec: &WorkloadSpec) -> Vec<(String, u64)> {
+    vec![
+        ("left_rows".to_string(), spec.left_rows as u64),
+        ("right_rows".to_string(), spec.right_rows as u64),
+        ("left_domain".to_string(), spec.left_domain as u64),
+        ("right_domain".to_string(), spec.right_domain as u64),
+        ("shared_values".to_string(), spec.shared_values as u64),
+        ("payload_attrs".to_string(), spec.payload_attrs as u64),
+    ]
+}

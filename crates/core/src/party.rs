@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
+use mpint::rng::Rng;
 use relalg::{Relation, Schema};
 use secmed_crypto::drbg::HmacDrbg;
 use secmed_crypto::hybrid::HybridKeyPair;

@@ -15,8 +15,8 @@
 
 use std::collections::BTreeMap;
 
+use mpint::rng::Rng;
 use mpint::Natural;
-use rand::Rng;
 use relalg::{decode_tuple_set, encode_tuple_set, Tuple};
 use secmed_crypto::hybrid::HybridCiphertext;
 use secmed_crypto::{SraCipher, SraDomain};
@@ -52,16 +52,23 @@ pub fn deliver(
 
     // Step 1-2 at each source: fresh SRA key; hash+encrypt each active
     // value; hybrid-encrypt each Tup_i(a).
-    let s1 = SraCipher::generate(domain.clone(), sc.left.rng());
-    let s2 = SraCipher::generate(domain.clone(), sc.right.rng());
+    let (s1, s2, m1, m2) = {
+        let mut s = secmed_obs::span("commutative.encryption");
+        let s1 = SraCipher::generate(domain.clone(), sc.left.rng());
+        let s2 = SraCipher::generate(domain.clone(), sc.right.rng());
 
-    let groups1 = group_by_join_key(&p.left_partial, &p.join_attrs)?;
-    let groups2 = group_by_join_key(&p.right_partial, &p.join_attrs)?;
+        let groups1 = group_by_join_key(&p.left_partial, &p.join_attrs)?;
+        let groups2 = group_by_join_key(&p.right_partial, &p.join_attrs)?;
 
-    let m1 = build_messages(&s1, &groups1, &left_pk, sc.left.rng());
-    let m2 = build_messages(&s2, &groups2, &right_pk, sc.right.rng());
+        let m1 = build_messages(&s1, &groups1, &left_pk, sc.left.rng());
+        let m2 = build_messages(&s2, &groups2, &right_pk, sc.right.rng());
+        s.field("left_domain", m1.len());
+        s.field("right_domain", m2.len());
+        (s1, s2, m1, m2)
+    };
 
     // Step 3: Si → mediator.
+    let transfer = secmed_obs::span("commutative.transfer");
     let m1_bytes: usize = m1.iter().map(|m| elem_bytes + m.tuple_ct.byte_len()).sum();
     let m2_bytes: usize = m2.iter().map(|m| elem_bytes + m.tuple_ct.byte_len()).sum();
     transport.send(
@@ -114,9 +121,16 @@ pub fn deliver(
         cross2,
     );
 
+    drop(transfer);
+
     // Step 5: S1 double-encrypts M2's hashes; step 6: S2 double-encrypts M1's.
-    let doubled_m2: Vec<Natural> = m2.iter().map(|m| s1.encrypt(&m.enc_hash)).collect();
-    let doubled_m1: Vec<Natural> = m1.iter().map(|m| s2.encrypt(&m.enc_hash)).collect();
+    let (doubled_m2, doubled_m1) = {
+        let _s = secmed_obs::span("commutative.encryption");
+        let doubled_m2: Vec<Natural> = m2.iter().map(|m| s1.encrypt(&m.enc_hash)).collect();
+        let doubled_m1: Vec<Natural> = m1.iter().map(|m| s2.encrypt(&m.enc_hash)).collect();
+        (doubled_m2, doubled_m1)
+    };
+    let transfer = secmed_obs::span("commutative.transfer");
     transport.send(
         PartyId::source(sc.left.name()),
         PartyId::Mediator,
@@ -130,7 +144,10 @@ pub fn deliver(
         doubled_m1.len() * (elem_bytes + per_msg_extra.unwrap_or(0)),
     );
 
+    drop(transfer);
+
     // Step 7: the mediator matches identical first components.
+    let mut intersection = secmed_obs::span("commutative.intersection");
     let mut by_double: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
     for (i, d) in doubled_m1.iter().enumerate() {
         by_double.insert(d.to_bytes_be(), i);
@@ -142,19 +159,25 @@ pub fn deliver(
         }
     }
     mediator_view.intersection_size = Some(result_pairs.len());
+    intersection.field("matches", result_pairs.len());
+    drop(intersection);
 
     let result_bytes: usize = result_pairs
         .iter()
         .map(|(a, b)| a.byte_len() + b.byte_len())
         .sum();
-    transport.send(
-        PartyId::Mediator,
-        PartyId::Client,
-        "L3.7 ⟨encrypt(Tup1(a)), encrypt(Tup2(a))⟩ result messages",
-        result_bytes,
-    );
+    {
+        let _s = secmed_obs::span("commutative.transfer");
+        transport.send(
+            PartyId::Mediator,
+            PartyId::Client,
+            "L3.7 ⟨encrypt(Tup1(a)), encrypt(Tup2(a))⟩ result messages",
+            result_bytes,
+        );
+    }
 
     // Step 8: the client decrypts and combines (cross product per pair).
+    let mut post = secmed_obs::span("commutative.post");
     let mut tuple_set_pairs: Vec<(Vec<Tuple>, Vec<Tuple>)> = Vec::with_capacity(result_pairs.len());
     for (ct1, ct2) in &result_pairs {
         let ts1 = decode_tuple_set(&sc.client.hybrid().decrypt(ct1)?)?;
@@ -168,6 +191,8 @@ pub fn deliver(
         &tuple_set_pairs,
     )?;
     let result = apply_residual(&joined, &p.residual)?;
+    post.field("result_rows", result.len());
+    drop(post);
 
     // The client received only the exact global result — the defining
     // property of this protocol in Table 1.

@@ -14,7 +14,7 @@
 //! 7. The client decrypts `R_C` and applies `q_C` to obtain the global
 //!    result.
 
-use rand::Rng;
+use mpint::rng::Rng;
 use relalg::{decode_tuple, encode_tuple, Relation, Tuple};
 use secmed_das::{DasRow, EncryptedDasRelation, IndexTable, ServerQuery};
 
@@ -48,15 +48,22 @@ pub fn deliver(
     // leakage; see `DasSetting`).
     let left_pk = p.left_client_key().clone();
     let right_pk = p.right_client_key().clone();
-    let (r1s, table1, enc_table1) =
-        source_prepare(&mut sc.left, &p.left_partial, &attr, cfg, &left_pk)?;
-    let (r2s, table2, enc_table2) =
-        source_prepare(&mut sc.right, &p.right_partial, &attr, cfg, &right_pk)?;
+    let (r1s, table1, enc_table1, r2s, table2, enc_table2) = {
+        let mut s = secmed_obs::span("das.encryption");
+        let (r1s, table1, enc_table1) =
+            source_prepare(&mut sc.left, &p.left_partial, &attr, cfg, &left_pk)?;
+        let (r2s, table2, enc_table2) =
+            source_prepare(&mut sc.right, &p.right_partial, &attr, cfg, &right_pk)?;
+        s.field("left_rows", r1s.len());
+        s.field("right_rows", r2s.len());
+        (r1s, table1, enc_table1, r2s, table2, enc_table2)
+    };
     let table_bytes = |enc: &secmed_crypto::HybridCiphertext, plain: &IndexTable| match cfg.setting
     {
         DasSetting::ClientSetting => enc.byte_len(),
         DasSetting::MediatorSetting => plain.encode().len(),
     };
+    let transfer = secmed_obs::span("das.transfer");
     transport.send(
         PartyId::source(sc.left.name()),
         PartyId::Mediator,
@@ -108,13 +115,23 @@ pub fn deliver(
             ServerQuery::translate(&table1, &table2)
         }
     };
+    drop(transfer);
 
     // Step 6: the mediator evaluates qS over ciphertexts.
-    let rc = EncryptedDasRelation::server_join(&r1s, &r2s, &server_query);
+    let rc = {
+        let mut s = secmed_obs::span("das.join");
+        let rc = EncryptedDasRelation::server_join(&r1s, &r2s, &server_query);
+        s.field("candidate_pairs", rc.len());
+        rc
+    };
     mediator_view.server_result_size = Some(rc.len());
-    transport.send(PartyId::Mediator, PartyId::Client, "L2.6 RC", rc.byte_len());
+    {
+        let _s = secmed_obs::span("das.transfer");
+        transport.send(PartyId::Mediator, PartyId::Client, "L2.6 RC", rc.byte_len());
+    }
 
     // Step 7: client decrypts RC and applies the client query.
+    let mut post = secmed_obs::span("das.post");
     let mut candidates: Vec<(Tuple, Tuple)> = Vec::with_capacity(rc.len());
     for (l, r) in rc.pairs() {
         let lt = decode_tuple(&sc.client.hybrid().decrypt(&l.etuple)?)?;
@@ -128,6 +145,8 @@ pub fn deliver(
         &candidates,
     )?;
     let result = apply_residual(&joined, &p.residual)?;
+    post.field("result_rows", result.len());
+    drop(post);
 
     let client_view = ClientView {
         superset_pairs: Some(rc.len()),

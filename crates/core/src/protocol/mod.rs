@@ -49,6 +49,15 @@ impl ProtocolKind {
             ProtocolKind::Pm(_) => "Private Matching",
         }
     }
+
+    /// Short machine-readable key used as the trace-span prefix.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ProtocolKind::Das(_) => "das",
+            ProtocolKind::Commutative(_) => "commutative",
+            ProtocolKind::Pm(_) => "pm",
+        }
+    }
 }
 
 /// Where the DAS query translator lives (paper Section 3.1: "it is
@@ -215,10 +224,20 @@ impl Scenario {
 
     /// Runs the request phase and the selected delivery phase, returning
     /// the full report.
+    ///
+    /// The run is traced: a root `run` span (tagged with the protocol key)
+    /// encloses a `<key>.request` span for Listing 1 and the per-phase
+    /// spans the delivery functions open (`<key>.encryption`,
+    /// `<key>.transfer`, `<key>.join`/`<key>.intersection`, `<key>.post`).
     pub fn run(&mut self, kind: ProtocolKind) -> Result<RunReport, MedError> {
+        let mut root = secmed_obs::span("run");
+        root.field("protocol", kind.key());
         let before = Snapshot::capture();
         let mut transport = Transport::new();
-        let prepared = request_phase(self, &mut transport)?;
+        let prepared = {
+            let _s = secmed_obs::span(&format!("{}.request", kind.key()));
+            request_phase(self, &mut transport)?
+        };
         let mut report = match kind {
             ProtocolKind::Das(cfg) => das::deliver(self, prepared, cfg, &mut transport)?,
             ProtocolKind::Commutative(cfg) => {
@@ -231,6 +250,9 @@ impl Scenario {
             report.transport.bytes_received_by(&PartyId::Mediator);
         report.client_view.bytes_received = report.transport.bytes_received_by(&PartyId::Client);
         report.primitives = Snapshot::capture().since(&before);
+        root.field("messages", report.transport.message_count());
+        root.field("bytes", report.transport.total_bytes());
+        root.field("result_rows", report.result.len());
         Ok(report)
     }
 

@@ -16,8 +16,8 @@
 
 use std::collections::BTreeMap;
 
+use mpint::rng::Rng;
 use mpint::Natural;
-use rand::Rng;
 use relalg::{decode_tuple_set, encode_tuple_set, Tuple};
 use secmed_crypto::hybrid::{SessionCiphertext, SessionKey};
 use secmed_crypto::paillier::{PaillierCiphertext, PaillierPublicKey};
@@ -82,8 +82,15 @@ pub fn deliver(
     let groups2 = group_by_join_key(&p.right_partial, &p.join_attrs)?;
 
     // Steps 2-3: each source builds and encrypts its polynomial.
-    let poly1 = build_poly(&groups1, &paillier_pk, cfg.eval, sc.left.rng());
-    let poly2 = build_poly(&groups2, &paillier_pk, cfg.eval, sc.right.rng());
+    let (poly1, poly2) = {
+        let mut s = secmed_obs::span("pm.encryption");
+        let poly1 = build_poly(&groups1, &paillier_pk, cfg.eval, sc.left.rng());
+        let poly2 = build_poly(&groups2, &paillier_pk, cfg.eval, sc.right.rng());
+        s.field("left_degree", groups1.len());
+        s.field("right_degree", groups2.len());
+        (poly1, poly2)
+    };
+    let transfer = secmed_obs::span("pm.transfer");
     transport.send(
         PartyId::source(sc.left.name()),
         PartyId::Mediator,
@@ -117,8 +124,11 @@ pub fn deliver(
         "L4.4 E(P2) → S1",
         poly2.byte_len(&paillier_pk),
     );
+    drop(transfer);
 
-    // Steps 5-6: masked evaluations with payloads.
+    // Steps 5-6: masked evaluations with payloads — the oblivious
+    // matching work of this protocol.
+    let mut intersection = secmed_obs::span("pm.intersection");
     let naive = matches!(cfg.eval, PmEval::Naive);
     let (evals1, table1) = evaluate_side(
         &groups1,
@@ -136,6 +146,9 @@ pub fn deliver(
         naive,
         sc.right.rng(),
     )?;
+    intersection.field("evaluations", evals1.len() + evals2.len());
+    drop(intersection);
+    let transfer = secmed_obs::span("pm.transfer");
     let ct_bytes = (paillier_pk.n2().bit_len() as usize).div_ceil(8);
     let table_bytes = |t: &BTreeMap<u64, SessionCiphertext>| -> usize {
         t.values().map(|c| 8 + c.byte_len()).sum()
@@ -160,8 +173,10 @@ pub fn deliver(
         "L4.7 n+m encrypted values (+ session tables)",
         (evals1.len() + evals2.len()) * ct_bytes + table_bytes(&table1) + table_bytes(&table2),
     );
+    drop(transfer);
 
     // Step 8: the client decrypts everything and matches value tags.
+    let mut post = secmed_obs::span("pm.post");
     let parsed1 = parse_side(&evals1, sc)?;
     let parsed2 = parse_side(&evals2, sc)?;
     let useful = parsed1.len() + parsed2.len();
@@ -181,6 +196,8 @@ pub fn deliver(
         &tuple_set_pairs,
     )?;
     let result = apply_residual(&joined, &p.residual)?;
+    post.field("result_rows", result.len());
+    drop(post);
 
     let client_view = ClientView {
         ciphertexts_received: Some(evals1.len() + evals2.len()),

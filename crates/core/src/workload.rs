@@ -5,7 +5,7 @@
 //! attribute domains, overlap, and skew.  The generator reports the exact
 //! expected join size so protocol output can be verified.
 
-use rand::Rng;
+use mpint::rng::Rng;
 use relalg::{Relation, Schema, Type, Value};
 use secmed_crypto::drbg::HmacDrbg;
 

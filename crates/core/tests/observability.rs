@@ -1,0 +1,113 @@
+//! The unified observability report must agree *exactly* with the raw
+//! recorders it is derived from: transport counters, the primitive census,
+//! and — transitively — the §6 closed-form cost model.  If the report
+//! aggregation ever drops or double-counts an edge, op, or phase, these
+//! checks fail.
+
+use secmed_core::cost::{observed, predict, shape_of};
+use secmed_core::observe::{unified_report, workload_pairs};
+use secmed_core::workload::WorkloadSpec;
+use secmed_core::{ProtocolKind, Scenario};
+use secmed_obs::trace;
+
+fn spec(seed: &str) -> WorkloadSpec {
+    WorkloadSpec {
+        left_rows: 20,
+        right_rows: 20,
+        left_domain: 10,
+        right_domain: 10,
+        shared_values: 5,
+        payload_attrs: 2,
+        seed: seed.to_string(),
+        ..Default::default()
+    }
+}
+
+fn check(kind: ProtocolKind, seed: &str) {
+    let s = spec(seed);
+    let w = s.generate();
+    let mut sc = Scenario::from_workload(&w, seed, 512);
+    let mark = trace::checkpoint();
+    let report = sc.run(kind).unwrap();
+    let records = trace::take_since(mark);
+    let unified = unified_report(kind, &report, &records, workload_pairs(&s));
+    let key = kind.key();
+
+    // Report totals equal the transport counters, edge by edge.
+    assert_eq!(
+        unified.total_messages(),
+        report.transport.message_count() as u64,
+        "{key}: message total drifted from the transport log"
+    );
+    assert_eq!(
+        unified.total_bytes(),
+        report.transport.total_bytes() as u64,
+        "{key}: byte total drifted from the transport log"
+    );
+
+    // Report ops equal the primitive census, and the census equals the
+    // closed-form prediction — so the report inherits the model guarantee.
+    let census_total: u64 = report.primitives.iter().map(|(_, c)| c).sum();
+    assert_eq!(unified.total_ops(), census_total, "{key}: op total drifted");
+    let shape = shape_of(
+        &w.left,
+        &w.right,
+        "k",
+        report.mediator_view.server_result_size.unwrap_or(0),
+    )
+    .unwrap();
+    assert_eq!(
+        observed(&report.primitives),
+        predict(&kind, &shape),
+        "{key}: census disagrees with the §6 cost model"
+    );
+
+    // Every protocol run produces the canonical phase rows.
+    let phase_names: Vec<&str> = unified.phases.iter().map(|p| p.name.as_str()).collect();
+    for expected in [
+        format!("{key}.request"),
+        format!("{key}.encryption"),
+        format!("{key}.transfer"),
+        format!("{key}.post"),
+    ] {
+        assert!(
+            phase_names.contains(&expected.as_str()),
+            "{key}: missing phase {expected} in {phase_names:?}"
+        );
+    }
+
+    // The result row count in the report is the actual join size.
+    assert_eq!(unified.result_rows, w.expected_join_size as u64);
+
+    // §6 interaction pattern: DAS needs two client interactions with the
+    // mediator; the encryption-key protocols need two per source.
+    let of = |party: &str| {
+        unified
+            .interactions
+            .iter()
+            .find(|(p, _)| p == party)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    match kind {
+        ProtocolKind::Das(_) => {
+            assert_eq!(of("client"), 2, "das: client must interact twice");
+            assert_eq!(of("source:r1"), 1);
+            assert_eq!(of("source:r2"), 1);
+        }
+        ProtocolKind::Commutative(_) | ProtocolKind::Pm(_) => {
+            assert_eq!(of("client"), 1);
+            assert_eq!(of("source:r1"), 2, "{key}: sources must interact twice");
+            assert_eq!(of("source:r2"), 2, "{key}: sources must interact twice");
+        }
+    }
+}
+
+// One test function: the primitive counters and the trace buffer are
+// process-global, so runs must not interleave with each other.
+#[test]
+fn unified_report_matches_recorders_for_every_protocol() {
+    check(ProtocolKind::Das(Default::default()), "obs-das");
+    check(ProtocolKind::Commutative(Default::default()), "obs-comm");
+    check(ProtocolKind::Pm(Default::default()), "obs-pm");
+}

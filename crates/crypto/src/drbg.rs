@@ -5,14 +5,11 @@
 //! the leakage-audit harness rely on; for non-test use the DRBG can be
 //! seeded from OS entropy via [`HmacDrbg::from_os_entropy`].
 
-use std::convert::Infallible;
-
-use rand::TryRng;
+use mpint::rng::Rng;
 
 use crate::hmac::hmac_sha256;
 
-/// A deterministic random bit generator implementing [`rand::Rng`]
-/// (via the infallible [`TryRng`] impl).
+/// A deterministic random bit generator implementing [`mpint::rng::Rng`].
 pub struct HmacDrbg {
     key: [u8; 32],
     value: [u8; 32],
@@ -39,11 +36,10 @@ impl HmacDrbg {
         Self::new(label.as_bytes())
     }
 
-    /// Instantiates from operating-system entropy.
+    /// Instantiates from operating-system entropy (`/dev/urandom`).
     pub fn from_os_entropy() -> Self {
         let mut seed = [0u8; 48];
-        // `rand::rng()` is the OS-seeded thread RNG.
-        rand::Rng::fill_bytes(&mut rand::rng(), &mut seed);
+        mpint::rng::OsRng.fill_bytes(&mut seed);
         Self::new(&seed)
     }
 
@@ -90,31 +86,15 @@ impl HmacDrbg {
     }
 }
 
-impl TryRng for HmacDrbg {
-    type Error = Infallible;
-
-    fn try_next_u32(&mut self) -> Result<u32, Infallible> {
-        let mut b = [0u8; 4];
-        self.fill(&mut b);
-        Ok(u32::from_le_bytes(b))
-    }
-
-    fn try_next_u64(&mut self) -> Result<u64, Infallible> {
-        let mut b = [0u8; 8];
-        self.fill(&mut b);
-        Ok(u64::from_le_bytes(b))
-    }
-
-    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+impl Rng for HmacDrbg {
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
         self.fill(dst);
-        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn deterministic_for_same_seed() {

@@ -5,8 +5,8 @@
 //! KEM: the encapsulator picks `r`, sends `g^r`, and both sides derive the
 //! session key as `KDF(pk^r) = KDF(g^(x*r))`.
 
+use mpint::rng::Rng;
 use mpint::Natural;
-use rand::Rng;
 
 use crate::group::SafePrimeGroup;
 use crate::hmac::kdf;

@@ -20,8 +20,8 @@
 use std::collections::HashMap;
 
 use mpint::numtheory::modinv;
+use mpint::rng::Rng;
 use mpint::Natural;
-use rand::Rng;
 
 use crate::group::SafePrimeGroup;
 use crate::metrics::{count, Op};

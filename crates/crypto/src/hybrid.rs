@@ -11,8 +11,8 @@
 //! tuple sets are encrypted under per-set session keys and only the session
 //! keys ride inside the homomorphic polynomial payload.
 
+use mpint::rng::Rng;
 use mpint::Natural;
-use rand::Rng;
 
 use crate::chacha20::ChaCha20;
 use crate::elgamal::{ElGamalKeyPair, ElGamalPublicKey, Encapsulation};

@@ -9,7 +9,7 @@
 //! * [`chacha20`] — the symmetric stream cipher used for session-key
 //!   encryption of tuple payloads,
 //! * [`drbg`] — a deterministic HMAC-DRBG usable anywhere a
-//!   [`rand::Rng`] is expected (reproducible protocol runs),
+//!   [`mpint::rng::Rng`] is expected (reproducible protocol runs),
 //! * [`group`] — safe-prime groups (with precomputed parameters) whose
 //!   quadratic-residue subgroup has prime order,
 //! * [`elgamal`] + [`hybrid`] — the paper's `encrypt(...)`/`decrypt(...)`:

@@ -18,8 +18,8 @@
 use mpint::numtheory::{gcd, lcm, modinv};
 use mpint::prime::gen_prime;
 use mpint::random::random_below;
+use mpint::rng::Rng;
 use mpint::{Montgomery, Natural};
-use rand::Rng;
 
 use crate::metrics::{count, Op};
 use crate::CryptoError;

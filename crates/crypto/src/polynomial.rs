@@ -17,8 +17,8 @@
 //!   polynomial, padding every bucket to equal degree so loads leak nothing.
 
 use mpint::random::random_below;
+use mpint::rng::Rng;
 use mpint::Natural;
-use rand::Rng;
 
 use crate::metrics::{count, Op};
 use crate::paillier::{PaillierCiphertext, PaillierPublicKey};

@@ -5,8 +5,8 @@
 //! scheme is standard Schnorr with the challenge derived by SHA-256
 //! (Fiat–Shamir).
 
+use mpint::rng::Rng;
 use mpint::Natural;
-use rand::Rng;
 
 use crate::group::SafePrimeGroup;
 use crate::metrics::{count, Op};

@@ -16,8 +16,8 @@
 
 use mpint::numtheory::{gcd, modinv};
 use mpint::random::random_below;
+use mpint::rng::Rng;
 use mpint::Natural;
-use rand::Rng;
 
 use crate::group::SafePrimeGroup;
 use crate::metrics::{count, Op};

@@ -4,7 +4,6 @@
 //! mis-decrypted).
 
 use mpint::Natural;
-use proptest::prelude::*;
 use secmed_crypto::chacha20::ChaCha20;
 use secmed_crypto::drbg::HmacDrbg;
 use secmed_crypto::group::{GroupSize, SafePrimeGroup};
@@ -13,65 +12,100 @@ use secmed_crypto::hybrid::{HybridKeyPair, SessionKey};
 use secmed_crypto::paillier::Paillier;
 use secmed_crypto::sha256::{sha256, Sha256};
 use secmed_crypto::CryptoError;
+use secmed_testkit::{cases, DEFAULT_CASES};
 
-proptest! {
-    #[test]
-    fn sha256_incremental_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..2048), split in 0usize..2048) {
-        let split = split.min(data.len());
+/// Case count for the expensive keypair-generating properties (matching
+/// the reduced configuration of the previous framework).
+const EXPENSIVE_CASES: u64 = 12;
+
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    cases(DEFAULT_CASES, "sha256_incremental_equals_oneshot", |g| {
+        let data = g.bytes_in(0, 2047);
+        let split = g.usize_in(0, 2047).min(data.len());
         let mut h = Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), sha256(&data));
-    }
+        assert_eq!(h.finalize(), sha256(&data));
+    });
+}
 
-    #[test]
-    fn sha256_distinct_on_suffix_flip(mut data in prop::collection::vec(any::<u8>(), 1..256)) {
+#[test]
+fn sha256_distinct_on_suffix_flip() {
+    cases(DEFAULT_CASES, "sha256_distinct_on_suffix_flip", |g| {
+        let mut data = g.bytes_in(1, 255);
         let original = sha256(&data);
         let last = data.len() - 1;
         data[last] ^= 1;
-        prop_assert_ne!(sha256(&data), original);
-    }
+        assert_ne!(sha256(&data), original);
+    });
+}
 
-    #[test]
-    fn hmac_key_and_message_sensitivity(key in prop::collection::vec(any::<u8>(), 0..80), msg in prop::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn hmac_key_and_message_sensitivity() {
+    cases(DEFAULT_CASES, "hmac_key_and_message_sensitivity", |g| {
+        let key = g.bytes_in(0, 79);
+        let msg = g.bytes_in(0, 255);
         let mac = hmac_sha256(&key, &msg);
         let mut key2 = key.clone();
         key2.push(0x01);
-        prop_assert_ne!(hmac_sha256(&key2, &msg), mac);
+        assert_ne!(hmac_sha256(&key2, &msg), mac);
         let mut msg2 = msg.clone();
         msg2.push(0x01);
-        prop_assert_ne!(hmac_sha256(&key, &msg2), mac);
-    }
-
-    #[test]
-    fn hkdf_expand_lengths(len in 1usize..500, info in prop::collection::vec(any::<u8>(), 0..32)) {
-        let prk = hkdf_extract(b"salt", b"ikm");
-        let out = hkdf_expand(&prk, &info, len);
-        prop_assert_eq!(out.len(), len);
-    }
-
-    #[test]
-    fn chacha_roundtrip_and_nontriviality(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(), msg in prop::collection::vec(any::<u8>(), 1..512)) {
-        let ct = ChaCha20::new(&key, &nonce).apply(&msg);
-        prop_assert_eq!(ChaCha20::new(&key, &nonce).apply(&ct), msg.clone());
-        prop_assert_ne!(ct, msg);
-    }
-
-    #[test]
-    fn chacha_counter_separation(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(), c1 in any::<u32>(), c2 in any::<u32>()) {
-        prop_assume!(c1 != c2);
-        let b1 = ChaCha20::with_counter(&key, &nonce, c1).block();
-        let b2 = ChaCha20::with_counter(&key, &nonce, c2).block();
-        prop_assert_ne!(b1, b2);
-    }
+        assert_ne!(hmac_sha256(&key, &msg2), mac);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn hkdf_expand_lengths() {
+    cases(DEFAULT_CASES, "hkdf_expand_lengths", |g| {
+        let len = g.usize_in(1, 499);
+        let info = g.bytes_in(0, 31);
+        let prk = hkdf_extract(b"salt", b"ikm");
+        let out = hkdf_expand(&prk, &info, len);
+        assert_eq!(out.len(), len);
+    });
+}
 
-    #[test]
-    fn hybrid_tamper_any_body_byte_fails(msg in prop::collection::vec(any::<u8>(), 1..128), seed in any::<u64>(), flip in any::<u8>()) {
-        prop_assume!(flip != 0);
+#[test]
+fn chacha_roundtrip_and_nontriviality() {
+    cases(DEFAULT_CASES, "chacha_roundtrip_and_nontriviality", |g| {
+        let key: [u8; 32] = g.bytes(32).try_into().unwrap();
+        let nonce: [u8; 12] = g.bytes(12).try_into().unwrap();
+        let msg = g.bytes_in(1, 511);
+        let ct = ChaCha20::new(&key, &nonce).apply(&msg);
+        assert_eq!(ChaCha20::new(&key, &nonce).apply(&ct), msg.clone());
+        assert_ne!(ct, msg);
+    });
+}
+
+#[test]
+fn chacha_counter_separation() {
+    cases(DEFAULT_CASES, "chacha_counter_separation", |g| {
+        let key: [u8; 32] = g.bytes(32).try_into().unwrap();
+        let nonce: [u8; 12] = g.bytes(12).try_into().unwrap();
+        let c1 = g.u32();
+        let c2 = g.u32();
+        if c1 == c2 {
+            return;
+        }
+        let b1 = ChaCha20::with_counter(&key, &nonce, c1).block();
+        let b2 = ChaCha20::with_counter(&key, &nonce, c2).block();
+        assert_ne!(b1, b2);
+    });
+}
+
+#[test]
+fn hybrid_tamper_any_body_byte_fails() {
+    cases(EXPENSIVE_CASES, "hybrid_tamper_any_body_byte_fails", |g| {
+        let msg = g.bytes_in(1, 127);
+        let seed = g.u64();
+        let flip = loop {
+            let f = g.u8();
+            if f != 0 {
+                break f;
+            }
+        };
         let mut rng = HmacDrbg::new(&seed.to_be_bytes());
         let kp = HybridKeyPair::generate(SafePrimeGroup::preset(GroupSize::S256), &mut rng);
         let ct = kp.public().encrypt(&msg, &mut rng);
@@ -82,65 +116,102 @@ proptest! {
         // (Field access is private; tamper through serialization instead:
         // decrypting an unrelated ciphertext with this key must fail.)
         let other = SessionKey::generate(&mut rng);
-        prop_assert_eq!(other.decrypt(&sct), Err(CryptoError::MacMismatch));
+        assert_eq!(other.decrypt(&sct), Err(CryptoError::MacMismatch));
         sct = sk.encrypt(&[flip], &mut rng);
-        prop_assert_eq!(sk.decrypt(&sct).unwrap(), vec![flip]);
+        assert_eq!(sk.decrypt(&sct).unwrap(), vec![flip]);
         // And the hybrid ciphertext still decrypts fine.
-        prop_assert_eq!(kp.decrypt(&ct).unwrap(), msg);
-    }
+        assert_eq!(kp.decrypt(&ct).unwrap(), msg);
+    });
+}
 
-    #[test]
-    fn paillier_add_is_commutative_and_associative(a in any::<u32>(), b in any::<u32>(), c in any::<u32>(), seed in any::<u64>()) {
-        let kp = Paillier::test_keypair(256, "prop-assoc");
-        let pk = kp.public();
-        let mut rng = HmacDrbg::new(&seed.to_be_bytes());
-        let (ea, eb, ec) = (
-            pk.encrypt(&Natural::from(a as u64), &mut rng).unwrap(),
-            pk.encrypt(&Natural::from(b as u64), &mut rng).unwrap(),
-            pk.encrypt(&Natural::from(c as u64), &mut rng).unwrap(),
-        );
-        let ab_c = pk.add(&pk.add(&ea, &eb), &ec);
-        let a_bc = pk.add(&ea, &pk.add(&eb, &ec));
-        // Ciphertexts differ, but plaintexts agree.
-        prop_assert_eq!(kp.decrypt(&ab_c), kp.decrypt(&a_bc));
-        let ba = pk.add(&eb, &ea);
-        prop_assert_eq!(kp.decrypt(&pk.add(&ea, &eb)), kp.decrypt(&ba));
-    }
+#[test]
+fn paillier_add_is_commutative_and_associative() {
+    cases(
+        EXPENSIVE_CASES,
+        "paillier_add_is_commutative_and_associative",
+        |g| {
+            let (a, b, c) = (g.u32(), g.u32(), g.u32());
+            let seed = g.u64();
+            let kp = Paillier::test_keypair(256, "prop-assoc");
+            let pk = kp.public();
+            let mut rng = HmacDrbg::new(&seed.to_be_bytes());
+            let (ea, eb, ec) = (
+                pk.encrypt(&Natural::from(a as u64), &mut rng).unwrap(),
+                pk.encrypt(&Natural::from(b as u64), &mut rng).unwrap(),
+                pk.encrypt(&Natural::from(c as u64), &mut rng).unwrap(),
+            );
+            let ab_c = pk.add(&pk.add(&ea, &eb), &ec);
+            let a_bc = pk.add(&ea, &pk.add(&eb, &ec));
+            // Ciphertexts differ, but plaintexts agree.
+            assert_eq!(kp.decrypt(&ab_c), kp.decrypt(&a_bc));
+            let ba = pk.add(&eb, &ea);
+            assert_eq!(kp.decrypt(&pk.add(&ea, &eb)), kp.decrypt(&ba));
+        },
+    );
+}
 
-    #[test]
-    fn paillier_scale_distributes_over_add(a in any::<u32>(), b in any::<u32>(), g in 1..10_000u64, seed in any::<u64>()) {
-        let kp = Paillier::test_keypair(256, "prop-dist");
-        let pk = kp.public();
-        let mut rng = HmacDrbg::new(&seed.to_be_bytes());
-        let ea = pk.encrypt(&Natural::from(a as u64), &mut rng).unwrap();
-        let eb = pk.encrypt(&Natural::from(b as u64), &mut rng).unwrap();
-        let gamma = Natural::from(g);
-        let lhs = pk.scale(&pk.add(&ea, &eb), &gamma);
-        let rhs = pk.add(&pk.scale(&ea, &gamma), &pk.scale(&eb, &gamma));
-        prop_assert_eq!(kp.decrypt(&lhs), kp.decrypt(&rhs));
-    }
+#[test]
+fn paillier_scale_distributes_over_add() {
+    cases(
+        EXPENSIVE_CASES,
+        "paillier_scale_distributes_over_add",
+        |g| {
+            let (a, b) = (g.u32(), g.u32());
+            let gamma = Natural::from(1 + g.u64_below(9_999));
+            let seed = g.u64();
+            let kp = Paillier::test_keypair(256, "prop-dist");
+            let pk = kp.public();
+            let mut rng = HmacDrbg::new(&seed.to_be_bytes());
+            let ea = pk.encrypt(&Natural::from(a as u64), &mut rng).unwrap();
+            let eb = pk.encrypt(&Natural::from(b as u64), &mut rng).unwrap();
+            let lhs = pk.scale(&pk.add(&ea, &eb), &gamma);
+            let rhs = pk.add(&pk.scale(&ea, &gamma), &pk.scale(&eb, &gamma));
+            assert_eq!(kp.decrypt(&lhs), kp.decrypt(&rhs));
+        },
+    );
+}
 
-    #[test]
-    fn group_hash_is_collision_free_on_samples(values in prop::collection::btree_set(prop::collection::vec(any::<u8>(), 1..16), 2..10)) {
-        let g = SafePrimeGroup::preset(GroupSize::S256);
-        let hashes: Vec<Natural> = values.iter().map(|v| g.hash_to_group(v)).collect();
-        for (i, a) in hashes.iter().enumerate() {
-            for b in &hashes[i + 1..] {
-                prop_assert_ne!(a, b);
+#[test]
+fn group_hash_is_collision_free_on_samples() {
+    cases(
+        EXPENSIVE_CASES,
+        "group_hash_is_collision_free_on_samples",
+        |gen| {
+            use std::collections::BTreeSet;
+            let mut values: BTreeSet<Vec<u8>> = BTreeSet::new();
+            let target = gen.usize_in(2, 9);
+            while values.len() < target {
+                values.insert(gen.bytes_in(1, 15));
             }
-        }
-    }
+            let g = SafePrimeGroup::preset(GroupSize::S256);
+            let hashes: Vec<Natural> = values.iter().map(|v| g.hash_to_group(v)).collect();
+            for (i, a) in hashes.iter().enumerate() {
+                for b in &hashes[i + 1..] {
+                    assert_ne!(a, b);
+                }
+            }
+        },
+    );
+}
 
-    #[test]
-    fn schnorr_rejects_any_message_perturbation(msg in prop::collection::vec(any::<u8>(), 1..64), seed in any::<u64>(), idx in any::<usize>()) {
-        use secmed_crypto::schnorr::SchnorrKeyPair;
-        let mut rng = HmacDrbg::new(&seed.to_be_bytes());
-        let kp = SchnorrKeyPair::generate(SafePrimeGroup::preset(GroupSize::S256), &mut rng);
-        let sig = kp.sign(&msg, &mut rng);
-        prop_assert!(kp.public().verify(&msg, &sig));
-        let mut tampered = msg.clone();
-        let i = idx % tampered.len();
-        tampered[i] ^= 0x5a;
-        prop_assert!(!kp.public().verify(&tampered, &sig));
-    }
+#[test]
+fn schnorr_rejects_any_message_perturbation() {
+    cases(
+        EXPENSIVE_CASES,
+        "schnorr_rejects_any_message_perturbation",
+        |g| {
+            use secmed_crypto::schnorr::SchnorrKeyPair;
+            let msg = g.bytes_in(1, 63);
+            let seed = g.u64();
+            let idx = g.u64() as usize;
+            let mut rng = HmacDrbg::new(&seed.to_be_bytes());
+            let kp = SchnorrKeyPair::generate(SafePrimeGroup::preset(GroupSize::S256), &mut rng);
+            let sig = kp.sign(&msg, &mut rng);
+            assert!(kp.public().verify(&msg, &sig));
+            let mut tampered = msg.clone();
+            let i = idx % tampered.len();
+            tampered[i] ^= 0x5a;
+            assert!(!kp.public().verify(&tampered, &sig));
+        },
+    );
 }

@@ -1,7 +1,7 @@
 //! Index tables: the mapping from partitions to opaque index values
 //! (`ITable_{R_i.A_join}` in the paper).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use relalg::bytes::{ByteReader, ByteWriter};
 use relalg::Value;
 use secmed_crypto::sha256::Sha256;
 
@@ -85,7 +85,7 @@ impl IndexTable {
     /// Serializes the table (this byte string is what the datasource
     /// encrypts for the client — `encrypt(ITable)` in Listing 2).
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::new();
+        let mut buf = ByteWriter::new();
         buf.put_u64(self.salt);
         buf.put_u32(self.entries.len() as u32);
         for (p, id) in &self.entries {
@@ -107,13 +107,13 @@ impl IndexTable {
                 }
             }
         }
-        buf.to_vec()
+        buf.into_vec()
     }
 
     /// Deserializes a table.
     pub fn decode(data: &[u8]) -> Result<Self, DasError> {
-        let mut buf = Bytes::copy_from_slice(data);
-        let need = |buf: &Bytes, n: usize| -> Result<(), DasError> {
+        let mut buf = ByteReader::new(data);
+        let need = |buf: &ByteReader, n: usize| -> Result<(), DasError> {
             if buf.remaining() < n {
                 Err(DasError::Codec("truncated index table".to_string()))
             } else {
@@ -142,7 +142,7 @@ impl IndexTable {
                         need(&buf, 4)?;
                         let len = buf.get_u32() as usize;
                         need(&buf, len)?;
-                        let enc = buf.copy_to_bytes(len);
+                        let enc = buf.copy_to_vec(len);
                         let t = relalg::decode_tuple(&enc)
                             .map_err(|e| DasError::Codec(e.to_string()))?;
                         let v = t

@@ -4,106 +4,147 @@
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
 use relalg::Value;
 use secmed_das::exposure::{entropy_bits, guessing_exposure};
 use secmed_das::{IndexTable, PartitionScheme, ServerQuery};
+use secmed_testkit::{cases, Gen, DEFAULT_CASES};
 
-fn int_domain() -> impl Strategy<Value = BTreeSet<Value>> {
-    prop::collection::btree_set(-1000i64..1000, 1..60)
-        .prop_map(|s| s.into_iter().map(Value::Int).collect())
+/// A non-empty integer domain of 1..60 distinct values in [-1000, 1000).
+fn int_domain(g: &mut Gen) -> BTreeSet<Value> {
+    let target = g.usize_in(1, 59);
+    let mut dom = BTreeSet::new();
+    while dom.len() < target {
+        dom.insert(Value::Int(g.i64_in(-1000, 999)));
+    }
+    dom
 }
 
-fn scheme() -> impl Strategy<Value = PartitionScheme> {
-    prop_oneof![
-        (1usize..20).prop_map(PartitionScheme::EquiWidth),
-        (1usize..20).prop_map(PartitionScheme::EquiDepth),
-        Just(PartitionScheme::PerValue),
-    ]
+fn scheme(g: &mut Gen) -> PartitionScheme {
+    match g.usize_in(0, 2) {
+        0 => PartitionScheme::EquiWidth(g.usize_in(1, 19)),
+        1 => PartitionScheme::EquiDepth(g.usize_in(1, 19)),
+        _ => PartitionScheme::PerValue,
+    }
 }
 
-proptest! {
-    #[test]
-    fn partitions_cover_domain_exactly_once(dom in int_domain(), sch in scheme()) {
+#[test]
+fn partitions_cover_domain_exactly_once() {
+    cases(DEFAULT_CASES, "partitions_cover_domain_exactly_once", |g| {
+        let dom = int_domain(g);
+        let sch = scheme(g);
         let parts = sch.partition(&dom).unwrap();
         for v in &dom {
             let covering = parts.iter().filter(|p| p.contains(v)).count();
-            prop_assert_eq!(covering, 1, "value {} covered {} times", v, covering);
+            assert_eq!(covering, 1, "value {v} covered {covering} times");
         }
-    }
+    });
+}
 
-    #[test]
-    fn index_table_is_total_and_injective_per_partition(dom in int_domain(), sch in scheme(), salt in any::<u64>()) {
+#[test]
+fn index_table_is_total_and_injective_per_partition() {
+    cases(
+        DEFAULT_CASES,
+        "index_table_is_total_and_injective_per_partition",
+        |g| {
+            let dom = int_domain(g);
+            let sch = scheme(g);
+            let salt = g.u64();
+            let table = IndexTable::build(&dom, sch, salt).unwrap();
+            let mut ids = BTreeSet::new();
+            for (_, id) in table.entries() {
+                assert!(ids.insert(*id), "duplicate index value");
+            }
+            for v in &dom {
+                table.index_of(v).unwrap();
+            }
+        },
+    );
+}
+
+#[test]
+fn index_table_codec_total_roundtrip() {
+    cases(DEFAULT_CASES, "index_table_codec_total_roundtrip", |g| {
+        let dom = int_domain(g);
+        let sch = scheme(g);
+        let salt = g.u64();
         let table = IndexTable::build(&dom, sch, salt).unwrap();
-        let mut ids = BTreeSet::new();
-        for (_, id) in table.entries() {
-            prop_assert!(ids.insert(*id), "duplicate index value");
-        }
-        for v in &dom {
-            table.index_of(v).unwrap();
-        }
-    }
+        assert_eq!(IndexTable::decode(&table.encode()).unwrap(), table);
+    });
+}
 
-    #[test]
-    fn index_table_codec_total_roundtrip(dom in int_domain(), sch in scheme(), salt in any::<u64>()) {
-        let table = IndexTable::build(&dom, sch, salt).unwrap();
-        prop_assert_eq!(IndexTable::decode(&table.encode()).unwrap(), table);
-    }
+#[test]
+fn server_query_never_misses_shared_values() {
+    cases(
+        DEFAULT_CASES,
+        "server_query_never_misses_shared_values",
+        |g| {
+            let d1 = int_domain(g);
+            let d2 = int_domain(g);
+            let s1 = scheme(g);
+            let s2 = scheme(g);
+            let t1 = IndexTable::build(&d1, s1, 1).unwrap();
+            let t2 = IndexTable::build(&d2, s2, 2).unwrap();
+            let q = ServerQuery::translate(&t1, &t2);
+            // Soundness of Cond_S: every genuinely shared value must pass.
+            for v in d1.intersection(&d2) {
+                let i1 = t1.index_of(v).unwrap();
+                let i2 = t2.index_of(v).unwrap();
+                assert!(q.admits(i1, i2), "shared value {v} rejected");
+            }
+        },
+    );
+}
 
-    #[test]
-    fn server_query_never_misses_shared_values(
-        d1 in int_domain(),
-        d2 in int_domain(),
-        s1 in scheme(),
-        s2 in scheme(),
-    ) {
-        let t1 = IndexTable::build(&d1, s1, 1).unwrap();
-        let t2 = IndexTable::build(&d2, s2, 2).unwrap();
-        let q = ServerQuery::translate(&t1, &t2);
-        // Soundness of Cond_S: every genuinely shared value must pass.
-        for v in d1.intersection(&d2) {
-            let i1 = t1.index_of(v).unwrap();
-            let i2 = t2.index_of(v).unwrap();
-            prop_assert!(q.admits(i1, i2), "shared value {} rejected", v);
-        }
-    }
-
-    #[test]
-    fn pervalue_query_is_exact(d1 in int_domain(), d2 in int_domain()) {
+#[test]
+fn pervalue_query_is_exact() {
+    cases(DEFAULT_CASES, "pervalue_query_is_exact", |g| {
+        let d1 = int_domain(g);
+        let d2 = int_domain(g);
         let t1 = IndexTable::build(&d1, PartitionScheme::PerValue, 1).unwrap();
         let t2 = IndexTable::build(&d2, PartitionScheme::PerValue, 2).unwrap();
         let q = ServerQuery::translate(&t1, &t2);
-        prop_assert_eq!(q.len(), d1.intersection(&d2).count());
-    }
+        assert_eq!(q.len(), d1.intersection(&d2).count());
+    });
+}
 
-    #[test]
-    fn exposure_bounds(dom in int_domain(), sch in scheme()) {
+#[test]
+fn exposure_bounds() {
+    cases(DEFAULT_CASES, "exposure_bounds", |g| {
+        let dom = int_domain(g);
+        let sch = scheme(g);
         let table = IndexTable::build(&dom, sch, 3).unwrap();
         let e = guessing_exposure(&table, &dom);
-        prop_assert!(e > 0.0 && e <= 1.0 + 1e-9, "exposure {e} out of range");
+        assert!(e > 0.0 && e <= 1.0 + 1e-9, "exposure {e} out of range");
         let h = entropy_bits(&table, &dom);
-        prop_assert!(h >= -1e-9, "negative entropy {h}");
-        prop_assert!(h <= (dom.len() as f64).log2() + 1e-9, "entropy above log2(|dom|)");
-    }
+        assert!(h >= -1e-9, "negative entropy {h}");
+        assert!(
+            h <= (dom.len() as f64).log2() + 1e-9,
+            "entropy above log2(|dom|)"
+        );
+    });
+}
 
-    #[test]
-    fn coarsening_equidepth_never_shrinks_cond_s(
-        d1 in int_domain(),
-        d2 in int_domain(),
-        k in 2usize..16,
-    ) {
-        let fine1 = IndexTable::build(&d1, PartitionScheme::EquiDepth(k), 1).unwrap();
-        let fine2 = IndexTable::build(&d2, PartitionScheme::EquiDepth(k), 2).unwrap();
-        let coarse1 = IndexTable::build(&d1, PartitionScheme::EquiDepth(1), 1).unwrap();
-        let coarse2 = IndexTable::build(&d2, PartitionScheme::EquiDepth(1), 2).unwrap();
-        let fine = ServerQuery::translate(&fine1, &fine2);
-        let coarse = ServerQuery::translate(&coarse1, &coarse2);
-        // With single buckets, either everything matches (1 pair) or the
-        // domains are disjoint; the fine query can only admit fewer or
-        // equal *fractions* of the cross product.
-        let fine_fraction = fine.len() as f64 / (fine1.len() * fine2.len()) as f64;
-        let coarse_fraction =
-            coarse.len() as f64 / (coarse1.len() * coarse2.len()) as f64;
-        prop_assert!(fine_fraction <= coarse_fraction + 1e-9);
-    }
+#[test]
+fn coarsening_equidepth_never_shrinks_cond_s() {
+    cases(
+        DEFAULT_CASES,
+        "coarsening_equidepth_never_shrinks_cond_s",
+        |g| {
+            let d1 = int_domain(g);
+            let d2 = int_domain(g);
+            let k = g.usize_in(2, 15);
+            let fine1 = IndexTable::build(&d1, PartitionScheme::EquiDepth(k), 1).unwrap();
+            let fine2 = IndexTable::build(&d2, PartitionScheme::EquiDepth(k), 2).unwrap();
+            let coarse1 = IndexTable::build(&d1, PartitionScheme::EquiDepth(1), 1).unwrap();
+            let coarse2 = IndexTable::build(&d2, PartitionScheme::EquiDepth(1), 2).unwrap();
+            let fine = ServerQuery::translate(&fine1, &fine2);
+            let coarse = ServerQuery::translate(&coarse1, &coarse2);
+            // With single buckets, either everything matches (1 pair) or the
+            // domains are disjoint; the fine query can only admit fewer or
+            // equal *fractions* of the cross product.
+            let fine_fraction = fine.len() as f64 / (fine1.len() * fine2.len()) as f64;
+            let coarse_fraction = coarse.len() as f64 / (coarse1.len() * coarse2.len()) as f64;
+            assert!(fine_fraction <= coarse_fraction + 1e-9);
+        },
+    );
 }

@@ -15,7 +15,9 @@
 //! * number theory ([`numtheory`]): gcd, extended gcd, modular inverse,
 //!   Jacobi symbol,
 //! * probabilistic prime and safe-prime generation ([`prime`]),
-//! * uniform random sampling ([`random`]).
+//! * uniform random sampling ([`random`]),
+//! * the workspace's random-number abstraction ([`rng`]): the [`rng::Rng`]
+//!   trait plus OS entropy and a seedable test generator.
 //!
 //! The implementation favours clarity and reviewability over raw speed and
 //! is **not** constant-time; see the workspace DESIGN.md for the threat
@@ -43,6 +45,7 @@ pub mod modular;
 pub mod numtheory;
 pub mod prime;
 pub mod random;
+pub mod rng;
 
 pub use int::{Int, Sign};
 pub use modular::Montgomery;

@@ -5,9 +5,8 @@
 //! the SRA commutative encryption and the ElGamal KEM: the subgroup of
 //! quadratic residues mod `p` then has prime order `q`.
 
-use rand::Rng;
-
 use crate::random::{random_below, random_bits};
+use crate::rng::Rng;
 use crate::Natural;
 
 /// Small primes used for trial division before Miller–Rabin.
@@ -143,11 +142,10 @@ pub fn gen_safe_prime(bits: u64, rng: &mut dyn Rng) -> (Natural, Natural) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SplitMix64;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> SplitMix64 {
+        SplitMix64::seed_from_u64(7)
     }
 
     fn n(v: u128) -> Natural {

@@ -1,6 +1,6 @@
-//! Uniform random sampling of big integers from any [`rand::Rng`].
+//! Uniform random sampling of big integers from any [`crate::rng::Rng`].
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::Natural;
 
@@ -71,11 +71,10 @@ pub fn random_range(rng: &mut dyn Rng, low: &Natural, high: &Natural) -> Natural
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SplitMix64;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(0x5ec4ed)
+    fn rng() -> SplitMix64 {
+        SplitMix64::seed_from_u64(0x5ec4ed)
     }
 
     #[test]

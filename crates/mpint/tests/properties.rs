@@ -3,196 +3,292 @@
 //! operands far beyond 128 bits.
 
 use mpint::{numtheory, Natural};
-use proptest::prelude::*;
+use secmed_testkit::{cases, Gen, DEFAULT_CASES};
 
-/// Strategy: an arbitrary Natural up to ~6 limbs, built from raw limbs.
-fn natural() -> impl Strategy<Value = Natural> {
-    prop::collection::vec(any::<u64>(), 0..6).prop_map(Natural::from_limbs)
+/// An arbitrary Natural up to ~6 limbs, built from raw limbs.
+fn natural(g: &mut Gen) -> Natural {
+    let limbs = g.usize_in(0, 5);
+    Natural::from_limbs(g.vec_of(limbs, |g| g.u64()))
 }
 
-/// Strategy: a non-zero Natural.
-fn natural_nonzero() -> impl Strategy<Value = Natural> {
-    natural().prop_filter("non-zero", |n| !n.is_zero())
-}
-
-proptest! {
-    #[test]
-    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
-        let sum = Natural::from(a) + Natural::from(b);
-        prop_assert_eq!(sum, Natural::from(a as u128 + b as u128));
-    }
-
-    #[test]
-    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
-        let prod = Natural::from(a) * Natural::from(b);
-        prop_assert_eq!(prod, Natural::from(a as u128 * b as u128));
-    }
-
-    #[test]
-    fn div_matches_u128(a in any::<u128>(), b in 1..=u64::MAX) {
-        let (q, r) = Natural::from(a).div_rem(&Natural::from(b));
-        prop_assert_eq!(q, Natural::from(a / b as u128));
-        prop_assert_eq!(r, Natural::from(a % b as u128));
-    }
-
-    #[test]
-    fn add_commutative(a in natural(), b in natural()) {
-        prop_assert_eq!(&a + &b, &b + &a);
-    }
-
-    #[test]
-    fn add_associative(a in natural(), b in natural(), c in natural()) {
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-    }
-
-    #[test]
-    fn mul_commutative(a in natural(), b in natural()) {
-        prop_assert_eq!(&a * &b, &b * &a);
-    }
-
-    #[test]
-    fn mul_distributes_over_add(a in natural(), b in natural(), c in natural()) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
-
-    #[test]
-    fn sub_inverts_add(a in natural(), b in natural()) {
-        prop_assert_eq!(&(&a + &b) - &b, a);
-    }
-
-    #[test]
-    fn div_rem_reconstructs(a in natural(), b in natural_nonzero()) {
-        let (q, r) = a.div_rem(&b);
-        prop_assert!(r < b);
-        prop_assert_eq!(&q * &b + &r, a);
-    }
-
-    #[test]
-    fn shifts_are_mul_div_by_powers_of_two(a in natural(), s in 0u64..200) {
-        let two_s = Natural::one().shl_bits(s);
-        prop_assert_eq!(a.shl_bits(s), &a * &two_s);
-        prop_assert_eq!(a.shr_bits(s), a.div_rem(&two_s).0);
-    }
-
-    #[test]
-    fn decimal_roundtrip(a in natural()) {
-        let s = a.to_decimal();
-        prop_assert_eq!(Natural::from_decimal(&s).unwrap(), a);
-    }
-
-    #[test]
-    fn hex_roundtrip(a in natural()) {
-        let s = a.to_hex();
-        prop_assert_eq!(Natural::from_hex(&s).unwrap(), a);
-    }
-
-    #[test]
-    fn bytes_roundtrip(a in natural()) {
-        prop_assert_eq!(Natural::from_bytes_be(&a.to_bytes_be()), a);
-    }
-
-    #[test]
-    fn bit_len_bounds(a in natural_nonzero()) {
-        let bits = a.bit_len();
-        prop_assert!(Natural::one().shl_bits(bits - 1) <= a);
-        prop_assert!(a < Natural::one().shl_bits(bits));
-    }
-
-    #[test]
-    fn gcd_divides_both(a in natural_nonzero(), b in natural_nonzero()) {
-        let g = numtheory::gcd(&a, &b);
-        prop_assert!(a.rem(&g).is_zero());
-        prop_assert!(b.rem(&g).is_zero());
-    }
-
-    #[test]
-    fn gcd_matches_u128(a in 1..=u128::MAX, b in 1..=u128::MAX) {
-        fn ref_gcd(mut a: u128, mut b: u128) -> u128 {
-            while b != 0 {
-                let t = a % b;
-                a = b;
-                b = t;
-            }
-            a
+/// A non-zero Natural.
+fn natural_nonzero(g: &mut Gen) -> Natural {
+    loop {
+        let n = natural(g);
+        if !n.is_zero() {
+            return n;
         }
-        let g = numtheory::gcd(&Natural::from(a), &Natural::from(b));
-        prop_assert_eq!(g, Natural::from(ref_gcd(a, b)));
     }
+}
 
-    #[test]
-    fn extended_gcd_is_bezout(a in natural_nonzero(), b in natural_nonzero()) {
+/// A uniform `u128`.
+fn u128_any(g: &mut Gen) -> u128 {
+    ((g.u64() as u128) << 64) | g.u64() as u128
+}
+
+#[test]
+fn add_matches_u128() {
+    cases(DEFAULT_CASES, "add_matches_u128", |g| {
+        let (a, b) = (g.u64(), g.u64());
+        let sum = Natural::from(a) + Natural::from(b);
+        assert_eq!(sum, Natural::from(a as u128 + b as u128));
+    });
+}
+
+#[test]
+fn mul_matches_u128() {
+    cases(DEFAULT_CASES, "mul_matches_u128", |g| {
+        let (a, b) = (g.u64(), g.u64());
+        let prod = Natural::from(a) * Natural::from(b);
+        assert_eq!(prod, Natural::from(a as u128 * b as u128));
+    });
+}
+
+#[test]
+fn div_matches_u128() {
+    cases(DEFAULT_CASES, "div_matches_u128", |g| {
+        let a = u128_any(g);
+        let b = 1 + g.u64_below(u64::MAX);
+        let (q, r) = Natural::from(a).div_rem(&Natural::from(b));
+        assert_eq!(q, Natural::from(a / b as u128));
+        assert_eq!(r, Natural::from(a % b as u128));
+    });
+}
+
+#[test]
+fn add_commutative() {
+    cases(DEFAULT_CASES, "add_commutative", |g| {
+        let (a, b) = (natural(g), natural(g));
+        assert_eq!(&a + &b, &b + &a);
+    });
+}
+
+#[test]
+fn add_associative() {
+    cases(DEFAULT_CASES, "add_associative", |g| {
+        let (a, b, c) = (natural(g), natural(g), natural(g));
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    });
+}
+
+#[test]
+fn mul_commutative() {
+    cases(DEFAULT_CASES, "mul_commutative", |g| {
+        let (a, b) = (natural(g), natural(g));
+        assert_eq!(&a * &b, &b * &a);
+    });
+}
+
+#[test]
+fn mul_distributes_over_add() {
+    cases(DEFAULT_CASES, "mul_distributes_over_add", |g| {
+        let (a, b, c) = (natural(g), natural(g), natural(g));
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    });
+}
+
+#[test]
+fn sub_inverts_add() {
+    cases(DEFAULT_CASES, "sub_inverts_add", |g| {
+        let (a, b) = (natural(g), natural(g));
+        assert_eq!(&(&a + &b) - &b, a);
+    });
+}
+
+#[test]
+fn div_rem_reconstructs() {
+    cases(DEFAULT_CASES, "div_rem_reconstructs", |g| {
+        let (a, b) = (natural(g), natural_nonzero(g));
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(&q * &b + &r, a);
+    });
+}
+
+#[test]
+fn shifts_are_mul_div_by_powers_of_two() {
+    cases(DEFAULT_CASES, "shifts_are_mul_div_by_powers_of_two", |g| {
+        let a = natural(g);
+        let s = g.u64_below(200);
+        let two_s = Natural::one().shl_bits(s);
+        assert_eq!(a.shl_bits(s), &a * &two_s);
+        assert_eq!(a.shr_bits(s), a.div_rem(&two_s).0);
+    });
+}
+
+#[test]
+fn decimal_roundtrip() {
+    cases(DEFAULT_CASES, "decimal_roundtrip", |g| {
+        let a = natural(g);
+        let s = a.to_decimal();
+        assert_eq!(Natural::from_decimal(&s).unwrap(), a);
+    });
+}
+
+#[test]
+fn hex_roundtrip() {
+    cases(DEFAULT_CASES, "hex_roundtrip", |g| {
+        let a = natural(g);
+        let s = a.to_hex();
+        assert_eq!(Natural::from_hex(&s).unwrap(), a);
+    });
+}
+
+#[test]
+fn bytes_roundtrip() {
+    cases(DEFAULT_CASES, "bytes_roundtrip", |g| {
+        let a = natural(g);
+        assert_eq!(Natural::from_bytes_be(&a.to_bytes_be()), a);
+    });
+}
+
+#[test]
+fn bit_len_bounds() {
+    cases(DEFAULT_CASES, "bit_len_bounds", |g| {
+        let a = natural_nonzero(g);
+        let bits = a.bit_len();
+        assert!(Natural::one().shl_bits(bits - 1) <= a);
+        assert!(a < Natural::one().shl_bits(bits));
+    });
+}
+
+#[test]
+fn gcd_divides_both() {
+    cases(DEFAULT_CASES, "gcd_divides_both", |g| {
+        let (a, b) = (natural_nonzero(g), natural_nonzero(g));
+        let gg = numtheory::gcd(&a, &b);
+        assert!(a.rem(&gg).is_zero());
+        assert!(b.rem(&gg).is_zero());
+    });
+}
+
+#[test]
+fn gcd_matches_u128() {
+    fn ref_gcd(mut a: u128, mut b: u128) -> u128 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    cases(DEFAULT_CASES, "gcd_matches_u128", |g| {
+        let a = u128_any(g).max(1);
+        let b = u128_any(g).max(1);
+        let gg = numtheory::gcd(&Natural::from(a), &Natural::from(b));
+        assert_eq!(gg, Natural::from(ref_gcd(a, b)));
+    });
+}
+
+#[test]
+fn extended_gcd_is_bezout() {
+    cases(DEFAULT_CASES, "extended_gcd_is_bezout", |g| {
         use mpint::Int;
-        let (g, x, y) = numtheory::extended_gcd(&a, &b);
+        let (a, b) = (natural_nonzero(g), natural_nonzero(g));
+        let (gg, x, y) = numtheory::extended_gcd(&a, &b);
         let lhs = &(&Int::from(a) * &x) + &(&Int::from(b) * &y);
-        prop_assert_eq!(lhs, Int::from(g));
-    }
+        assert_eq!(lhs, Int::from(gg));
+    });
+}
 
-    #[test]
-    fn modinv_is_inverse(a in natural_nonzero(), m in natural()) {
+#[test]
+fn modinv_is_inverse() {
+    cases(DEFAULT_CASES, "modinv_is_inverse", |g| {
+        let a = natural_nonzero(g);
+        let m = natural(g);
         // Pick an odd modulus >= 3 so inverses usually exist.
         let m = &(&m * &Natural::from(2u64)) + &Natural::from(3u64);
         if let Ok(inv) = numtheory::modinv(&a, &m) {
-            prop_assert_eq!(a.rem(&m).modmul(&inv, &m), Natural::one().rem(&m));
+            assert_eq!(a.rem(&m).modmul(&inv, &m), Natural::one().rem(&m));
         }
-    }
+    });
+}
 
-    #[test]
-    fn modpow_matches_plain(a in natural(), e in any::<u32>(), m in natural_nonzero()) {
+#[test]
+fn modpow_matches_plain() {
+    cases(DEFAULT_CASES, "modpow_matches_plain", |g| {
+        let a = natural(g);
+        let e = g.u32();
+        let m = natural_nonzero(g);
         // Force the modulus odd so the Montgomery path is taken.
         let m = if m.is_even() { m + Natural::one() } else { m };
-        prop_assume!(!m.is_one());
+        if m.is_one() {
+            return;
+        }
         let e = Natural::from(e as u64);
-        prop_assert_eq!(a.modpow(&e, &m), a.modpow_plain(&e, &m));
-    }
+        assert_eq!(a.modpow(&e, &m), a.modpow_plain(&e, &m));
+    });
+}
 
-    #[test]
-    fn modpow_respects_exponent_addition(a in natural(), e1 in any::<u16>(), e2 in any::<u16>(), m in natural_nonzero()) {
+#[test]
+fn modpow_respects_exponent_addition() {
+    cases(DEFAULT_CASES, "modpow_respects_exponent_addition", |g| {
+        let a = natural(g);
+        let e1 = g.u32() as u16;
+        let e2 = g.u32() as u16;
+        let m = natural_nonzero(g);
         let m = if m.is_even() { m + Natural::one() } else { m };
-        prop_assume!(!m.is_one());
+        if m.is_one() {
+            return;
+        }
         let p1 = a.modpow(&Natural::from(e1 as u64), &m);
         let p2 = a.modpow(&Natural::from(e2 as u64), &m);
         let sum = a.modpow(&Natural::from(e1 as u64 + e2 as u64), &m);
-        prop_assert_eq!(p1.modmul(&p2, &m), sum);
-    }
+        assert_eq!(p1.modmul(&p2, &m), sum);
+    });
+}
 
-    #[test]
-    fn jacobi_is_multiplicative(a in 1..10_000u64, b in 1..10_000u64, n in 0..5_000u64) {
-        let n = Natural::from(2 * n + 3); // odd, >= 3
+#[test]
+fn jacobi_is_multiplicative() {
+    cases(DEFAULT_CASES, "jacobi_is_multiplicative", |g| {
+        let a = 1 + g.u64_below(9_999);
+        let b = 1 + g.u64_below(9_999);
+        let n = Natural::from(2 * g.u64_below(5_000) + 3); // odd, >= 3
         let ja = numtheory::jacobi(&Natural::from(a), &n);
         let jb = numtheory::jacobi(&Natural::from(b), &n);
         let jab = numtheory::jacobi(&Natural::from(a as u128 * b as u128), &n);
-        prop_assert_eq!(jab, ja * jb);
-    }
+        assert_eq!(jab, ja * jb);
+    });
+}
 
-    #[test]
-    fn montgomery_matches_plain_on_random_odd_moduli(
-        a in any::<u128>(),
-        b in any::<u128>(),
-        m in 1u128..,
-    ) {
-        use mpint::Montgomery;
-        let m = Natural::from(m | 1); // force odd
-        prop_assume!(!m.is_one());
-        let ctx = Montgomery::new(m.clone());
-        let am = ctx.to_mont(&Natural::from(a));
-        let bm = ctx.to_mont(&Natural::from(b));
-        let prod = ctx.from_mont(&ctx.mont_mul(&am, &bm));
-        prop_assert_eq!(prod, Natural::from(a).modmul(&Natural::from(b), &m));
-    }
+#[test]
+fn montgomery_matches_plain_on_random_odd_moduli() {
+    cases(
+        DEFAULT_CASES,
+        "montgomery_matches_plain_on_random_odd_moduli",
+        |g| {
+            use mpint::Montgomery;
+            let a = u128_any(g);
+            let b = u128_any(g);
+            let m = Natural::from(u128_any(g).max(1) | 1); // force odd
+            if m.is_one() {
+                return;
+            }
+            let ctx = Montgomery::new(m.clone());
+            let am = ctx.to_mont(&Natural::from(a));
+            let bm = ctx.to_mont(&Natural::from(b));
+            let prod = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+            assert_eq!(prod, Natural::from(a).modmul(&Natural::from(b), &m));
+        },
+    );
+}
 
-    #[test]
-    fn prime_generation_sizes_hold(bits in 8u64..40, seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let p = mpint::prime::gen_prime(bits, &mut rng);
-        prop_assert_eq!(p.bit_len(), bits);
-    }
+#[test]
+fn prime_generation_sizes_hold() {
+    cases(DEFAULT_CASES, "prime_generation_sizes_hold", |g| {
+        let bits = 8 + g.u64_below(32);
+        let p = mpint::prime::gen_prime(bits, g.rng());
+        assert_eq!(p.bit_len(), bits);
+    });
+}
 
-    #[test]
-    fn int_rem_euclid_in_range(v in any::<i64>(), m in 1..=u64::MAX) {
+#[test]
+fn int_rem_euclid_in_range() {
+    cases(DEFAULT_CASES, "int_rem_euclid_in_range", |g| {
         use mpint::Int;
-        let m = Natural::from(m);
+        let v = g.i64();
+        let m = Natural::from(1 + g.u64_below(u64::MAX));
         let r = Int::from(v).rem_euclid(&m);
-        prop_assert!(r < m);
-    }
+        assert!(r < m);
+    });
 }

@@ -1,0 +1,270 @@
+//! A hand-rolled JSON value model and writer.
+//!
+//! The observability layer must serialize traces and reports without any
+//! external serialization framework, so this module defines the small JSON
+//! subset the repo needs: a value enum ([`Json`]), escaping-correct string
+//! output, and builders that keep call-sites terse.  Objects preserve
+//! insertion order (they are association lists, not maps), which keeps
+//! exported reports diffable.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Signed integers — serialized without a fractional part.
+    Int(i64),
+    /// Unsigned integers — serialized without a fractional part.
+    UInt(u64),
+    /// Finite floats serialize with `{}`; NaN and infinities become `null`
+    /// (JSON has no spelling for them).
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => write_float(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(out: &mut String, v: f64) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            // Keep integral floats recognizable as numbers with a fraction.
+            let _ = write!(out, "{v:.1}");
+        } else {
+            let _ = write!(out, "{v}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::UInt(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(2.0).render(), "2.0");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\te\u{1}".to_string()).render(),
+            r#""a\"b\\c\nd\te\u0001""#
+        );
+        assert_eq!(Json::Str("ünïcode €".to_string()).render(), "\"ünïcode €\"");
+    }
+
+    #[test]
+    fn containers_render_in_order() {
+        let v = Json::obj([
+            ("b", Json::from(1u64)),
+            ("a", Json::arr([Json::Null, Json::from("x")])),
+        ]);
+        assert_eq!(v.render(), r#"{"b":1,"a":[null,"x"]}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::arr([]).render(), "[]");
+        assert_eq!(Json::obj::<String>([]).render(), "{}");
+        assert_eq!(Json::arr([]).render_pretty(), "[]");
+    }
+
+    #[test]
+    fn pretty_is_indented_and_reparses_identically() {
+        let v = Json::obj([
+            ("name", Json::from("run")),
+            ("counts", Json::arr([Json::from(1u64), Json::from(2u64)])),
+            ("nested", Json::obj([("k", Json::from(true))])),
+        ]);
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\n  \"counts\": [\n    1,\n    2\n  ]"));
+        // Stripping structural whitespace recovers the compact form.
+        let compact: String = v.render();
+        let mut in_str = false;
+        let stripped: String = pretty
+            .chars()
+            .filter(|&c| {
+                if c == '"' {
+                    in_str = !in_str;
+                }
+                in_str || !c.is_whitespace()
+            })
+            .collect();
+        // `": "` inside pretty objects becomes `":"` once whitespace is gone.
+        assert_eq!(stripped, compact);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline-first observability for the secure-mediation system.
+//!
+//! Everything in this crate is std-only with zero external dependencies,
+//! so the workspace builds and measures itself fully offline:
+//!
+//! * [`trace`] — structured hierarchical spans and events over a
+//!   process-global, thread-safe buffer, exported as JSON-lines,
+//! * [`report`] — the unified [`report::RunReport`] joining phase timings,
+//!   transport traffic, the primitive census, and the leakage audit of one
+//!   protocol run, rendered as JSON or an aligned table,
+//! * [`bench`] — a micro-benchmark harness (warmup, batch calibration,
+//!   mean/median/stddev, optional throughput) used by every bench binary,
+//! * [`json`] — the hand-rolled JSON value model the other modules emit.
+
+pub mod bench;
+pub mod json;
+pub mod report;
+pub mod trace;
+
+pub use json::Json;
+pub use report::{EdgeStat, OpStat, PhaseStat, RunReport};
+pub use trace::{event, event_with, span, SpanGuard};

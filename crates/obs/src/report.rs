@@ -1,0 +1,462 @@
+//! Unified run reports.
+//!
+//! A [`RunReport`] joins the four observability surfaces of a protocol run
+//! into one typed record:
+//!
+//! * per-phase wall-clock timings, aggregated from trace spans,
+//! * per-edge message counts and byte volumes from the transport log,
+//! * the cryptographic-primitive census (operation counts),
+//! * the leakage-audit summary (what each principal observed).
+//!
+//! The report renders to JSON (machine consumption, [`RunReport::to_json`])
+//! and to an aligned text table (terminal consumption,
+//! [`RunReport::render_table`]).  Producers fill the struct directly; the
+//! canonical producer is `secmed_core::observe::unified_report`.
+
+use crate::json::Json;
+use crate::trace::Record;
+
+/// Aggregated wall-clock time for one named phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Span name, e.g. `"das.encryption"`.
+    pub name: String,
+    /// Number of spans aggregated into this row.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those spans.
+    pub wall_ns: u64,
+}
+
+/// Message statistics for one directed communication edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeStat {
+    /// Sender, e.g. `"client"`.
+    pub from: String,
+    /// Receiver, e.g. `"mediator"`.
+    pub to: String,
+    /// Messages sent along this edge.
+    pub messages: u64,
+    /// Payload bytes across those messages.
+    pub bytes: u64,
+}
+
+/// Invocation count for one cryptographic primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStat {
+    /// Primitive name, e.g. `"hybrid-encrypt"`.
+    pub name: String,
+    /// Number of invocations during the run.
+    pub count: u64,
+}
+
+/// The unified report for one protocol run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Protocol name, e.g. `"das"`.
+    pub protocol: String,
+    /// Workload description as ordered key/value pairs
+    /// (rows, domain sizes, seed, ...).
+    pub workload: Vec<(String, u64)>,
+    /// Per-phase timings, in first-start order.
+    pub phases: Vec<PhaseStat>,
+    /// Per-edge message statistics, in first-use order.
+    pub edges: Vec<EdgeStat>,
+    /// Primitive census, non-zero ops only, in census order.
+    pub ops: Vec<OpStat>,
+    /// Interaction counts per conversation partner of the mediator
+    /// (an interaction is a maximal run of consecutive messages exchanged
+    /// with one partner — the paper's §6 round metric).
+    pub interactions: Vec<(String, u64)>,
+    /// Human-readable leakage-audit lines (mediator view, then client view).
+    pub leakage: Vec<String>,
+    /// Rows in the final join result delivered to the client.
+    pub result_rows: u64,
+}
+
+impl RunReport {
+    /// Aggregates trace spans into [`PhaseStat`] rows.
+    ///
+    /// Spans sharing a name are merged (summed durations, counted calls);
+    /// rows appear in order of each name's first appearance.  Events and
+    /// spans outside `prefix` (when given) are ignored.
+    pub fn phases_from_records(records: &[Record], prefix: Option<&str>) -> Vec<PhaseStat> {
+        let mut phases: Vec<PhaseStat> = Vec::new();
+        for r in records {
+            if !r.is_span() {
+                continue;
+            }
+            if let Some(p) = prefix {
+                if !r.name.starts_with(p) {
+                    continue;
+                }
+            }
+            match phases.iter_mut().find(|s| s.name == r.name) {
+                Some(s) => {
+                    s.calls += 1;
+                    s.wall_ns += r.duration_ns();
+                }
+                None => phases.push(PhaseStat {
+                    name: r.name.clone(),
+                    calls: 1,
+                    wall_ns: r.duration_ns(),
+                }),
+            }
+        }
+        phases
+    }
+
+    /// Total messages across all edges.
+    pub fn total_messages(&self) -> u64 {
+        self.edges.iter().map(|e| e.messages).sum()
+    }
+
+    /// Total payload bytes across all edges.
+    pub fn total_bytes(&self) -> u64 {
+        self.edges.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Total primitive invocations.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().map(|o| o.count).sum()
+    }
+
+    /// The report as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::Str(self.protocol.clone())),
+            (
+                "workload",
+                Json::Object(
+                    self.workload
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "phases",
+                Json::arr(self.phases.iter().map(|p| {
+                    Json::obj([
+                        ("name", Json::Str(p.name.clone())),
+                        ("calls", Json::UInt(p.calls)),
+                        ("wall_ns", Json::UInt(p.wall_ns)),
+                    ])
+                })),
+            ),
+            (
+                "edges",
+                Json::arr(self.edges.iter().map(|e| {
+                    Json::obj([
+                        ("from", Json::Str(e.from.clone())),
+                        ("to", Json::Str(e.to.clone())),
+                        ("messages", Json::UInt(e.messages)),
+                        ("bytes", Json::UInt(e.bytes)),
+                    ])
+                })),
+            ),
+            (
+                "totals",
+                Json::obj([
+                    ("messages", Json::UInt(self.total_messages())),
+                    ("bytes", Json::UInt(self.total_bytes())),
+                    ("ops", Json::UInt(self.total_ops())),
+                ]),
+            ),
+            (
+                "ops",
+                Json::Object(
+                    self.ops
+                        .iter()
+                        .map(|o| (o.name.clone(), Json::UInt(o.count)))
+                        .collect(),
+                ),
+            ),
+            (
+                "interactions",
+                Json::Object(
+                    self.interactions
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "leakage",
+                Json::arr(self.leakage.iter().map(|l| Json::Str(l.clone()))),
+            ),
+            ("result_rows", Json::UInt(self.result_rows)),
+        ])
+    }
+
+    /// The report as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== run report: {} ===\n", self.protocol));
+        if !self.workload.is_empty() {
+            let desc: Vec<String> = self
+                .workload
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            out.push_str(&format!("workload: {}\n", desc.join(" ")));
+        }
+        out.push_str(&format!("result rows: {}\n", self.result_rows));
+
+        if !self.phases.is_empty() {
+            out.push('\n');
+            let rows: Vec<[String; 3]> = self
+                .phases
+                .iter()
+                .map(|p| [p.name.clone(), p.calls.to_string(), format_ns(p.wall_ns)])
+                .collect();
+            push_table(&mut out, &["phase", "calls", "wall"], &rows);
+        }
+
+        if !self.edges.is_empty() {
+            out.push('\n');
+            let mut rows: Vec<[String; 3]> = self
+                .edges
+                .iter()
+                .map(|e| {
+                    [
+                        format!("{} -> {}", e.from, e.to),
+                        e.messages.to_string(),
+                        e.bytes.to_string(),
+                    ]
+                })
+                .collect();
+            rows.push([
+                "total".to_string(),
+                self.total_messages().to_string(),
+                self.total_bytes().to_string(),
+            ]);
+            push_table(&mut out, &["edge", "msgs", "bytes"], &rows);
+        }
+
+        if !self.interactions.is_empty() {
+            out.push('\n');
+            let rows: Vec<[String; 2]> = self
+                .interactions
+                .iter()
+                .map(|(k, v)| [k.clone(), v.to_string()])
+                .collect();
+            push_table(&mut out, &["mediator partner", "interactions"], &rows);
+        }
+
+        if !self.ops.is_empty() {
+            out.push('\n');
+            let mut rows: Vec<[String; 2]> = self
+                .ops
+                .iter()
+                .map(|o| [o.name.clone(), o.count.to_string()])
+                .collect();
+            rows.push(["total".to_string(), self.total_ops().to_string()]);
+            push_table(&mut out, &["primitive", "count"], &rows);
+        }
+
+        if !self.leakage.is_empty() {
+            out.push_str("\nleakage audit:\n");
+            for line in &self.leakage {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Appends an aligned table: left-aligned first column, right-aligned rest.
+fn push_table<const N: usize>(out: &mut String, header: &[&str; N], rows: &[[String; N]]) {
+    let mut widths: [usize; N] = [0; N];
+    for (i, h) in header.iter().enumerate() {
+        widths[i] = h.chars().count();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let emit = |out: &mut String, cells: &[String; N]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            if i == 0 {
+                out.push_str(cell);
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+            } else {
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+                out.push_str(cell);
+            }
+        }
+        // Trim trailing padding on the last column.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: [String; N] = std::array::from_fn(|i| header[i].to_string());
+    emit(out, &header_cells);
+    let rule: [String; N] = std::array::from_fn(|i| "-".repeat(widths[i]));
+    emit(out, &rule);
+    for row in rows {
+        emit(out, row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Record, RecordKind};
+
+    fn span_record(name: &str, start: u64, end: u64) -> Record {
+        Record {
+            id: 0,
+            parent: None,
+            name: name.to_string(),
+            kind: RecordKind::Span {
+                start_ns: start,
+                end_ns: end,
+            },
+            thread: "t".to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    fn sample() -> RunReport {
+        RunReport {
+            protocol: "das".to_string(),
+            workload: vec![("left_rows".to_string(), 40), ("seed".to_string(), 7)],
+            phases: vec![
+                PhaseStat {
+                    name: "das.encryption".to_string(),
+                    calls: 2,
+                    wall_ns: 1_500_000,
+                },
+                PhaseStat {
+                    name: "das.join".to_string(),
+                    calls: 1,
+                    wall_ns: 700,
+                },
+            ],
+            edges: vec![
+                EdgeStat {
+                    from: "client".to_string(),
+                    to: "mediator".to_string(),
+                    messages: 3,
+                    bytes: 120,
+                },
+                EdgeStat {
+                    from: "mediator".to_string(),
+                    to: "client".to_string(),
+                    messages: 2,
+                    bytes: 4096,
+                },
+            ],
+            ops: vec![
+                OpStat {
+                    name: "hybrid-encrypt".to_string(),
+                    count: 5,
+                },
+                OpStat {
+                    name: "sha256".to_string(),
+                    count: 40,
+                },
+            ],
+            interactions: vec![("client".to_string(), 2)],
+            leakage: vec!["mediator: 3 result sizes".to_string()],
+            result_rows: 12,
+        }
+    }
+
+    #[test]
+    fn totals_sum_edges_and_ops() {
+        let r = sample();
+        assert_eq!(r.total_messages(), 5);
+        assert_eq!(r.total_bytes(), 4216);
+        assert_eq!(r.total_ops(), 45);
+    }
+
+    #[test]
+    fn phases_aggregate_by_name_in_first_start_order() {
+        let records = vec![
+            span_record("p.a", 0, 10),
+            span_record("p.b", 10, 30),
+            span_record("p.a", 30, 70),
+            span_record("other", 0, 1),
+        ];
+        let phases = RunReport::phases_from_records(&records, Some("p."));
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].name, "p.a");
+        assert_eq!(phases[0].calls, 2);
+        assert_eq!(phases[0].wall_ns, 50);
+        assert_eq!(phases[1].name, "p.b");
+        assert_eq!(phases[1].wall_ns, 20);
+        let all = RunReport::phases_from_records(&records, None);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn json_has_all_sections() {
+        let j = sample().to_json().render();
+        for needle in [
+            r#""protocol":"das""#,
+            r#""left_rows":40"#,
+            r#""name":"das.encryption""#,
+            r#""from":"client""#,
+            r#""totals":{"messages":5,"bytes":4216,"ops":45}"#,
+            r#""hybrid-encrypt":5"#,
+            r#""interactions":{"client":2}"#,
+            r#""result_rows":12"#,
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = sample().render_table();
+        assert!(t.contains("=== run report: das ==="));
+        assert!(t.contains("workload: left_rows=40 seed=7"));
+        // Numeric columns right-align: header and rule share widths.
+        let lines: Vec<&str> = t.lines().collect();
+        let header = lines.iter().position(|l| l.starts_with("edge")).unwrap();
+        assert!(lines[header + 1].starts_with("----"));
+        assert!(t.contains("client -> mediator"));
+        assert!(t.contains("total"));
+        assert!(t.contains("1.500 ms"));
+        assert!(t.contains("700 ns"));
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12), "12 ns");
+        assert_eq!(format_ns(12_340), "12.340 µs");
+        assert_eq!(format_ns(12_340_000), "12.340 ms");
+        assert_eq!(format_ns(2_500_000_000), "2.500 s");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = RunReport::default();
+        assert!(r.render_table().contains("result rows: 0"));
+        assert!(r.to_json().render().contains(r#""phases":[]"#));
+    }
+}

@@ -1,0 +1,198 @@
+//! Minimal in-tree byte-buffer primitives.
+//!
+//! A [`ByteWriter`] appends big-endian integers and raw slices to a growable
+//! buffer; a [`ByteReader`] consumes them front-to-back from a borrowed
+//! slice.  Multi-byte integers are always big-endian, matching network
+//! order and keeping every encoding canonical (the protocols hash and
+//! encrypt these byte strings, so two encoders must agree bit-for-bit).
+//!
+//! The `get_*` methods panic if the buffer holds fewer bytes than the value
+//! needs; decoders are expected to check [`ByteReader::remaining`] first and
+//! surface a typed error, as [`crate::codec`] does.
+
+/// Growable write buffer with big-endian integer appends.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Copies the accumulated bytes out without consuming the writer.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+/// Front-to-back reader over a borrowed byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { rest: data }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    /// True if any bytes remain.
+    pub fn has_remaining(&self) -> bool {
+        !self.rest.is_empty()
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        head
+    }
+
+    /// Reads one byte.  Panics if empty.
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a big-endian `u16`.  Panics on underflow.
+    pub fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().unwrap())
+    }
+
+    /// Reads a big-endian `u32`.  Panics on underflow.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Reads a big-endian `u64`.  Panics on underflow.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads a big-endian `i64`.  Panics on underflow.
+    pub fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads the next `len` bytes as a borrowed slice.  Panics on underflow.
+    pub fn get_slice(&mut self, len: usize) -> &'a [u8] {
+        self.take(len)
+    }
+
+    /// Reads the next `len` bytes into an owned vector.  Panics on underflow.
+    pub fn copy_to_vec(&mut self, len: usize) -> Vec<u8> {
+        self.take(len).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_roundtrip_big_endian() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xab);
+        w.put_u16(0x0102);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0123_4567_89ab_cdef);
+        w.put_i64(-42);
+        let bytes = w.into_vec();
+        // Spot-check wire order: u16 0x0102 serializes high byte first.
+        assert_eq!(&bytes[1..3], &[0x01, 0x02]);
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u64(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_i64(), -42);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slices_roundtrip() {
+        let mut w = ByteWriter::with_capacity(16);
+        w.put_slice(b"hello");
+        w.put_slice(b" world");
+        assert_eq!(w.len(), 11);
+        let bytes = w.to_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_slice(5), b"hello");
+        assert_eq!(r.copy_to_vec(6), b" world");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_writer_is_empty() {
+        let w = ByteWriter::new();
+        assert!(w.is_empty());
+        assert!(!ByteReader::new(&w.to_vec()).has_remaining());
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let mut r = ByteReader::new(&[1, 2]);
+        let _ = r.get_u32();
+    }
+}

@@ -13,8 +13,7 @@
 //! tuple set  := u32 count, tuple*
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
+use crate::bytes::{ByteReader, ByteWriter};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::RelError;
@@ -25,14 +24,14 @@ const TAG_BOOL: u8 = 2;
 
 /// Serializes one tuple.
 pub fn encode_tuple(tuple: &Tuple) -> Vec<u8> {
-    let mut buf = BytesMut::new();
+    let mut buf = ByteWriter::new();
     put_tuple(&mut buf, tuple);
-    buf.to_vec()
+    buf.into_vec()
 }
 
 /// Deserializes one tuple, requiring the buffer to be fully consumed.
 pub fn decode_tuple(data: &[u8]) -> Result<Tuple, RelError> {
-    let mut buf = Bytes::copy_from_slice(data);
+    let mut buf = ByteReader::new(data);
     let t = get_tuple(&mut buf)?;
     if buf.has_remaining() {
         return Err(RelError::Codec("trailing bytes after tuple".to_string()));
@@ -42,17 +41,17 @@ pub fn decode_tuple(data: &[u8]) -> Result<Tuple, RelError> {
 
 /// Serializes a tuple set (the payload unit of all three protocols).
 pub fn encode_tuple_set(tuples: &[Tuple]) -> Vec<u8> {
-    let mut buf = BytesMut::new();
+    let mut buf = ByteWriter::new();
     buf.put_u32(tuples.len() as u32);
     for t in tuples {
         put_tuple(&mut buf, t);
     }
-    buf.to_vec()
+    buf.into_vec()
 }
 
 /// Deserializes a tuple set.
 pub fn decode_tuple_set(data: &[u8]) -> Result<Vec<Tuple>, RelError> {
-    let mut buf = Bytes::copy_from_slice(data);
+    let mut buf = ByteReader::new(data);
     if buf.remaining() < 4 {
         return Err(RelError::Codec("truncated tuple-set header".to_string()));
     }
@@ -69,7 +68,7 @@ pub fn decode_tuple_set(data: &[u8]) -> Result<Vec<Tuple>, RelError> {
     Ok(out)
 }
 
-fn put_tuple(buf: &mut BytesMut, tuple: &Tuple) {
+fn put_tuple(buf: &mut ByteWriter, tuple: &Tuple) {
     buf.put_u16(tuple.arity() as u16);
     for v in tuple.values() {
         match v {
@@ -90,7 +89,7 @@ fn put_tuple(buf: &mut BytesMut, tuple: &Tuple) {
     }
 }
 
-fn get_tuple(buf: &mut Bytes) -> Result<Tuple, RelError> {
+fn get_tuple(buf: &mut ByteReader) -> Result<Tuple, RelError> {
     if buf.remaining() < 2 {
         return Err(RelError::Codec("truncated tuple header".to_string()));
     }
@@ -102,7 +101,7 @@ fn get_tuple(buf: &mut Bytes) -> Result<Tuple, RelError> {
     Ok(Tuple::new(values))
 }
 
-fn get_value(buf: &mut Bytes) -> Result<Value, RelError> {
+fn get_value(buf: &mut ByteReader) -> Result<Value, RelError> {
     if !buf.has_remaining() {
         return Err(RelError::Codec("truncated value tag".to_string()));
     }
@@ -121,8 +120,8 @@ fn get_value(buf: &mut Bytes) -> Result<Value, RelError> {
             if buf.remaining() < len {
                 return Err(RelError::Codec("truncated string body".to_string()));
             }
-            let bytes = buf.copy_to_bytes(len);
-            let s = String::from_utf8(bytes.to_vec())
+            let bytes = buf.copy_to_vec(len);
+            let s = String::from_utf8(bytes)
                 .map_err(|_| RelError::Codec("invalid UTF-8 in string".to_string()))?;
             Ok(Value::Str(s))
         }

@@ -33,6 +33,7 @@
 //! ```
 
 mod aggregate;
+pub mod bytes;
 mod codec;
 mod predicate;
 mod relation;

@@ -1,27 +1,38 @@
 //! Property-based tests for the relational-algebra engine: algebraic laws
 //! of the operators and total codec roundtrips.
 
-use proptest::prelude::*;
 use relalg::{
     decode_tuple, decode_tuple_set, encode_tuple, encode_tuple_set, Predicate, Relation, Schema,
     Tuple, Type, Value,
 };
+use secmed_testkit::{cases, Gen, DEFAULT_CASES};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        "[a-zA-Z0-9 _äöü€]{0,24}".prop_map(Value::Str),
-        any::<bool>().prop_map(Value::Bool),
-    ]
+/// The string alphabet the previous framework drew from
+/// (`[a-zA-Z0-9 _äöü€]`), including multi-byte characters to exercise the
+/// codec's UTF-8 handling.
+fn alphabet() -> Vec<char> {
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _äöü€"
+        .chars()
+        .collect()
 }
 
-fn arb_tuple() -> impl Strategy<Value = Tuple> {
-    prop::collection::vec(arb_value(), 0..6).prop_map(Tuple::new)
+fn arb_value(g: &mut Gen) -> Value {
+    match g.usize_in(0, 2) {
+        0 => Value::Int(g.i64()),
+        1 => Value::Str(g.string_from(&alphabet(), 0, 24)),
+        _ => Value::Bool(g.bool()),
+    }
+}
+
+fn arb_tuple(g: &mut Gen) -> Tuple {
+    let n = g.usize_in(0, 5);
+    Tuple::new(g.vec_of(n, arb_value))
 }
 
 /// Rows for a fixed (k: Int, v: Int) schema.
-fn arb_rows(max: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
-    prop::collection::vec((0..20i64, any::<i64>()), 0..max)
+fn arb_rows(g: &mut Gen, max: usize) -> Vec<(i64, i64)> {
+    let n = g.usize_in(0, max.saturating_sub(1));
+    g.vec_of(n, |g| (g.i64_in(0, 19), g.i64()))
 }
 
 fn relation(rows: &[(i64, i64)], names: (&str, &str)) -> Relation {
@@ -33,33 +44,53 @@ fn relation(rows: &[(i64, i64)], names: (&str, &str)) -> Relation {
     rel
 }
 
-proptest! {
-    #[test]
-    fn tuple_codec_total_roundtrip(t in arb_tuple()) {
-        prop_assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
-    }
+#[test]
+fn tuple_codec_total_roundtrip() {
+    cases(DEFAULT_CASES, "tuple_codec_total_roundtrip", |g| {
+        let t = arb_tuple(g);
+        assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+    });
+}
 
-    #[test]
-    fn tuple_set_codec_total_roundtrip(ts in prop::collection::vec(arb_tuple(), 0..8)) {
-        prop_assert_eq!(decode_tuple_set(&encode_tuple_set(&ts)).unwrap(), ts);
-    }
+#[test]
+fn tuple_set_codec_total_roundtrip() {
+    cases(DEFAULT_CASES, "tuple_set_codec_total_roundtrip", |g| {
+        let n = g.usize_in(0, 7);
+        let ts = g.vec_of(n, arb_tuple);
+        assert_eq!(decode_tuple_set(&encode_tuple_set(&ts)).unwrap(), ts);
+    });
+}
 
-    #[test]
-    fn codec_is_injective(a in arb_tuple(), b in arb_tuple()) {
-        prop_assert_eq!(encode_tuple(&a) == encode_tuple(&b), a == b);
-    }
+#[test]
+fn codec_is_injective() {
+    cases(DEFAULT_CASES, "codec_is_injective", |g| {
+        let a = arb_tuple(g);
+        let b = arb_tuple(g);
+        assert_eq!(encode_tuple(&a) == encode_tuple(&b), a == b);
+    });
+}
 
-    #[test]
-    fn decode_rejects_arbitrary_garbage_or_roundtrips(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
-        // Decoding must never panic; if it succeeds, re-encoding gives the
-        // same bytes (canonical form).
-        if let Ok(t) = decode_tuple(&bytes) {
-            prop_assert_eq!(encode_tuple(&t), bytes);
-        }
-    }
+#[test]
+fn decode_rejects_arbitrary_garbage_or_roundtrips() {
+    cases(
+        DEFAULT_CASES,
+        "decode_rejects_arbitrary_garbage_or_roundtrips",
+        |g| {
+            let bytes = g.bytes_in(0, 63);
+            // Decoding must never panic; if it succeeds, re-encoding gives
+            // the same bytes (canonical form).
+            if let Ok(t) = decode_tuple(&bytes) {
+                assert_eq!(encode_tuple(&t), bytes);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn join_size_matches_key_multiplicity(l in arb_rows(15), r in arb_rows(15)) {
+#[test]
+fn join_size_matches_key_multiplicity() {
+    cases(DEFAULT_CASES, "join_size_matches_key_multiplicity", |g| {
+        let l = arb_rows(g, 15);
+        let r = arb_rows(g, 15);
         let left = relation(&l, ("k", "a"));
         let right = relation(&r, ("k", "b"));
         let joined = left.natural_join(&right).unwrap();
@@ -69,69 +100,98 @@ proptest! {
                     * r.iter().filter(|(rk, _)| *rk == k).count()
             })
             .sum();
-        prop_assert_eq!(joined.len(), expected);
-    }
+        assert_eq!(joined.len(), expected);
+    });
+}
 
-    #[test]
-    fn join_is_commutative_in_size(l in arb_rows(12), r in arb_rows(12)) {
+#[test]
+fn join_is_commutative_in_size() {
+    cases(DEFAULT_CASES, "join_is_commutative_in_size", |g| {
+        let l = arb_rows(g, 12);
+        let r = arb_rows(g, 12);
         let left = relation(&l, ("k", "a"));
         let right = relation(&r, ("k", "b"));
-        prop_assert_eq!(
+        assert_eq!(
             left.natural_join(&right).unwrap().len(),
             right.natural_join(&left).unwrap().len()
         );
-    }
+    });
+}
 
-    #[test]
-    fn select_fusion(rows in arb_rows(20), k1 in 0..20i64, v1 in any::<i64>()) {
+#[test]
+fn select_fusion() {
+    cases(DEFAULT_CASES, "select_fusion", |g| {
+        let rows = arb_rows(g, 20);
+        let k1 = g.i64_in(0, 19);
+        let v1 = g.i64();
         let rel = relation(&rows, ("k", "v"));
         let p = Predicate::eq_lit("k", k1);
         let q = Predicate::Lt(relalg::Operand::col("v"), relalg::Operand::lit(v1));
         let sequential = rel.select(&p).unwrap().select(&q).unwrap();
         let fused = rel.select(&p.clone().and(q.clone())).unwrap();
-        prop_assert_eq!(sequential, fused);
-    }
+        assert_eq!(sequential, fused);
+    });
+}
 
-    #[test]
-    fn select_never_grows(rows in arb_rows(20), k in 0..20i64) {
+#[test]
+fn select_never_grows() {
+    cases(DEFAULT_CASES, "select_never_grows", |g| {
+        let rows = arb_rows(g, 20);
+        let k = g.i64_in(0, 19);
         let rel = relation(&rows, ("k", "v"));
         let selected = rel.select(&Predicate::eq_lit("k", k)).unwrap();
-        prop_assert!(selected.len() <= rel.len());
-    }
+        assert!(selected.len() <= rel.len());
+    });
+}
 
-    #[test]
-    fn project_preserves_cardinality(rows in arb_rows(20)) {
+#[test]
+fn project_preserves_cardinality() {
+    cases(DEFAULT_CASES, "project_preserves_cardinality", |g| {
+        let rows = arb_rows(g, 20);
         let rel = relation(&rows, ("k", "v"));
-        prop_assert_eq!(rel.project(&["v"]).unwrap().len(), rel.len());
-        prop_assert_eq!(rel.project(&["v", "k"]).unwrap().len(), rel.len());
-    }
+        assert_eq!(rel.project(&["v"]).unwrap().len(), rel.len());
+        assert_eq!(rel.project(&["v", "k"]).unwrap().len(), rel.len());
+    });
+}
 
-    #[test]
-    fn distinct_is_idempotent(rows in arb_rows(20)) {
+#[test]
+fn distinct_is_idempotent() {
+    cases(DEFAULT_CASES, "distinct_is_idempotent", |g| {
+        let rows = arb_rows(g, 20);
         let rel = relation(&rows, ("k", "v"));
         let once = rel.distinct();
-        prop_assert_eq!(once.distinct(), once);
-    }
+        assert_eq!(once.distinct(), once);
+    });
+}
 
-    #[test]
-    fn union_cardinality_is_additive(l in arb_rows(10), r in arb_rows(10)) {
+#[test]
+fn union_cardinality_is_additive() {
+    cases(DEFAULT_CASES, "union_cardinality_is_additive", |g| {
+        let l = arb_rows(g, 10);
+        let r = arb_rows(g, 10);
         let a = relation(&l, ("k", "v"));
         let b = relation(&r, ("k", "v"));
-        prop_assert_eq!(a.union(&b).unwrap().len(), a.len() + b.len());
-    }
+        assert_eq!(a.union(&b).unwrap().len(), a.len() + b.len());
+    });
+}
 
-    #[test]
-    fn active_domain_bounds(rows in arb_rows(20)) {
+#[test]
+fn active_domain_bounds() {
+    cases(DEFAULT_CASES, "active_domain_bounds", |g| {
+        let rows = arb_rows(g, 20);
         let rel = relation(&rows, ("k", "v"));
         let dom = rel.active_domain("k").unwrap();
-        prop_assert!(dom.len() <= rel.len());
+        assert!(dom.len() <= rel.len());
         for t in rel.tuples() {
-            prop_assert!(dom.contains(t.at(0)));
+            assert!(dom.contains(t.at(0)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn tuples_with_partition_the_relation(rows in arb_rows(20)) {
+#[test]
+fn tuples_with_partition_the_relation() {
+    cases(DEFAULT_CASES, "tuples_with_partition_the_relation", |g| {
+        let rows = arb_rows(g, 20);
         let rel = relation(&rows, ("k", "v"));
         let total: usize = rel
             .active_domain("k")
@@ -139,18 +199,22 @@ proptest! {
             .iter()
             .map(|v| rel.tuples_with("k", v).unwrap().len())
             .sum();
-        prop_assert_eq!(total, rel.len());
-    }
+        assert_eq!(total, rel.len());
+    });
+}
 
-    #[test]
-    fn sql_roundtrip_filters_like_api(rows in arb_rows(20), k in 0..20i64) {
+#[test]
+fn sql_roundtrip_filters_like_api() {
+    cases(DEFAULT_CASES, "sql_roundtrip_filters_like_api", |g| {
         use std::collections::HashMap;
+        let rows = arb_rows(g, 20);
+        let k = g.i64_in(0, 19);
         let rel = relation(&rows, ("k", "v"));
         let mut catalog = HashMap::new();
         catalog.insert("t".to_string(), rel.clone());
         let tree = relalg::sql::parse(&format!("select * from t where k = {k}")).unwrap();
         let via_sql = tree.eval(&catalog).unwrap();
         let via_api = rel.select(&Predicate::eq_lit("k", k)).unwrap();
-        prop_assert_eq!(via_sql, via_api);
-    }
+        assert_eq!(via_sql, via_api);
+    });
 }

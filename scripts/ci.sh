@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must pass offline against an empty registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check

@@ -10,7 +10,9 @@
 //! * [`crypto`] — the cryptographic primitives,
 //! * [`relalg`] — the relational-algebra engine,
 //! * [`das`] — Database-as-a-Service bucketization,
-//! * [`core`] — the Multimedia Mediator and the three JOIN protocols.
+//! * [`core`] — the Multimedia Mediator and the three JOIN protocols,
+//! * [`obs`] — structured tracing, unified run reports, and the bench
+//!   harness.
 //!
 //! See `README.md` for a guided tour and `examples/quickstart.rs` for a
 //! complete end-to-end run.
@@ -20,3 +22,4 @@ pub use relalg;
 pub use secmed_core as core;
 pub use secmed_crypto as crypto;
 pub use secmed_das as das;
+pub use secmed_obs as obs;

@@ -1,129 +1,189 @@
 //! Property-based tests on the cryptographic invariants the protocols
 //! rest on, driven through the public API of the umbrella crate.
 
-use proptest::prelude::*;
 use secmed::crypto::group::{GroupSize, SafePrimeGroup};
 use secmed::crypto::hybrid::HybridKeyPair;
 use secmed::crypto::paillier::Paillier;
 use secmed::crypto::polynomial::{BucketedPoly, ZnPoly};
 use secmed::crypto::{HmacDrbg, SraCipher, SraDomain};
 use secmed::mpint::Natural;
+use secmed_testkit::{cases, Gen};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Case counts matching the reduced configurations the suite ran under its
+/// previous property-testing framework.
+const CRYPTO_CASES: u64 = 16;
+const E2E_CASES: u64 = 8;
 
-    #[test]
-    fn hybrid_roundtrip_any_payload(payload in prop::collection::vec(any::<u8>(), 0..512), seed in any::<u64>()) {
+/// A set of `1..max_size` distinct values in `[1, 10_000)`.
+fn distinct_values(g: &mut Gen, max_size: usize) -> std::collections::BTreeSet<u64> {
+    let target = g.usize_in(1, max_size - 1);
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < target {
+        set.insert(1 + g.u64_below(9_999));
+    }
+    set
+}
+
+#[test]
+fn hybrid_roundtrip_any_payload() {
+    cases(CRYPTO_CASES, "hybrid_roundtrip_any_payload", |g| {
+        let payload = g.bytes_in(0, 511);
+        let seed = g.u64();
         let mut rng = HmacDrbg::new(&seed.to_be_bytes());
         let kp = HybridKeyPair::generate(SafePrimeGroup::preset(GroupSize::S256), &mut rng);
         let ct = kp.public().encrypt(&payload, &mut rng);
-        prop_assert_eq!(kp.decrypt(&ct).unwrap(), payload);
-    }
+        assert_eq!(kp.decrypt(&ct).unwrap(), payload);
+    });
+}
 
-    #[test]
-    fn sra_commutes_on_arbitrary_values(value in prop::collection::vec(any::<u8>(), 1..64), seed in any::<u64>()) {
+#[test]
+fn sra_commutes_on_arbitrary_values() {
+    cases(CRYPTO_CASES, "sra_commutes_on_arbitrary_values", |g| {
+        let value = g.bytes_in(1, 63);
+        let seed = g.u64();
         let mut rng = HmacDrbg::new(&seed.to_be_bytes());
         let domain = SraDomain::new(SafePrimeGroup::preset(GroupSize::S256));
         let s1 = SraCipher::generate(domain.clone(), &mut rng);
         let s2 = SraCipher::generate(domain.clone(), &mut rng);
         let h = domain.hash(&value);
-        prop_assert_eq!(s1.encrypt(&s2.encrypt(&h)), s2.encrypt(&s1.encrypt(&h)));
-        prop_assert_eq!(s1.decrypt(&s1.encrypt(&h)), h);
-    }
+        assert_eq!(s1.encrypt(&s2.encrypt(&h)), s2.encrypt(&s1.encrypt(&h)));
+        assert_eq!(s1.decrypt(&s1.encrypt(&h)), h);
+    });
+}
 
-    #[test]
-    fn sra_equality_iff_same_value(a in prop::collection::vec(any::<u8>(), 1..32), b in prop::collection::vec(any::<u8>(), 1..32), seed in any::<u64>()) {
+#[test]
+fn sra_equality_iff_same_value() {
+    cases(CRYPTO_CASES, "sra_equality_iff_same_value", |g| {
+        let a = g.bytes_in(1, 31);
+        let b = g.bytes_in(1, 31);
+        let seed = g.u64();
         let mut rng = HmacDrbg::new(&seed.to_be_bytes());
         let domain = SraDomain::new(SafePrimeGroup::preset(GroupSize::S256));
         let s1 = SraCipher::generate(domain.clone(), &mut rng);
         let s2 = SraCipher::generate(domain.clone(), &mut rng);
         let da = s1.encrypt(&s2.encrypt_value(&a));
         let db = s2.encrypt(&s1.encrypt_value(&b));
-        prop_assert_eq!(da == db, a == b);
-    }
+        assert_eq!(da == db, a == b);
+    });
+}
 
-    #[test]
-    fn paillier_homomorphism_random_plaintexts(a in any::<u64>(), b in any::<u64>(), gamma in 1..1000u64, seed in any::<u64>()) {
-        let kp = Paillier::test_keypair(256, "prop-paillier");
-        let mut rng = HmacDrbg::new(&seed.to_be_bytes());
-        let n = kp.public().n().clone();
-        let ea = kp.public().encrypt(&Natural::from(a), &mut rng).unwrap();
-        let eb = kp.public().encrypt(&Natural::from(b), &mut rng).unwrap();
-        let sum = kp.decrypt(&kp.public().add(&ea, &eb));
-        let expected_sum = (Natural::from(a) + Natural::from(b)).rem(&n);
-        prop_assert_eq!(sum, expected_sum);
-        let scaled = kp.decrypt(&kp.public().scale(&ea, &Natural::from(gamma)));
-        let expected_scaled = (Natural::from(a) * Natural::from(gamma)).rem(&n);
-        prop_assert_eq!(scaled, expected_scaled);
-    }
+#[test]
+fn paillier_homomorphism_random_plaintexts() {
+    cases(
+        CRYPTO_CASES,
+        "paillier_homomorphism_random_plaintexts",
+        |g| {
+            let a = g.u64();
+            let b = g.u64();
+            let gamma = 1 + g.u64_below(999);
+            let seed = g.u64();
+            let kp = Paillier::test_keypair(256, "prop-paillier");
+            let mut rng = HmacDrbg::new(&seed.to_be_bytes());
+            let n = kp.public().n().clone();
+            let ea = kp.public().encrypt(&Natural::from(a), &mut rng).unwrap();
+            let eb = kp.public().encrypt(&Natural::from(b), &mut rng).unwrap();
+            let sum = kp.decrypt(&kp.public().add(&ea, &eb));
+            let expected_sum = (Natural::from(a) + Natural::from(b)).rem(&n);
+            assert_eq!(sum, expected_sum);
+            let scaled = kp.decrypt(&kp.public().scale(&ea, &Natural::from(gamma)));
+            let expected_scaled = (Natural::from(a) * Natural::from(gamma)).rem(&n);
+            assert_eq!(scaled, expected_scaled);
+        },
+    );
+}
 
-    #[test]
-    fn polynomial_vanishes_exactly_on_roots(roots in prop::collection::btree_set(1..10_000u64, 1..20), probe in 1..10_000u64) {
+#[test]
+fn polynomial_vanishes_exactly_on_roots() {
+    cases(CRYPTO_CASES, "polynomial_vanishes_exactly_on_roots", |g| {
+        let roots = distinct_values(g, 20);
+        let probe = 1 + g.u64_below(9_999);
         let n = Natural::from(1_000_003u64);
         let root_nats: Vec<Natural> = roots.iter().map(|&r| Natural::from(r)).collect();
         let poly = ZnPoly::from_roots(&root_nats, &n);
         for r in &root_nats {
-            prop_assert!(poly.eval(r).is_zero());
+            assert!(poly.eval(r).is_zero());
         }
         // Non-roots evaluate non-zero (the modulus is prime and all roots
         // are below it, so P(x) = Π(a_i - x) has no extra zeros).
         if !roots.contains(&probe) {
-            prop_assert!(!poly.eval(&Natural::from(probe)).is_zero());
+            assert!(!poly.eval(&Natural::from(probe)).is_zero());
         }
-    }
-
-    #[test]
-    fn bucketed_polynomial_agrees_with_flat_on_membership(roots in prop::collection::btree_set(1..10_000u64, 1..30), buckets in 1..8usize, probe in 1..10_000u64) {
-        let n = Natural::from(1_000_003u64);
-        let root_nats: Vec<Natural> = roots.iter().map(|&r| Natural::from(r)).collect();
-        let bp = BucketedPoly::from_roots(&root_nats, &n, buckets);
-        for r in &root_nats {
-            prop_assert!(bp.eval(r).is_zero());
-        }
-        if !roots.contains(&probe) {
-            // The dummy padding root is n-1, far above the probe range.
-            prop_assert!(!bp.eval(&Natural::from(probe)).is_zero());
-        }
-    }
-
-    #[test]
-    fn drbg_streams_never_repeat_across_seeds(s1 in any::<u64>(), s2 in any::<u64>()) {
-        prop_assume!(s1 != s2);
-        let mut a = HmacDrbg::new(&s1.to_be_bytes());
-        let mut b = HmacDrbg::new(&s2.to_be_bytes());
-        let mut buf_a = [0u8; 32];
-        let mut buf_b = [0u8; 32];
-        a.fill(&mut buf_a);
-        b.fill(&mut buf_b);
-        prop_assert_ne!(buf_a, buf_b);
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+#[test]
+fn bucketed_polynomial_agrees_with_flat_on_membership() {
+    cases(
+        CRYPTO_CASES,
+        "bucketed_polynomial_agrees_with_flat_on_membership",
+        |g| {
+            let roots = distinct_values(g, 30);
+            let buckets = g.usize_in(1, 7);
+            let probe = 1 + g.u64_below(9_999);
+            let n = Natural::from(1_000_003u64);
+            let root_nats: Vec<Natural> = roots.iter().map(|&r| Natural::from(r)).collect();
+            let bp = BucketedPoly::from_roots(&root_nats, &n, buckets);
+            for r in &root_nats {
+                assert!(bp.eval(r).is_zero());
+            }
+            if !roots.contains(&probe) {
+                // The dummy padding root is n-1, far above the probe range.
+                assert!(!bp.eval(&Natural::from(probe)).is_zero());
+            }
+        },
+    );
+}
 
-    #[test]
-    fn protocols_agree_with_plaintext_join_on_random_workloads(
-        left_rows in 1..20usize,
-        right_rows in 1..20usize,
-        shared in 0..8usize,
-        seed in any::<u32>(),
-    ) {
-        use secmed::core::workload::WorkloadSpec;
-        use secmed::core::{CommutativeConfig, ProtocolKind, Scenario};
-        let w = WorkloadSpec {
-            left_rows,
-            right_rows,
-            left_domain: shared + 8,
-            right_domain: shared + 8,
-            shared_values: shared,
-            payload_attrs: 1,
-            seed: format!("prop-{seed}"),
-            ..Default::default()
-        }
-        .generate();
-        let mut sc = Scenario::from_workload(&w, &format!("prop-{seed}"), 512);
-        let report = sc.run(ProtocolKind::Commutative(CommutativeConfig::default())).unwrap();
-        prop_assert_eq!(report.result.len(), w.expected_join_size);
-    }
+#[test]
+fn drbg_streams_never_repeat_across_seeds() {
+    cases(
+        CRYPTO_CASES,
+        "drbg_streams_never_repeat_across_seeds",
+        |g| {
+            let s1 = g.u64();
+            let s2 = g.u64();
+            if s1 == s2 {
+                return;
+            }
+            let mut a = HmacDrbg::new(&s1.to_be_bytes());
+            let mut b = HmacDrbg::new(&s2.to_be_bytes());
+            let mut buf_a = [0u8; 32];
+            let mut buf_b = [0u8; 32];
+            a.fill(&mut buf_a);
+            b.fill(&mut buf_b);
+            assert_ne!(buf_a, buf_b);
+        },
+    );
+}
+
+#[test]
+fn protocols_agree_with_plaintext_join_on_random_workloads() {
+    cases(
+        E2E_CASES,
+        "protocols_agree_with_plaintext_join_on_random_workloads",
+        |g| {
+            use secmed::core::workload::WorkloadSpec;
+            use secmed::core::{CommutativeConfig, ProtocolKind, Scenario};
+            let left_rows = g.usize_in(1, 19);
+            let right_rows = g.usize_in(1, 19);
+            let shared = g.usize_in(0, 7);
+            let seed = g.u32();
+            let w = WorkloadSpec {
+                left_rows,
+                right_rows,
+                left_domain: shared + 8,
+                right_domain: shared + 8,
+                shared_values: shared,
+                payload_attrs: 1,
+                seed: format!("prop-{seed}"),
+                ..Default::default()
+            }
+            .generate();
+            let mut sc = Scenario::from_workload(&w, &format!("prop-{seed}"), 512);
+            let report = sc
+                .run(ProtocolKind::Commutative(CommutativeConfig::default()))
+                .unwrap();
+            assert_eq!(report.result.len(), w.expected_join_size);
+        },
+    );
 }
