@@ -1,1 +1,3 @@
+#![forbid(unsafe_code)]
+
 //! Benchmark harness (see benches/ and src/bin/).

@@ -223,7 +223,9 @@ fn encode_root(key_bytes: &[u8], pk: &PaillierPublicKey) -> Natural {
 /// Truncated value tag carried inside payloads for client-side matching.
 fn value_tag(key_bytes: &[u8]) -> [u8; VALUE_TAG_LEN] {
     let digest = sha256(key_bytes);
-    digest[..VALUE_TAG_LEN].try_into().expect("16 bytes")
+    let mut tag = [0u8; VALUE_TAG_LEN];
+    tag.copy_from_slice(&digest[..VALUE_TAG_LEN]);
+    tag
 }
 
 /// Listing 4 steps 2-3 at one source.
@@ -330,8 +332,11 @@ fn parse_side(
         let m = sc.client.paillier().decrypt(ct);
         let bytes = m.to_bytes_be();
         if let Some(p) = parse_payload(&bytes) {
-            let tag: [u8; VALUE_TAG_LEN] =
-                bytes[1..1 + VALUE_TAG_LEN].try_into().expect("tag length");
+            // parse_payload verified the length; a short slice means
+            // "not in the intersection", same as any other parse failure.
+            let Ok(tag) = <[u8; VALUE_TAG_LEN]>::try_from(&bytes[1..1 + VALUE_TAG_LEN]) else {
+                continue;
+            };
             out.insert(tag, p);
         }
     }

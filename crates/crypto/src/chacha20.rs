@@ -36,11 +36,11 @@ impl ChaCha20 {
     pub fn with_counter(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
         let mut k = [0u32; 8];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
-            k[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            k[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         let mut n = [0u32; 3];
         for (i, chunk) in nonce.chunks_exact(4).enumerate() {
-            n[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            n[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
         ChaCha20 {
             key: k,

@@ -19,7 +19,6 @@
 
 use std::collections::HashMap;
 
-use mpint::numtheory::modinv;
 use mpint::rng::Rng;
 use mpint::Natural;
 
@@ -68,8 +67,10 @@ impl ExpElGamalKeyPair {
     /// to interpret it — e.g. "is it `g^0 = 1`?" costs no discrete log.
     pub fn decrypt_element(&self, ct: &ExpElGamalCiphertext) -> Natural {
         let g = &self.public.group;
-        let s = g.pow(&ct.c1, &self.x);
-        let s_inv = modinv(&s, g.p()).expect("group elements are invertible");
+        // c1 lies in the prime-order-q subgroup, so (c1^x)^{-1} = c1^{q-x}:
+        // the inverse is one more exponentiation, with no fallible modinv.
+        // The `rem` keeps the subtraction total even for out-of-range keys.
+        let s_inv = g.pow(&ct.c1, &(g.q() - &self.x.rem(g.q())));
         ct.c2.modmul(&s_inv, g.p())
     }
 
@@ -154,9 +155,9 @@ pub fn discrete_log(group: &SafePrimeGroup, target: &Natural, bound: u64) -> Opt
         table.insert(cur.to_bytes_be(), j);
         cur = cur.modmul(group.g(), group.p());
     }
-    // Giant steps: target * (g^-m)^i.
-    let g_m = group.pow_g(&Natural::from(m));
-    let g_m_inv = modinv(&g_m, group.p()).expect("group element invertible");
+    // Giant steps: target * (g^-m)^i, with g^-m computed as g^(q-m)
+    // (g generates the order-q subgroup, so no fallible modinv is needed).
+    let g_m_inv = group.pow_g(&(group.q() - &Natural::from(m).rem(group.q())));
     let mut gamma = target.clone();
     for i in 0..=m {
         if let Some(&j) = table.get(&gamma.to_bytes_be()) {

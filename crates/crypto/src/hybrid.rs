@@ -181,8 +181,8 @@ impl<'a> Reader<'a> {
     }
 
     fn take_len_prefixed(&mut self) -> Result<&'a [u8], CryptoError> {
-        let len_bytes = self.take(4)?;
-        let len = u32::from_be_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        let b = self.take(4)?;
+        let len = u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as usize;
         self.take(len)
     }
 

@@ -139,6 +139,9 @@ impl PaillierKeyPair {
         loop {
             let p = gen_prime(n_bits / 2, rng);
             let q = gen_prime(n_bits.div_ceil(2), rng);
+            // lint:allow(secret-branching) -- keygen rejection sampling: a
+            // p = q collision is discarded, so the branch reveals nothing
+            // about the factors actually kept.
             if p == q {
                 continue;
             }
@@ -230,6 +233,16 @@ impl PaillierPublicKey {
         Ok(PaillierCiphertext(gm.modmul(&rn, &self.n2)))
     }
 
+    /// Encrypts `m mod n` — infallible, for callers whose plaintexts are
+    /// already residues (e.g. polynomial coefficients in `Z_n`).
+    pub fn encrypt_reduced(&self, m: &Natural, rng: &mut dyn Rng) -> PaillierCiphertext {
+        count(Op::PaillierEncrypt);
+        let r = self.random_unit(rng);
+        let gm = (Natural::one() + &(&m.rem(&self.n) * &self.n)).rem(&self.n2);
+        let rn = self.mont_n2.modpow(&r, &self.n);
+        PaillierCiphertext(gm.modmul(&rn, &self.n2))
+    }
+
     /// Encrypts bytes by interpreting them as a big-endian integer.
     pub fn encrypt_bytes(
         &self,
@@ -291,6 +304,13 @@ impl PaillierCiphertext {
     /// The raw group element (for transport encoding).
     pub fn element(&self) -> &Natural {
         &self.0
+    }
+
+    /// The trivial (unrandomized) encryption of zero, `c = 1`.
+    ///
+    /// Valid under every key; useful as an additive identity.
+    pub fn trivial_zero() -> Self {
+        PaillierCiphertext(Natural::one())
     }
 
     /// Rebuilds from a transported element, validating the range.

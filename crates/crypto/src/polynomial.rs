@@ -114,7 +114,7 @@ impl EncryptedPoly {
         let coeffs = poly
             .coeffs
             .iter()
-            .map(|c| pk.encrypt(c, rng).expect("coefficient < n by construction"))
+            .map(|c| pk.encrypt_reduced(c, rng))
             .collect();
         EncryptedPoly {
             coeffs,
@@ -173,7 +173,12 @@ impl EncryptedPoly {
         let n = self.pk.n();
         let a = a.rem(n);
         let mut iter = self.coeffs.iter().rev();
-        let mut acc = iter.next().expect("non-empty polynomial").clone();
+        // The empty polynomial (never produced by `encrypt`) evaluates to
+        // the trivial encryption of zero, `E(0) = 1`.
+        let Some(first) = iter.next() else {
+            return PaillierCiphertext::trivial_zero();
+        };
+        let mut acc = first.clone();
         for c in iter {
             acc = self.pk.add(&self.pk.scale(&acc, &a), c);
         }

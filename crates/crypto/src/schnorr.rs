@@ -107,8 +107,12 @@ impl SchnorrSignature {
             if bytes.len() - *pos < 4 {
                 return Err(err);
             }
-            let len =
-                u32::from_be_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_be_bytes([
+                bytes[*pos],
+                bytes[*pos + 1],
+                bytes[*pos + 2],
+                bytes[*pos + 3],
+            ]) as usize;
             *pos += 4;
             if bytes.len() - *pos < len {
                 return Err(err);

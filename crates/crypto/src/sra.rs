@@ -81,13 +81,18 @@ impl SraCipher {
         let q = domain.group.q();
         loop {
             let e = random_below(rng, q);
+            // lint:allow(secret-branching) -- keygen rejection sampling: the
+            // candidate is discarded (never used) when the branch rejects it.
             if e.is_zero() || e.is_one() {
                 continue;
             }
-            if gcd(&e, q).is_one() {
-                let d = modinv(&e, q).expect("gcd(e, q) = 1 implies invertible");
-                return SraCipher { domain, e, d };
+            // lint:allow(secret-branching) -- same rejection-sampling loop;
+            // a rejected candidate leaks nothing about the key actually kept.
+            if !gcd(&e, q).is_one() {
+                continue;
             }
+            let Ok(d) = modinv(&e, q) else { continue };
+            return SraCipher { domain, e, d };
         }
     }
 
@@ -95,12 +100,8 @@ impl SraCipher {
     /// deterministic re-runs).
     pub fn from_exponent(domain: SraDomain, e: Natural) -> Result<Self, CryptoError> {
         let q = domain.group.q();
-        if e.is_zero() || !gcd(&e, q).is_one() {
-            return Err(CryptoError::InvalidKey(
-                "exponent not coprime to group order",
-            ));
-        }
-        let d = modinv(&e, q).expect("coprime exponent is invertible");
+        let d = modinv(&e, q)
+            .map_err(|_| CryptoError::InvalidKey("exponent not coprime to group order"))?;
         Ok(SraCipher { domain, e, d })
     }
 

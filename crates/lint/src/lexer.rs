@@ -1,0 +1,490 @@
+//! A hand-rolled Rust lexer — just enough token structure for the lint
+//! rules.
+//!
+//! The rules only need to see *code* tokens with line numbers, plus
+//! comments (for suppression handling).  String literals, char literals,
+//! raw strings, doc comments, and nested block comments must therefore be
+//! scanned correctly — an `unwrap` inside a doc example or an error message
+//! is not a violation — but full syntactic fidelity (precedence, item
+//! structure) is not required.
+
+/// The coarse token classes the rules operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `if`, `match`, ...).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A numeric literal.
+    Number,
+    /// A string, raw-string, byte-string, or char literal.
+    Literal,
+    /// Punctuation; multi-character operators (`==`, `!=`, `::`, `->`,
+    /// `=>`, `&&`, `||`, `<=`, `>=`, `..`) are joined into one token.
+    Punct,
+    /// A `// ...` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* ... */` comment (nesting handled).
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text.  For line comments this is the text after `//`; for
+    /// block comments the text between the delimiters.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Multi-character operators joined by the lexer, longest first.
+const JOINED: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `source` into tokens.  Unterminated constructs (strings, block
+/// comments) consume the rest of the input rather than erroring: the lint
+/// pass runs on code that already compiles, so this is a robustness
+/// fallback, not an expected path.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'b' if self.peek(1) == Some('"') => {
+                    self.pos += 1;
+                    self.string();
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.pos += 1;
+                    self.char_literal();
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(),
+                '\'' => self.quote(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    /// Advances past `c`, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.pos += 2;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.pos += 2;
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                self.bump();
+                text.push(c);
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// A `"..."` string with escapes; the opening quote is at `pos`.
+    fn string(&mut self) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    /// True when `r"`, `r#"`, `br"`, ... starts at `pos`.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1; // past the leading r or b
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self) {
+        let line = self.line;
+        if self.peek(0) == Some('b') {
+            self.pos += 1;
+        }
+        self.pos += 1; // the r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        let mut text = String::new();
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote must be followed by `hashes` hash marks.
+                for h in 0..hashes {
+                    if self.peek(h) != Some('#') {
+                        text.push('"');
+                        continue 'scan;
+                    }
+                }
+                self.pos += hashes;
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    /// Either a char literal (`'x'`, `'\n'`) or a lifetime (`'a`), starting
+    /// at the quote.
+    fn quote(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        let lifetime = match next {
+            Some('\\') => false,
+            Some(c) if is_ident_start(c) => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        if lifetime {
+            self.pos += 1;
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.pos += 1;
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            self.char_literal();
+        }
+    }
+
+    /// A char literal; the opening quote is at `pos`.
+    fn char_literal(&mut self) {
+        let line = self.line;
+        self.pos += 1;
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                // Scientific notation: 1e-5, 2.5E+3.
+                if (c == 'e' || c == 'E')
+                    && !text.starts_with("0x")
+                    && matches!(self.peek(1), Some('+') | Some('-'))
+                {
+                    text.push(c);
+                    self.pos += 1;
+                    if let Some(sign) = self.bump() {
+                        text.push(sign);
+                    }
+                    continue;
+                }
+                text.push(c);
+                self.pos += 1;
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                text.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        // Raw identifiers: `r#match` lexes as the identifier `match`.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            if let Some(c) = self.peek(2) {
+                if is_ident_start(c) {
+                    self.pos += 2;
+                }
+            }
+        }
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        for op in JOINED {
+            if self.starts_with(op) {
+                self.pos += op.len();
+                self.push(TokenKind::Punct, op.to_string(), line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokenKind::Punct, c.to_string(), line);
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("a.unwrap() == b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Ident, "unwrap".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+                (TokenKind::Punct, "==".into()),
+                (TokenKind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let toks = kinds(r#"let s = "x.unwrap() == 1";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = lex("r#\"a \"quoted\" b\"# x");
+        assert_eq!(toks[0].kind, TokenKind::Literal);
+        assert_eq!(toks[0].text, "a \"quoted\" b");
+        assert!(toks[1].is_ident("x"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r#"b"payload" b'\n' br"raw""#);
+        assert!(toks.iter().all(|t| t.kind == TokenKind::Literal));
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn comments_capture_text_and_lines() {
+        let toks = lex("let a = 1; // lint:allow(x) -- why\nlet b = 2;");
+        let comment = toks.iter().find(|t| t.is_comment()).unwrap();
+        assert_eq!(comment.text, " lint:allow(x) -- why");
+        assert_eq!(comment.line, 1);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn doc_comments_do_not_leak_code_tokens() {
+        let toks = lex("/// let x = v.unwrap();\nfn f() {}");
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn numbers_including_ranges_and_floats() {
+        let toks = kinds("0..10 1.5e-3 0xff_u64");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Number, "0".into()),
+                (TokenKind::Punct, "..".into()),
+                (TokenKind::Number, "10".into()),
+                (TokenKind::Number, "1.5e-3".into()),
+                (TokenKind::Number, "0xff_u64".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn joined_operators() {
+        let toks = kinds("a != b && c || d => e :: f");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["!=", "&&", "||", "=>", "::"]);
+    }
+
+    #[test]
+    fn macro_bang_stays_separate() {
+        let toks = kinds("panic!(\"boom\")");
+        assert_eq!(toks[0], (TokenKind::Ident, "panic".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, "!".into()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let toks = lex("let s = \"line\nbreak\";\nfinal_ident");
+        let last = toks.last().unwrap();
+        assert!(last.is_ident("final_ident"));
+        assert_eq!(last.line, 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! `secmed-lint` — in-tree static analysis for the secmed workspace.
+//!
+//! A hand-rolled Rust lexer ([`lexer`]), a test-region and suppression
+//! aware source model ([`source`]), and a pluggable rule engine
+//! ([`engine`]) enforce the workspace's security invariants as a CI gate:
+//!
+//! - `panic-freedom` — no aborting escape hatches in protocol/crypto/bigint
+//!   code (a panic in the mediator is a DoS lever),
+//! - `secret-branching` — secret key material never influences control flow
+//!   or `==`/`!=` outside approved constant-time helpers,
+//! - `transport-discipline` — protocol messages flow through the recording
+//!   `secmed-core::transport`, keeping traces complete,
+//! - `determinism` — wall-clock reads only in `crates/obs` / `crates/bench`,
+//! - `dependency-policy` — every `Cargo.toml` dependency is a path dep.
+//!
+//! Violations render as `file:line: rule-id: message`; a machine-readable
+//! JSONL report goes to `target/lint/report.jsonl`.  Audited escapes use
+//! `// lint:allow(rule-id) -- reason` (reason mandatory; unused or
+//! malformed suppressions are themselves findings under `lint-allow`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use engine::{Finding, ManifestFile, Rule, RunOutcome};
+pub use source::SourceFile;
+
+/// Runs the default rule set over the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<RunOutcome> {
+    let ws = walk::collect(root)?;
+    Ok(engine::run(
+        &rules::default_rules(),
+        &ws.sources,
+        &ws.manifests,
+    ))
+}

@@ -1,0 +1,78 @@
+//! The `secmed-lint` binary: scans the workspace, prints findings as
+//! `file:line: rule-id: message`, writes `target/lint/report.jsonl`, and
+//! exits non-zero (with a rule → count summary table) on any violation.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use secmed_lint::lint_workspace;
+
+fn main() -> ExitCode {
+    let root = match workspace_root() {
+        Some(root) => root,
+        None => {
+            eprintln!("secmed-lint: cannot locate the workspace root (no Cargo.toml with [workspace] found)");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match lint_workspace(&root) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("secmed-lint: walking {} failed: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report_path = root.join("target/lint/report.jsonl");
+    if let Some(dir) = report_path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Err(err) = fs::write(&report_path, outcome.to_jsonl()) {
+        eprintln!(
+            "secmed-lint: writing {} failed: {err}",
+            report_path.display()
+        );
+    }
+
+    for finding in &outcome.findings {
+        println!("{}", finding.render());
+    }
+    if outcome.clean() {
+        eprintln!(
+            "secmed-lint: {} files clean ({} audited suppressions in use)",
+            outcome.files_scanned,
+            outcome.suppressions_used.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nsecmed-lint: {} violation(s) in {} files\n\n{}",
+            outcome.findings.len(),
+            outcome.files_scanned,
+            outcome.summary_table()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Finds the workspace root: explicit argument, else walk up from the
+/// current directory to the first `Cargo.toml` containing `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
+    if let Some(arg) = env::args().nth(1) {
+        return Some(PathBuf::from(arg));
+    }
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        dir = dir.parent().map(Path::to_path_buf)?;
+    }
+}

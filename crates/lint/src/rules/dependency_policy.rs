@@ -1,0 +1,183 @@
+//! `dependency-policy` — the workspace stays offline-only.
+//!
+//! Every primitive here is implemented in-tree precisely so the whole
+//! system can be read, audited, and rebuilt with no network access (the
+//! threat model has the mediator operating on ciphertexts only — an
+//! unvetted dependency is an unvetted party).  Every `[dependencies]`-like
+//! section in every `Cargo.toml` must resolve by `path` (directly or via
+//! `workspace = true` onto a path-only `[workspace.dependencies]`); any
+//! `git`, `registry`, or bare-version dependency fails the build.
+//!
+//! The check is a line-oriented parse of the manifest: section headers in
+//! brackets, `key = value` entries, inline tables scanned for `path` /
+//! `workspace` keys.  That is deliberate — TOML's full grammar is not
+//! needed to classify a dependency spec.
+
+use crate::engine::{Finding, ManifestFile, Rule};
+
+/// Section names whose entries are dependency specs.
+const DEP_SECTIONS: &[&str] = &[
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// The dependency-policy rule (see module docs).
+pub struct DependencyPolicy;
+
+impl Rule for DependencyPolicy {
+    fn id(&self) -> &'static str {
+        "dependency-policy"
+    }
+
+    fn description(&self) -> &'static str {
+        "all Cargo.toml dependencies must be path deps (offline-only workspace)"
+    }
+
+    fn check_manifest(&self, manifest: &ManifestFile, findings: &mut Vec<Finding>) {
+        let mut in_dep_section = false;
+        for (idx, raw) in manifest.text.lines().enumerate() {
+            let line_no = (idx + 1) as u32;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = header(line) {
+                in_dep_section = DEP_SECTIONS
+                    .iter()
+                    .any(|s| section == *s || section.ends_with(&format!(".{s}")));
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim();
+            let value = value.trim();
+            // `name.workspace = true` / `name.path = "..."` dotted forms.
+            if let Some((_, attr)) = key.split_once('.') {
+                if attr == "workspace" || attr == "path" {
+                    continue;
+                }
+                // name.version / name.git / ... — classify by the attr.
+                findings.push(self.finding(manifest, line_no, key, attr));
+                continue;
+            }
+            if let Some(table) = value.strip_prefix('{') {
+                if table.contains("path") || table.contains("workspace") {
+                    continue;
+                }
+                let how = if table.contains("git") {
+                    "git"
+                } else if table.contains("registry") {
+                    "registry"
+                } else {
+                    "version-only"
+                };
+                findings.push(self.finding(manifest, line_no, key, how));
+                continue;
+            }
+            // `name = "1.2"` — bare registry version.
+            if value.starts_with('"') {
+                findings.push(self.finding(manifest, line_no, key, "version-only"));
+            }
+        }
+    }
+}
+
+impl DependencyPolicy {
+    fn finding(&self, manifest: &ManifestFile, line: u32, key: &str, how: &str) -> Finding {
+        Finding {
+            file: manifest.path.clone(),
+            line,
+            rule: self.id(),
+            message: format!(
+                "dependency `{key}` is a {how} dependency; this workspace is \
+                 offline-only — use a `path` dependency on an in-tree crate",
+            ),
+        }
+    }
+}
+
+/// Returns the section name if `line` is a `[section]` / `[[section]]` header.
+fn header(line: &str) -> Option<&str> {
+    let inner = line
+        .strip_prefix("[[")
+        .and_then(|s| s.strip_suffix("]]"))
+        .or_else(|| line.strip_prefix('[').and_then(|s| s.strip_suffix(']')))?;
+    Some(inner.trim())
+}
+
+/// Drops a `#` comment, respecting (single-line) quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(text: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        DependencyPolicy.check_manifest(
+            &ManifestFile {
+                path: "crates/x/Cargo.toml".into(),
+                text: text.into(),
+            },
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let text = "[dependencies]\nsecmed-obs.workspace = true\n\
+                    secmed-core = { path = \"../core\" }\n";
+        assert!(check(text).is_empty());
+    }
+
+    #[test]
+    fn registry_git_and_version_deps_fail() {
+        let text = "[dependencies]\nserde = \"1.0\"\n\
+                    rand = { git = \"https://example.com/rand\" }\n\
+                    toml = { version = \"0.8\" }\n";
+        let out = check(text);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].message.contains("version-only"));
+        assert!(out[1].message.contains("git"));
+        assert!(out.iter().all(|f| f.rule == "dependency-policy"));
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let text = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n\
+                    [features]\ndefault = []\n";
+        assert!(check(text).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependencies_section_is_checked() {
+        let text = "[workspace.dependencies]\nserde = \"1.0\"\n";
+        assert_eq!(check(text).len(), 1);
+    }
+
+    #[test]
+    fn dev_dependencies_are_checked_and_comments_stripped() {
+        let text = "[dev-dependencies]\n# registry = not a dep\n\
+                    criterion = { version = \"0.5\" } # bench\n";
+        let out = check(text);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+}

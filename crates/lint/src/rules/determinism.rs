@@ -1,0 +1,91 @@
+//! `determinism` — wall-clock reads stay inside the observability and
+//! bench crates.
+//!
+//! Protocol runs must be replayable: the paper's efficiency claims (§6)
+//! are argued over operation counts, and the repo backs them with
+//! deterministic traces plus a dedicated timing harness.  A stray
+//! `Instant::now()` in protocol or crypto code either leaks timing into
+//! protocol state or silently turns a reproducible test into a flaky one.
+//! Outside `crates/obs/` and `crates/bench/`, no code — including tests —
+//! may name `Instant` or `SystemTime`.
+
+use crate::engine::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// Directories allowed to read the clock.
+const EXEMPT: &[&str] = &["crates/obs/", "crates/bench/"];
+
+/// Clock types whose mention is banned.
+const BANNED_IDENTS: &[&str] = &["Instant", "SystemTime"];
+
+/// The determinism rule (see module docs).
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "Instant/SystemTime only in crates/obs and crates/bench"
+    }
+
+    fn check_source(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if EXEMPT.iter().any(|dir| file.path.starts_with(dir)) {
+            return;
+        }
+        for &ti in &file.code_indices() {
+            let tok = &file.tokens[ti];
+            if BANNED_IDENTS.iter().any(|b| tok.is_ident(b)) {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tok.line,
+                    rule: self.id(),
+                    message: format!(
+                        "`{}` makes runs irreproducible; timing belongs in \
+                         crates/obs (tracing) or crates/bench (measurement)",
+                        tok.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        Determinism.check_source(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_clock_reads_anywhere_in_scope() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let out = check("crates/core/src/protocol/pm.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "determinism");
+    }
+
+    #[test]
+    fn applies_to_test_code_too() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let _ = SystemTime::now(); } }";
+        assert_eq!(check("crates/crypto/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn obs_and_bench_are_exempt() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(check("crates/obs/src/timing.rs", src).is_empty());
+        assert!(check("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mentions_in_comments_are_not_code() {
+        let src = "// Instant would be wrong here\nfn f() {}";
+        assert!(check("crates/core/src/lib.rs", src).is_empty());
+    }
+}

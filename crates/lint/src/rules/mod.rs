@@ -1,0 +1,31 @@
+//! The shipped rule set.
+//!
+//! Each rule is a small, self-contained module; `default_rules` assembles
+//! the set the `secmed-lint` binary and the self-test run.  DESIGN.md's
+//! "Static analysis" section maps every rule to the paper property it
+//! protects.
+
+mod dependency_policy;
+mod determinism;
+mod panic_freedom;
+mod secret_branching;
+mod transport_discipline;
+
+pub use dependency_policy::DependencyPolicy;
+pub use determinism::Determinism;
+pub use panic_freedom::PanicFreedom;
+pub use secret_branching::SecretBranching;
+pub use transport_discipline::TransportDiscipline;
+
+use crate::engine::Rule;
+
+/// The five shipped rules, in reporting order.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(PanicFreedom),
+        Box::new(SecretBranching),
+        Box::new(TransportDiscipline),
+        Box::new(Determinism),
+        Box::new(DependencyPolicy),
+    ]
+}

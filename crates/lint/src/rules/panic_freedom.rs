@@ -1,0 +1,117 @@
+//! `panic-freedom` — no aborting escape hatches in protocol hot paths.
+//!
+//! ROADMAP's north star is a production service; a mediator that aborts on
+//! a malformed ciphertext is a denial-of-service lever for any party.  In
+//! the directories that execute protocol runs (`crates/core/src/protocol/`)
+//! and the layers under them (`crates/crypto/`, `crates/mpint/`), non-test
+//! code may not call `.unwrap()` / `.expect(...)` or invoke `panic!` /
+//! `unreachable!` / `todo!` / `unimplemented!`.  Errors must surface as
+//! typed `Result`s; genuinely unreachable states need an audited
+//! `// lint:allow(panic-freedom) -- reason`.
+
+use crate::engine::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// Directories the rule applies to.
+const SCOPE: &[&str] = &[
+    "crates/core/src/protocol/",
+    "crates/crypto/src/",
+    "crates/mpint/src/",
+];
+
+/// Method names that abort on `Err`/`None`.
+const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that abort unconditionally.
+const BANNED_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// The panic-freedom rule (see module docs).
+pub struct PanicFreedom;
+
+impl Rule for PanicFreedom {
+    fn id(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/unreachable! in protocol, crypto, or bigint non-test code"
+    }
+
+    fn check_source(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !SCOPE.iter().any(|dir| file.path.starts_with(dir)) {
+            return;
+        }
+        let code = file.code_indices();
+        for (ci, &ti) in code.iter().enumerate() {
+            if file.is_test_token(ti) {
+                continue;
+            }
+            let tok = &file.tokens[ti];
+            let prev = ci.checked_sub(1).map(|p| &file.tokens[code[p]]);
+            let next = code.get(ci + 1).map(|&n| &file.tokens[n]);
+            let method_call = BANNED_METHODS.contains(&tok.text.as_str())
+                && prev.is_some_and(|p| p.is_punct("."))
+                && next.is_some_and(|n| n.is_punct("("));
+            let macro_call =
+                BANNED_MACROS.contains(&tok.text.as_str()) && next.is_some_and(|n| n.is_punct("!"));
+            if method_call || macro_call {
+                let call = if method_call {
+                    format!(".{}()", tok.text)
+                } else {
+                    format!("{}!", tok.text)
+                };
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tok.line,
+                    rule: self.id(),
+                    message: format!(
+                        "`{call}` can abort a protocol run; return a typed error instead \
+                         (or justify with `// lint:allow(panic-freedom) -- reason`)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        PanicFreedom.check_source(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros_in_scope() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); unreachable!(); }";
+        let out = check("crates/crypto/src/foo.rs", src);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|f| f.rule == "panic-freedom"));
+    }
+
+    #[test]
+    fn ignores_out_of_scope_paths_and_tests() {
+        let src = "fn f() { a.unwrap(); }";
+        assert!(check("crates/relalg/src/foo.rs", src).is_empty());
+        assert!(check("crates/core/src/lib.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f() { a.unwrap(); } }";
+        assert!(check("crates/crypto/src/foo.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn fallible_variants_are_fine() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.expect_err(\"e\"); }";
+        // unwrap_or / unwrap_or_else / expect_err are different identifiers —
+        // they do not abort and must not be flagged.
+        assert!(check("crates/mpint/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_docs_are_not_code() {
+        let src = "/// call `.unwrap()` at your peril\nfn f() { let s = \"panic!\"; }";
+        assert!(check("crates/crypto/src/foo.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! `secret-branching` — secret key material must not influence control
+//! flow or equality tests.
+//!
+//! The paper's security reductions (commutative encryption after Agrawal et
+//! al. §4, private matching after Freedman et al. §5) model the mediator as
+//! learning nothing beyond ciphertext equality; a branch or `==` on a
+//! private exponent, Paillier trapdoor, or DRBG state is exactly the kind
+//! of data-dependent timing that collapses those arguments in practice.
+//! This is a token-level taint check: identifiers drawn from the
+//! secret-material registry may not appear inside `if`/`while`/`match`
+//! conditions or as operands of `==`/`!=`, except inside approved
+//! constant-time helpers (`mac_eq`-style) or their call sites.
+//!
+//! Key *generation* legitimately inspects candidates (rejection sampling);
+//! those sites carry audited `lint:allow` comments — the point is that every
+//! such branch is enumerable and reviewed, not that none exist.
+
+use std::collections::BTreeSet;
+
+use crate::engine::{Finding, Rule};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// The secret-material registry: `(path suffix, identifiers, what)`.
+///
+/// Identifiers are matched exactly and only in the named file, so short
+/// field names (`e`, `d`, `x`) do not taint unrelated code.
+const REGISTRY: &[(&str, &[&str], &str)] = &[
+    (
+        "crates/crypto/src/paillier.rs",
+        &["lambda", "mu", "p", "q", "hp", "hq", "q_inv_p"],
+        "Paillier private key material",
+    ),
+    (
+        "crates/crypto/src/sra.rs",
+        &["e", "d"],
+        "SRA secret exponent",
+    ),
+    (
+        "crates/crypto/src/elgamal.rs",
+        &["x"],
+        "ElGamal secret exponent",
+    ),
+    (
+        "crates/crypto/src/exp_elgamal.rs",
+        &["x"],
+        "ElGamal secret exponent",
+    ),
+    (
+        "crates/crypto/src/schnorr.rs",
+        &["x", "k"],
+        "Schnorr signing key / nonce",
+    ),
+    (
+        "crates/crypto/src/drbg.rs",
+        &["key", "value"],
+        "DRBG internal state",
+    ),
+    (
+        "crates/crypto/src/hybrid.rs",
+        &["enc_key", "mac_key", "keys", "expected"],
+        "session key material / computed MAC",
+    ),
+];
+
+/// Helpers allowed to compare secret-derived values: their bodies and
+/// their call sites are exempt.  `mac_eq` is the workspace's constant-time
+/// comparator (crates/crypto/src/hmac.rs).
+const APPROVED_HELPERS: &[&str] = &["mac_eq", "ct_eq"];
+
+/// Tokens that close off an `==`/`!=` operand scan.
+const WINDOW_BOUNDARY: &[&str] = &[";", ",", "{", "}", "=", "&&", "||", "==", "!="];
+
+/// The secret-branching rule (see module docs).
+pub struct SecretBranching;
+
+impl Rule for SecretBranching {
+    fn id(&self) -> &'static str {
+        "secret-branching"
+    }
+
+    fn description(&self) -> &'static str {
+        "registered secret identifiers may not appear in branch conditions or ==/!= comparisons"
+    }
+
+    fn check_source(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let Some((_, secrets, what)) = REGISTRY
+            .iter()
+            .find(|(suffix, _, _)| file.path.ends_with(suffix))
+        else {
+            return;
+        };
+        let code = file.code_indices();
+        let toks: Vec<_> = code.iter().map(|&i| &file.tokens[i]).collect();
+        let exempt = exempt_mask(&toks);
+
+        // (line, ident) pairs, deduplicated: `e.is_zero() || e.is_one()`
+        // is one reviewable site per identifier, not two findings.
+        let mut hits: BTreeSet<(u32, String)> = BTreeSet::new();
+
+        let spans = condition_spans(&toks);
+        for &(start, end) in &spans {
+            for ci in start..end {
+                self.scan(file, &code, &toks, &exempt, ci, secrets, &mut hits);
+            }
+        }
+        for ci in 0..toks.len() {
+            let t = toks[ci];
+            if !(t.is_punct("==") || t.is_punct("!=")) {
+                continue;
+            }
+            if spans.iter().any(|&(s, e)| ci >= s && ci < e) {
+                continue; // already covered by the condition scan
+            }
+            for wi in operand_window(&toks, ci) {
+                self.scan(file, &code, &toks, &exempt, wi, secrets, &mut hits);
+            }
+        }
+
+        for (line, ident) in hits {
+            findings.push(Finding {
+                file: file.path.clone(),
+                line,
+                rule: self.id(),
+                message: format!(
+                    "secret `{ident}` ({what}) influences a branch or comparison; \
+                     use a constant-time helper ({}) or justify with \
+                     `// lint:allow(secret-branching) -- reason`",
+                    APPROVED_HELPERS.join("/")
+                ),
+            });
+        }
+    }
+}
+
+impl SecretBranching {
+    /// Records a hit when the code token at `ci` is a non-exempt,
+    /// non-test secret identifier.
+    #[allow(clippy::too_many_arguments)]
+    fn scan(
+        &self,
+        file: &SourceFile,
+        code: &[usize],
+        toks: &[&crate::lexer::Token],
+        exempt: &[bool],
+        ci: usize,
+        secrets: &[&str],
+        hits: &mut BTreeSet<(u32, String)>,
+    ) {
+        let t = toks[ci];
+        if t.kind != TokenKind::Ident || exempt[ci] || file.is_test_token(code[ci]) {
+            return;
+        }
+        if secrets.contains(&t.text.as_str()) {
+            hits.insert((t.line, t.text.clone()));
+        }
+    }
+}
+
+/// Spans (half-open, in code-token indices) of `if`/`while`/`match`
+/// conditions: from the keyword to the block's opening `{`.
+fn condition_spans(toks: &[&crate::lexer::Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("if") || t.is_ident("while") || t.is_ident("match")) {
+            continue;
+        }
+        let mut depth = 0i64;
+        for (j, u) in toks.iter().enumerate().skip(i + 1) {
+            if u.is_punct("(") || u.is_punct("[") {
+                depth += 1;
+            } else if u.is_punct(")") || u.is_punct("]") {
+                depth -= 1;
+            } else if u.is_punct("{") && depth == 0 {
+                spans.push((i + 1, j));
+                break;
+            } else if u.is_punct(";") && depth == 0 {
+                break; // malformed / not actually a condition
+            }
+        }
+    }
+    spans
+}
+
+/// Code-token indices forming the left and right operands of the
+/// comparison at `op`, stopping at statement boundaries.
+fn operand_window(toks: &[&crate::lexer::Token], op: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    for i in (0..op).rev() {
+        let t = toks[i];
+        if t.is_punct(")") || t.is_punct("]") {
+            depth += 1;
+        } else if t.is_punct("(") || t.is_punct("[") {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 && WINDOW_BOUNDARY.contains(&t.text.as_str()) {
+            break;
+        }
+        out.push(i);
+    }
+    depth = 0;
+    for (i, t) in toks.iter().enumerate().skip(op + 1) {
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 && WINDOW_BOUNDARY.contains(&t.text.as_str()) {
+            break;
+        }
+        out.push(i);
+    }
+    out
+}
+
+/// Marks tokens inside approved-helper bodies (`fn mac_eq ... { ... }`)
+/// and approved-helper call argument lists (`mac_eq( ... )`).
+fn exempt_mask(toks: &[&crate::lexer::Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    for i in 0..toks.len() {
+        if !APPROVED_HELPERS.contains(&toks[i].text.as_str()) || toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let is_def = i > 0 && toks[i - 1].is_ident("fn");
+        if is_def {
+            // Exempt the whole body.
+            if let Some(open) = (i..toks.len()).find(|&j| toks[j].is_punct("{")) {
+                let mut depth = 0i64;
+                for (j, m) in mask.iter_mut().enumerate().skip(open) {
+                    if toks[j].is_punct("{") {
+                        depth += 1;
+                    } else if toks[j].is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            *m = true;
+                            break;
+                        }
+                    }
+                    *m = true;
+                }
+            }
+        } else if toks.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+            // Exempt the call's argument list.
+            let mut depth = 0i64;
+            for (j, m) in mask.iter_mut().enumerate().skip(i + 1) {
+                if toks[j].is_punct("(") {
+                    depth += 1;
+                } else if toks[j].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        *m = true;
+                        break;
+                    }
+                }
+                *m = true;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        SecretBranching.check_source(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_equality_on_paillier_trapdoor() {
+        let src = "fn f(&self) -> bool { self.lambda == other.lambda }";
+        let out = check("crates/crypto/src/paillier.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "secret-branching");
+        assert!(out[0].message.contains("lambda"));
+    }
+
+    #[test]
+    fn flags_if_and_match_on_secret() {
+        let src = "fn f(e: &N) { if e.is_zero() { return; } match e { _ => {} } }";
+        let out = check("crates/crypto/src/sra.rs", src);
+        // Two distinct sites on one line dedupe to one per (line, ident);
+        // here both are on line 1 with ident `e`.
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn public_identifiers_and_other_files_are_clean() {
+        let src = "fn f(n: &N) { if n.is_zero() { return; } }";
+        assert!(check("crates/crypto/src/paillier.rs", src).is_empty());
+        let src2 = "fn f(lambda: u64) { if lambda == 0 { } }";
+        assert!(check("crates/crypto/src/group.rs", src2).is_empty());
+    }
+
+    #[test]
+    fn approved_helper_call_site_is_exempt() {
+        let src = "fn f(&self) { if !mac_eq(&expected, &ct.mac) { return; } }";
+        assert!(check("crates/crypto/src/hybrid.rs", src).is_empty());
+    }
+
+    #[test]
+    fn approved_helper_body_is_exempt() {
+        let src = "fn ct_eq(key: &[u8], other: &[u8]) -> bool { let mut d = 0; if key.len() == 0 { } d == 0 }";
+        assert!(check("crates/crypto/src/drbg.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comparison_outside_any_condition_is_flagged() {
+        let src = "fn f(&self) { let leaked = self.key == other.key; }";
+        let out = check("crates/crypto/src/drbg.rs", src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("key"));
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests { fn t(e: u8) { if e == 0 {} } }";
+        assert!(check("crates/crypto/src/sra.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! `transport-discipline` — protocol code talks through
+//! `secmed-core::transport`, nothing else.
+//!
+//! Every message the mediator, suppliers, and clients exchange must flow
+//! through the recording `Transport` so the observability layer sees the
+//! complete conversation and the leakage accounting (paper Table 1) stays
+//! honest: a side channel built on a raw `std::sync::mpsc` pair or an ad
+//! hoc socket would carry plaintext the trace never shows.  In
+//! `crates/core/src/` and `crates/das/src/`, non-test code may not name
+//! `std::sync::mpsc`, `std::net`, or raw socket types.
+
+use crate::engine::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// Directories the rule applies to.
+const SCOPE: &[&str] = &["crates/core/src/", "crates/das/src/"];
+
+/// Identifiers that indicate an out-of-band channel.  `mpsc` catches both
+/// `std::sync::mpsc` paths and `use ... mpsc` imports; the socket types
+/// catch `std::net` and raw-fd escape hatches.
+const BANNED_IDENTS: &[&str] = &[
+    "mpsc",
+    "TcpStream",
+    "TcpListener",
+    "UdpSocket",
+    "UnixStream",
+    "UnixListener",
+];
+
+/// Two-segment paths banned as a unit (`std :: net`).
+const BANNED_PATHS: &[(&str, &str)] = &[("std", "net"), ("std", "os")];
+
+/// The transport-discipline rule (see module docs).
+pub struct TransportDiscipline;
+
+impl Rule for TransportDiscipline {
+    fn id(&self) -> &'static str {
+        "transport-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "protocol code must use secmed-core::transport, not raw channels or sockets"
+    }
+
+    fn check_source(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !SCOPE.iter().any(|dir| file.path.starts_with(dir)) {
+            return;
+        }
+        // The transport module itself is the one place allowed to own
+        // whatever primitive backs it.
+        if file.path.ends_with("/transport.rs") {
+            return;
+        }
+        let code = file.code_indices();
+        for (ci, &ti) in code.iter().enumerate() {
+            if file.is_test_token(ti) {
+                continue;
+            }
+            let tok = &file.tokens[ti];
+            if BANNED_IDENTS.iter().any(|b| tok.is_ident(b)) {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tok.line,
+                    rule: self.id(),
+                    message: format!(
+                        "`{}` bypasses secmed-core::transport; route messages through \
+                         the recording Transport so traces stay complete",
+                        tok.text
+                    ),
+                });
+                continue;
+            }
+            let is_path = |&(a, b): &(&str, &str)| {
+                tok.is_ident(a)
+                    && code
+                        .get(ci + 1)
+                        .is_some_and(|&n| file.tokens[n].is_punct("::"))
+                    && code
+                        .get(ci + 2)
+                        .is_some_and(|&n| file.tokens[n].is_ident(b))
+            };
+            if let Some((a, b)) = BANNED_PATHS.iter().find(|p| is_path(p)) {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tok.line,
+                    rule: self.id(),
+                    message: format!(
+                        "`{a}::{b}` bypasses secmed-core::transport; route messages \
+                         through the recording Transport so traces stay complete"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        TransportDiscipline.check_source(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_mpsc_and_sockets_in_scope() {
+        let src = "use std::sync::mpsc;\nfn f(s: TcpStream) {}";
+        let out = check("crates/core/src/protocol/pm.rs", src);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|f| f.rule == "transport-discipline"));
+    }
+
+    #[test]
+    fn flags_std_net_path() {
+        let src = "fn f() { let _ = std::net::TcpStream::connect(\"x\"); }";
+        let out = check("crates/das/src/lib.rs", src);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn transport_module_and_out_of_scope_are_exempt() {
+        let src = "use std::sync::mpsc;";
+        assert!(check("crates/core/src/transport.rs", src).is_empty());
+        assert!(check("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests { use std::sync::mpsc; }";
+        assert!(check("crates/core/src/protocol/pm.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! A lexed source file plus the file-level analyses shared by all rules:
+//! which token ranges are test code, and which `lint:allow` suppressions
+//! the file declares.
+
+use std::cell::Cell;
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// An audited suppression comment:
+/// `// lint:allow(rule-id, ...) -- reason`.
+///
+/// A suppression silences findings of the listed rules on its own line
+/// (so it can ride at the end of the offending line) and through the end
+/// of the next statement — the comment may span several lines, and the
+/// statement it guards may too.  The reason after `--` is mandatory — the
+/// whole point is an auditable trail.
+#[derive(Debug)]
+pub struct Suppression {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Last line covered (end of the statement following the comment).
+    pub end_line: u32,
+    /// The rule ids it silences.
+    pub rules: Vec<String>,
+    /// The audit reason (non-empty).
+    pub reason: String,
+    /// Set when a finding was actually silenced; unused suppressions are
+    /// themselves reported.
+    pub used: Cell<bool>,
+}
+
+/// A lexed `.rs` file with workspace-relative path.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// True when the whole file is test/bench/example code.
+    pub is_test_file: bool,
+    /// Per-token flag: inside a `#[cfg(test)]` or `#[test]` item.
+    test_mask: Vec<bool>,
+    /// Well-formed suppressions, in order.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed suppression comments: `(line, problem)`.
+    pub malformed: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one file.  `path` must be workspace-relative.
+    pub fn new(path: impl Into<String>, source: &str) -> Self {
+        let path = path.into();
+        let tokens = lex(source);
+        let is_test_file = path.starts_with("tests/")
+            || path.contains("/tests/")
+            || path.contains("/benches/")
+            || path.starts_with("examples/")
+            || path.contains("/examples/");
+        let test_mask = test_mask(&tokens);
+        let (mut suppressions, malformed) = collect_suppressions(&tokens);
+        for s in &mut suppressions {
+            s.end_line = coverage_end(&tokens, s.line);
+        }
+        SourceFile {
+            path,
+            tokens,
+            is_test_file,
+            test_mask,
+            suppressions,
+            malformed,
+        }
+    }
+
+    /// True when the token at `index` is test code (either the whole file
+    /// is, or the token sits under a test attribute).
+    pub fn is_test_token(&self, index: usize) -> bool {
+        self.is_test_file || self.test_mask.get(index).copied().unwrap_or(false)
+    }
+
+    /// The non-comment token stream indices, in order — rules usually want
+    /// to reason about adjacency without comments in between.
+    pub fn code_indices(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| !self.tokens[i].is_comment())
+            .collect()
+    }
+
+    /// True when `rule` is suppressed for a finding on `line`, marking the
+    /// matching suppression used.
+    pub fn suppresses(&self, rule: &str, line: u32) -> bool {
+        for s in &self.suppressions {
+            if s.line <= line && line <= s.end_line && s.rules.iter().any(|r| r == rule) {
+                s.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Marks tokens covered by `#[cfg(test)]` / `#[test]` items: after such an
+/// attribute, everything from the item's opening `{` to its matching `}`
+/// is test code (attributes on brace-less items mark nothing).
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let (attr_end, is_test) = scan_attribute(tokens, i + 1);
+            if is_test {
+                if let Some((open, close)) = item_braces(tokens, attr_end + 1) {
+                    for m in mask.iter_mut().take(close + 1).skip(open) {
+                        *m = true;
+                    }
+                    // Also mark the attribute itself and the item header.
+                    for m in mask.iter_mut().take(open).skip(i) {
+                        *m = true;
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans the bracketed attribute starting at the `[` at `open`; returns the
+/// index of the closing `]` and whether the attribute is `test` or
+/// `cfg(... test ...)`.
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokenKind::Ident {
+            idents.push(t.text.as_str().to_string());
+        }
+        i += 1;
+    }
+    let is_test = match idents.first().map(String::as_str) {
+        Some("test") => true,
+        Some("cfg") => idents.iter().any(|s| s == "test"),
+        _ => false,
+    };
+    (i, is_test)
+}
+
+/// Finds the `{ ... }` of the item following an attribute: the first `{`
+/// before any `;`, and its matching `}`.
+fn item_braces(tokens: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut open = None;
+    for (i, t) in tokens.iter().enumerate().skip(from) {
+        if t.is_punct(";") {
+            return None;
+        }
+        if t.is_punct("{") {
+            open = Some(i);
+            break;
+        }
+    }
+    let open = open?;
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open, i));
+            }
+        }
+    }
+    None
+}
+
+/// Last line a suppression on `line` covers: the end of the statement
+/// following the comment — from the first non-comment token after `line`
+/// to the first `;`, `{`, or `}` (so the suppression can span a multi-line
+/// comment and guard a multi-line statement, but no further).
+fn coverage_end(tokens: &[Token], line: u32) -> u32 {
+    let Some(first) = tokens.iter().position(|t| !t.is_comment() && t.line > line) else {
+        return line;
+    };
+    for t in &tokens[first..] {
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            return t.line;
+        }
+    }
+    tokens.last().map_or(line, |t| t.line)
+}
+
+/// Extracts `lint:allow` comments, separating the well-formed from the
+/// malformed (missing rule list or missing `-- reason`).
+fn collect_suppressions(tokens: &[Token]) -> (Vec<Suppression>, Vec<(u32, String)>) {
+    let mut good = Vec::new();
+    let mut bad = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(rest) = t.text.trim().strip_prefix("lint:allow") else {
+            continue;
+        };
+        let Some(rest) = rest.trim_start().strip_prefix('(') else {
+            bad.push((t.line, "missing rule list after lint:allow".to_string()));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push((t.line, "unterminated lint:allow rule list".to_string()));
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad.push((t.line, "empty lint:allow rule list".to_string()));
+            continue;
+        }
+        let tail = rest[close + 1..].trim_start();
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad.push((
+                t.line,
+                "lint:allow requires an audit reason: `-- <why this is safe>`".to_string(),
+            ));
+            continue;
+        }
+        // A long audit reason may continue over immediately-following
+        // comment lines; fold them in so the report shows the full text.
+        let mut reason = reason.to_string();
+        let mut prev_line = t.line;
+        for next in &tokens[i + 1..] {
+            if next.kind != TokenKind::LineComment
+                || next.line != prev_line + 1
+                || next.text.trim().starts_with("lint:allow")
+            {
+                break;
+            }
+            reason.push(' ');
+            reason.push_str(next.text.trim());
+            prev_line = next.line;
+        }
+        good.push(Suppression {
+            line: t.line,
+            end_line: t.line, // fixed up by SourceFile::new
+            rules,
+            reason,
+            used: Cell::new(false),
+        });
+    }
+    (good, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src =
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        let unwraps: Vec<usize> = (0..f.tokens.len())
+            .filter(|&i| f.tokens[i].is_ident("unwrap"))
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!f.is_test_token(unwraps[0]));
+        assert!(f.is_test_token(unwraps[1]));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_masked() {
+        let src = "#[test]\nfn check() { v.unwrap(); }\nfn live() { w.unwrap(); }";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        let unwraps: Vec<usize> = (0..f.tokens.len())
+            .filter(|&i| f.tokens[i].is_ident("unwrap"))
+            .collect();
+        assert!(f.is_test_token(unwraps[0]));
+        assert!(!f.is_test_token(unwraps[1]));
+    }
+
+    #[test]
+    fn paths_mark_whole_files_as_tests() {
+        for p in [
+            "tests/full_stack.rs",
+            "crates/core/tests/properties.rs",
+            "crates/bench/benches/primitives.rs",
+            "examples/quickstart.rs",
+        ] {
+            assert!(SourceFile::new(p, "fn f() {}").is_test_file, "{p}");
+        }
+        assert!(!SourceFile::new("crates/core/src/lib.rs", "fn f() {}").is_test_file);
+    }
+
+    #[test]
+    fn suppression_parsing() {
+        let src = "\
+let a = 1; // lint:allow(panic-freedom) -- documented contract\n\
+// lint:allow(a, b) -- two rules\n\
+// lint:allow(panic-freedom)\n\
+// lint:allow -- no list\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].rules, vec!["panic-freedom"]);
+        assert_eq!(f.suppressions[0].reason, "documented contract");
+        assert_eq!(f.suppressions[1].rules, vec!["a", "b"]);
+        assert_eq!(f.malformed.len(), 2);
+    }
+
+    #[test]
+    fn suppression_covers_own_and_next_line() {
+        let src = "// lint:allow(r) -- above\nlet x = 1;\nlet y = 2;";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(f.suppresses("r", 1));
+        assert!(f.suppresses("r", 2));
+        assert!(!f.suppresses("r", 3));
+        assert!(!f.suppresses("other", 2));
+        assert!(f.suppressions[0].used.get());
+    }
+
+    #[test]
+    fn multiline_reason_is_folded_into_the_audit_trail() {
+        let src = "\
+// lint:allow(r) -- the first half of the reason\n\
+// and the second half.\n\
+let x = 1;";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert_eq!(
+            f.suppressions[0].reason,
+            "the first half of the reason and the second half."
+        );
+    }
+
+    #[test]
+    fn suppression_covers_multiline_comment_and_statement() {
+        let src = "\
+// lint:allow(r) -- a justification that\n\
+// spans two comment lines\n\
+let x = foo()\n\
+    .bar();\n\
+let y = 2;";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(f.suppresses("r", 3));
+        assert!(f.suppresses("r", 4));
+        assert!(!f.suppresses("r", 5));
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: scanned as crates/core/src/protocol/fixture.rs — wall-clock
+// reads outside crates/obs and crates/bench fire, even in test code.
+
+use std::time::Instant; // line 4
+
+fn elapsed() -> u128 {
+    let start = Instant::now(); // line 7
+    start.elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_still_flagged() {
+        let _ = std::time::SystemTime::now(); // line 15
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: scanned as crates/obs/src/fixture.rs — the observability crate
+// is the sanctioned home for timing.
+
+use std::time::Instant;
+
+fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,11 @@
+// Fixture: scanned as crates/crypto/src/fixture.rs — every construct here
+// must fire panic-freedom.
+
+fn decrypt(ct: Option<u64>) -> u64 {
+    let a = ct.unwrap(); // line 5
+    let b = ct.expect("present"); // line 6
+    if a != b {
+        panic!("mismatch"); // line 8
+    }
+    unreachable!() // line 10
+}

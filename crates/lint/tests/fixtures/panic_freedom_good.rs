@@ -1,0 +1,20 @@
+// Fixture: scanned as crates/crypto/src/fixture.rs — nothing here may
+// fire panic-freedom: fallible combinators, typed errors, doc/string
+// mentions, and test-only unwraps are all fine.
+
+/// Call `.unwrap()` at your peril — doc comments are not code.
+fn decrypt(ct: Option<u64>) -> Result<u64, &'static str> {
+    let a = ct.unwrap_or(0);
+    let b = ct.unwrap_or_else(|| 1);
+    let msg = "panic! is just a string here";
+    let _ = msg;
+    ct.ok_or("missing ciphertext").map(|v| v + a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        super::decrypt(Some(3)).unwrap();
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: scanned as crates/crypto/src/paillier.rs — the seeded
+// regression from the issue: `==` on a Paillier private-key field.
+
+struct KeyPair {
+    lambda: u64,
+    mu: u64,
+}
+
+impl KeyPair {
+    fn same_trapdoor(&self, other: &KeyPair) -> bool {
+        self.lambda == other.lambda // line 11: the seeded regression
+    }
+
+    fn branch_on_secret(&self) -> u64 {
+        if self.mu > 0 {
+            // line 15
+            1
+        } else {
+            0
+        }
+    }
+}

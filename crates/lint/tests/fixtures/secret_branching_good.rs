@@ -1,0 +1,18 @@
+// Fixture: scanned as crates/crypto/src/hybrid.rs — secret comparisons go
+// through the approved constant-time helper, and public values may branch
+// freely.
+
+fn mac_eq(a: &[u8; 32], b: &[u8; 32]) -> bool {
+    let mut diff = 0u8;
+    for i in 0..32 {
+        diff |= a[i] ^ b[i];
+    }
+    diff == 0
+}
+
+fn verify(expected: [u8; 32], got: [u8; 32], public_len: usize) -> bool {
+    if public_len == 0 {
+        return false;
+    }
+    mac_eq(&expected, &got)
+}

@@ -1,0 +1,11 @@
+// Fixture: scanned as crates/crypto/src/fixture.rs — an audited
+// suppression silences the finding; an unreasoned one does not.
+
+fn with_audit(v: Option<u64>) -> u64 {
+    // lint:allow(panic-freedom) -- fixture: demonstrates an audited escape.
+    v.expect("audited")
+}
+
+fn without_reason(v: Option<u64>) -> u64 {
+    v.unwrap() // lint:allow(panic-freedom)
+}

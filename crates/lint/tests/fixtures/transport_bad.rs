@@ -1,0 +1,10 @@
+// Fixture: scanned as crates/core/src/protocol/fixture.rs — raw channels
+// and sockets bypass the recording transport.
+
+use std::sync::mpsc; // line 4
+
+fn side_channel(stream: std::net::TcpStream) {
+    // line 6
+    let (tx, rx) = mpsc::channel::<Vec<u8>>(); // line 8
+    let _ = (tx, rx, stream);
+}

@@ -1,0 +1,15 @@
+// Fixture: scanned as crates/core/src/protocol/fixture.rs — messages flow
+// through the recording transport, so nothing fires.
+
+fn exchange(transport: &mut Transport, msg: Vec<u8>) -> Vec<u8> {
+    transport.send("supplier", "mediator", msg);
+    transport.recv("mediator")
+}
+
+struct Transport;
+impl Transport {
+    fn send(&mut self, _from: &str, _to: &str, _msg: Vec<u8>) {}
+    fn recv(&mut self, _at: &str) -> Vec<u8> {
+        Vec::new()
+    }
+}

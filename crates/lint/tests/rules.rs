@@ -1,0 +1,204 @@
+//! Fixture-driven rule tests: every rule has at least one fixture it must
+//! flag and one it must pass, fed through the real engine (suppression
+//! filter included) under virtual workspace paths so path-scoped rules see
+//! the directories they guard.
+
+use secmed_lint::engine::{run, ManifestFile};
+use secmed_lint::rules::default_rules;
+use secmed_lint::SourceFile;
+
+/// Runs the default rule set over one fixture mounted at `path`.
+fn lint_at(path: &str, fixture: &str) -> secmed_lint::RunOutcome {
+    let src = SourceFile::new(path, fixture);
+    run(&default_rules(), &[src], &[])
+}
+
+/// Runs the default rule set over one manifest fixture.
+fn lint_manifest(fixture: &str) -> secmed_lint::RunOutcome {
+    let manifest = ManifestFile {
+        path: "crates/fixture/Cargo.toml".into(),
+        text: fixture.into(),
+    };
+    run(&default_rules(), &[], &[manifest])
+}
+
+#[test]
+fn panic_freedom_flags_bad_fixture() {
+    let out = lint_at(
+        "crates/crypto/src/fixture.rs",
+        include_str!("fixtures/panic_freedom_bad.rs"),
+    );
+    let lines: Vec<(u32, &str)> = out.findings.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(
+        lines,
+        vec![
+            (5, "panic-freedom"),
+            (6, "panic-freedom"),
+            (8, "panic-freedom"),
+            (10, "panic-freedom"),
+        ],
+        "{:#?}",
+        out.findings
+    );
+}
+
+#[test]
+fn panic_freedom_passes_good_fixture() {
+    let out = lint_at(
+        "crates/crypto/src/fixture.rs",
+        include_str!("fixtures/panic_freedom_good.rs"),
+    );
+    assert!(out.clean(), "{:#?}", out.findings);
+}
+
+/// The seeded regression from the issue: `==` on a Paillier private-key
+/// field must be caught with the exact file, line, and rule id.
+#[test]
+fn secret_branching_catches_seeded_paillier_regression() {
+    let out = lint_at(
+        "crates/crypto/src/paillier.rs",
+        include_str!("fixtures/secret_branching_bad.rs"),
+    );
+    let seeded = out
+        .findings
+        .iter()
+        .find(|f| f.line == 11)
+        .expect("the seeded `lambda ==` regression must be reported");
+    assert_eq!(seeded.rule, "secret-branching");
+    assert_eq!(seeded.file, "crates/crypto/src/paillier.rs");
+    assert!(seeded.message.contains("lambda"), "{}", seeded.message);
+    assert_eq!(
+        seeded.render(),
+        format!(
+            "crates/crypto/src/paillier.rs:11: secret-branching: {}",
+            seeded.message
+        )
+    );
+    // The `if self.mu > 0` branch is the second finding.
+    assert!(
+        out.findings
+            .iter()
+            .any(|f| f.line == 15 && f.rule == "secret-branching" && f.message.contains("mu")),
+        "{:#?}",
+        out.findings
+    );
+}
+
+#[test]
+fn secret_branching_passes_constant_time_fixture() {
+    let out = lint_at(
+        "crates/crypto/src/hybrid.rs",
+        include_str!("fixtures/secret_branching_good.rs"),
+    );
+    assert!(out.clean(), "{:#?}", out.findings);
+}
+
+#[test]
+fn transport_discipline_flags_bad_fixture() {
+    let out = lint_at(
+        "crates/core/src/protocol/fixture.rs",
+        include_str!("fixtures/transport_bad.rs"),
+    );
+    assert!(
+        out.findings
+            .iter()
+            .all(|f| f.rule == "transport-discipline"),
+        "{:#?}",
+        out.findings
+    );
+    let lines: Vec<u32> = out.findings.iter().map(|f| f.line).collect();
+    assert!(lines.contains(&4), "use mpsc: {lines:?}");
+    assert!(lines.contains(&6), "TcpStream param: {lines:?}");
+    assert!(lines.contains(&8), "mpsc::channel call: {lines:?}");
+}
+
+#[test]
+fn transport_discipline_passes_good_fixture() {
+    let out = lint_at(
+        "crates/core/src/protocol/fixture.rs",
+        include_str!("fixtures/transport_good.rs"),
+    );
+    assert!(out.clean(), "{:#?}", out.findings);
+}
+
+#[test]
+fn determinism_flags_bad_fixture_even_in_tests() {
+    let out = lint_at(
+        "crates/core/src/protocol/fixture.rs",
+        include_str!("fixtures/determinism_bad.rs"),
+    );
+    let lines: Vec<(u32, &str)> = out.findings.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(
+        lines,
+        vec![(4, "determinism"), (7, "determinism"), (15, "determinism")],
+        "{:#?}",
+        out.findings
+    );
+}
+
+#[test]
+fn determinism_passes_inside_obs() {
+    let out = lint_at(
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/determinism_good.rs"),
+    );
+    assert!(out.clean(), "{:#?}", out.findings);
+}
+
+#[test]
+fn dependency_policy_flags_bad_manifest() {
+    let out = lint_manifest(include_str!("fixtures/dependency_bad.toml"));
+    let lines: Vec<u32> = out.findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![8, 9, 10, 13], "{:#?}", out.findings);
+    assert!(out.findings.iter().all(|f| f.rule == "dependency-policy"));
+    assert!(out.findings[0].message.contains("version-only"));
+    assert!(out.findings[1].message.contains("git"));
+    assert!(out.findings[3].message.contains("registry"));
+}
+
+#[test]
+fn dependency_policy_passes_good_manifest() {
+    let out = lint_manifest(include_str!("fixtures/dependency_good.toml"));
+    assert!(out.clean(), "{:#?}", out.findings);
+}
+
+#[test]
+fn audited_suppression_silences_but_unreasoned_does_not() {
+    let out = lint_at(
+        "crates/crypto/src/fixture.rs",
+        include_str!("fixtures/suppressed.rs"),
+    );
+    // Line 6's expect is silenced by the audited comment on line 5.
+    assert!(
+        !out.findings.iter().any(|f| f.line == 6),
+        "{:#?}",
+        out.findings
+    );
+    assert_eq!(out.suppressions_used.len(), 1);
+    assert!(out.suppressions_used[0].3.contains("audited escape"));
+    // Line 10's reason-less comment silences nothing and is itself flagged.
+    assert!(out
+        .findings
+        .iter()
+        .any(|f| f.line == 10 && f.rule == "panic-freedom"));
+    assert!(out
+        .findings
+        .iter()
+        .any(|f| f.line == 10 && f.rule == "lint-allow"));
+}
+
+#[test]
+fn summary_table_and_jsonl_cover_all_fired_rules() {
+    let out = lint_at(
+        "crates/crypto/src/fixture.rs",
+        include_str!("fixtures/panic_freedom_bad.rs"),
+    );
+    let table = out.summary_table();
+    assert!(table.contains("panic-freedom"));
+    assert!(table.contains("total"));
+    let jsonl = out.to_jsonl();
+    assert_eq!(jsonl.lines().count(), out.findings.len() + 1);
+    let summary = jsonl.lines().last().unwrap();
+    assert!(summary.contains("\"summary\":true"));
+    assert!(summary.contains("\"panic-freedom\":4"));
+}

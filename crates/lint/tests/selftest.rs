@@ -1,0 +1,32 @@
+//! The shipped workspace must be violation-free: this is the same scan
+//! `scripts/ci.sh` runs via `cargo run -p secmed-lint`, executed in-process
+//! so `cargo test` alone also guards the invariants.
+
+use std::path::Path;
+
+use secmed_lint::lint_workspace;
+
+#[test]
+fn shipped_workspace_is_violation_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels below the workspace root");
+    let outcome = lint_workspace(root).expect("workspace walk succeeds");
+    assert!(outcome.files_scanned > 50, "walker found the workspace");
+    assert!(
+        outcome.clean(),
+        "the shipped workspace must lint clean:\n{}",
+        outcome
+            .findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every suppression in the tree is in active use (unused ones would be
+    // findings) and carries its audit reason.
+    for (file, line, rules, reason) in &outcome.suppressions_used {
+        assert!(!reason.is_empty(), "{file}:{line} ({rules}) lacks a reason");
+    }
+}

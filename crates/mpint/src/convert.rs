@@ -46,13 +46,16 @@ impl Natural {
         let mut cur = self.clone();
         while !cur.is_zero() {
             let (q, r) = cur.div_rem(&chunk);
-            groups.push(r.to_u64().expect("remainder below u64 chunk"));
+            // The remainder of division by a u64 chunk always fits a u64.
+            groups.push(r.to_u64().unwrap_or(0));
             cur = q;
         }
-        let mut out = groups
-            .last()
-            .expect("non-zero value has groups")
-            .to_string();
+        let mut out = match groups.last() {
+            Some(top) => top.to_string(),
+            // Unreachable: a non-zero value yields at least one group, and
+            // zero returned early — but "0" is the only sane rendering.
+            None => return "0".to_string(),
+        };
         for g in groups.iter().rev().skip(1) {
             out.push_str(&format!("{g:019}"));
         }

@@ -12,6 +12,9 @@ impl Natural {
     /// Panics if `divisor` is zero; use [`Natural::checked_div_rem`] for a
     /// fallible variant.
     pub fn div_rem(&self, divisor: &Natural) -> (Natural, Natural) {
+        // lint:allow(panic-freedom) -- documented contract: division by
+        // zero panics, mirroring primitive `/`; checked_div_rem is the
+        // fallible API.
         self.checked_div_rem(divisor).expect("division by zero")
     }
 

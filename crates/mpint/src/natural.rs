@@ -314,6 +314,8 @@ impl Sub for &Natural {
     type Output = Natural;
     /// Panics on underflow; use [`Natural::checked_sub`] for fallible subtraction.
     fn sub(self, rhs: &Natural) -> Natural {
+        // lint:allow(panic-freedom) -- documented contract: underflow
+        // panics, mirroring primitive `-`; checked_sub is the fallible API.
         self.checked_sub(rhs)
             .expect("Natural subtraction underflow")
     }

@@ -14,12 +14,14 @@ pub fn gcd(a: &Natural, b: &Natural) -> Natural {
     }
     let mut a = a.clone();
     let mut b = b.clone();
-    let az = a.trailing_zeros().expect("a is non-zero");
-    let bz = b.trailing_zeros().expect("b is non-zero");
+    // `trailing_zeros` is `None` only for zero, excluded by the guards
+    // above (and below: b = 0 exits the loop before the next call).
+    let az = a.trailing_zeros().unwrap_or(0);
+    let bz = b.trailing_zeros().unwrap_or(0);
     let shift = az.min(bz);
     a = a.shr_bits(az);
     loop {
-        let bz = b.trailing_zeros().expect("b stays non-zero in the loop");
+        let bz = b.trailing_zeros().unwrap_or(0);
         b = b.shr_bits(bz);
         if a > b {
             std::mem::swap(&mut a, &mut b);
@@ -84,7 +86,7 @@ pub fn jacobi(a: &Natural, n: &Natural) -> i32 {
     let mut result = 1i32;
     while !a.is_zero() {
         // Pull out factors of two: (2/n) = (-1)^((n^2-1)/8).
-        let tz = a.trailing_zeros().expect("a non-zero");
+        let tz = a.trailing_zeros().unwrap_or(0); // a != 0: loop guard
         a = a.shr_bits(tz);
         if tz % 2 == 1 {
             let n_mod_8 = n.limbs().first().copied().unwrap_or(0) % 8;

@@ -66,7 +66,7 @@ pub fn is_probable_prime(n: &Natural, rounds: u32, rng: &mut dyn Rng) -> bool {
     }
     // Write n - 1 = d * 2^s with d odd.
     let n_minus_1 = n - &Natural::one();
-    let s = n_minus_1.trailing_zeros().expect("n - 1 > 0");
+    let s = n_minus_1.trailing_zeros().unwrap_or(0); // n > 3 here, so n - 1 > 0
     let d = n_minus_1.shr_bits(s);
     let mont = crate::Montgomery::new(n.clone());
 

@@ -69,7 +69,11 @@ pub struct OsRng;
 
 impl Rng for OsRng {
     fn fill_bytes(&mut self, dst: &mut [u8]) {
+        // lint:allow(panic-freedom) -- documented contract: a machine
+        // without an entropy device cannot run the cryptosystems safely,
+        // so failing to open /dev/urandom is unrecoverable by design.
         let mut f = File::open("/dev/urandom").expect("open /dev/urandom");
+        // lint:allow(panic-freedom) -- same documented contract as above.
         f.read_exact(dst).expect("read OS entropy");
     }
 }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline-first observability for the secure-mediation system.
 //!
 //! Everything in this crate is std-only with zero external dependencies,

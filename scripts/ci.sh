@@ -6,3 +6,8 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
+
+# Static analysis: the in-tree lint (prints a rule → count table and
+# exits non-zero on any violation) and clippy with warnings denied.
+cargo run -q -p secmed-lint --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings

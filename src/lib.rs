@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `secmed` — umbrella crate for the Secure Mediation of Join Queries
