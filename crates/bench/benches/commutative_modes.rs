@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use secmed_core::workload::WorkloadSpec;
-use secmed_core::{CommutativeConfig, CommutativeMode, ProtocolKind, Scenario};
+use secmed_core::{CommutativeConfig, CommutativeMode, Engine, RunOptions, ScenarioBuilder};
 use secmed_obs::bench::{black_box, cli_filter, Bench, Suite};
 
 fn bench_modes(filter: &Option<String>) {
@@ -31,10 +31,16 @@ fn bench_modes(filter: &Option<String>) {
                     .samples(10)
                     .warmup(Duration::from_millis(500)),
                 || {
-                    let mut sc = Scenario::from_workload(&w, "bench-comm-modes", 512);
+                    let mut sc = ScenarioBuilder::new(&w)
+                        .seed("bench-comm-modes")
+                        .paillier_bits(512)
+                        .build();
                     black_box(
-                        sc.run(ProtocolKind::Commutative(CommutativeConfig { mode }))
-                            .unwrap(),
+                        Engine::run(
+                            &mut sc,
+                            &RunOptions::commutative(CommutativeConfig { mode }),
+                        )
+                        .unwrap(),
                     );
                 },
             );

@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use secmed_core::workload::WorkloadSpec;
-use secmed_core::{DasConfig, ProtocolKind, Scenario};
+use secmed_core::{DasConfig, Engine, RunOptions, ScenarioBuilder};
 use secmed_das::PartitionScheme;
 use secmed_obs::bench::{black_box, cli_filter, Bench, Suite};
 
@@ -35,12 +35,18 @@ fn bench_partition_sweep(filter: &Option<String>) {
     let mut suite = Suite::new("das_partitions").filter(filter.clone());
     let run_scheme = |suite: &mut Suite, name: String, scheme: PartitionScheme| {
         suite.bench(slow(name), || {
-            let mut sc = Scenario::from_workload(&w, "bench-das", 512);
+            let mut sc = ScenarioBuilder::new(&w)
+                .seed("bench-das")
+                .paillier_bits(512)
+                .build();
             black_box(
-                sc.run(ProtocolKind::Das(DasConfig {
-                    scheme,
-                    ..Default::default()
-                }))
+                Engine::run(
+                    &mut sc,
+                    &RunOptions::das(DasConfig {
+                        scheme,
+                        ..Default::default()
+                    }),
+                )
                 .unwrap(),
             );
         });

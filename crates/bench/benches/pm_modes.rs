@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use relalg::{Relation, Schema, Tuple, Type, Value};
 use secmed_core::workload::Workload;
-use secmed_core::{PmConfig, PmEval, PmPayloadMode, ProtocolKind, Scenario};
+use secmed_core::{Engine, PmConfig, PmEval, PmPayloadMode, RunOptions, ScenarioBuilder};
 use secmed_obs::bench::{black_box, cli_filter, Bench, Suite};
 
 /// One small tuple per join value so the inline mode always fits.
@@ -47,12 +47,18 @@ fn bench_payload_modes(filter: &Option<String>) {
             ("session-table", PmPayloadMode::SessionKeyTable),
         ] {
             suite.bench(slow(format!("{name}/{values}")), || {
-                let mut sc = Scenario::from_workload(&w, "bench-pm-modes", 512);
+                let mut sc = ScenarioBuilder::new(&w)
+                    .seed("bench-pm-modes")
+                    .paillier_bits(512)
+                    .build();
                 black_box(
-                    sc.run(ProtocolKind::Pm(PmConfig {
-                        eval: PmEval::Horner,
-                        payload,
-                    }))
+                    Engine::run(
+                        &mut sc,
+                        &RunOptions::pm(PmConfig {
+                            eval: PmEval::Horner,
+                            payload,
+                        }),
+                    )
                     .unwrap(),
                 );
             });
@@ -71,12 +77,18 @@ fn bench_eval_modes(filter: &Option<String>) {
         ("bucketed-8", PmEval::Bucketed(8)),
     ] {
         suite.bench(slow(name.to_string()), || {
-            let mut sc = Scenario::from_workload(&w, "bench-pm-eval", 512);
+            let mut sc = ScenarioBuilder::new(&w)
+                .seed("bench-pm-eval")
+                .paillier_bits(512)
+                .build();
             black_box(
-                sc.run(ProtocolKind::Pm(PmConfig {
-                    eval,
-                    payload: PmPayloadMode::SessionKeyTable,
-                }))
+                Engine::run(
+                    &mut sc,
+                    &RunOptions::pm(PmConfig {
+                        eval,
+                        payload: PmPayloadMode::SessionKeyTable,
+                    }),
+                )
                 .unwrap(),
             );
         });

@@ -6,7 +6,9 @@
 use std::time::Duration;
 
 use secmed_core::workload::WorkloadSpec;
-use secmed_core::{CommutativeConfig, DasConfig, PmConfig, ProtocolKind, Scenario};
+use secmed_core::{
+    CommutativeConfig, DasConfig, Engine, PmConfig, ProtocolKind, RunOptions, ScenarioBuilder,
+};
 use secmed_obs::bench::{black_box, cli_filter, Bench, Suite};
 
 fn workload(rows: usize, seed: &str) -> secmed_core::workload::Workload {
@@ -40,8 +42,11 @@ fn bench_protocols(filter: &Option<String>) {
                     .samples(10)
                     .warmup(Duration::from_millis(500)),
                 || {
-                    let mut sc = Scenario::from_workload(&w, "bench-e2e", 512);
-                    black_box(sc.run(kind).unwrap());
+                    let mut sc = ScenarioBuilder::new(&w)
+                        .seed("bench-e2e")
+                        .paillier_bits(512)
+                        .build();
+                    black_box(Engine::run(&mut sc, &RunOptions::new(kind)).unwrap());
                 },
             );
             // Each run appends trace spans to the process-global buffer;

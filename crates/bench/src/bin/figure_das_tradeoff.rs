@@ -6,12 +6,18 @@
 //! Output is a table (one row per partition count, both partitioning
 //! schemes) suitable for plotting.
 
+use std::fs;
+use std::path::PathBuf;
+
 use secmed_core::workload::WorkloadSpec;
-use secmed_core::{DasConfig, ProtocolKind, Scenario};
+use secmed_core::{DasConfig, Engine, RunOptions, ScenarioBuilder};
 use secmed_das::exposure::{entropy_bits, guessing_exposure, superset_factor};
 use secmed_das::{IndexTable, PartitionScheme};
+use secmed_obs::bench::cli_threads;
+use secmed_obs::json::Json;
 
 fn main() {
+    let threads = cli_threads();
     let w = WorkloadSpec {
         left_rows: 96,
         right_rows: 96,
@@ -37,6 +43,7 @@ fn main() {
     let mut ks: Vec<usize> = vec![1, 2, 4, 8, 16, 32];
     ks.push(dom1.len()); // effectively per-value
 
+    let mut jsonl = String::new();
     for &k in &ks {
         for (name, scheme) in [
             ("equidepth", PartitionScheme::EquiDepth(k)),
@@ -46,13 +53,16 @@ fn main() {
             let exposure = guessing_exposure(&table, &dom1);
             let entropy = entropy_bits(&table, &dom1);
 
-            let mut sc = Scenario::from_workload(&w, "figure-das", 512);
-            let report = sc
-                .run(ProtocolKind::Das(DasConfig {
-                    scheme,
-                    ..Default::default()
-                }))
-                .expect("protocol run succeeds");
+            let mut sc = ScenarioBuilder::new(&w)
+                .seed("figure-das")
+                .paillier_bits(512)
+                .build();
+            let opts = RunOptions::das(DasConfig {
+                scheme,
+                ..Default::default()
+            })
+            .threads(threads);
+            let report = Engine::run(&mut sc, &opts).expect("protocol run succeeds");
             let rc = report.mediator_view.server_result_size.unwrap();
             assert_eq!(report.result.len(), true_join);
 
@@ -65,8 +75,28 @@ fn main() {
                 rc,
                 superset_factor(rc, true_join),
             );
+            jsonl.push_str(
+                &Json::obj([
+                    ("experiment", Json::Str("s6c-das-tradeoff".to_string())),
+                    ("scheme", Json::Str(name.to_string())),
+                    ("partitions", Json::UInt(table.len() as u64)),
+                    ("threads", Json::UInt(threads as u64)),
+                    ("exposure", Json::Float(exposure)),
+                    ("entropy_bits", Json::Float(entropy)),
+                    ("rc", Json::UInt(rc as u64)),
+                    ("superset", Json::Float(superset_factor(rc, true_join))),
+                ])
+                .render(),
+            );
+            jsonl.push('\n');
         }
     }
+
+    let out_dir = PathBuf::from("target/bench");
+    fs::create_dir_all(&out_dir).expect("create target/bench");
+    let path = out_dir.join("figure_das_tradeoff.jsonl");
+    fs::write(&path, jsonl).expect("write tradeoff JSONL");
+    println!("jsonl: {}", path.display());
 
     println!("\nreading: more partitions → higher exposure (worse privacy), smaller |RC| (less client post-processing).");
 }

@@ -5,19 +5,34 @@
 //! "Based on these performance considerations, the commutative approach
 //! seems to be the most efficient one to be employed in a secure
 //! mediation system."  This binary measures that claim.
+//!
+//! Accepts `--threads N` to run the engine's fork-join pool with N
+//! workers; the thread count is recorded in every emitted JSONL record, so
+//! archived measurements are never ambiguous about how they were taken.
 
+use std::fs;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use secmed_core::workload::WorkloadSpec;
-use secmed_core::{CommutativeConfig, DasConfig, PartyId, PmConfig, ProtocolKind, Scenario};
+use secmed_core::{
+    CommutativeConfig, DasConfig, Engine, PartyId, PmConfig, ProtocolKind, RunOptions,
+    ScenarioBuilder,
+};
+use secmed_obs::bench::cli_threads;
+use secmed_obs::json::Json;
 
 fn main() {
-    println!("End-to-end protocol comparison (S6b). 512-bit groups, 512-bit Paillier.\n");
+    let threads = cli_threads();
+    println!(
+        "End-to-end protocol comparison (S6b). 512-bit groups, 512-bit Paillier, {threads} thread(s).\n"
+    );
     println!(
         "{:<8} {:<24} {:>12} {:>10} {:>12} {:>14} {:>12}",
         "rows", "protocol", "time (ms)", "messages", "total bytes", "client bytes", "result"
     );
 
+    let mut jsonl = String::new();
     for rows in [16usize, 32, 64, 128] {
         let w = WorkloadSpec {
             left_rows: rows,
@@ -43,9 +58,13 @@ fn main() {
         ];
 
         for (name, kind) in kinds {
-            let mut sc = Scenario::from_workload(&w, "report", 512);
+            let mut sc = ScenarioBuilder::new(&w)
+                .seed("report")
+                .paillier_bits(512)
+                .build();
             let start = Instant::now();
-            let report = sc.run(kind).expect("protocol run succeeds");
+            let report = Engine::run(&mut sc, &RunOptions::new(kind).threads(threads))
+                .expect("protocol run succeeds");
             let elapsed = start.elapsed();
             assert_eq!(report.result.len(), w.expected_join_size);
             println!(
@@ -58,7 +77,37 @@ fn main() {
                 report.transport.bytes_received_by(&PartyId::Client),
                 report.result.len(),
             );
+            jsonl.push_str(
+                &Json::obj([
+                    ("experiment", Json::Str("s6b-report".to_string())),
+                    ("rows", Json::UInt(rows as u64)),
+                    ("protocol", Json::Str(kind.key().to_string())),
+                    ("threads", Json::UInt(threads as u64)),
+                    ("time_ms", Json::Float(elapsed.as_secs_f64() * 1000.0)),
+                    (
+                        "messages",
+                        Json::UInt(report.transport.message_count() as u64),
+                    ),
+                    (
+                        "total_bytes",
+                        Json::UInt(report.transport.total_bytes() as u64),
+                    ),
+                    (
+                        "client_bytes",
+                        Json::UInt(report.transport.bytes_received_by(&PartyId::Client) as u64),
+                    ),
+                    ("result_rows", Json::UInt(report.result.len() as u64)),
+                ])
+                .render(),
+            );
+            jsonl.push('\n');
         }
         println!();
     }
+
+    let out_dir = PathBuf::from("target/bench");
+    fs::create_dir_all(&out_dir).expect("create target/bench");
+    let path = out_dir.join("report.jsonl");
+    fs::write(&path, jsonl).expect("write report JSONL");
+    println!("jsonl: {}", path.display());
 }

@@ -5,7 +5,9 @@
 
 use secmed_core::audit::Table1Row;
 use secmed_core::workload::WorkloadSpec;
-use secmed_core::{CommutativeConfig, DasConfig, PmConfig, ProtocolKind, Scenario};
+use secmed_core::{
+    CommutativeConfig, DasConfig, Engine, PmConfig, ProtocolKind, RunOptions, ScenarioBuilder,
+};
 
 fn main() {
     let w = WorkloadSpec {
@@ -61,8 +63,11 @@ fn main() {
     ];
 
     for (kind, (name, paper_client, paper_mediator)) in kinds.into_iter().zip(paper_claims) {
-        let mut sc = Scenario::from_workload(&w, "table1", 768);
-        let report = sc.run(kind).expect("protocol run succeeds");
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("table1")
+            .paillier_bits(768)
+            .build();
+        let report = Engine::run(&mut sc, &RunOptions::new(kind)).expect("protocol run succeeds");
         assert_eq!(report.result.len(), true_join, "{name}: result verified");
         let row = Table1Row {
             protocol: name,

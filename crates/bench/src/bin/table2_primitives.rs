@@ -2,10 +2,18 @@
 //! primitives" — from operation counters: runs each protocol and prints
 //! the primitives that were *actually invoked*, with counts.
 
+use std::fs;
+use std::path::PathBuf;
+
 use secmed_core::workload::WorkloadSpec;
-use secmed_core::{CommutativeConfig, DasConfig, PmConfig, ProtocolKind, Scenario};
+use secmed_core::{
+    CommutativeConfig, DasConfig, Engine, PmConfig, ProtocolKind, RunOptions, ScenarioBuilder,
+};
+use secmed_obs::bench::cli_threads;
+use secmed_obs::json::Json;
 
 fn main() {
+    let threads = cli_threads();
     let w = WorkloadSpec {
         left_rows: 30,
         right_rows: 30,
@@ -37,9 +45,14 @@ fn main() {
         ),
     ];
 
+    let mut jsonl = String::new();
     for (name, paper, kind) in rows {
-        let mut sc = Scenario::from_workload(&w, "table2", 768);
-        let report = sc.run(kind).expect("protocol run succeeds");
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("table2")
+            .paillier_bits(768)
+            .build();
+        let report = Engine::run(&mut sc, &RunOptions::new(kind).threads(threads))
+            .expect("protocol run succeeds");
         println!("== {name}");
         println!("   paper:    {paper}");
         print!("   measured:");
@@ -47,5 +60,29 @@ fn main() {
             print!(" {}×{count}", op.name());
         }
         println!("\n");
+        jsonl.push_str(
+            &Json::obj([
+                ("experiment", Json::Str("table2-primitives".to_string())),
+                ("protocol", Json::Str(kind.key().to_string())),
+                ("threads", Json::UInt(threads as u64)),
+                (
+                    "primitives",
+                    Json::obj(
+                        report
+                            .primitives
+                            .iter()
+                            .map(|(op, count)| (op.name(), Json::UInt(*count))),
+                    ),
+                ),
+            ])
+            .render(),
+        );
+        jsonl.push('\n');
     }
+
+    let out_dir = PathBuf::from("target/bench");
+    fs::create_dir_all(&out_dir).expect("create target/bench");
+    let path = out_dir.join("table2_primitives.jsonl");
+    fs::write(&path, jsonl).expect("write table2 JSONL");
+    println!("jsonl: {}", path.display());
 }

@@ -4,7 +4,10 @@
 //! binary prints them as a table from the recorded transport.)
 
 use secmed_core::workload::WorkloadSpec;
-use secmed_core::{CommutativeConfig, DasConfig, PartyId, PmConfig, ProtocolKind, Scenario};
+use secmed_core::{
+    CommutativeConfig, DasConfig, Engine, PartyId, PmConfig, ProtocolKind, RunOptions,
+    ScenarioBuilder,
+};
 
 fn main() {
     let w = WorkloadSpec {
@@ -37,8 +40,11 @@ fn main() {
     ];
 
     for (name, kind) in kinds {
-        let mut sc = Scenario::from_workload(&w, "table3", 768);
-        let report = sc.run(kind).expect("protocol run succeeds");
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("table3")
+            .paillier_bits(768)
+            .build();
+        let report = Engine::run(&mut sc, &RunOptions::new(kind)).expect("protocol run succeeds");
         let t = &report.transport;
         println!(
             "{:<24} {:>8} {:>8} {:>8} {:>10} {:>12} {:>12}",

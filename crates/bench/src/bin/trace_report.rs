@@ -22,10 +22,15 @@ use std::path::PathBuf;
 
 use secmed_core::observe::{unified_report, workload_pairs};
 use secmed_core::workload::WorkloadSpec;
-use secmed_core::{CommutativeConfig, DasConfig, PmConfig, ProtocolKind, Scenario};
+use secmed_core::{
+    CommutativeConfig, DasConfig, Engine, PmConfig, ProtocolKind, RunOptions, ScenarioBuilder,
+};
+use secmed_obs::bench::cli_threads;
+use secmed_obs::json::Json;
 use secmed_obs::trace;
 
 fn main() {
+    let threads = cli_threads();
     let spec = WorkloadSpec {
         left_rows: 24,
         right_rows: 24,
@@ -51,8 +56,12 @@ fn main() {
         ProtocolKind::Pm(PmConfig::default()),
     ] {
         let mark = trace::checkpoint();
-        let mut sc = Scenario::from_workload(&w, "trace-report", 512);
-        let report = sc.run(kind).expect("protocol run succeeds");
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("trace-report")
+            .paillier_bits(512)
+            .build();
+        let report = Engine::run(&mut sc, &RunOptions::new(kind).threads(threads))
+            .expect("protocol run succeeds");
         let records = trace::take_since(mark);
 
         let unified = unified_report(kind, &report, &records, workload_pairs(&spec));
@@ -73,7 +82,12 @@ fn main() {
         let trace_path = out_dir.join(format!("{key}.trace.jsonl"));
         fs::write(&trace_path, trace::export_jsonl(&records)).expect("write trace JSONL");
         let json_path = out_dir.join(format!("{key}.report.json"));
-        let mut json = unified.to_json().render_pretty();
+        let mut value = unified.to_json();
+        // Record how the run was executed alongside what it measured.
+        if let Json::Object(fields) = &mut value {
+            fields.push(("threads".to_string(), Json::UInt(threads as u64)));
+        }
+        let mut json = value.render_pretty();
         json.push('\n');
         fs::write(&json_path, json).expect("write report JSON");
 

@@ -1,0 +1,262 @@
+//! The execution engine: scenario construction and protocol execution.
+//!
+//! This module is the single entry point for running a mediation protocol:
+//!
+//! * [`ScenarioBuilder`] assembles a [`Scenario`] — certification
+//!   authority, client with credentials, two allow-all datasources, and
+//!   the query — from a generated [`Workload`],
+//! * [`RunOptions`] selects the protocol (with its options), the
+//!   execution policy (thread count for the deterministic fork-join
+//!   pool), and what happens to the structured trace,
+//! * [`Engine::run`] executes the request phase (Listing 1) followed by
+//!   the selected delivery phase and returns the full [`RunReport`].
+//!
+//! Determinism invariant: for a fixed scenario seed, the returned
+//! [`RunReport`] is byte-for-byte identical at any thread count.  Parallel
+//! stages draw their randomness from per-item DRBG streams
+//! ([`secmed_crypto::drbg::DrbgFamily`]) and collect results in input
+//! order, so neither ciphertexts nor message ordering depend on
+//! scheduling.
+
+use secmed_crypto::metrics::Snapshot;
+pub use secmed_pool::ExecPolicy;
+use secmed_pool::Pool;
+
+use crate::credential::{CertificationAuthority, Property};
+use crate::party::{Client, DataSource, Mediator};
+use crate::policy::AccessPolicy;
+use crate::protocol::{
+    commutative, das, pm, request_phase, CommutativeConfig, DasConfig, PmConfig, ProtocolKind,
+    RunReport, Scenario,
+};
+use crate::transport::{PartyId, Transport};
+use crate::workload::Workload;
+use crate::MedError;
+
+use secmed_crypto::drbg::HmacDrbg;
+use secmed_crypto::group::{GroupSize, SafePrimeGroup};
+
+/// Builds a complete mediation [`Scenario`] around a generated workload.
+///
+/// Defaults: seed `"scenario"`, a 512-bit safe-prime group, 512-bit
+/// Paillier modulus, one `role = analyst` credential, and the paper's
+/// canonical query `R1 ⨝ R2`.
+///
+/// ```no_run
+/// # use secmed_core::engine::{Engine, RunOptions, ScenarioBuilder};
+/// # use secmed_core::workload::WorkloadSpec;
+/// # use secmed_core::protocol::CommutativeConfig;
+/// let w = WorkloadSpec::default().generate();
+/// let mut sc = ScenarioBuilder::new(&w).seed("demo").paillier_bits(768).build();
+/// let report = Engine::run(&mut sc, &RunOptions::commutative(CommutativeConfig::default()))?;
+/// # Ok::<(), secmed_core::MedError>(())
+/// ```
+pub struct ScenarioBuilder {
+    left: relalg::Relation,
+    right: relalg::Relation,
+    seed: String,
+    group_size: GroupSize,
+    paillier_bits: u64,
+    credentials: Vec<Property>,
+    query: Option<String>,
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder over the workload's two relations.
+    pub fn new(workload: &Workload) -> Self {
+        ScenarioBuilder {
+            left: workload.left.clone(),
+            right: workload.right.clone(),
+            seed: "scenario".to_string(),
+            group_size: GroupSize::S512,
+            paillier_bits: 512,
+            credentials: Vec::new(),
+            query: None,
+        }
+    }
+
+    /// Sets the deterministic seed label for all party DRBGs.
+    pub fn seed(mut self, seed: &str) -> Self {
+        self.seed = seed.to_string();
+        self
+    }
+
+    /// Sets the safe-prime group size for the CA, hybrid, and SRA layers.
+    pub fn group_size(mut self, size: GroupSize) -> Self {
+        self.group_size = size;
+        self
+    }
+
+    /// Sets the Paillier modulus size in bits (private-matching protocol).
+    pub fn paillier_bits(mut self, bits: u64) -> Self {
+        self.paillier_bits = bits;
+        self
+    }
+
+    /// Adds a property the client holds a credential for.  Without any,
+    /// the builder issues the canonical `role = analyst` credential.
+    pub fn credential(mut self, property: Property) -> Self {
+        self.credentials.push(property);
+        self
+    }
+
+    /// Overrides the SQL query (default: `select * from r1 natural join
+    /// r2`, the paper's canonical `R1 ⨝ R2`).
+    pub fn query(mut self, query: &str) -> Self {
+        self.query = Some(query.to_string());
+        self
+    }
+
+    /// Assembles the scenario: CA, client with credentials, two allow-all
+    /// sources named `r1`/`r2`, and a mediator registered over both.
+    pub fn build(self) -> Scenario {
+        let group = SafePrimeGroup::preset(self.group_size);
+        let mut rng = HmacDrbg::from_label(&format!("{}/ca", self.seed));
+        let ca = CertificationAuthority::new(group.clone(), &mut rng);
+        let properties = if self.credentials.is_empty() {
+            vec![Property::new("role", "analyst")]
+        } else {
+            self.credentials
+        };
+        let client = Client::setup(
+            &ca,
+            properties,
+            group,
+            self.paillier_bits,
+            &format!("{}/client", self.seed),
+        );
+        let left = DataSource::new(
+            "r1",
+            self.left,
+            AccessPolicy::allow_all(),
+            ca.public_key().clone(),
+        );
+        let right = DataSource::new(
+            "r2",
+            self.right,
+            AccessPolicy::allow_all(),
+            ca.public_key().clone(),
+        );
+        let mediator = Mediator::new(&[&left, &right]);
+        Scenario {
+            client,
+            mediator,
+            left,
+            right,
+            query: self
+                .query
+                .unwrap_or_else(|| "select * from r1 natural join r2".to_string()),
+        }
+    }
+}
+
+/// What happens to the structured trace a run emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceSink {
+    /// Spans stay in the global trace buffer for the caller to export
+    /// (via `secmed_obs::trace::take_since` / `export_jsonl`).
+    #[default]
+    Keep,
+    /// Spans emitted by this run are dropped from the buffer on return —
+    /// for benchmark loops that would otherwise grow it unboundedly.
+    Discard,
+}
+
+/// Options for one protocol execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Which delivery-phase protocol to run, with its options.
+    pub protocol: ProtocolKind,
+    /// Thread policy for the deterministic fork-join pool.
+    pub exec: ExecPolicy,
+    /// Trace handling.
+    pub trace: TraceSink,
+}
+
+impl RunOptions {
+    /// Sequential execution of the given protocol, trace kept.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        RunOptions {
+            protocol,
+            exec: ExecPolicy::sequential(),
+            trace: TraceSink::Keep,
+        }
+    }
+
+    /// Convenience: the DAS protocol (Listing 2).
+    pub fn das(cfg: DasConfig) -> Self {
+        Self::new(ProtocolKind::Das(cfg))
+    }
+
+    /// Convenience: the commutative-encryption protocol (Listing 3).
+    pub fn commutative(cfg: CommutativeConfig) -> Self {
+        Self::new(ProtocolKind::Commutative(cfg))
+    }
+
+    /// Convenience: the private-matching protocol (Listing 4).
+    pub fn pm(cfg: PmConfig) -> Self {
+        Self::new(ProtocolKind::Pm(cfg))
+    }
+
+    /// Sets the worker-thread count (1 = sequential).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.exec = ExecPolicy::threads(threads);
+        self
+    }
+
+    /// Sets the trace sink.
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+}
+
+/// The protocol executor.
+pub struct Engine;
+
+impl Engine {
+    /// Runs the request phase and the selected delivery phase, returning
+    /// the full report.
+    ///
+    /// The run is traced: a root `run` span (tagged with the protocol key)
+    /// encloses a `<key>.request` span for Listing 1 and the per-phase
+    /// spans the delivery functions open (`<key>.encryption`,
+    /// `<key>.transfer`, `<key>.join`/`<key>.intersection`, `<key>.post`).
+    pub fn run(scenario: &mut Scenario, opts: &RunOptions) -> Result<RunReport, MedError> {
+        let mark = secmed_obs::trace::checkpoint();
+        let out = Self::run_traced(scenario, opts);
+        if opts.trace == TraceSink::Discard {
+            drop(secmed_obs::trace::take_since(mark));
+        }
+        out
+    }
+
+    fn run_traced(sc: &mut Scenario, opts: &RunOptions) -> Result<RunReport, MedError> {
+        let kind = opts.protocol;
+        let pool = Pool::new(opts.exec);
+        let mut root = secmed_obs::span("run");
+        root.field("protocol", kind.key());
+        let before = Snapshot::capture();
+        let mut transport = Transport::new();
+        let prepared = {
+            let _s = secmed_obs::span(&format!("{}.request", kind.key()));
+            request_phase(sc, &mut transport)?
+        };
+        let mut report = match kind {
+            ProtocolKind::Das(cfg) => das::deliver(sc, prepared, cfg, &mut transport, &pool)?,
+            ProtocolKind::Commutative(cfg) => {
+                commutative::deliver(sc, prepared, cfg, &mut transport, &pool)?
+            }
+            ProtocolKind::Pm(cfg) => pm::deliver(sc, prepared, cfg, &mut transport, &pool)?,
+        };
+        report.transport = transport;
+        report.mediator_view.bytes_observed =
+            report.transport.bytes_received_by(&PartyId::Mediator);
+        report.client_view.bytes_received = report.transport.bytes_received_by(&PartyId::Client);
+        report.primitives = Snapshot::capture().since(&before);
+        root.field("messages", report.transport.message_count());
+        root.field("bytes", report.transport.total_bytes());
+        root.field("result_rows", report.result.len());
+        Ok(report)
+    }
+}

@@ -12,9 +12,10 @@
 use relalg::Relation;
 
 use crate::credential::CertificationAuthority;
+use crate::engine::{Engine, RunOptions};
 use crate::party::{Client, DataSource, Mediator};
 use crate::policy::AccessPolicy;
-use crate::protocol::{ProtocolKind, RunReport, Scenario};
+use crate::protocol::{RunReport, Scenario};
 use crate::MedError;
 
 /// Input for one level of the hierarchy.
@@ -36,15 +37,16 @@ pub struct HierarchyReport {
 }
 
 /// Executes `(first ⨝ second) ⨝ third` as two successive mediations with
-/// the given protocol, rebuilding the client from `client_seed` at each
-/// stage (same CA, same credentials, same keys).
+/// the given run options (protocol, thread policy, trace sink), rebuilding
+/// the client from `client_seed` at each stage (same CA, same credentials,
+/// same keys).
 pub fn chained_join(
     ca: &CertificationAuthority,
     client_template: impl Fn() -> Client,
     first: SourceSpec,
     second: SourceSpec,
     third: SourceSpec,
-    kind: ProtocolKind,
+    opts: &RunOptions,
 ) -> Result<HierarchyReport, MedError> {
     // Stage 1: R1 ⨝ R2 through the lower mediator.
     let s1 = DataSource::new(
@@ -68,7 +70,7 @@ pub fn chained_join(
         right: s2,
         query: query1,
     };
-    let report1 = stage1.run(kind)?;
+    let report1 = Engine::run(&mut stage1, opts)?;
 
     // The lower mediation's result becomes a datasource for the upper
     // mediation.  Rows were already filtered by the stage-1 policies, so
@@ -97,7 +99,7 @@ pub fn chained_join(
         right: s3,
         query: query2,
     };
-    let report2 = stage2.run(kind)?;
+    let report2 = Engine::run(&mut stage2, opts)?;
 
     Ok(HierarchyReport {
         result: report2.result.clone(),

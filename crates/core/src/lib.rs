@@ -20,6 +20,11 @@
 //!   phases: DAS (Listing 2), commutative encryption (Listing 3), private
 //!   matching (Listing 4), each with the optimizations from the paper's
 //!   footnotes,
+//! * [`engine`] — the execution engine: [`ScenarioBuilder`] assembles a
+//!   scenario from a workload, [`RunOptions`] picks the protocol, thread
+//!   policy, and trace sink, and [`Engine::run`] is the single entry
+//!   point for executing a protocol (deterministically at any thread
+//!   count),
 //! * [`audit`] — empirical regeneration of Table 1: what the mediator and
 //!   client actually observe,
 //! * [`cost`] — the §6 computational analysis as closed-form operation
@@ -34,6 +39,7 @@
 pub mod audit;
 pub mod cost;
 pub mod credential;
+pub mod engine;
 pub mod hierarchy;
 pub mod observe;
 pub mod party;
@@ -43,6 +49,7 @@ pub mod transport;
 pub mod workload;
 
 pub use credential::{CertificationAuthority, Credential, Property};
+pub use engine::{Engine, ExecPolicy, RunOptions, ScenarioBuilder, TraceSink};
 pub use party::{Client, DataSource, Mediator};
 pub use policy::{AccessDecision, AccessPolicy, AccessRule};
 pub use protocol::{

@@ -18,8 +18,10 @@ use std::collections::BTreeMap;
 use mpint::rng::Rng;
 use mpint::Natural;
 use relalg::{decode_tuple_set, encode_tuple_set, Tuple};
+use secmed_crypto::drbg::DrbgFamily;
 use secmed_crypto::hybrid::HybridCiphertext;
 use secmed_crypto::{SraCipher, SraDomain};
+use secmed_pool::Pool;
 
 use crate::audit::{ClientView, MediatorView};
 use crate::protocol::{
@@ -42,6 +44,7 @@ pub fn deliver(
     p: Prepared,
     cfg: CommutativeConfig,
     transport: &mut Transport,
+    pool: &Pool,
 ) -> Result<RunReport, MedError> {
     // The client key each source encrypts tuple sets under comes from its
     // forwarded credentials; the SRA domain is the same public group.
@@ -60,8 +63,8 @@ pub fn deliver(
         let groups1 = group_by_join_key(&p.left_partial, &p.join_attrs)?;
         let groups2 = group_by_join_key(&p.right_partial, &p.join_attrs)?;
 
-        let m1 = build_messages(&s1, &groups1, &left_pk, sc.left.rng());
-        let m2 = build_messages(&s2, &groups2, &right_pk, sc.right.rng());
+        let m1 = build_messages(&s1, &groups1, &left_pk, sc.left.rng(), pool);
+        let m2 = build_messages(&s2, &groups2, &right_pk, sc.right.rng(), pool);
         s.field("left_domain", m1.len());
         s.field("right_domain", m2.len());
         (s1, s2, m1, m2)
@@ -126,8 +129,10 @@ pub fn deliver(
     // Step 5: S1 double-encrypts M2's hashes; step 6: S2 double-encrypts M1's.
     let (doubled_m2, doubled_m1) = {
         let _s = secmed_obs::span("commutative.encryption");
-        let doubled_m2: Vec<Natural> = m2.iter().map(|m| s1.encrypt(&m.enc_hash)).collect();
-        let doubled_m1: Vec<Natural> = m1.iter().map(|m| s2.encrypt(&m.enc_hash)).collect();
+        // SRA re-encryption is deterministic given the key, so the double
+        // passes parallelize with no RNG plumbing at all.
+        let doubled_m2: Vec<Natural> = pool.par_map(&m2, |_, m| s1.encrypt(&m.enc_hash));
+        let doubled_m1: Vec<Natural> = pool.par_map(&m1, |_, m| s2.encrypt(&m.enc_hash));
         (doubled_m2, doubled_m1)
     };
     let transfer = secmed_obs::span("commutative.transfer");
@@ -215,15 +220,19 @@ fn build_messages(
     groups: &BTreeMap<Vec<u8>, Vec<Tuple>>,
     client_pk: &secmed_crypto::HybridPublicKey,
     rng: &mut dyn Rng,
+    pool: &Pool,
 ) -> Vec<SourceMessage> {
-    let mut messages: Vec<SourceMessage> = groups
-        .iter()
-        .map(|(key_bytes, tuples)| {
-            let enc_hash = cipher.encrypt_value(key_bytes);
-            let tuple_ct = client_pk.encrypt(&encode_tuple_set(tuples), rng);
-            SourceMessage { enc_hash, tuple_ct }
-        })
-        .collect();
+    // One DRBG stream per active value, indexed by the value's position in
+    // the canonical (BTreeMap) key order: ciphertexts are the same at any
+    // thread count.
+    let streams = DrbgFamily::derive(rng);
+    let entries: Vec<(&Vec<u8>, &Vec<Tuple>)> = groups.iter().collect();
+    let mut messages = pool.par_map(&entries, |i, (key_bytes, tuples)| {
+        let mut rng = streams.stream(i as u64);
+        let enc_hash = cipher.encrypt_value(key_bytes);
+        let tuple_ct = client_pk.encrypt(&encode_tuple_set(tuples), &mut rng);
+        SourceMessage { enc_hash, tuple_ct }
+    });
     messages.sort_by(|a, b| a.enc_hash.cmp(&b.enc_hash));
     messages
 }

@@ -16,7 +16,9 @@
 
 use mpint::rng::Rng;
 use relalg::{decode_tuple, encode_tuple, Relation, Tuple};
+use secmed_crypto::drbg::DrbgFamily;
 use secmed_das::{DasRow, EncryptedDasRelation, IndexTable, ServerQuery};
+use secmed_pool::Pool;
 
 use crate::audit::{ClientView, MediatorView};
 use crate::party::DataSource;
@@ -32,6 +34,7 @@ pub fn deliver(
     p: Prepared,
     cfg: DasConfig,
     transport: &mut Transport,
+    pool: &Pool,
 ) -> Result<RunReport, MedError> {
     if p.join_attrs.len() != 1 {
         return Err(MedError::Protocol(
@@ -51,9 +54,9 @@ pub fn deliver(
     let (r1s, table1, enc_table1, r2s, table2, enc_table2) = {
         let mut s = secmed_obs::span("das.encryption");
         let (r1s, table1, enc_table1) =
-            source_prepare(&mut sc.left, &p.left_partial, &attr, cfg, &left_pk)?;
+            source_prepare(&mut sc.left, &p.left_partial, &attr, cfg, &left_pk, pool)?;
         let (r2s, table2, enc_table2) =
-            source_prepare(&mut sc.right, &p.right_partial, &attr, cfg, &right_pk)?;
+            source_prepare(&mut sc.right, &p.right_partial, &attr, cfg, &right_pk, pool)?;
         s.field("left_rows", r1s.len());
         s.field("right_rows", r2s.len());
         (r1s, table1, enc_table1, r2s, table2, enc_table2)
@@ -120,7 +123,7 @@ pub fn deliver(
     // Step 6: the mediator evaluates qS over ciphertexts.
     let rc = {
         let mut s = secmed_obs::span("das.join");
-        let rc = EncryptedDasRelation::server_join(&r1s, &r2s, &server_query);
+        let rc = EncryptedDasRelation::server_join(&r1s, &r2s, &server_query, pool);
         s.field("candidate_pairs", rc.len());
         rc
     };
@@ -170,6 +173,7 @@ fn source_prepare(
     attr: &str,
     cfg: DasConfig,
     client_pk: &secmed_crypto::HybridPublicKey,
+    pool: &Pool,
 ) -> Result<
     (
         EncryptedDasRelation,
@@ -186,11 +190,19 @@ fn source_prepare(
         IndexTable::build(&domain, cfg.scheme, salt)?
     };
     let attr_idx = partial.schema().index_of(attr)?;
-    let mut encrypted = EncryptedDasRelation::new();
-    for t in partial.tuples() {
-        let etuple = client_pk.encrypt(&encode_tuple(t), src.rng());
+    // Per-tuple hybrid encryption runs on the pool; each tuple draws from
+    // its own DRBG stream so the ciphertexts are independent of both the
+    // schedule and the thread count.
+    let streams = DrbgFamily::derive(src.rng());
+    let rows = pool.try_par_map(partial.tuples(), |i, t| {
+        let mut rng = streams.stream(i as u64);
+        let etuple = client_pk.encrypt(&encode_tuple(t), &mut rng);
         let index = table.index_of(t.at(attr_idx))?;
-        encrypted.push(DasRow { etuple, index });
+        Ok::<DasRow, MedError>(DasRow { etuple, index })
+    })?;
+    let mut encrypted = EncryptedDasRelation::new();
+    for row in rows {
+        encrypted.push(row);
     }
     let enc_table = client_pk.encrypt(&table.encode(), src.rng());
     Ok((encrypted, table, enc_table))

@@ -1,7 +1,7 @@
 //! The mediation protocols.
 //!
-//! [`Scenario::run`] executes the shared request phase (paper Listing 1)
-//! followed by the selected delivery phase:
+//! [`crate::engine::Engine::run`] executes the shared request phase
+//! (paper Listing 1) followed by the selected delivery phase:
 //!
 //! * [`das`] — Listing 2 (client setting),
 //! * [`commutative`] — Listing 3 (with the footnote-1 ID-reference
@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 
 use relalg::sql::{decompose, parse, Residual};
 use relalg::{Relation, Schema, Tuple, Value};
-use secmed_crypto::metrics::{Op, Snapshot};
+use secmed_crypto::metrics::Op;
 use secmed_das::PartitionScheme;
 
 use crate::audit::{ClientView, MediatorView};
@@ -181,81 +181,6 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Builds a complete scenario (CA, client with credentials, two
-    /// allow-all sources, mediator) around a generated workload.  The
-    /// query is the paper's canonical `R1 ⨝ R2`.
-    pub fn from_workload(w: &crate::workload::Workload, seed: &str, paillier_bits: u64) -> Self {
-        use crate::credential::{CertificationAuthority, Property};
-        use crate::policy::AccessPolicy;
-        use secmed_crypto::drbg::HmacDrbg;
-        use secmed_crypto::group::{GroupSize, SafePrimeGroup};
-
-        let group = SafePrimeGroup::preset(GroupSize::S512);
-        let mut rng = HmacDrbg::from_label(&format!("{seed}/ca"));
-        let ca = CertificationAuthority::new(group.clone(), &mut rng);
-        let client = Client::setup(
-            &ca,
-            vec![Property::new("role", "analyst")],
-            group,
-            paillier_bits,
-            &format!("{seed}/client"),
-        );
-        let left = DataSource::new(
-            "r1",
-            w.left.clone(),
-            AccessPolicy::allow_all(),
-            ca.public_key().clone(),
-        );
-        let right = DataSource::new(
-            "r2",
-            w.right.clone(),
-            AccessPolicy::allow_all(),
-            ca.public_key().clone(),
-        );
-        let mediator = Mediator::new(&[&left, &right]);
-        Scenario {
-            client,
-            mediator,
-            left,
-            right,
-            query: "select * from r1 natural join r2".to_string(),
-        }
-    }
-
-    /// Runs the request phase and the selected delivery phase, returning
-    /// the full report.
-    ///
-    /// The run is traced: a root `run` span (tagged with the protocol key)
-    /// encloses a `<key>.request` span for Listing 1 and the per-phase
-    /// spans the delivery functions open (`<key>.encryption`,
-    /// `<key>.transfer`, `<key>.join`/`<key>.intersection`, `<key>.post`).
-    pub fn run(&mut self, kind: ProtocolKind) -> Result<RunReport, MedError> {
-        let mut root = secmed_obs::span("run");
-        root.field("protocol", kind.key());
-        let before = Snapshot::capture();
-        let mut transport = Transport::new();
-        let prepared = {
-            let _s = secmed_obs::span(&format!("{}.request", kind.key()));
-            request_phase(self, &mut transport)?
-        };
-        let mut report = match kind {
-            ProtocolKind::Das(cfg) => das::deliver(self, prepared, cfg, &mut transport)?,
-            ProtocolKind::Commutative(cfg) => {
-                commutative::deliver(self, prepared, cfg, &mut transport)?
-            }
-            ProtocolKind::Pm(cfg) => pm::deliver(self, prepared, cfg, &mut transport)?,
-        };
-        report.transport = transport;
-        report.mediator_view.bytes_observed =
-            report.transport.bytes_received_by(&PartyId::Mediator);
-        report.client_view.bytes_received = report.transport.bytes_received_by(&PartyId::Client);
-        report.primitives = Snapshot::capture().since(&before);
-        root.field("messages", report.transport.message_count());
-        root.field("bytes", report.transport.total_bytes());
-        root.field("result_rows", report.result.len());
-        Ok(report)
-    }
-
     /// The plaintext reference: what an honest party holding both filtered
     /// partial results would compute (used by tests to verify every
     /// protocol end-to-end).

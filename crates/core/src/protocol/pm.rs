@@ -19,11 +19,13 @@ use std::collections::BTreeMap;
 use mpint::rng::Rng;
 use mpint::Natural;
 use relalg::{decode_tuple_set, encode_tuple_set, Tuple};
+use secmed_crypto::drbg::DrbgFamily;
 use secmed_crypto::hybrid::{SessionCiphertext, SessionKey};
 use secmed_crypto::paillier::{PaillierCiphertext, PaillierPublicKey};
 use secmed_crypto::polynomial::{BucketedPoly, EncryptedBucketedPoly, EncryptedPoly, ZnPoly};
 use secmed_crypto::sha256::sha256;
 use secmed_crypto::CryptoError;
+use secmed_pool::Pool;
 
 use crate::audit::{ClientView, MediatorView};
 use crate::protocol::{
@@ -65,6 +67,7 @@ pub fn deliver(
     p: Prepared,
     cfg: PmConfig,
     transport: &mut Transport,
+    pool: &Pool,
 ) -> Result<RunReport, MedError> {
     // Step 1: the client's homomorphic public key is distributed with the
     // credentials — each source reads it from its forwarded subset.
@@ -84,8 +87,8 @@ pub fn deliver(
     // Steps 2-3: each source builds and encrypts its polynomial.
     let (poly1, poly2) = {
         let mut s = secmed_obs::span("pm.encryption");
-        let poly1 = build_poly(&groups1, &paillier_pk, cfg.eval, sc.left.rng());
-        let poly2 = build_poly(&groups2, &paillier_pk, cfg.eval, sc.right.rng());
+        let poly1 = build_poly(&groups1, &paillier_pk, cfg.eval, sc.left.rng(), pool);
+        let poly2 = build_poly(&groups2, &paillier_pk, cfg.eval, sc.right.rng(), pool);
         s.field("left_degree", groups1.len());
         s.field("right_degree", groups2.len());
         (poly1, poly2)
@@ -137,6 +140,7 @@ pub fn deliver(
         cfg.payload,
         naive,
         sc.left.rng(),
+        pool,
     )?;
     let (evals2, table2) = evaluate_side(
         &groups2,
@@ -145,6 +149,7 @@ pub fn deliver(
         cfg.payload,
         naive,
         sc.right.rng(),
+        pool,
     )?;
     intersection.field("evaluations", evals1.len() + evals2.len());
     drop(intersection);
@@ -234,16 +239,18 @@ fn build_poly(
     pk: &PaillierPublicKey,
     eval: PmEval,
     rng: &mut dyn Rng,
+    pool: &Pool,
 ) -> ShippedPoly {
     let roots: Vec<Natural> = groups.keys().map(|k| encode_root(k, pk)).collect();
+    let streams = DrbgFamily::derive(rng);
     match eval {
         PmEval::Bucketed(buckets) => {
             let bp = BucketedPoly::from_roots(&roots, pk.n(), buckets.max(1));
-            ShippedPoly::Bucketed(EncryptedBucketedPoly::encrypt(&bp, pk, rng))
+            ShippedPoly::Bucketed(EncryptedBucketedPoly::encrypt_par(&bp, pk, pool, &streams))
         }
         PmEval::Naive | PmEval::Horner => {
             let zp = ZnPoly::from_roots(&roots, pk.n());
-            ShippedPoly::Flat(EncryptedPoly::encrypt(&zp, pk, rng))
+            ShippedPoly::Flat(EncryptedPoly::encrypt_par(&zp, pk, pool, &streams))
         }
     }
 }
@@ -264,12 +271,17 @@ fn evaluate_side(
     mode: PmPayloadMode,
     naive: bool,
     rng: &mut dyn Rng,
+    pool: &Pool,
 ) -> Result<(Vec<PaillierCiphertext>, BTreeMap<u64, SessionCiphertext>), MedError> {
-    let mut evals = Vec::with_capacity(groups.len());
-    let mut table = BTreeMap::new();
-    for (key_bytes, tuples) in groups {
+    // One DRBG stream per active value (canonical BTreeMap key order), so
+    // session keys, IDs, and masks are identical at any thread count.
+    let streams = DrbgFamily::derive(rng);
+    let entries: Vec<(&Vec<u8>, &Vec<Tuple>)> = groups.iter().collect();
+    let items = pool.try_par_map(&entries, |i, (key_bytes, tuples)| {
+        let mut rng = streams.stream(i as u64);
         let root = encode_root(key_bytes, pk);
         let tag = value_tag(key_bytes);
+        let mut session: Option<(u64, SessionCiphertext)> = None;
         let payload_bytes = match mode {
             PmPayloadMode::Inline => {
                 let ts = encode_tuple_set(tuples);
@@ -281,12 +293,12 @@ fn evaluate_side(
                 out
             }
             PmPayloadMode::SessionKeyTable => {
-                let key = SessionKey::generate(rng);
+                let key = SessionKey::generate(&mut rng);
                 let mut id_bytes = [0u8; 8];
                 rng.fill_bytes(&mut id_bytes);
                 let id = u64::from_be_bytes(id_bytes);
-                let ct = key.encrypt(&encode_tuple_set(tuples), rng);
-                table.insert(id, ct);
+                let ct = key.encrypt(&encode_tuple_set(tuples), &mut rng);
+                session = Some((id, ct));
                 let mut out = Vec::with_capacity(1 + VALUE_TAG_LEN + 32 + 8);
                 out.push(TAG_SESSION);
                 out.extend_from_slice(&tag);
@@ -308,11 +320,19 @@ fn evaluate_side(
                 } else {
                     p.eval_horner(&root)
                 };
-                p.mask(&p_at_a, &payload, rng)?
+                p.mask(&p_at_a, &payload, &mut rng)?
             }
-            ShippedPoly::Bucketed(bp) => bp.eval_masked(&root, &payload, rng)?,
+            ShippedPoly::Bucketed(bp) => bp.eval_masked(&root, &payload, &mut rng)?,
         };
+        Ok::<_, MedError>((masked, session))
+    })?;
+    let mut evals = Vec::with_capacity(items.len());
+    let mut table = BTreeMap::new();
+    for (masked, session) in items {
         evals.push(masked);
+        if let Some((id, ct)) = session {
+            table.insert(id, ct);
+        }
     }
     // Order independence: sort by ciphertext value.
     evals.sort_by(|a, b| a.element().cmp(b.element()));

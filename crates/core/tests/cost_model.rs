@@ -4,14 +4,17 @@
 use secmed_core::cost::{observed, predict, shape_of};
 use secmed_core::workload::small_workload;
 use secmed_core::{
-    CommutativeConfig, CommutativeMode, DasConfig, DasSetting, PmConfig, PmEval, PmPayloadMode,
-    ProtocolKind, Scenario,
+    CommutativeConfig, CommutativeMode, DasConfig, DasSetting, Engine, PmConfig, PmEval,
+    PmPayloadMode, ProtocolKind, RunOptions, ScenarioBuilder,
 };
 
 fn check(kind: ProtocolKind, seed: &str) {
     let w = small_workload(seed);
-    let mut sc = Scenario::from_workload(&w, seed, 768);
-    let report = sc.run(kind).unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed(seed)
+        .paillier_bits(768)
+        .build();
+    let report = Engine::run(&mut sc, &RunOptions::new(kind)).unwrap();
     let shape = shape_of(
         &w.left,
         &w.right,

@@ -7,7 +7,7 @@
 use secmed_core::cost::{observed, predict, shape_of};
 use secmed_core::observe::{unified_report, workload_pairs};
 use secmed_core::workload::WorkloadSpec;
-use secmed_core::{ProtocolKind, Scenario};
+use secmed_core::{Engine, ProtocolKind, RunOptions, ScenarioBuilder};
 use secmed_obs::trace;
 
 fn spec(seed: &str) -> WorkloadSpec {
@@ -26,9 +26,12 @@ fn spec(seed: &str) -> WorkloadSpec {
 fn check(kind: ProtocolKind, seed: &str) {
     let s = spec(seed);
     let w = s.generate();
-    let mut sc = Scenario::from_workload(&w, seed, 512);
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed(seed)
+        .paillier_bits(512)
+        .build();
     let mark = trace::checkpoint();
-    let report = sc.run(kind).unwrap();
+    let report = Engine::run(&mut sc, &RunOptions::new(kind)).unwrap();
     let records = trace::take_since(mark);
     let unified = unified_report(kind, &report, &records, workload_pairs(&s));
     let key = kind.key();

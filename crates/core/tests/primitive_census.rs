@@ -3,7 +3,7 @@
 //! runs.
 
 use secmed_core::workload::small_workload;
-use secmed_core::{CommutativeConfig, DasConfig, PmConfig, ProtocolKind, Scenario};
+use secmed_core::{CommutativeConfig, DasConfig, Engine, PmConfig, RunOptions, ScenarioBuilder};
 
 #[test]
 fn primitive_census_matches_table_2() {
@@ -14,25 +14,36 @@ fn primitive_census_matches_table_2() {
 
     // DAS: hash function (for index values) + hybrid encryption; no
     // commutative or homomorphic operations.
-    let mut sc = Scenario::from_workload(&w, "census", 768);
-    let das = sc.run(ProtocolKind::Das(DasConfig::default())).unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("census")
+        .paillier_bits(768)
+        .build();
+    let das = Engine::run(&mut sc, &RunOptions::das(DasConfig::default())).unwrap();
     assert!(has(&das.primitives, Op::HashMessage));
     assert!(has(&das.primitives, Op::HybridEncrypt));
     assert!(!has(&das.primitives, Op::CommutativeEncrypt));
     assert!(!has(&das.primitives, Op::PaillierEncrypt));
 
     // Commutative: hash-to-group + commutative encryption; no Paillier.
-    let mut sc = Scenario::from_workload(&w, "census", 768);
-    let comm = sc
-        .run(ProtocolKind::Commutative(CommutativeConfig::default()))
-        .unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("census")
+        .paillier_bits(768)
+        .build();
+    let comm = Engine::run(
+        &mut sc,
+        &RunOptions::commutative(CommutativeConfig::default()),
+    )
+    .unwrap();
     assert!(has(&comm.primitives, Op::HashToGroup));
     assert!(has(&comm.primitives, Op::CommutativeEncrypt));
     assert!(!has(&comm.primitives, Op::PaillierEncrypt));
 
     // PM: homomorphic encryption + random masks; no commutative encryption.
-    let mut sc = Scenario::from_workload(&w, "census", 768);
-    let pm = sc.run(ProtocolKind::Pm(PmConfig::default())).unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("census")
+        .paillier_bits(768)
+        .build();
+    let pm = Engine::run(&mut sc, &RunOptions::pm(PmConfig::default())).unwrap();
     assert!(has(&pm.primitives, Op::PaillierEncrypt));
     assert!(has(&pm.primitives, Op::PaillierScale));
     assert!(has(&pm.primitives, Op::RandomMask));

@@ -4,8 +4,8 @@
 
 use secmed_core::workload::{small_workload, WorkloadSpec};
 use secmed_core::{
-    CommutativeConfig, CommutativeMode, DasConfig, PmConfig, PmEval, PmPayloadMode, ProtocolKind,
-    Scenario,
+    CommutativeConfig, CommutativeMode, DasConfig, Engine, PmConfig, PmEval, PmPayloadMode,
+    ProtocolKind, RunOptions, Scenario, ScenarioBuilder,
 };
 use secmed_das::PartitionScheme;
 
@@ -116,9 +116,13 @@ fn workload_for(name: &str, seed: &str) -> secmed_core::workload::Workload {
 fn every_protocol_reproduces_the_plaintext_join() {
     for (name, kind) in all_protocol_configs() {
         let w = workload_for(name, "e2e");
-        let mut sc = Scenario::from_workload(&w, "e2e", 768);
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("e2e")
+            .paillier_bits(768)
+            .build();
         let expected = sc.expected_result().unwrap().sorted();
-        let report = sc.run(kind).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report =
+            Engine::run(&mut sc, &RunOptions::new(kind)).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(
             report.result.len(),
             w.expected_join_size,
@@ -142,8 +146,12 @@ fn empty_join_works_in_every_protocol() {
     }
     .generate();
     for (name, kind) in all_protocol_configs() {
-        let mut sc = Scenario::from_workload(&w, "empty", 768);
-        let report = sc.run(kind).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("empty")
+            .paillier_bits(768)
+            .build();
+        let report =
+            Engine::run(&mut sc, &RunOptions::new(kind)).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(report.result.len(), 0, "{name}: expected empty join");
     }
 }
@@ -169,8 +177,12 @@ fn skewed_workload_joins_correctly() {
         ),
         ("pm", ProtocolKind::Pm(PmConfig::default())),
     ] {
-        let mut sc = Scenario::from_workload(&w, "skewed", 768);
-        let report = sc.run(kind).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("skewed")
+            .paillier_bits(768)
+            .build();
+        let report =
+            Engine::run(&mut sc, &RunOptions::new(kind)).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(report.result.len(), w.expected_join_size, "{name}");
     }
 }
@@ -178,8 +190,11 @@ fn skewed_workload_joins_correctly() {
 #[test]
 fn das_mediator_learns_sizes_and_superset_bound() {
     let w = small_workload("das-audit");
-    let mut sc = Scenario::from_workload(&w, "das-audit", 768);
-    let report = sc.run(ProtocolKind::Das(DasConfig::default())).unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("das-audit")
+        .paillier_bits(768)
+        .build();
+    let report = Engine::run(&mut sc, &RunOptions::das(DasConfig::default())).unwrap();
     let mv = &report.mediator_view;
     // Table 1, DAS row: mediator learns |R_i| and |R_C|.
     assert_eq!(mv.left_result_rows, Some(w.left.len()));
@@ -204,21 +219,29 @@ fn das_mediator_setting_trades_leakage_for_rounds() {
 
     // Client setting: two client interactions, encrypted tables, mediator
     // never sees partition contents.
-    let mut sc = Scenario::from_workload(&w, "das-setting", 768);
-    let client_run = sc.run(ProtocolKind::Das(DasConfig::default())).unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("das-setting")
+        .paillier_bits(768)
+        .build();
+    let client_run = Engine::run(&mut sc, &RunOptions::das(DasConfig::default())).unwrap();
     assert_eq!(client_run.transport.interactions_of(&PartyId::Client), 2);
     assert!(!client_run.mediator_view.plaintext_index_tables);
     assert!(client_run.client_view.index_tables_seen);
 
     // Mediator setting: a single client interaction — but the mediator now
     // holds the plaintext index tables (the leakage the paper warns about).
-    let mut sc = Scenario::from_workload(&w, "das-setting", 768);
-    let med_run = sc
-        .run(ProtocolKind::Das(DasConfig {
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("das-setting")
+        .paillier_bits(768)
+        .build();
+    let med_run = Engine::run(
+        &mut sc,
+        &RunOptions::das(DasConfig {
             setting: DasSetting::MediatorSetting,
             ..Default::default()
-        }))
-        .unwrap();
+        }),
+    )
+    .unwrap();
     assert_eq!(med_run.transport.interactions_of(&PartyId::Client), 1);
     assert!(med_run.mediator_view.plaintext_index_tables);
     assert!(!med_run.client_view.index_tables_seen);
@@ -231,13 +254,18 @@ fn das_mediator_setting_trades_leakage_for_rounds() {
 #[test]
 fn das_pervalue_superset_is_exact() {
     let w = small_workload("das-exact");
-    let mut sc = Scenario::from_workload(&w, "das-exact", 768);
-    let report = sc
-        .run(ProtocolKind::Das(DasConfig {
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("das-exact")
+        .paillier_bits(768)
+        .build();
+    let report = Engine::run(
+        &mut sc,
+        &RunOptions::das(DasConfig {
             scheme: PartitionScheme::PerValue,
             ..Default::default()
-        }))
-        .unwrap();
+        }),
+    )
+    .unwrap();
     // With singleton partitions the server query is exact: |RC| = join size.
     assert_eq!(
         report.mediator_view.server_result_size,
@@ -259,13 +287,18 @@ fn das_coarser_partitions_give_larger_supersets() {
     .generate();
     let mut sizes = Vec::new();
     for k in [1usize, 4, 16] {
-        let mut sc = Scenario::from_workload(&w, "das-sweep", 768);
-        let report = sc
-            .run(ProtocolKind::Das(DasConfig {
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("das-sweep")
+            .paillier_bits(768)
+            .build();
+        let report = Engine::run(
+            &mut sc,
+            &RunOptions::das(DasConfig {
                 scheme: PartitionScheme::EquiDepth(k),
                 ..Default::default()
-            }))
-            .unwrap();
+            }),
+        )
+        .unwrap();
         sizes.push(report.mediator_view.server_result_size.unwrap());
     }
     // Fewer partitions (coarser buckets) ⇒ superset at least as large.
@@ -276,10 +309,15 @@ fn das_coarser_partitions_give_larger_supersets() {
 #[test]
 fn commutative_mediator_learns_domains_and_intersection() {
     let w = small_workload("comm-audit");
-    let mut sc = Scenario::from_workload(&w, "comm-audit", 768);
-    let report = sc
-        .run(ProtocolKind::Commutative(CommutativeConfig::default()))
-        .unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("comm-audit")
+        .paillier_bits(768)
+        .build();
+    let report = Engine::run(
+        &mut sc,
+        &RunOptions::commutative(CommutativeConfig::default()),
+    )
+    .unwrap();
     let mv = &report.mediator_view;
     let dom1 = w.left.active_domain("k").unwrap().len();
     let dom2 = w.right.active_domain("k").unwrap().len();
@@ -303,8 +341,11 @@ fn commutative_mediator_learns_domains_and_intersection() {
 #[test]
 fn pm_mediator_learns_domain_sizes_only() {
     let w = small_workload("pm-audit");
-    let mut sc = Scenario::from_workload(&w, "pm-audit", 768);
-    let report = sc.run(ProtocolKind::Pm(PmConfig::default())).unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("pm-audit")
+        .paillier_bits(768)
+        .build();
+    let report = Engine::run(&mut sc, &RunOptions::pm(PmConfig::default())).unwrap();
     let mv = &report.mediator_view;
     let dom1 = w.left.active_domain("k").unwrap().len();
     let dom2 = w.right.active_domain("k").unwrap().len();
@@ -333,24 +374,35 @@ fn interaction_patterns_match_section_6() {
 
     // DAS: "the client has to interact twice with the mediator"; "for the
     // datasources ... they only have to send data once".
-    let mut sc = Scenario::from_workload(&w, "interactions", 768);
-    let das = sc.run(ProtocolKind::Das(DasConfig::default())).unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("interactions")
+        .paillier_bits(768)
+        .build();
+    let das = Engine::run(&mut sc, &RunOptions::das(DasConfig::default())).unwrap();
     assert_eq!(das.transport.interactions_of(&PartyId::Client), 2);
     assert_eq!(das.transport.interactions_of(&PartyId::source("r1")), 1);
     assert_eq!(das.transport.interactions_of(&PartyId::source("r2")), 1);
 
     // Commutative: sources interact twice; client only sends the query.
-    let mut sc = Scenario::from_workload(&w, "interactions", 768);
-    let comm = sc
-        .run(ProtocolKind::Commutative(CommutativeConfig::default()))
-        .unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("interactions")
+        .paillier_bits(768)
+        .build();
+    let comm = Engine::run(
+        &mut sc,
+        &RunOptions::commutative(CommutativeConfig::default()),
+    )
+    .unwrap();
     assert_eq!(comm.transport.interactions_of(&PartyId::Client), 1);
     assert_eq!(comm.transport.interactions_of(&PartyId::source("r1")), 2);
     assert_eq!(comm.transport.interactions_of(&PartyId::source("r2")), 2);
 
     // PM: sources interact twice; client only sends the query.
-    let mut sc = Scenario::from_workload(&w, "interactions", 768);
-    let pm = sc.run(ProtocolKind::Pm(PmConfig::default())).unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("interactions")
+        .paillier_bits(768)
+        .build();
+    let pm = Engine::run(&mut sc, &RunOptions::pm(PmConfig::default())).unwrap();
     assert_eq!(pm.transport.interactions_of(&PartyId::Client), 1);
     assert_eq!(pm.transport.interactions_of(&PartyId::source("r1")), 2);
     assert_eq!(pm.transport.interactions_of(&PartyId::source("r2")), 2);
@@ -371,24 +423,35 @@ fn pm_inline_mode_rejects_oversized_tuple_sets() {
         ..Default::default()
     }
     .generate();
-    let mut sc = Scenario::from_workload(&w, "pm-overflow", 512);
-    let err = sc.run(ProtocolKind::Pm(PmConfig {
-        eval: PmEval::Horner,
-        payload: PmPayloadMode::Inline,
-    }));
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("pm-overflow")
+        .paillier_bits(512)
+        .build();
+    let err = Engine::run(
+        &mut sc,
+        &RunOptions::pm(PmConfig {
+            eval: PmEval::Horner,
+            payload: PmPayloadMode::Inline,
+        }),
+    );
     assert!(
         err.is_err(),
         "inline payload should overflow a 512-bit modulus"
     );
 
     // The session-key-table mode handles the same workload fine.
-    let mut sc = Scenario::from_workload(&w, "pm-overflow", 512);
-    let report = sc
-        .run(ProtocolKind::Pm(PmConfig {
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("pm-overflow")
+        .paillier_bits(512)
+        .build();
+    let report = Engine::run(
+        &mut sc,
+        &RunOptions::pm(PmConfig {
             eval: PmEval::Horner,
             payload: PmPayloadMode::SessionKeyTable,
-        }))
-        .unwrap();
+        }),
+    )
+    .unwrap();
     assert_eq!(report.result.len(), w.expected_join_size);
 }
 
@@ -408,10 +471,15 @@ fn commutative_id_mode_moves_fewer_bytes_through_sources() {
     .generate();
 
     let bytes_to_sources = |mode: CommutativeMode| {
-        let mut sc = Scenario::from_workload(&w, "comm-bytes", 768);
-        let r = sc
-            .run(ProtocolKind::Commutative(CommutativeConfig { mode }))
-            .unwrap();
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("comm-bytes")
+            .paillier_bits(768)
+            .build();
+        let r = Engine::run(
+            &mut sc,
+            &RunOptions::commutative(CommutativeConfig { mode }),
+        )
+        .unwrap();
         r.transport.bytes_received_by(&PartyId::source("r1"))
             + r.transport.bytes_received_by(&PartyId::source("r2"))
     };
@@ -427,11 +495,16 @@ fn commutative_id_mode_moves_fewer_bytes_through_sources() {
 #[test]
 fn residual_query_work_is_applied_by_client() {
     let w = small_workload("residual");
-    let mut sc = Scenario::from_workload(&w, "residual", 768);
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("residual")
+        .paillier_bits(768)
+        .build();
     sc.query = "select k from r1, r2 where r1.k = r2.k".to_string();
-    let report = sc
-        .run(ProtocolKind::Commutative(CommutativeConfig::default()))
-        .unwrap();
+    let report = Engine::run(
+        &mut sc,
+        &RunOptions::commutative(CommutativeConfig::default()),
+    )
+    .unwrap();
     assert_eq!(report.result.schema().attr_names(), vec!["k"]);
     assert_eq!(report.result.len(), w.expected_join_size);
 }
@@ -455,12 +528,17 @@ fn group_by_aggregation_runs_over_the_encrypted_join() {
         right,
         expected_join_size: 4,
     };
-    let mut sc = Scenario::from_workload(&w, "agg", 768);
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("agg")
+        .paillier_bits(768)
+        .build();
     sc.query =
         "select region, sum(amount) from r1, r2 where r1.k = r2.k group by region".to_string();
-    let report = sc
-        .run(ProtocolKind::Commutative(CommutativeConfig::default()))
-        .unwrap();
+    let report = Engine::run(
+        &mut sc,
+        &RunOptions::commutative(CommutativeConfig::default()),
+    )
+    .unwrap();
     assert_eq!(
         report.result.schema().attr_names(),
         vec!["region", "sum_amount"]
@@ -517,20 +595,29 @@ fn string_join_keys_work_in_every_protocol() {
         ),
         ("pm", ProtocolKind::Pm(PmConfig::default())),
     ] {
-        let mut sc = Scenario::from_workload(&w, "strings", 768);
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("strings")
+            .paillier_bits(768)
+            .build();
         sc.query = "select * from r1 natural join r2".to_string();
-        let report = sc.run(kind).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report =
+            Engine::run(&mut sc, &RunOptions::new(kind)).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(report.result.len(), 2, "{name}");
     }
 
     // Equi-width on a string domain fails loudly, not silently.
-    let mut sc = Scenario::from_workload(&w, "strings", 768);
-    assert!(sc
-        .run(ProtocolKind::Das(DasConfig {
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("strings")
+        .paillier_bits(768)
+        .build();
+    assert!(Engine::run(
+        &mut sc,
+        &RunOptions::das(DasConfig {
             scheme: PartitionScheme::EquiWidth(2),
             ..Default::default()
-        }))
-        .is_err());
+        })
+    )
+    .is_err());
 }
 
 #[test]
@@ -576,13 +663,15 @@ fn das_rejects_composite_join_keys() {
     };
 
     // DAS refuses composite keys...
-    assert!(sc.run(ProtocolKind::Das(DasConfig::default())).is_err());
+    assert!(Engine::run(&mut sc, &RunOptions::das(DasConfig::default())).is_err());
     // ...while the commutative protocol handles them (future-work feature).
-    let report = sc
-        .run(ProtocolKind::Commutative(CommutativeConfig::default()))
-        .unwrap();
+    let report = Engine::run(
+        &mut sc,
+        &RunOptions::commutative(CommutativeConfig::default()),
+    )
+    .unwrap();
     assert_eq!(report.result.len(), 1);
     // And PM as well.
-    let report = sc.run(ProtocolKind::Pm(PmConfig::default())).unwrap();
+    let report = Engine::run(&mut sc, &RunOptions::pm(PmConfig::default())).unwrap();
     assert_eq!(report.result.len(), 1);
 }

@@ -92,6 +92,37 @@ impl Rng for HmacDrbg {
     }
 }
 
+/// A family of independent DRBG streams derived from one base seed.
+///
+/// Parallel protocol stages must never share a mutable RNG: the draw order
+/// would depend on thread scheduling and break run-report determinism.
+/// Instead a stage derives a `DrbgFamily` from the owning party's DRBG —
+/// consuming exactly one 32-byte draw, regardless of how many streams are
+/// later opened — and gives item `i` its own [`DrbgFamily::stream`]`(i)`.
+/// Stream `i` is a fresh [`HmacDrbg`] seeded with `base || i`, so its
+/// output depends only on the base seed and the item index, never on which
+/// worker thread processes the item or in what order.
+pub struct DrbgFamily {
+    base: [u8; 32],
+}
+
+impl DrbgFamily {
+    /// Derives a family from the parent generator (one 32-byte draw).
+    pub fn derive(parent: &mut dyn Rng) -> Self {
+        let mut base = [0u8; 32];
+        parent.fill_bytes(&mut base);
+        DrbgFamily { base }
+    }
+
+    /// The independent stream for item `index`.
+    pub fn stream(&self, index: u64) -> HmacDrbg {
+        let mut seed = [0u8; 40];
+        seed[..32].copy_from_slice(&self.base);
+        seed[32..].copy_from_slice(&index.to_be_bytes());
+        HmacDrbg::new(&seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +184,42 @@ mod tests {
         let bound = mpint::Natural::from(1_000_000u64);
         let v = random_below(&mut d, &bound);
         assert!(v < bound);
+    }
+
+    #[test]
+    fn family_streams_are_deterministic_and_independent() {
+        let fam = |label: &str| {
+            let mut parent = HmacDrbg::from_label(label);
+            DrbgFamily::derive(&mut parent)
+        };
+        // Same parent seed → same streams, index by index.
+        assert_eq!(
+            fam("fam").stream(0).next_u64(),
+            fam("fam").stream(0).next_u64()
+        );
+        assert_eq!(
+            fam("fam").stream(7).next_u64(),
+            fam("fam").stream(7).next_u64()
+        );
+        // Distinct indices and distinct parents diverge.
+        let f = fam("fam");
+        assert_ne!(f.stream(0).next_u64(), f.stream(1).next_u64());
+        assert_ne!(
+            fam("fam").stream(0).next_u64(),
+            fam("other").stream(0).next_u64()
+        );
+    }
+
+    #[test]
+    fn family_derivation_consumes_one_parent_draw() {
+        let mut a = HmacDrbg::from_label("parent");
+        let mut b = HmacDrbg::from_label("parent");
+        let _fam = DrbgFamily::derive(&mut a);
+        let mut skip = [0u8; 32];
+        b.fill(&mut skip);
+        // Parent state after derivation equals one 32-byte draw — opening
+        // any number of streams costs nothing further.
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

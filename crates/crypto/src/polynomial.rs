@@ -19,7 +19,9 @@
 use mpint::random::random_below;
 use mpint::rng::Rng;
 use mpint::Natural;
+use secmed_pool::Pool;
 
+use crate::drbg::DrbgFamily;
 use crate::metrics::{count, Op};
 use crate::paillier::{PaillierCiphertext, PaillierPublicKey};
 use crate::sha256::sha256;
@@ -116,6 +118,30 @@ impl EncryptedPoly {
             .iter()
             .map(|c| pk.encrypt_reduced(c, rng))
             .collect();
+        EncryptedPoly {
+            coeffs,
+            pk: pk.clone(),
+        }
+    }
+
+    /// Parallel coefficient encryption: coefficient `k` is encrypted on
+    /// whichever worker gets it, with randomness from `streams.stream(k)`
+    /// — so the ciphertexts are identical at any thread count.
+    pub fn encrypt_par(
+        poly: &ZnPoly,
+        pk: &PaillierPublicKey,
+        pool: &Pool,
+        streams: &DrbgFamily,
+    ) -> Self {
+        assert_eq!(
+            poly.modulus(),
+            pk.n(),
+            "polynomial modulus must match the Paillier key"
+        );
+        let coeffs = pool.par_map(&poly.coeffs, |k, c| {
+            let mut rng = streams.stream(k as u64);
+            pk.encrypt_reduced(c, &mut rng)
+        });
         EncryptedPoly {
             coeffs,
             pk: pk.clone(),
@@ -304,6 +330,35 @@ impl EncryptedBucketedPoly {
         EncryptedBucketedPoly { buckets }
     }
 
+    /// Parallel bucket encryption: every bucket is padded to the same
+    /// degree, so coefficient `k` of bucket `b` maps to the schedule-free
+    /// stream index `b * (degree + 1) + k`.
+    pub fn encrypt_par(
+        poly: &BucketedPoly,
+        pk: &PaillierPublicKey,
+        pool: &Pool,
+        streams: &DrbgFamily,
+    ) -> Self {
+        let per_bucket = poly.bucket_degree() + 1;
+        let indexed: Vec<(usize, &ZnPoly)> = poly.buckets.iter().enumerate().collect();
+        let buckets = pool.par_map(&indexed, |_, (b, zp)| {
+            let coeffs = zp
+                .coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, c)| {
+                    let mut rng = streams.stream((b * per_bucket + k) as u64);
+                    pk.encrypt_reduced(c, &mut rng)
+                })
+                .collect();
+            EncryptedPoly {
+                coeffs,
+                pk: pk.clone(),
+            }
+        });
+        EncryptedBucketedPoly { buckets }
+    }
+
     /// Number of buckets.
     pub fn num_buckets(&self) -> usize {
         self.buckets.len()
@@ -477,6 +532,47 @@ mod tests {
             let b = bucket_of(&n(v), 7);
             assert!(b < 7);
             assert_eq!(b, bucket_of(&n(v), 7));
+        }
+    }
+
+    #[test]
+    fn parallel_encryption_is_identical_at_any_thread_count() {
+        use crate::drbg::DrbgFamily;
+        use secmed_pool::Pool;
+        let (kp, _) = setup();
+        let nmod = kp.public().n().clone();
+        let roots: Vec<Natural> = (0..12).map(|i| n(i * 31 + 5)).collect();
+        let poly = ZnPoly::from_roots(&roots, &nmod);
+        let bp = BucketedPoly::from_roots(&roots, &nmod, 4);
+        let flat_at = |threads: usize| {
+            let mut parent = HmacDrbg::from_label("par-enc");
+            let fam = DrbgFamily::derive(&mut parent);
+            let enc =
+                EncryptedPoly::encrypt_par(&poly, kp.public(), &Pool::with_threads(threads), &fam);
+            enc.ciphertexts().to_vec()
+        };
+        let bucketed_at = |threads: usize| {
+            let mut parent = HmacDrbg::from_label("par-enc");
+            let fam = DrbgFamily::derive(&mut parent);
+            let enc = EncryptedBucketedPoly::encrypt_par(
+                &bp,
+                kp.public(),
+                &Pool::with_threads(threads),
+                &fam,
+            );
+            enc.buckets
+                .iter()
+                .flat_map(|b| b.ciphertexts().to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(flat_at(1), flat_at(2));
+        assert_eq!(flat_at(1), flat_at(8));
+        assert_eq!(bucketed_at(1), bucketed_at(2));
+        assert_eq!(bucketed_at(1), bucketed_at(8));
+        // And the parallel ciphertexts still decrypt to the coefficients.
+        let enc = EncryptedPoly::from_ciphertexts(flat_at(4), kp.public()).unwrap();
+        for r in &roots {
+            assert!(kp.decrypt(&enc.eval_horner(r)).is_zero());
         }
     }
 

@@ -7,6 +7,7 @@
 //! decrypting an `etuple`.
 
 use secmed_crypto::hybrid::HybridCiphertext;
+use secmed_pool::Pool;
 
 use crate::index::IndexValue;
 use crate::translate::ServerQuery;
@@ -67,21 +68,29 @@ impl EncryptedDasRelation {
     /// Executes the server query `q_S` against two encrypted relations —
     /// the mediator's step 6 of Listing 2.  Pure ciphertext processing: the
     /// only plaintext consulted is the pair of index values.
+    ///
+    /// Left-major: the outer relation is chunked across the pool's workers
+    /// and each chunk scans the full right relation, so the pair order is
+    /// identical to the sequential nested loop at any thread count.
     pub fn server_join(
         left: &EncryptedDasRelation,
         right: &EncryptedDasRelation,
         query: &ServerQuery,
+        pool: &Pool,
     ) -> ServerResult {
         use std::collections::HashSet;
         let admitted: HashSet<(u64, u64)> = query.pairs().iter().map(|(a, b)| (a.0, b.0)).collect();
-        let mut pairs = Vec::new();
-        for l in &left.rows {
-            for r in &right.rows {
-                if admitted.contains(&(l.index.0, r.index.0)) {
-                    pairs.push((l.clone(), r.clone()));
+        let pairs = pool.par_chunks(&left.rows, |_, chunk| {
+            let mut out = Vec::new();
+            for l in chunk {
+                for r in &right.rows {
+                    if admitted.contains(&(l.index.0, r.index.0)) {
+                        out.push((l.clone(), r.clone()));
+                    }
                 }
             }
-        }
+            out
+        });
         ServerResult { pairs }
     }
 }
@@ -155,7 +164,7 @@ mod tests {
         let r2 = encrypt_rows(&[2, 3, 4], &t2, &kp, &mut rng);
 
         let q = ServerQuery::translate(&t1, &t2);
-        let rc = EncryptedDasRelation::server_join(&r1, &r2, &q);
+        let rc = EncryptedDasRelation::server_join(&r1, &r2, &q, &Pool::sequential());
         // Exact: only the matching values 2 and 3 pair up.
         assert_eq!(rc.len(), 2);
         // The client can decrypt both sides of each pair.
@@ -181,10 +190,13 @@ mod tests {
         let r2 = encrypt_rows(&vals2, &t2, &kp, &mut rng);
 
         let q = ServerQuery::translate(&t1, &t2);
-        let rc = EncryptedDasRelation::server_join(&r1, &r2, &q);
+        let rc = EncryptedDasRelation::server_join(&r1, &r2, &q, &Pool::with_threads(3));
         // True join size is 5 (values 5..10); coarse buckets give at least
         // that many candidate pairs.
         assert!(rc.len() >= 5, "rc.len() = {}", rc.len());
+        // The parallel scan yields exactly the sequential pair order.
+        let seq = EncryptedDasRelation::server_join(&r1, &r2, &q, &Pool::sequential());
+        assert_eq!(rc, seq);
     }
 
     #[test]
@@ -197,6 +209,7 @@ mod tests {
             &EncryptedDasRelation::new(),
             &EncryptedDasRelation::new(),
             &q,
+            &Pool::with_threads(4),
         );
         assert!(rc.is_empty());
     }

@@ -1,5 +1,5 @@
 //! `determinism` — wall-clock reads stay inside the observability and
-//! bench crates.
+//! bench crates, and raw threading stays inside the pool crate.
 //!
 //! Protocol runs must be replayable: the paper's efficiency claims (§6)
 //! are argued over operation counts, and the repo backs them with
@@ -8,12 +8,22 @@
 //! protocol state or silently turns a reproducible test into a flaky one.
 //! Outside `crates/obs/` and `crates/bench/`, no code — including tests —
 //! may name `Instant` or `SystemTime`.
+//!
+//! The same argument applies to concurrency: `secmed-pool` is the one
+//! place allowed to touch `std::thread`, because its order-preserving
+//! fork-join API is what keeps parallel runs byte-identical to sequential
+//! ones.  Ad hoc `std::thread::spawn` elsewhere reintroduces
+//! scheduling-dependent ordering that the pool exists to rule out.
 
 use crate::engine::{Finding, Rule};
 use crate::source::SourceFile;
 
 /// Directories allowed to read the clock.
 const EXEMPT: &[&str] = &["crates/obs/", "crates/bench/"];
+
+/// Directories allowed to name `std::thread`: the pool crate owns all
+/// spawning; obs and bench may query host parallelism for reporting.
+const THREAD_EXEMPT: &[&str] = &["crates/pool/", "crates/obs/", "crates/bench/"];
 
 /// Clock types whose mention is banned.
 const BANNED_IDENTS: &[&str] = &["Instant", "SystemTime"];
@@ -27,16 +37,19 @@ impl Rule for Determinism {
     }
 
     fn description(&self) -> &'static str {
-        "Instant/SystemTime only in crates/obs and crates/bench"
+        "Instant/SystemTime only in crates/obs and crates/bench; std::thread only in crates/pool"
     }
 
     fn check_source(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
-        if EXEMPT.iter().any(|dir| file.path.starts_with(dir)) {
+        let clock_exempt = EXEMPT.iter().any(|dir| file.path.starts_with(dir));
+        let thread_exempt = THREAD_EXEMPT.iter().any(|dir| file.path.starts_with(dir));
+        if clock_exempt && thread_exempt {
             return;
         }
-        for &ti in &file.code_indices() {
+        let code = file.code_indices();
+        for (ci, &ti) in code.iter().enumerate() {
             let tok = &file.tokens[ti];
-            if BANNED_IDENTS.iter().any(|b| tok.is_ident(b)) {
+            if !clock_exempt && BANNED_IDENTS.iter().any(|b| tok.is_ident(b)) {
                 findings.push(Finding {
                     file: file.path.clone(),
                     line: tok.line,
@@ -46,6 +59,26 @@ impl Rule for Determinism {
                          crates/obs (tracing) or crates/bench (measurement)",
                         tok.text
                     ),
+                });
+                continue;
+            }
+            // `std :: thread` as a unit: catches both full paths and
+            // `use std::thread` imports without flagging the word alone.
+            let is_std_thread = tok.is_ident("std")
+                && code
+                    .get(ci + 1)
+                    .is_some_and(|&n| file.tokens[n].is_punct("::"))
+                && code
+                    .get(ci + 2)
+                    .is_some_and(|&n| file.tokens[n].is_ident("thread"));
+            if !thread_exempt && is_std_thread {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tok.line,
+                    rule: self.id(),
+                    message: "`std::thread` makes result ordering scheduling-dependent; \
+                              spawn through secmed-pool's order-preserving fork-join API"
+                        .to_string(),
                 });
             }
         }
@@ -87,5 +120,29 @@ mod tests {
     fn mentions_in_comments_are_not_code() {
         let src = "// Instant would be wrong here\nfn f() {}";
         assert!(check("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_std_thread_outside_pool() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        let out = check("crates/core/src/protocol/pm.rs", src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("secmed-pool"), "{}", out[0].message);
+        let import = "use std::thread;\nfn f() { thread::yield_now(); }";
+        assert_eq!(check("crates/crypto/src/sra.rs", import).len(), 1);
+    }
+
+    #[test]
+    fn pool_obs_and_bench_may_name_std_thread() {
+        let src = "fn f() { std::thread::scope(|s| { let _ = s; }); }";
+        assert!(check("crates/pool/src/lib.rs", src).is_empty());
+        assert!(check("crates/obs/src/bench.rs", src).is_empty());
+        assert!(check("crates/bench/benches/pool_scaling.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pool_is_not_exempt_from_the_clock_facet() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(check("crates/pool/src/lib.rs", src).len(), 1);
     }
 }

@@ -12,8 +12,10 @@
 use crate::engine::{Finding, Rule};
 use crate::source::SourceFile;
 
-/// Directories the rule applies to.
-const SCOPE: &[&str] = &["crates/core/src/", "crates/das/src/"];
+/// Directories the rule applies to.  The pool crate is in scope because a
+/// worker that opened its own channel or socket could smuggle protocol
+/// state past the recording transport just as easily as protocol code.
+const SCOPE: &[&str] = &["crates/core/src/", "crates/das/src/", "crates/pool/src/"];
 
 /// Identifiers that indicate an out-of-band channel.  `mpsc` catches both
 /// `std::sync::mpsc` paths and `use ... mpsc` imports; the socket types
@@ -130,5 +132,11 @@ mod tests {
     fn test_code_is_ignored() {
         let src = "#[cfg(test)]\nmod tests { use std::sync::mpsc; }";
         assert!(check("crates/core/src/protocol/pm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pool_crate_is_in_scope() {
+        let src = "use std::sync::mpsc;";
+        assert_eq!(check("crates/pool/src/lib.rs", src).len(), 1);
     }
 }

@@ -1,0 +1,20 @@
+// Fixture: scanned as crates/pool/src/fixture.rs — the pool crate is the
+// one place allowed to name `std::thread`, and scoped spawning with
+// order-preserving collection passes every rule.
+
+fn scoped_map(items: &[u64]) -> Vec<u64> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .iter()
+            .map(|&x| scope.spawn(move || x + 1))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            match handle.join() {
+                Ok(v) => out.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}

@@ -1,0 +1,19 @@
+// Fixture: scanned as crates/pool/src/fixture.rs — the pool crate may
+// spawn threads, but a worker result channel is still an out-of-band
+// message path: transport-discipline covers crates/pool too.
+
+use std::sync::mpsc; // line 5
+
+fn collect_unordered(items: Vec<u64>) -> Vec<u64> {
+    let (tx, rx) = mpsc::channel(); // line 8
+    std::thread::scope(|scope| {
+        for x in items {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let _ = tx.send(x);
+            });
+        }
+    });
+    drop(tx);
+    rx.iter().collect()
+}

@@ -1,0 +1,13 @@
+// Fixture: scanned as crates/core/src/protocol/fixture.rs — raw
+// `std::thread` outside crates/pool fires the determinism rule's
+// thread-discipline facet, for imports and full paths alike.
+
+use std::thread; // line 5
+
+fn fan_out(items: Vec<u64>) -> Vec<u64> {
+    let handle = std::thread::spawn(move || items); // line 8
+    match handle.join() {
+        Ok(v) => v,
+        Err(_) => Vec::new(),
+    }
+}

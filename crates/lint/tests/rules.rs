@@ -137,6 +137,55 @@ fn determinism_flags_bad_fixture_even_in_tests() {
 }
 
 #[test]
+fn determinism_flags_raw_threading_outside_pool() {
+    let out = lint_at(
+        "crates/core/src/protocol/fixture.rs",
+        include_str!("fixtures/thread_outside_pool_bad.rs"),
+    );
+    let lines: Vec<(u32, &str)> = out.findings.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(
+        lines,
+        vec![(5, "determinism"), (8, "determinism")],
+        "{:#?}",
+        out.findings
+    );
+    assert!(
+        out.findings
+            .iter()
+            .all(|f| f.message.contains("secmed-pool")),
+        "{:#?}",
+        out.findings
+    );
+}
+
+#[test]
+fn pool_crate_scoped_threading_is_clean() {
+    let out = lint_at(
+        "crates/pool/src/fixture.rs",
+        include_str!("fixtures/pool_clean.rs"),
+    );
+    assert!(out.clean(), "{:#?}", out.findings);
+}
+
+#[test]
+fn pool_crate_side_channels_still_fire_transport_discipline() {
+    let out = lint_at(
+        "crates/pool/src/fixture.rs",
+        include_str!("fixtures/pool_mpsc_bad.rs"),
+    );
+    assert!(
+        out.findings
+            .iter()
+            .all(|f| f.rule == "transport-discipline"),
+        "{:#?}",
+        out.findings
+    );
+    let lines: Vec<u32> = out.findings.iter().map(|f| f.line).collect();
+    assert!(lines.contains(&5), "use mpsc: {lines:?}");
+    assert!(lines.contains(&8), "mpsc::channel call: {lines:?}");
+}
+
+#[test]
 fn determinism_passes_inside_obs() {
     let out = lint_at(
         "crates/obs/src/fixture.rs",

@@ -251,6 +251,29 @@ pub fn cli_filter() -> Option<String> {
     std::env::args().skip(1).find(|a| !a.starts_with('-'))
 }
 
+/// The worker-thread count requested on the command line, from
+/// `--threads N` or `--threads=N`.  Returns 1 (sequential) when absent or
+/// malformed — bench binaries record this value in their emitted reports
+/// so thread counts are never ambiguous in archived measurements.
+pub fn cli_threads() -> usize {
+    parse_threads(std::env::args().skip(1))
+}
+
+fn parse_threads(mut args: impl Iterator<Item = String>) -> usize {
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    1
+}
+
 /// A named group of measurements with header/footer printing.
 ///
 /// ```no_run
@@ -412,5 +435,16 @@ mod tests {
         assert_eq!(format_throughput(2048.0), "2.00 KiB/s");
         assert!(format_throughput(3.0 * 1024.0 * 1024.0).contains("MiB/s"));
         assert!(format_throughput(5.0 * 1024.0 * 1024.0 * 1024.0).contains("GiB/s"));
+    }
+
+    #[test]
+    fn parse_threads_accepts_both_spellings_and_defaults_to_one() {
+        let parse = |args: &[&str]| parse_threads(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["--threads", "4"]), 4);
+        assert_eq!(parse(&["--bench", "--threads=8", "pm"]), 8);
+        assert_eq!(parse(&["pm"]), 1);
+        assert_eq!(parse(&["--threads"]), 1);
+        assert_eq!(parse(&["--threads", "zero?"]), 1);
+        assert_eq!(parse(&["--threads", "0"]), 1, "zero clamps to sequential");
     }
 }

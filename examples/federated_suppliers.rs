@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release --example federated_suppliers`
 
 use secmed::core::workload::WorkloadSpec;
-use secmed::core::{DasConfig, ProtocolKind, Scenario};
+use secmed::core::{DasConfig, Engine, RunOptions, ScenarioBuilder};
 use secmed::das::exposure::{entropy_bits, guessing_exposure, superset_factor};
 use secmed::das::{IndexTable, PartitionScheme};
 
@@ -52,13 +52,18 @@ fn main() {
     ];
 
     for (name, scheme) in schemes {
-        let mut scenario = Scenario::from_workload(&workload, "suppliers", 512);
-        let report = scenario
-            .run(ProtocolKind::Das(DasConfig {
+        let mut scenario = ScenarioBuilder::new(&workload)
+            .seed("suppliers")
+            .paillier_bits(512)
+            .build();
+        let report = Engine::run(
+            &mut scenario,
+            &RunOptions::das(DasConfig {
                 scheme,
                 ..Default::default()
-            }))
-            .expect("protocol run succeeds");
+            }),
+        )
+        .expect("protocol run succeeds");
         assert_eq!(report.result.len(), workload.expected_join_size);
 
         let rc = report

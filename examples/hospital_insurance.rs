@@ -12,7 +12,7 @@
 
 use secmed::core::{
     AccessPolicy, AccessRule, CertificationAuthority, Client, CommutativeConfig, DasConfig,
-    DataSource, Mediator, PmConfig, Property, ProtocolKind, Scenario,
+    DataSource, Engine, Mediator, PmConfig, Property, ProtocolKind, RunOptions, Scenario,
 };
 use secmed::crypto::group::{GroupSize, SafePrimeGroup};
 use secmed::crypto::HmacDrbg;
@@ -177,7 +177,8 @@ fn main() {
         ),
         ("Private Matching", ProtocolKind::Pm(PmConfig::default())),
     ] {
-        let report = scenario.run(kind).expect("protocol run succeeds");
+        let report =
+            Engine::run(&mut scenario, &RunOptions::new(kind)).expect("protocol run succeeds");
         assert_eq!(
             report.result.sorted(),
             expected.sorted(),

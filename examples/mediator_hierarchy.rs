@@ -6,7 +6,7 @@
 
 use secmed::core::hierarchy::{chained_join, SourceSpec};
 use secmed::core::{
-    AccessPolicy, CertificationAuthority, Client, CommutativeConfig, Property, ProtocolKind,
+    AccessPolicy, CertificationAuthority, Client, CommutativeConfig, Property, RunOptions,
 };
 use secmed::crypto::group::{GroupSize, SafePrimeGroup};
 use secmed::crypto::HmacDrbg;
@@ -81,7 +81,7 @@ fn main() {
             relation: billing(),
             policy: AccessPolicy::allow_all(),
         },
-        ProtocolKind::Commutative(CommutativeConfig::default()),
+        &RunOptions::commutative(CommutativeConfig::default()),
     )
     .expect("chained mediation succeeds");
 

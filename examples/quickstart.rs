@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use secmed::core::workload::WorkloadSpec;
-use secmed::core::{CommutativeConfig, ProtocolKind, Scenario};
+use secmed::core::{CommutativeConfig, Engine, RunOptions, ScenarioBuilder};
 
 fn main() {
     // A synthetic workload: two relations sharing join attribute `k`.
@@ -25,16 +25,21 @@ fn main() {
     .generate();
 
     // CA + client (with credentials) + mediator + two sources, wired up.
-    let mut scenario = Scenario::from_workload(&workload, "quickstart", 512);
+    let mut scenario = ScenarioBuilder::new(&workload)
+        .seed("quickstart")
+        .paillier_bits(512)
+        .build();
     scenario.query = "select * from r1 natural join r2".to_string();
 
     println!("global query: {}\n", scenario.query);
 
     // Run the full protocol: request phase (Listing 1) + commutative
     // delivery phase (Listing 3).
-    let report = scenario
-        .run(ProtocolKind::Commutative(CommutativeConfig::default()))
-        .expect("mediation succeeds");
+    let report = Engine::run(
+        &mut scenario,
+        &RunOptions::commutative(CommutativeConfig::default()),
+    )
+    .expect("mediation succeeds");
 
     println!("message flow (recorded transport):");
     println!("{}", report.transport.render_flow());

@@ -7,6 +7,10 @@ cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
 
+# The engine's hard invariant, run by name so a filter change can never
+# silently drop it: identical RunReports at 1, 2, and 8 worker threads.
+cargo test -q --offline -p secmed-core --test determinism
+
 # Static analysis: the in-tree lint (prints a rule → count table and
 # exits non-zero on any violation) and clippy with warnings denied.
 cargo run -q -p secmed-lint --offline

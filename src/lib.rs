@@ -12,6 +12,8 @@
 //! * [`relalg`] — the relational-algebra engine,
 //! * [`das`] — Database-as-a-Service bucketization,
 //! * [`core`] — the Multimedia Mediator and the three JOIN protocols,
+//! * [`pool`] — the deterministic fork-join thread pool behind
+//!   [`core::ExecPolicy`],
 //! * [`obs`] — structured tracing, unified run reports, and the bench
 //!   harness.
 //!
@@ -24,3 +26,4 @@ pub use secmed_core as core;
 pub use secmed_crypto as crypto;
 pub use secmed_das as das;
 pub use secmed_obs as obs;
+pub use secmed_pool as pool;

@@ -163,7 +163,7 @@ fn protocols_agree_with_plaintext_join_on_random_workloads() {
         "protocols_agree_with_plaintext_join_on_random_workloads",
         |g| {
             use secmed::core::workload::WorkloadSpec;
-            use secmed::core::{CommutativeConfig, ProtocolKind, Scenario};
+            use secmed::core::{CommutativeConfig, Engine, RunOptions, ScenarioBuilder};
             let left_rows = g.usize_in(1, 19);
             let right_rows = g.usize_in(1, 19);
             let shared = g.usize_in(0, 7);
@@ -179,10 +179,15 @@ fn protocols_agree_with_plaintext_join_on_random_workloads() {
                 ..Default::default()
             }
             .generate();
-            let mut sc = Scenario::from_workload(&w, &format!("prop-{seed}"), 512);
-            let report = sc
-                .run(ProtocolKind::Commutative(CommutativeConfig::default()))
-                .unwrap();
+            let mut sc = ScenarioBuilder::new(&w)
+                .seed(&format!("prop-{seed}"))
+                .paillier_bits(512)
+                .build();
+            let report = Engine::run(
+                &mut sc,
+                &RunOptions::commutative(CommutativeConfig::default()),
+            )
+            .unwrap();
             assert_eq!(report.result.len(), w.expected_join_size);
         },
     );

@@ -5,7 +5,8 @@ use secmed::core::hierarchy::{chained_join, SourceSpec};
 use secmed::core::workload::small_workload;
 use secmed::core::{
     AccessPolicy, AccessRule, CertificationAuthority, Client, CommutativeConfig, DasConfig,
-    DataSource, MedError, Mediator, PmConfig, Property, ProtocolKind, Scenario,
+    DataSource, Engine, MedError, Mediator, PmConfig, Property, ProtocolKind, RunOptions, Scenario,
+    ScenarioBuilder,
 };
 use secmed::crypto::group::{GroupSize, SafePrimeGroup};
 use secmed::crypto::HmacDrbg;
@@ -74,7 +75,7 @@ fn sql_to_ciphertext_join_full_stack() {
         ProtocolKind::Commutative(CommutativeConfig::default()),
         ProtocolKind::Pm(PmConfig::default()),
     ] {
-        let report = sc.run(kind).unwrap();
+        let report = Engine::run(&mut sc, &RunOptions::new(kind)).unwrap();
         assert_eq!(report.result.len(), 2);
         assert_eq!(
             report.result.schema().attr_names(),
@@ -90,7 +91,10 @@ fn access_denied_stops_the_protocol_before_data_moves() {
         "superadmin",
     )])]);
     let mut sc = fixture("denied", deny, AccessPolicy::allow_all());
-    let err = sc.run(ProtocolKind::Commutative(CommutativeConfig::default()));
+    let err = Engine::run(
+        &mut sc,
+        &RunOptions::commutative(CommutativeConfig::default()),
+    );
     assert!(matches!(err, Err(MedError::AccessDenied(_))));
 }
 
@@ -105,7 +109,7 @@ fn row_filters_shape_the_join_result() {
         ),
     )]);
     let mut sc = fixture("rowfilter", filtered, AccessPolicy::allow_all());
-    let report = sc.run(ProtocolKind::Pm(PmConfig::default())).unwrap();
+    let report = Engine::run(&mut sc, &RunOptions::pm(PmConfig::default())).unwrap();
     // alan (level 7) is filtered at the source; only ada and grace join.
     assert_eq!(report.result.len(), 2);
     for t in report.result.tuples() {
@@ -123,9 +127,11 @@ fn projection_and_selection_compose_with_encryption() {
     sc.query =
         "select name from employees, salaries where employees.eid = salaries.eid and salary < 70000"
             .to_string();
-    let report = sc
-        .run(ProtocolKind::Commutative(CommutativeConfig::default()))
-        .unwrap();
+    let report = Engine::run(
+        &mut sc,
+        &RunOptions::commutative(CommutativeConfig::default()),
+    )
+    .unwrap();
     assert_eq!(report.result.schema().attr_names(), vec!["name"]);
     assert_eq!(report.result.len(), 1);
     assert_eq!(report.result.tuples()[0].at(0), &Value::from("ada"));
@@ -183,7 +189,7 @@ fn hierarchy_chains_two_mediations() {
             relation: c.clone(),
             policy: AccessPolicy::allow_all(),
         },
-        ProtocolKind::Commutative(CommutativeConfig::default()),
+        &RunOptions::commutative(CommutativeConfig::default()),
     )
     .unwrap();
     let reference = a.natural_join(&b).unwrap().natural_join(&c).unwrap();
@@ -255,7 +261,7 @@ fn hierarchy_works_with_all_three_protocols() {
                 relation: c,
                 policy: AccessPolicy::allow_all(),
             },
-            kind,
+            &RunOptions::new(kind),
         )
         .unwrap();
         assert_eq!(report.result.sorted(), reference.sorted(), "{kind:?}");
@@ -268,10 +274,15 @@ fn transport_log_shows_no_plaintext_sized_leaks_to_mediator() {
     // commutative protocol scale with ciphertext counts, and the client's
     // received bytes are no larger than the mediator's total traffic.
     let w = small_workload("leakcheck");
-    let mut sc = Scenario::from_workload(&w, "leakcheck", 768);
-    let report = sc
-        .run(ProtocolKind::Commutative(CommutativeConfig::default()))
-        .unwrap();
+    let mut sc = ScenarioBuilder::new(&w)
+        .seed("leakcheck")
+        .paillier_bits(768)
+        .build();
+    let report = Engine::run(
+        &mut sc,
+        &RunOptions::commutative(CommutativeConfig::default()),
+    )
+    .unwrap();
     assert!(report.client_view.bytes_received <= report.transport.total_bytes());
     assert!(report.mediator_view.bytes_observed > 0);
 }
@@ -280,8 +291,11 @@ fn transport_log_shows_no_plaintext_sized_leaks_to_mediator() {
 fn deterministic_scenarios_reproduce_identical_transcripts() {
     let w = small_workload("repro");
     let run = || {
-        let mut sc = Scenario::from_workload(&w, "repro", 768);
-        let r = sc.run(ProtocolKind::Pm(PmConfig::default())).unwrap();
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("repro")
+            .paillier_bits(768)
+            .build();
+        let r = Engine::run(&mut sc, &RunOptions::pm(PmConfig::default())).unwrap();
         (r.result.sorted(), r.transport.total_bytes())
     };
     let (r1, b1) = run();
