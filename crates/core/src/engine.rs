@@ -249,10 +249,17 @@ impl Engine {
             }
             ProtocolKind::Pm(cfg) => pm::deliver(sc, prepared, cfg, &mut transport, &pool)?,
         };
+        // The Table 1 views are recomputed from the recorded frames — the
+        // drivers report only what needs a secret key (the client's
+        // useful-payload count).
+        let decoded = transport.decode_log()?;
+        let (mut mediator_view, mut client_view) = crate::audit::derive_views(&decoded);
+        client_view.useful_payloads = report.client_view.useful_payloads;
         report.transport = transport;
-        report.mediator_view.bytes_observed =
-            report.transport.bytes_received_by(&PartyId::Mediator);
-        report.client_view.bytes_received = report.transport.bytes_received_by(&PartyId::Client);
+        mediator_view.bytes_observed = report.transport.bytes_received_by(&PartyId::Mediator);
+        client_view.bytes_received = report.transport.bytes_received_by(&PartyId::Client);
+        report.mediator_view = mediator_view;
+        report.client_view = client_view;
         report.primitives = Snapshot::capture().since(&before);
         root.field("messages", report.transport.message_count());
         root.field("bytes", report.transport.total_bytes());

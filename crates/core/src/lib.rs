@@ -71,6 +71,8 @@ pub enum MedError {
     Crypto(secmed_crypto::CryptoError),
     /// The DAS layer failed.
     Das(secmed_das::DasError),
+    /// A wire frame failed to encode/decode canonically.
+    Wire(transport::WireError),
     /// Protocol-level invariant violation (malformed message flow).
     Protocol(String),
 }
@@ -83,6 +85,7 @@ impl std::fmt::Display for MedError {
             MedError::Query(e) => write!(f, "query error: {e}"),
             MedError::Crypto(e) => write!(f, "crypto error: {e}"),
             MedError::Das(e) => write!(f, "DAS error: {e}"),
+            MedError::Wire(e) => write!(f, "wire error: {e}"),
             MedError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -105,5 +108,11 @@ impl From<secmed_crypto::CryptoError> for MedError {
 impl From<secmed_das::DasError> for MedError {
     fn from(e: secmed_das::DasError) -> Self {
         MedError::Das(e)
+    }
+}
+
+impl From<transport::WireError> for MedError {
+    fn from(e: transport::WireError) -> Self {
+        MedError::Wire(e)
     }
 }

@@ -38,13 +38,13 @@ pub fn unified_report(
         match edges.iter_mut().find(|x| x.from == from && x.to == to) {
             Some(x) => {
                 x.messages += 1;
-                x.bytes += e.bytes as u64;
+                x.bytes += e.bytes() as u64;
             }
             None => edges.push(EdgeStat {
                 from,
                 to,
                 messages: 1,
-                bytes: e.bytes as u64,
+                bytes: e.bytes() as u64,
             }),
         }
     }

@@ -141,6 +141,11 @@ impl DataSource {
         self.policy.filter(&self.relation, credentials, &self.name)
     }
 
+    /// The CA key this source trusts (public deployment metadata).
+    pub fn ca_key(&self) -> &SchnorrPublicKey {
+        &self.ca_key
+    }
+
     /// The source's DRBG (protocol drivers draw per-protocol keys here).
     pub fn rng(&mut self) -> &mut HmacDrbg {
         &mut self.rng
@@ -158,6 +163,9 @@ pub struct Mediator {
     /// The homogeneous global schema: relation name → (qualified) schema,
     /// built by the embedding step the paper cites ([2]).
     global_schema: HashMap<String, Schema>,
+    /// The credential group of the deployment (from the sources' CA keys —
+    /// public parameters), needed to decode credentials off the wire.
+    credential_group: Option<SafePrimeGroup>,
     rng: HmacDrbg,
 }
 
@@ -169,10 +177,20 @@ impl Mediator {
             .iter()
             .map(|s| (s.name().to_string(), s.schema().clone()))
             .collect();
+        let credential_group = sources.first().map(|s| s.ca_key().group().clone());
         Mediator {
             global_schema,
+            credential_group,
             rng: HmacDrbg::from_label("mediator"),
         }
+    }
+
+    /// The group credentials are issued in (for decoding them off the
+    /// wire).  Errors if the mediator has no contracted sources.
+    pub fn credential_group(&self) -> Result<&SafePrimeGroup, MedError> {
+        self.credential_group
+            .as_ref()
+            .ok_or_else(|| MedError::Protocol("mediator has no contracted sources".to_string()))
     }
 
     /// The schema registered for a relation.

@@ -11,7 +11,9 @@
 //!
 //! [`CommutativeMode::IdReferences`] implements the paper's footnote 1:
 //! the mediator keeps the tuple ciphertexts and circulates only
-//! fixed-length IDs alongside the hash values.
+//! fixed-length IDs alongside the hash values.  In `EchoTuples` the tuple
+//! ciphertexts really do ride every leg of the round trip, so the byte
+//! difference between the modes is visible on the recorded frames.
 
 use std::collections::BTreeMap;
 
@@ -23,13 +25,13 @@ use secmed_crypto::hybrid::HybridCiphertext;
 use secmed_crypto::{SraCipher, SraDomain};
 use secmed_pool::Pool;
 
-use crate::audit::{ClientView, MediatorView};
 use crate::protocol::{
     apply_residual, assemble_from_tuple_sets, group_by_join_key, CommutativeConfig,
     CommutativeMode, Prepared, RunReport, Scenario,
 };
-use crate::transport::{PartyId, Transport};
+use crate::transport::{Frame, PartyId, Transport};
 use crate::MedError;
+use secmed_wire::TupleRef;
 
 /// One element of a source's message set `M_i`: the singly-encrypted hash
 /// with its client-encrypted tuple set.
@@ -51,7 +53,6 @@ pub fn deliver(
     let left_pk = p.left_client_key().clone();
     let right_pk = p.right_client_key().clone();
     let domain = SraDomain::new(left_pk.group().clone());
-    let elem_bytes = domain.element_bytes();
 
     // Step 1-2 at each source: fresh SRA key; hash+encrypt each active
     // value; hybrid-encrypt each Tup_i(a).
@@ -70,121 +71,161 @@ pub fn deliver(
         (s1, s2, m1, m2)
     };
 
-    // Step 3: Si → mediator.
+    // Step 3: Si → mediator, each set as one frame.  The mediator's copies
+    // are the decoded frames — they are what it later matches over.
     let transfer = secmed_obs::span("commutative.transfer");
-    let m1_bytes: usize = m1.iter().map(|m| elem_bytes + m.tuple_ct.byte_len()).sum();
-    let m2_bytes: usize = m2.iter().map(|m| elem_bytes + m.tuple_ct.byte_len()).sum();
-    transport.send(
+    let to_set = |ms: &[SourceMessage]| Frame::CommutativeSet {
+        items: ms
+            .iter()
+            .map(|m| (m.enc_hash.clone(), m.tuple_ct.clone()))
+            .collect(),
+    };
+    let received = transport.deliver(
         PartyId::source(sc.left.name()),
         PartyId::Mediator,
         "L3.3 M1",
-        m1_bytes,
-    );
-    transport.send(
+        &to_set(&m1),
+    )?;
+    let Frame::CommutativeSet { items: med_m1 } = received else {
+        return Err(MedError::Protocol("expected a value-set frame".to_string()));
+    };
+    let received = transport.deliver(
         PartyId::source(sc.right.name()),
         PartyId::Mediator,
         "L3.3 M2",
-        m2_bytes,
-    );
-
-    // The mediator sees |M_i| = |domactive(R_i.A_join)| (Table 1).
-    let mut mediator_view = MediatorView {
-        left_domain_size: Some(m1.len()),
-        right_domain_size: Some(m2.len()),
-        ..Default::default()
+        &to_set(&m2),
+    )?;
+    let Frame::CommutativeSet { items: med_m2 } = received else {
+        return Err(MedError::Protocol("expected a value-set frame".to_string()));
     };
 
-    // Steps 4-6: the hash values cross to the opposite source and come
-    // back doubly encrypted.  In `EchoTuples` the tuple ciphertexts ride
-    // along (exactly Listing 3); in `IdReferences` (footnote 1) the
-    // mediator keeps them and circulates fixed-length IDs.
-    let per_msg_extra = match cfg.mode {
-        CommutativeMode::EchoTuples => None,
-        CommutativeMode::IdReferences => Some(8usize),
+    // Step 4: the hash values cross to the opposite source.  In
+    // `EchoTuples` the tuple ciphertexts ride along (exactly Listing 3);
+    // in `IdReferences` (footnote 1) the mediator keeps them and sends
+    // fixed-length IDs instead.
+    let cross_ref = |idx: usize, ct: &HybridCiphertext| match cfg.mode {
+        CommutativeMode::EchoTuples => TupleRef::Echo(ct.clone()),
+        CommutativeMode::IdReferences => TupleRef::Id(idx as u64),
     };
-
-    let cross1: usize = m2
-        .iter()
-        .map(|m| elem_bytes + per_msg_extra.unwrap_or(m.tuple_ct.byte_len()))
-        .sum();
-    let cross2: usize = m1
-        .iter()
-        .map(|m| elem_bytes + per_msg_extra.unwrap_or(m.tuple_ct.byte_len()))
-        .sum();
-    transport.send(
+    let cross_of = |items: &[(Natural, HybridCiphertext)]| Frame::CommutativeCross {
+        items: items
+            .iter()
+            .enumerate()
+            .map(|(i, (v, ct))| (v.clone(), cross_ref(i, ct)))
+            .collect(),
+    };
+    let received = transport.deliver(
         PartyId::Mediator,
         PartyId::source(sc.left.name()),
         "L3.4 M2 → S1",
-        cross1,
-    );
-    transport.send(
+        &cross_of(&med_m2),
+    )?;
+    let Frame::CommutativeCross { items: s1_in } = received else {
+        return Err(MedError::Protocol("expected a crossing frame".to_string()));
+    };
+    let received = transport.deliver(
         PartyId::Mediator,
         PartyId::source(sc.right.name()),
         "L3.4 M1 → S2",
-        cross2,
-    );
-
+        &cross_of(&med_m1),
+    )?;
+    let Frame::CommutativeCross { items: s2_in } = received else {
+        return Err(MedError::Protocol("expected a crossing frame".to_string()));
+    };
     drop(transfer);
 
-    // Step 5: S1 double-encrypts M2's hashes; step 6: S2 double-encrypts M1's.
-    let (doubled_m2, doubled_m1) = {
+    // Steps 5-6: each source applies its own exponent to the received
+    // hashes and sends the doubled set back, echoing each tuple reference
+    // unchanged.  SRA re-encryption is deterministic given the key, so the
+    // double passes parallelize with no RNG plumbing at all.
+    let (doubled_by_s1, doubled_by_s2) = {
         let _s = secmed_obs::span("commutative.encryption");
-        // SRA re-encryption is deterministic given the key, so the double
-        // passes parallelize with no RNG plumbing at all.
-        let doubled_m2: Vec<Natural> = pool.par_map(&m2, |_, m| s1.encrypt(&m.enc_hash));
-        let doubled_m1: Vec<Natural> = pool.par_map(&m1, |_, m| s2.encrypt(&m.enc_hash));
-        (doubled_m2, doubled_m1)
+        let d1: Vec<Natural> = pool.par_map(&s1_in, |_, (v, _)| s1.encrypt(v));
+        let d2: Vec<Natural> = pool.par_map(&s2_in, |_, (v, _)| s2.encrypt(v));
+        let doubled =
+            |ds: Vec<Natural>, items: Vec<(Natural, TupleRef)>| Frame::CommutativeDoubled {
+                items: ds
+                    .into_iter()
+                    .zip(items)
+                    .map(|(d, (_, tr))| (d, tr))
+                    .collect(),
+            };
+        (doubled(d1, s1_in), doubled(d2, s2_in))
     };
     let transfer = secmed_obs::span("commutative.transfer");
-    transport.send(
+    let received = transport.deliver(
         PartyId::source(sc.left.name()),
         PartyId::Mediator,
         "L3.5 ⟨f_e1(f_e2(h(a))), …⟩",
-        doubled_m2.len() * (elem_bytes + per_msg_extra.unwrap_or(0)),
-    );
-    transport.send(
+        &doubled_by_s1,
+    )?;
+    let Frame::CommutativeDoubled { items: doubled_m2 } = received else {
+        return Err(MedError::Protocol(
+            "expected a doubled-set frame".to_string(),
+        ));
+    };
+    let received = transport.deliver(
         PartyId::source(sc.right.name()),
         PartyId::Mediator,
         "L3.6 ⟨f_e2(f_e1(h(a))), …⟩",
-        doubled_m1.len() * (elem_bytes + per_msg_extra.unwrap_or(0)),
-    );
-
+        &doubled_by_s2,
+    )?;
+    let Frame::CommutativeDoubled { items: doubled_m1 } = received else {
+        return Err(MedError::Protocol(
+            "expected a doubled-set frame".to_string(),
+        ));
+    };
     drop(transfer);
 
-    // Step 7: the mediator matches identical first components.
+    // Step 7: the mediator matches identical first components and resolves
+    // each tuple reference — echoed ciphertexts come out of the doubled
+    // frames themselves, IDs out of the L3.3 sets the mediator kept.
     let mut intersection = secmed_obs::span("commutative.intersection");
-    let mut by_double: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
-    for (i, d) in doubled_m1.iter().enumerate() {
-        by_double.insert(d.to_bytes_be(), i);
+    let resolve = |tr: &TupleRef,
+                   kept: &[(Natural, HybridCiphertext)]|
+     -> Result<HybridCiphertext, MedError> {
+        match tr {
+            TupleRef::Echo(ct) => Ok(ct.clone()),
+            TupleRef::Id(i) => kept
+                .get(*i as usize)
+                .map(|(_, ct)| ct.clone())
+                .ok_or_else(|| MedError::Protocol(format!("tuple reference {i} out of range"))),
+        }
+    };
+    let mut by_double: BTreeMap<Vec<u8>, &TupleRef> = BTreeMap::new();
+    for (d, tr) in &doubled_m1 {
+        by_double.insert(d.to_bytes_be(), tr);
     }
-    let mut result_pairs: Vec<(&HybridCiphertext, &HybridCiphertext)> = Vec::new();
-    for (j, d) in doubled_m2.iter().enumerate() {
-        if let Some(&i) = by_double.get(&d.to_bytes_be()) {
-            result_pairs.push((&m1[i].tuple_ct, &m2[j].tuple_ct));
+    let mut result_pairs: Vec<(HybridCiphertext, HybridCiphertext)> = Vec::new();
+    for (d, tr2) in &doubled_m2 {
+        if let Some(tr1) = by_double.get(&d.to_bytes_be()) {
+            result_pairs.push((resolve(tr1, &med_m1)?, resolve(tr2, &med_m2)?));
         }
     }
-    mediator_view.intersection_size = Some(result_pairs.len());
     intersection.field("matches", result_pairs.len());
     drop(intersection);
 
-    let result_bytes: usize = result_pairs
-        .iter()
-        .map(|(a, b)| a.byte_len() + b.byte_len())
-        .sum();
-    {
+    let received = {
         let _s = secmed_obs::span("commutative.transfer");
-        transport.send(
+        transport.deliver(
             PartyId::Mediator,
             PartyId::Client,
             "L3.7 ⟨encrypt(Tup1(a)), encrypt(Tup2(a))⟩ result messages",
-            result_bytes,
-        );
-    }
+            &Frame::ResultPairs {
+                pairs: result_pairs,
+            },
+        )?
+    };
+    let Frame::ResultPairs { pairs } = received else {
+        return Err(MedError::Protocol(
+            "expected a result-pairs frame".to_string(),
+        ));
+    };
 
     // Step 8: the client decrypts and combines (cross product per pair).
     let mut post = secmed_obs::span("commutative.post");
-    let mut tuple_set_pairs: Vec<(Vec<Tuple>, Vec<Tuple>)> = Vec::with_capacity(result_pairs.len());
-    for (ct1, ct2) in &result_pairs {
+    let mut tuple_set_pairs: Vec<(Vec<Tuple>, Vec<Tuple>)> = Vec::with_capacity(pairs.len());
+    for (ct1, ct2) in &pairs {
         let ts1 = decode_tuple_set(&sc.client.hybrid().decrypt(ct1)?)?;
         let ts2 = decode_tuple_set(&sc.client.hybrid().decrypt(ct2)?)?;
         tuple_set_pairs.push((ts1, ts2));
@@ -199,15 +240,11 @@ pub fn deliver(
     post.field("result_rows", result.len());
     drop(post);
 
-    // The client received only the exact global result — the defining
-    // property of this protocol in Table 1.
-    let client_view = ClientView::default();
-
     Ok(RunReport {
         result,
         transport: Transport::new(),
-        mediator_view,
-        client_view,
+        mediator_view: Default::default(),
+        client_view: Default::default(),
         primitives: Vec::new(),
     })
 }

@@ -13,6 +13,10 @@
 //!    pure ciphertext processing — and returns `R_C`.
 //! 7. The client decrypts `R_C` and applies `q_C` to obtain the global
 //!    result.
+//!
+//! Every step travels as an encoded [`Frame`]; the mediator joins over the
+//! relations it *decoded from the wire*, and the client likewise works only
+//! on received frames.
 
 use mpint::rng::Rng;
 use relalg::{decode_tuple, encode_tuple, Relation, Tuple};
@@ -20,13 +24,22 @@ use secmed_crypto::drbg::DrbgFamily;
 use secmed_das::{DasRow, EncryptedDasRelation, IndexTable, ServerQuery};
 use secmed_pool::Pool;
 
-use crate::audit::{ClientView, MediatorView};
 use crate::party::DataSource;
 use crate::protocol::{
     apply_residual, assemble_from_candidates, DasConfig, DasSetting, Prepared, RunReport, Scenario,
 };
-use crate::transport::{PartyId, Transport};
+use crate::transport::{Frame, PartyId, Transport};
 use crate::MedError;
+use secmed_wire::DasTable;
+
+/// Rebuilds an encrypted relation from rows decoded off the wire.
+fn relation_from_rows(rows: Vec<DasRow>) -> EncryptedDasRelation {
+    let mut rel = EncryptedDasRelation::new();
+    for row in rows {
+        rel.push(row);
+    }
+    rel
+}
 
 /// Runs the delivery phase of Listing 2.
 pub fn deliver(
@@ -61,82 +74,137 @@ pub fn deliver(
         s.field("right_rows", r2s.len());
         (r1s, table1, enc_table1, r2s, table2, enc_table2)
     };
-    let table_bytes = |enc: &secmed_crypto::HybridCiphertext, plain: &IndexTable| match cfg.setting
-    {
-        DasSetting::ClientSetting => enc.byte_len(),
-        DasSetting::MediatorSetting => plain.encode().len(),
-    };
-    let transfer = secmed_obs::span("das.transfer");
-    transport.send(
-        PartyId::source(sc.left.name()),
-        PartyId::Mediator,
-        "L2.3 ⟨R1S, ITable1⟩",
-        r1s.byte_len() + table_bytes(&enc_table1, &table1),
-    );
-    transport.send(
-        PartyId::source(sc.right.name()),
-        PartyId::Mediator,
-        "L2.3 ⟨R2S, ITable2⟩",
-        r2s.byte_len() + table_bytes(&enc_table2, &table2),
-    );
 
-    // What the mediator sees at this point: row counts — plus, in the
-    // mediator setting, the plaintext partition ranges.
-    let mut mediator_view = MediatorView {
-        left_result_rows: Some(r1s.len()),
-        right_result_rows: Some(r2s.len()),
-        plaintext_index_tables: matches!(cfg.setting, DasSetting::MediatorSetting),
-        ..Default::default()
+    // Step 3 on the wire: each source frames ⟨R_i^S, ITable_i⟩ and the
+    // mediator decodes its own copies — the relations it will join over.
+    let transfer = secmed_obs::span("das.transfer");
+    let wire_table = |enc: &secmed_crypto::HybridCiphertext, plain: &IndexTable| match cfg.setting {
+        DasSetting::ClientSetting => DasTable::Encrypted(enc.clone()),
+        DasSetting::MediatorSetting => DasTable::Plain(plain.clone()),
     };
+    let mut med_relations = Vec::with_capacity(2);
+    let mut med_tables = Vec::with_capacity(2);
+    for (source, rel, table, enc_table, label) in [
+        (&sc.left, &r1s, &table1, &enc_table1, "L2.3 ⟨R1S, ITable1⟩"),
+        (&sc.right, &r2s, &table2, &enc_table2, "L2.3 ⟨R2S, ITable2⟩"),
+    ] {
+        let frame = Frame::DasRelation {
+            rows: rel.rows().to_vec(),
+            table: wire_table(enc_table, table),
+        };
+        let received = transport.deliver(
+            PartyId::source(source.name()),
+            PartyId::Mediator,
+            label,
+            &frame,
+        )?;
+        let Frame::DasRelation { rows, table } = received else {
+            return Err(MedError::Protocol(
+                "expected a DAS relation frame".to_string(),
+            ));
+        };
+        med_relations.push(relation_from_rows(rows));
+        med_tables.push(table);
+    }
+    let med_r2s = med_relations.pop().unwrap_or_default();
+    let med_r1s = med_relations.pop().unwrap_or_default();
+    let (med_t2, med_t1) = (med_tables.pop(), med_tables.pop());
 
     let server_query = match cfg.setting {
         DasSetting::ClientSetting => {
-            // Step 4: mediator → client (the encrypted index tables).
-            transport.send(
+            // Step 4: mediator → client (the encrypted index tables, as
+            // decoded from the sources' frames).
+            let tables = match (med_t1, med_t2) {
+                (Some(DasTable::Encrypted(t1)), Some(DasTable::Encrypted(t2))) => vec![t1, t2],
+                _ => {
+                    return Err(MedError::Protocol(
+                        "client setting requires encrypted index tables".to_string(),
+                    ))
+                }
+            };
+            let received = transport.deliver(
                 PartyId::Mediator,
                 PartyId::Client,
                 "L2.4 encrypt(ITable1), encrypt(ITable2)",
-                enc_table1.byte_len() + enc_table2.byte_len(),
-            );
+                &Frame::DasIndexTables { tables },
+            )?;
+            let Frame::DasIndexTables { tables } = received else {
+                return Err(MedError::Protocol(
+                    "expected an index-tables frame".to_string(),
+                ));
+            };
+            let [ref enc_t1, ref enc_t2] = tables[..] else {
+                return Err(MedError::Protocol(format!(
+                    "expected two index tables, got {}",
+                    tables.len()
+                )));
+            };
             // Step 5: client decrypts the tables and builds the server query.
-            let t1 = IndexTable::decode(&sc.client.hybrid().decrypt(&enc_table1)?)
-                .map_err(MedError::Das)?;
-            let t2 = IndexTable::decode(&sc.client.hybrid().decrypt(&enc_table2)?)
-                .map_err(MedError::Das)?;
+            let t1 =
+                IndexTable::decode(&sc.client.hybrid().decrypt(enc_t1)?).map_err(MedError::Das)?;
+            let t2 =
+                IndexTable::decode(&sc.client.hybrid().decrypt(enc_t2)?).map_err(MedError::Das)?;
             let q = ServerQuery::translate(&t1, &t2);
-            transport.send(
+            let received = transport.deliver(
                 PartyId::Client,
                 PartyId::Mediator,
                 "L2.5 server query qS",
-                q.byte_len(),
-            );
-            q
+                &Frame::DasServerQuery {
+                    pairs: q.pairs().to_vec(),
+                },
+            )?;
+            let Frame::DasServerQuery { pairs } = received else {
+                return Err(MedError::Protocol(
+                    "expected a server-query frame".to_string(),
+                ));
+            };
+            ServerQuery::from_pairs(pairs)
         }
         DasSetting::MediatorSetting => {
             // The mediator translates directly from the plaintext tables —
             // one fewer client round trip, much more leakage.
-            ServerQuery::translate(&table1, &table2)
+            match (med_t1, med_t2) {
+                (Some(DasTable::Plain(t1)), Some(DasTable::Plain(t2))) => {
+                    ServerQuery::translate(&t1, &t2)
+                }
+                _ => {
+                    return Err(MedError::Protocol(
+                        "mediator setting requires plaintext index tables".to_string(),
+                    ))
+                }
+            }
         }
     };
     drop(transfer);
 
-    // Step 6: the mediator evaluates qS over ciphertexts.
+    // Step 6: the mediator evaluates qS over the ciphertexts it received.
     let rc = {
         let mut s = secmed_obs::span("das.join");
-        let rc = EncryptedDasRelation::server_join(&r1s, &r2s, &server_query, pool);
+        let rc = EncryptedDasRelation::server_join(&med_r1s, &med_r2s, &server_query, pool);
         s.field("candidate_pairs", rc.len());
         rc
     };
-    mediator_view.server_result_size = Some(rc.len());
-    {
+    let candidates_frame = {
         let _s = secmed_obs::span("das.transfer");
-        transport.send(PartyId::Mediator, PartyId::Client, "L2.6 RC", rc.byte_len());
-    }
+        transport.deliver(
+            PartyId::Mediator,
+            PartyId::Client,
+            "L2.6 RC",
+            &Frame::DasCandidates {
+                pairs: rc.pairs().to_vec(),
+            },
+        )?
+    };
+    let Frame::DasCandidates { pairs } = candidates_frame else {
+        return Err(MedError::Protocol(
+            "expected a candidates frame".to_string(),
+        ));
+    };
 
     // Step 7: client decrypts RC and applies the client query.
     let mut post = secmed_obs::span("das.post");
-    let mut candidates: Vec<(Tuple, Tuple)> = Vec::with_capacity(rc.len());
-    for (l, r) in rc.pairs() {
+    let mut candidates: Vec<(Tuple, Tuple)> = Vec::with_capacity(pairs.len());
+    for (l, r) in &pairs {
         let lt = decode_tuple(&sc.client.hybrid().decrypt(&l.etuple)?)?;
         let rt = decode_tuple(&sc.client.hybrid().decrypt(&r.etuple)?)?;
         candidates.push((lt, rt));
@@ -151,17 +219,11 @@ pub fn deliver(
     post.field("result_rows", result.len());
     drop(post);
 
-    let client_view = ClientView {
-        superset_pairs: Some(rc.len()),
-        index_tables_seen: matches!(cfg.setting, DasSetting::ClientSetting),
-        ..Default::default()
-    };
-
     Ok(RunReport {
         result,
         transport: Transport::new(), // replaced by the caller
-        mediator_view,
-        client_view,
+        mediator_view: Default::default(),
+        client_view: Default::default(),
         primitives: Vec::new(),
     })
 }

@@ -26,7 +26,7 @@ use secmed_das::PartitionScheme;
 
 use crate::audit::{ClientView, MediatorView};
 use crate::party::{Client, DataSource, Mediator};
-use crate::transport::{PartyId, Transport};
+use crate::transport::{Frame, PartyId, Transport};
 use crate::MedError;
 
 /// Which delivery-phase protocol to run, with its options.
@@ -248,23 +248,41 @@ fn credential_subset(
 /// Listing 1: the client sends the query and credentials; the mediator
 /// decomposes, localizes sources, forwards credential subsets; the sources
 /// check credentials and evaluate the partial queries.
+///
+/// Every message is a real [`Frame`]: the mediator works on the *decoded*
+/// query and credentials it received, and each source decodes (and then
+/// verifies) the credential subset off the wire — byte sizes on the
+/// transport are exact encoded lengths.
 pub fn request_phase(sc: &mut Scenario, transport: &mut Transport) -> Result<Prepared, MedError> {
-    // Step 1: client → mediator.  Credential sizes are exact wire sizes.
-    let cred_bytes: usize = sc
-        .client
-        .credentials()
-        .iter()
-        .map(|c| c.encode().len())
-        .sum();
-    transport.send(
+    // Step 1: client → mediator — the query text plus the client's
+    // encoded credentials.
+    let query_frame = Frame::Query {
+        sql: sc.query.clone(),
+        credentials: sc
+            .client
+            .credentials()
+            .iter()
+            .map(crate::credential::Credential::encode)
+            .collect(),
+    };
+    let received = transport.deliver(
         PartyId::Client,
         PartyId::Mediator,
         "L1.1 query q + credentials CR",
-        sc.query.len() + cred_bytes,
-    );
+        &query_frame,
+    )?;
+    let Frame::Query { sql, credentials } = received else {
+        return Err(MedError::Protocol("expected a query frame".to_string()));
+    };
+    let group = sc.mediator.credential_group()?.clone();
+    let client_creds: Vec<crate::credential::Credential> = credentials
+        .iter()
+        .map(|bytes| crate::credential::Credential::decode(bytes, &group))
+        .collect::<Result<_, _>>()?;
 
-    // Step 2: mediator decomposes the query and resolves join attributes.
-    let tree = parse(&sc.query)?;
+    // Step 2: mediator decomposes the received query and resolves join
+    // attributes.
+    let tree = parse(&sql)?;
     let decomp = decompose(&tree)?;
     if decomp.join.left != sc.left.name() || decomp.join.right != sc.right.name() {
         return Err(MedError::Protocol(format!(
@@ -282,30 +300,43 @@ pub fn request_phase(sc: &mut Scenario, transport: &mut Transport) -> Result<Pre
         decomp.join.attrs.clone()
     };
 
-    // Step 3: mediator → sources (partial query + credential subset + A_i).
-    let left_creds = credential_subset(sc.client.credentials(), &sc.left.advertised_properties());
-    let right_creds = credential_subset(sc.client.credentials(), &sc.right.advertised_properties());
-    let cred_size = |cs: &[crate::credential::Credential]| -> usize {
-        cs.iter()
-            .map(|c| c.hybrid_key().element().to_bytes_be().len() + 64)
-            .sum()
-    };
-    transport.send(
-        PartyId::Mediator,
-        PartyId::source(sc.left.name()),
-        "L1.3 ⟨q1, CR1, A1⟩",
-        decomp.q1.len()
-            + cred_size(&left_creds)
-            + join_attrs.iter().map(String::len).sum::<usize>(),
-    );
-    transport.send(
-        PartyId::Mediator,
-        PartyId::source(sc.right.name()),
-        "L1.3 ⟨q2, CR2, A2⟩",
-        decomp.q2.len()
-            + cred_size(&right_creds)
-            + join_attrs.iter().map(String::len).sum::<usize>(),
-    );
+    // Step 3: mediator → sources (partial query + credential subset + A_i),
+    // each as one frame; the sources decode their credential subsets off
+    // the wire and verify them in step 4.
+    let mut source_creds = Vec::with_capacity(2);
+    for (source, partial_sql, label) in [
+        (&sc.left, &decomp.q1, "L1.3 ⟨q1, CR1, A1⟩"),
+        (&sc.right, &decomp.q2, "L1.3 ⟨q2, CR2, A2⟩"),
+    ] {
+        let subset = credential_subset(&client_creds, &source.advertised_properties());
+        let frame = Frame::PartialQuery {
+            sql: partial_sql.clone(),
+            credentials: subset
+                .iter()
+                .map(crate::credential::Credential::encode)
+                .collect(),
+            join_attrs: join_attrs.clone(),
+        };
+        let received = transport.deliver(
+            PartyId::Mediator,
+            PartyId::source(source.name()),
+            label,
+            &frame,
+        )?;
+        let Frame::PartialQuery { credentials, .. } = received else {
+            return Err(MedError::Protocol(
+                "expected a partial-query frame".to_string(),
+            ));
+        };
+        let source_group = source.ca_key().group().clone();
+        let decoded: Vec<crate::credential::Credential> = credentials
+            .iter()
+            .map(|bytes| crate::credential::Credential::decode(bytes, &source_group))
+            .collect::<Result<_, _>>()?;
+        source_creds.push(decoded);
+    }
+    let right_creds = source_creds.pop().unwrap_or_default();
+    let left_creds = source_creds.pop().unwrap_or_default();
 
     // Step 4: sources check credentials and evaluate the partial queries.
     let left_partial = sc.left.answer_partial_query(&left_creds)?;

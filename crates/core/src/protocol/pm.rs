@@ -13,6 +13,11 @@
 //! * [`PmEval`] — naive power-sum, Horner, or Freedman's bucket allocation,
 //! * [`PmPayloadMode`] — tuple sets inline in the polynomial payload
 //!   (Listing 4 verbatim) or the footnote-2 session-key table.
+//!
+//! Polynomials and evaluations travel as encoded [`Frame`]s: the opposite
+//! source rebuilds the encrypted polynomial from the coefficients it
+//! decoded off the wire, and the client rebuilds the Paillier ciphertexts
+//! from the delivered elements.
 
 use std::collections::BTreeMap;
 
@@ -26,13 +31,14 @@ use secmed_crypto::polynomial::{BucketedPoly, EncryptedBucketedPoly, EncryptedPo
 use secmed_crypto::sha256::sha256;
 use secmed_crypto::CryptoError;
 use secmed_pool::Pool;
+use secmed_wire::{PmPayloadSet, PolyCoeffs};
 
-use crate::audit::{ClientView, MediatorView};
+use crate::audit::ClientView;
 use crate::protocol::{
     apply_residual, assemble_from_tuple_sets, group_by_join_key, PmConfig, PmEval, PmPayloadMode,
     Prepared, RunReport, Scenario,
 };
-use crate::transport::{PartyId, Transport};
+use crate::transport::{Frame, PartyId, Transport};
 use crate::MedError;
 
 /// Payload framing version tags.
@@ -49,16 +55,70 @@ enum ShippedPoly {
 }
 
 impl ShippedPoly {
-    fn total_ciphertexts(&self) -> usize {
+    /// The wire form: raw ciphertext elements, structure preserved.
+    fn to_coeffs(&self) -> PolyCoeffs {
+        let elements = |p: &EncryptedPoly| {
+            p.ciphertexts()
+                .iter()
+                .map(|c| c.element().clone())
+                .collect()
+        };
         match self {
-            ShippedPoly::Flat(p) => p.len(),
-            ShippedPoly::Bucketed(p) => p.total_len(),
+            ShippedPoly::Flat(p) => PolyCoeffs::Flat(elements(p)),
+            ShippedPoly::Bucketed(bp) => {
+                PolyCoeffs::Bucketed(bp.buckets().iter().map(elements).collect())
+            }
         }
     }
 
-    fn byte_len(&self, pk: &PaillierPublicKey) -> usize {
-        self.total_ciphertexts() * ((pk.n2().bit_len() as usize).div_ceil(8))
+    /// Rebuilds an evaluatable polynomial from decoded coefficients,
+    /// validating every element against the public key.
+    fn from_coeffs(coeffs: PolyCoeffs, pk: &PaillierPublicKey) -> Result<Self, MedError> {
+        let rebuild = |elements: Vec<Natural>| -> Result<EncryptedPoly, CryptoError> {
+            let cts = elements
+                .into_iter()
+                .map(|e| PaillierCiphertext::from_element(e, pk))
+                .collect::<Result<Vec<_>, _>>()?;
+            EncryptedPoly::from_ciphertexts(cts, pk)
+        };
+        match coeffs {
+            PolyCoeffs::Flat(elements) => Ok(ShippedPoly::Flat(rebuild(elements)?)),
+            PolyCoeffs::Bucketed(buckets) => {
+                let polys = buckets
+                    .into_iter()
+                    .map(rebuild)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ShippedPoly::Bucketed(EncryptedBucketedPoly::from_buckets(
+                    polys,
+                )?))
+            }
+        }
     }
+}
+
+/// Packs one side's evaluations into its wire payload set.
+fn payload_set(
+    evals: &[PaillierCiphertext],
+    table: &BTreeMap<u64, SessionCiphertext>,
+) -> PmPayloadSet {
+    PmPayloadSet {
+        evals: evals.iter().map(|c| c.element().clone()).collect(),
+        table: table.iter().map(|(id, ct)| (*id, ct.clone())).collect(),
+    }
+}
+
+/// Client-side unpacking: rebuild the Paillier ciphertexts and the
+/// session table from a decoded payload set.
+fn unpack_payload_set(
+    set: PmPayloadSet,
+    pk: &PaillierPublicKey,
+) -> Result<(Vec<PaillierCiphertext>, BTreeMap<u64, SessionCiphertext>), MedError> {
+    let evals = set
+        .evals
+        .into_iter()
+        .map(|e| PaillierCiphertext::from_element(e, pk))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((evals, set.table.into_iter().collect()))
 }
 
 /// Runs the delivery phase of Listing 4.
@@ -93,49 +153,72 @@ pub fn deliver(
         s.field("right_degree", groups2.len());
         (poly1, poly2)
     };
+
+    // Steps 2-4 on the wire: coefficients to the mediator, then forwarded
+    // to the opposite source, which rebuilds the polynomial it will
+    // evaluate from the decoded frame.
     let transfer = secmed_obs::span("pm.transfer");
-    transport.send(
+    let received = transport.deliver(
         PartyId::source(sc.left.name()),
         PartyId::Mediator,
         "L4.2 E(c_k) coefficients of P1",
-        poly1.byte_len(&paillier_pk),
-    );
-    transport.send(
+        &Frame::PmPolynomial {
+            poly: poly1.to_coeffs(),
+        },
+    )?;
+    let Frame::PmPolynomial { poly: med_p1 } = received else {
+        return Err(MedError::Protocol(
+            "expected a polynomial frame".to_string(),
+        ));
+    };
+    let received = transport.deliver(
         PartyId::source(sc.right.name()),
         PartyId::Mediator,
         "L4.3 E(d_l) coefficients of P2",
-        poly2.byte_len(&paillier_pk),
-    );
-
-    // The mediator sees the polynomial degrees = |domactive| (Table 1).
-    let mediator_view = MediatorView {
-        left_domain_size: Some(groups1.len()),
-        right_domain_size: Some(groups2.len()),
-        ..Default::default()
+        &Frame::PmPolynomial {
+            poly: poly2.to_coeffs(),
+        },
+    )?;
+    let Frame::PmPolynomial { poly: med_p2 } = received else {
+        return Err(MedError::Protocol(
+            "expected a polynomial frame".to_string(),
+        ));
     };
 
     // Step 4: the mediator forwards each polynomial to the opposite source.
-    transport.send(
+    let received = transport.deliver(
         PartyId::Mediator,
         PartyId::source(sc.right.name()),
         "L4.4 E(P1) → S2",
-        poly1.byte_len(&paillier_pk),
-    );
-    transport.send(
+        &Frame::PmPolynomial { poly: med_p1 },
+    )?;
+    let Frame::PmPolynomial { poly } = received else {
+        return Err(MedError::Protocol(
+            "expected a polynomial frame".to_string(),
+        ));
+    };
+    let p1_at_s2 = ShippedPoly::from_coeffs(poly, &paillier_pk)?;
+    let received = transport.deliver(
         PartyId::Mediator,
         PartyId::source(sc.left.name()),
         "L4.4 E(P2) → S1",
-        poly2.byte_len(&paillier_pk),
-    );
+        &Frame::PmPolynomial { poly: med_p2 },
+    )?;
+    let Frame::PmPolynomial { poly } = received else {
+        return Err(MedError::Protocol(
+            "expected a polynomial frame".to_string(),
+        ));
+    };
+    let p2_at_s1 = ShippedPoly::from_coeffs(poly, &paillier_pk)?;
     drop(transfer);
 
     // Steps 5-6: masked evaluations with payloads — the oblivious
-    // matching work of this protocol.
+    // matching work of this protocol — against the *received* polynomials.
     let mut intersection = secmed_obs::span("pm.intersection");
     let naive = matches!(cfg.eval, PmEval::Naive);
     let (evals1, table1) = evaluate_side(
         &groups1,
-        &poly2,
+        &p2_at_s1,
         &paillier_pk,
         cfg.payload,
         naive,
@@ -144,7 +227,7 @@ pub fn deliver(
     )?;
     let (evals2, table2) = evaluate_side(
         &groups2,
-        &poly1,
+        &p1_at_s2,
         &paillier_pk,
         cfg.payload,
         naive,
@@ -153,44 +236,65 @@ pub fn deliver(
     )?;
     intersection.field("evaluations", evals1.len() + evals2.len());
     drop(intersection);
+
     let transfer = secmed_obs::span("pm.transfer");
-    let ct_bytes = (paillier_pk.n2().bit_len() as usize).div_ceil(8);
-    let table_bytes = |t: &BTreeMap<u64, SessionCiphertext>| -> usize {
-        t.values().map(|c| 8 + c.byte_len()).sum()
-    };
-    transport.send(
+    let received = transport.deliver(
         PartyId::source(sc.left.name()),
         PartyId::Mediator,
         "L4.5 e_k values (+ session table)",
-        evals1.len() * ct_bytes + table_bytes(&table1),
-    );
-    transport.send(
+        &Frame::PmEvaluations {
+            payload: payload_set(&evals1, &table1),
+        },
+    )?;
+    let Frame::PmEvaluations { payload: med_e1 } = received else {
+        return Err(MedError::Protocol(
+            "expected an evaluations frame".to_string(),
+        ));
+    };
+    let received = transport.deliver(
         PartyId::source(sc.right.name()),
         PartyId::Mediator,
         "L4.6 e'_l values (+ session table)",
-        evals2.len() * ct_bytes + table_bytes(&table2),
-    );
+        &Frame::PmEvaluations {
+            payload: payload_set(&evals2, &table2),
+        },
+    )?;
+    let Frame::PmEvaluations { payload: med_e2 } = received else {
+        return Err(MedError::Protocol(
+            "expected an evaluations frame".to_string(),
+        ));
+    };
 
-    // Step 7: mediator → client, all n + m encrypted values.
-    transport.send(
+    // Step 7: mediator → client, all n + m encrypted values in one frame.
+    let received = transport.deliver(
         PartyId::Mediator,
         PartyId::Client,
         "L4.7 n+m encrypted values (+ session tables)",
-        (evals1.len() + evals2.len()) * ct_bytes + table_bytes(&table1) + table_bytes(&table2),
-    );
+        &Frame::PmDelivery {
+            left: med_e1,
+            right: med_e2,
+        },
+    )?;
+    let Frame::PmDelivery { left, right } = received else {
+        return Err(MedError::Protocol("expected a delivery frame".to_string()));
+    };
     drop(transfer);
 
-    // Step 8: the client decrypts everything and matches value tags.
+    // Step 8: the client rebuilds the ciphertexts it was delivered, then
+    // decrypts everything and matches value tags.
     let mut post = secmed_obs::span("pm.post");
-    let parsed1 = parse_side(&evals1, sc)?;
-    let parsed2 = parse_side(&evals2, sc)?;
+    let client_pk = sc.client.paillier().public().clone();
+    let (client_evals1, client_table1) = unpack_payload_set(left, &client_pk)?;
+    let (client_evals2, client_table2) = unpack_payload_set(right, &client_pk)?;
+    let parsed1 = parse_side(&client_evals1, sc)?;
+    let parsed2 = parse_side(&client_evals2, sc)?;
     let useful = parsed1.len() + parsed2.len();
 
     let mut tuple_set_pairs: Vec<(Vec<Tuple>, Vec<Tuple>)> = Vec::new();
     for (tag, payload1) in &parsed1 {
         if let Some(payload2) = parsed2.get(tag) {
-            let ts1 = open_payload(payload1, &table1)?;
-            let ts2 = open_payload(payload2, &table2)?;
+            let ts1 = open_payload(payload1, &client_table1)?;
+            let ts2 = open_payload(payload2, &client_table2)?;
             tuple_set_pairs.push((ts1, ts2));
         }
     }
@@ -204,8 +308,10 @@ pub fn deliver(
     post.field("result_rows", result.len());
     drop(post);
 
+    // Only the useful-payload count needs the client's secret key; every
+    // other Table 1 observation is derived from the recorded frames by the
+    // engine's audit pass.
     let client_view = ClientView {
-        ciphertexts_received: Some(evals1.len() + evals2.len()),
         useful_payloads: Some(useful),
         ..Default::default()
     };
@@ -213,7 +319,7 @@ pub fn deliver(
     Ok(RunReport {
         result,
         transport: Transport::new(),
-        mediator_view,
+        mediator_view: Default::default(),
         client_view,
         primitives: Vec::new(),
     })

@@ -2,17 +2,25 @@
 //!
 //! The paper's prototype was "a prototypical web based system"; networking
 //! is irrelevant to its claims, so parties here exchange messages through
-//! an in-process [`Transport`] that records every envelope.  The recorder
-//! is the ground truth for:
+//! an in-process [`Transport`].  Every message is a real encoded
+//! [`Frame`]: the sender serializes, the fabric records the bytes, and the
+//! receiver decodes from the recorded bytes — there is no struct side
+//! channel.  The recorder is the ground truth for:
 //!
 //! * the interaction-pattern analysis of Section 6 ("the client has to
 //!   interact twice with the mediator", "the datasources have to interact
 //!   twice"),
-//! * communication-volume accounting in the benches,
-//! * the leakage audit: a party's *view* is exactly the set of envelopes
-//!   it received.
+//! * communication-volume accounting in the benches (`Envelope::bytes()`
+//!   is the encoded frame length, never an estimate),
+//! * the leakage audit: a party's *view* is exactly the sequence of frames
+//!   it received, and `audit::derive_views` recomputes Table 1 from the
+//!   decoded log.
 
 use std::fmt;
+
+use crate::MedError;
+
+pub use secmed_wire::{DasTable, Frame, PmPayloadSet, PolyCoeffs, TupleRef, WireError};
 
 /// A protocol participant.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -45,8 +53,8 @@ impl fmt::Display for PartyId {
     }
 }
 
-/// One recorded message.
-#[derive(Debug, Clone)]
+/// One recorded message: an encoded frame in flight.
+#[derive(Clone)]
 pub struct Envelope {
     /// Sender.
     pub from: PartyId,
@@ -54,9 +62,53 @@ pub struct Envelope {
     pub to: PartyId,
     /// Human-readable step label, e.g. `"L3.3 M_i"` for Listing 3 step 3.
     pub label: String,
-    /// Payload size in bytes (ciphertext sizes; plaintext never rides the
-    /// fabric except from/to the client's own state).
-    pub bytes: usize,
+    /// The encoded frame exactly as it crossed the fabric.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Payload size in bytes — derived from the real encoded frame.
+    pub fn bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Decodes the payload back into its typed frame.
+    pub fn frame(&self) -> Result<Frame, WireError> {
+        Frame::decode(&self.payload)
+    }
+}
+
+/// One line per envelope: `sender → receiver [size B] label`, the format
+/// `Transport::render_flow` stacks into the Figure 1/2 message flow.
+impl fmt::Display for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12} → {:<12} [{:>8} B]  {}",
+            self.from.to_string(),
+            self.to.to_string(),
+            self.bytes(),
+            self.label
+        )
+    }
+}
+
+/// `Debug` covers the full payload (as lowercase hex), so a `{:?}` render
+/// of a transport log fingerprints every byte that crossed the fabric —
+/// the determinism suite relies on this.
+impl fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut hex = String::with_capacity(self.payload.len() * 2);
+        for b in &self.payload {
+            hex.push_str(&format!("{b:02x}"));
+        }
+        f.debug_struct("Envelope")
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("label", &self.label)
+            .field("payload", &hex)
+            .finish()
+    }
 }
 
 /// The in-process message fabric with full recording.
@@ -71,19 +123,47 @@ impl Transport {
         Transport::default()
     }
 
-    /// Records a message.
-    pub fn send(&mut self, from: PartyId, to: PartyId, label: impl Into<String>, bytes: usize) {
+    /// Records an already-encoded frame.
+    pub fn send(&mut self, from: PartyId, to: PartyId, label: impl Into<String>, payload: Vec<u8>) {
         self.log.push(Envelope {
             from,
             to,
             label: label.into(),
-            bytes,
+            payload,
         });
+    }
+
+    /// Sends a typed frame and hands the receiver its *decoded copy of the
+    /// recorded bytes* — the only way protocol data crosses a party
+    /// boundary.  Encoding happens on the sender's side, the fabric keeps
+    /// the canonical bytes, and the receiver sees exactly what a network
+    /// peer would see.
+    pub fn deliver(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        label: impl Into<String>,
+        frame: &Frame,
+    ) -> Result<Frame, MedError> {
+        self.send(from, to, label, frame.encode());
+        let recorded = self.log.last().map(|e| e.frame()).ok_or_else(|| {
+            MedError::Protocol("transport recorded nothing for a delivered frame".to_string())
+        })?;
+        Ok(recorded?)
     }
 
     /// The full log, in order.
     pub fn log(&self) -> &[Envelope] {
         &self.log
+    }
+
+    /// Decodes every recorded envelope, in order.  This is the transcript
+    /// the leakage audit runs over.
+    pub fn decode_log(&self) -> Result<Vec<(PartyId, PartyId, Frame)>, WireError> {
+        self.log
+            .iter()
+            .map(|e| Ok((e.from.clone(), e.to.clone(), e.frame()?)))
+            .collect()
     }
 
     /// Number of messages.
@@ -93,7 +173,7 @@ impl Transport {
 
     /// Total bytes moved.
     pub fn total_bytes(&self) -> usize {
-        self.log.iter().map(|e| e.bytes).sum()
+        self.log.iter().map(Envelope::bytes).sum()
     }
 
     /// Messages on one directed link.
@@ -128,22 +208,18 @@ impl Transport {
         self.log
             .iter()
             .filter(|e| &e.to == party)
-            .map(|e| e.bytes)
+            .map(Envelope::bytes)
             .sum()
     }
 
     /// Renders the flow as an indented trace (used by the quickstart
-    /// example to regenerate Figure 1/2's message flow).
+    /// example to regenerate Figure 1/2's message flow): one
+    /// [`Envelope`] `Display` line per message, sizes taken from the real
+    /// encoded frames.
     pub fn render_flow(&self) -> String {
         let mut out = String::new();
         for e in &self.log {
-            out.push_str(&format!(
-                "{:>12} → {:<12} [{:>8} B]  {}\n",
-                e.from.to_string(),
-                e.to.to_string(),
-                e.bytes,
-                e.label
-            ));
+            out.push_str(&format!("{e}\n"));
         }
         out
     }
@@ -152,15 +228,20 @@ impl Transport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use secmed_das::IndexValue;
+
+    fn payload(n: usize) -> Vec<u8> {
+        vec![0xAB; n]
+    }
 
     fn t() -> Transport {
         let mut t = Transport::new();
-        t.send(PartyId::Client, PartyId::Mediator, "query", 100);
-        t.send(PartyId::Mediator, PartyId::source("s1"), "q1", 50);
-        t.send(PartyId::Mediator, PartyId::source("s2"), "q2", 50);
-        t.send(PartyId::source("s1"), PartyId::Mediator, "r1", 500);
-        t.send(PartyId::source("s2"), PartyId::Mediator, "r2", 700);
-        t.send(PartyId::Mediator, PartyId::Client, "result", 900);
+        t.send(PartyId::Client, PartyId::Mediator, "query", payload(100));
+        t.send(PartyId::Mediator, PartyId::source("s1"), "q1", payload(50));
+        t.send(PartyId::Mediator, PartyId::source("s2"), "q2", payload(50));
+        t.send(PartyId::source("s1"), PartyId::Mediator, "r1", payload(500));
+        t.send(PartyId::source("s2"), PartyId::Mediator, "r2", payload(700));
+        t.send(PartyId::Mediator, PartyId::Client, "result", payload(900));
         t
     }
 
@@ -187,6 +268,41 @@ mod tests {
         let flow = t().render_flow();
         assert!(flow.contains("query"));
         assert!(flow.contains("source:s1"));
+    }
+
+    #[test]
+    fn render_flow_is_stacked_envelope_display() {
+        let t = t();
+        let lines: Vec<String> = t.log().iter().map(|e| e.to_string()).collect();
+        assert_eq!(t.render_flow(), format!("{}\n", lines.join("\n")));
+    }
+
+    #[test]
+    fn envelope_bytes_is_payload_length() {
+        let e = Envelope {
+            from: PartyId::Client,
+            to: PartyId::Mediator,
+            label: "x".into(),
+            payload: vec![1, 2, 3],
+        };
+        assert_eq!(e.bytes(), 3);
+        assert!(format!("{e:?}").contains("010203"), "hex payload in Debug");
+    }
+
+    #[test]
+    fn deliver_round_trips_through_recorded_bytes() {
+        let mut t = Transport::new();
+        let frame = Frame::DasServerQuery {
+            pairs: vec![(IndexValue(1), IndexValue(2))],
+        };
+        let received = t
+            .deliver(PartyId::Client, PartyId::Mediator, "L2.5 q_S", &frame)
+            .unwrap();
+        assert_eq!(received, frame);
+        assert_eq!(t.message_count(), 1);
+        assert_eq!(t.total_bytes(), frame.encode().len());
+        let decoded = t.decode_log().unwrap();
+        assert_eq!(decoded[0].2, frame);
     }
 
     #[test]

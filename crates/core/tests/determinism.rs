@@ -9,19 +9,20 @@
 
 use secmed_core::workload::WorkloadSpec;
 use secmed_core::{
-    CommutativeConfig, DasConfig, Engine, PmConfig, ProtocolKind, RunOptions, ScenarioBuilder,
-    TraceSink,
+    CommutativeConfig, DasConfig, Engine, PmConfig, ProtocolKind, RunOptions, RunReport,
+    ScenarioBuilder, TraceSink,
 };
 
 /// A canonical byte rendering of everything a run reports.  `Debug` covers
-/// every field of every component, so two equal fingerprints mean equal
-/// results, equal transport logs (ordering, labels, byte counts), equal
+/// every field of every component — `Envelope`'s `Debug` prints the full
+/// payload as hex — so two equal fingerprints mean equal results, equal
+/// transport logs (ordering, labels, every payload byte), equal
 /// mediator/client views, and equal primitive counters.
-fn fingerprint(report: &secmed_core::RunReport) -> String {
+fn fingerprint(report: &RunReport) -> String {
     format!("{report:?}")
 }
 
-fn run_at(kind: ProtocolKind, threads: usize) -> String {
+fn run_at(kind: ProtocolKind, threads: usize) -> RunReport {
     let w = WorkloadSpec {
         seed: "determinism".to_string(),
         ..Default::default()
@@ -34,26 +35,70 @@ fn run_at(kind: ProtocolKind, threads: usize) -> String {
     let opts = RunOptions::new(kind)
         .threads(threads)
         .trace(TraceSink::Discard);
-    let report = Engine::run(&mut sc, &opts).expect("protocol run succeeds");
-    fingerprint(&report)
+    Engine::run(&mut sc, &opts).expect("protocol run succeeds")
 }
+
+const KINDS: [ProtocolKind; 3] = [
+    ProtocolKind::Das(DasConfig {
+        scheme: secmed_das::PartitionScheme::EquiDepth(4),
+        setting: secmed_core::DasSetting::ClientSetting,
+    }),
+    ProtocolKind::Commutative(CommutativeConfig {
+        mode: secmed_core::CommutativeMode::IdReferences,
+    }),
+    ProtocolKind::Pm(PmConfig {
+        eval: secmed_core::PmEval::Horner,
+        payload: secmed_core::PmPayloadMode::SessionKeyTable,
+    }),
+];
 
 #[test]
 fn run_reports_are_identical_at_any_thread_count() {
-    for kind in [
-        ProtocolKind::Das(DasConfig::default()),
-        ProtocolKind::Commutative(CommutativeConfig::default()),
-        ProtocolKind::Pm(PmConfig::default()),
-    ] {
-        let sequential = run_at(kind, 1);
+    for kind in KINDS {
+        let sequential = fingerprint(&run_at(kind, 1));
         for threads in [2, 8] {
-            let parallel = run_at(kind, threads);
+            let parallel = fingerprint(&run_at(kind, threads));
             assert_eq!(
                 sequential,
                 parallel,
                 "{} report diverged between 1 and {threads} threads",
                 kind.name()
             );
+        }
+    }
+}
+
+/// The stronger frame-level statement: the recorded fabric — sender,
+/// receiver, label, and every encoded payload byte of every envelope —
+/// is identical at 1, 2, and 8 worker threads.  This is what makes the
+/// byte accounting and the decoded-log leakage audit schedule-independent.
+#[test]
+fn envelope_payloads_are_byte_identical_at_any_thread_count() {
+    for kind in KINDS {
+        let sequential = run_at(kind, 1);
+        for threads in [2, 8] {
+            let parallel = run_at(kind, threads);
+            let seq_log = sequential.transport.log();
+            let par_log = parallel.transport.log();
+            assert_eq!(
+                seq_log.len(),
+                par_log.len(),
+                "{}: message count diverged at {threads} threads",
+                kind.name()
+            );
+            for (i, (a, b)) in seq_log.iter().zip(par_log).enumerate() {
+                assert_eq!(a.from, b.from, "{}: envelope {i} sender", kind.name());
+                assert_eq!(a.to, b.to, "{}: envelope {i} receiver", kind.name());
+                assert_eq!(a.label, b.label, "{}: envelope {i} label", kind.name());
+                assert_eq!(
+                    a.payload,
+                    b.payload,
+                    "{}: envelope {i} ({}) payload bytes diverged between 1 and \
+                     {threads} threads",
+                    kind.name(),
+                    a.label
+                );
+            }
         }
     }
 }

@@ -493,6 +493,33 @@ fn commutative_id_mode_moves_fewer_bytes_through_sources() {
 }
 
 #[test]
+fn transport_bytes_are_exact_frame_lengths_in_every_protocol() {
+    let w = small_workload("exact-bytes");
+    for (name, kind) in all_protocol_configs() {
+        let mut sc = ScenarioBuilder::new(&w)
+            .seed("exact-bytes")
+            .paillier_bits(768)
+            .build();
+        let report =
+            Engine::run(&mut sc, &RunOptions::new(kind)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // total_bytes() must be the sum of the real encoded frame lengths —
+        // decode every envelope and re-encode to prove it.
+        let reencoded: usize = report
+            .transport
+            .log()
+            .iter()
+            .map(|e| {
+                e.frame()
+                    .unwrap_or_else(|err| panic!("{name}: undecodable envelope: {err}"))
+                    .encode()
+                    .len()
+            })
+            .sum();
+        assert_eq!(report.transport.total_bytes(), reencoded, "{name}");
+    }
+}
+
+#[test]
 fn residual_query_work_is_applied_by_client() {
     let w = small_workload("residual");
     let mut sc = ScenarioBuilder::new(&w)

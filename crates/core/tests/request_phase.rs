@@ -106,6 +106,24 @@ fn request_phase_records_four_messages() {
 }
 
 #[test]
+fn credential_bytes_on_the_wire_are_exact() {
+    let mut sc = scenario_with_two_credentials();
+    let mut transport = Transport::new();
+    request_phase(&mut sc, &mut transport).unwrap();
+    // Every recorded byte is a real encoded frame: decoding each recorded
+    // payload and re-encoding the frame reproduces the byte count exactly.
+    // (The pre-wire implementation estimated credential sizes with a
+    // `+ 64` fudge; this asserts no estimate survives anywhere.)
+    let reencoded: usize = transport
+        .log()
+        .iter()
+        .map(|e| e.frame().expect("recorded payload decodes").encode().len())
+        .sum();
+    assert_eq!(transport.total_bytes(), reencoded);
+    assert!(transport.total_bytes() > 0);
+}
+
+#[test]
 fn query_against_unknown_sources_is_rejected() {
     let mut sc = scenario_with_two_credentials();
     sc.query = "select * from ghost natural join r2".to_string();

@@ -369,6 +369,28 @@ impl EncryptedBucketedPoly {
         self.buckets.iter().map(EncryptedPoly::len).sum()
     }
 
+    /// The per-bucket encrypted polynomials (for transport).
+    pub fn buckets(&self) -> &[EncryptedPoly] {
+        &self.buckets
+    }
+
+    /// Rebuilds from transported per-bucket polynomials.  Every bucket must
+    /// be non-empty and all buckets must share one degree — the padding
+    /// invariant [`BucketedPoly::from_roots`] establishes.
+    pub fn from_buckets(buckets: Vec<EncryptedPoly>) -> Result<Self, CryptoError> {
+        let Some(first) = buckets.first() else {
+            return Err(CryptoError::Malformed("empty bucketed polynomial"));
+        };
+        let per_bucket = first.len();
+        if buckets
+            .iter()
+            .any(|b| b.len() != per_bucket || b.is_empty())
+        {
+            return Err(CryptoError::Malformed("uneven polynomial buckets"));
+        }
+        Ok(EncryptedBucketedPoly { buckets })
+    }
+
     /// Masked evaluation against the bucket of `a` (see
     /// [`EncryptedPoly::eval_masked`]).
     pub fn eval_masked(

@@ -60,11 +60,6 @@ impl EncryptedDasRelation {
         self.rows.is_empty()
     }
 
-    /// Total ciphertext bytes (for the transport recorder).
-    pub fn byte_len(&self) -> usize {
-        self.rows.iter().map(|r| r.etuple.byte_len() + 8).sum()
-    }
-
     /// Executes the server query `q_S` against two encrypted relations —
     /// the mediator's step 6 of Listing 2.  Pure ciphertext processing: the
     /// only plaintext consulted is the pair of index values.
@@ -110,14 +105,6 @@ impl ServerResult {
     /// True if the superset is empty.
     pub fn is_empty(&self) -> bool {
         self.pairs.is_empty()
-    }
-
-    /// Total transported bytes.
-    pub fn byte_len(&self) -> usize {
-        self.pairs
-            .iter()
-            .map(|(l, r)| l.etuple.byte_len() + r.etuple.byte_len() + 16)
-            .sum()
     }
 }
 
@@ -212,15 +199,5 @@ mod tests {
             &Pool::with_threads(4),
         );
         assert!(rc.is_empty());
-    }
-
-    #[test]
-    fn byte_len_is_positive_for_nonempty() {
-        let mut rng = HmacDrbg::from_label("das-bytes");
-        let kp = HybridKeyPair::generate(SafePrimeGroup::preset(GroupSize::S256), &mut rng);
-        let d = domain(&[1]);
-        let t = IndexTable::build(&d, PartitionScheme::PerValue, 1).unwrap();
-        let r = encrypt_rows(&[1], &t, &kp, &mut rng);
-        assert!(r.byte_len() > 8);
     }
 }

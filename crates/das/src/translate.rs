@@ -33,6 +33,12 @@ impl ServerQuery {
         ServerQuery { pairs }
     }
 
+    /// Rebuilds a server query from transported index pairs (the wire form
+    /// of `Cond_S`).
+    pub fn from_pairs(pairs: Vec<(IndexValue, IndexValue)>) -> Self {
+        ServerQuery { pairs }
+    }
+
     /// The allowed index pairs.
     pub fn pairs(&self) -> &[(IndexValue, IndexValue)] {
         &self.pairs
@@ -60,11 +66,6 @@ impl ServerQuery {
         Predicate::any(self.pairs.iter().map(|(i1, i2)| {
             Predicate::eq_lit(left_col, i1.0 as i64).and(Predicate::eq_lit(right_col, i2.0 as i64))
         }))
-    }
-
-    /// Transported size in bytes (two u64 per disjunct).
-    pub fn byte_len(&self) -> usize {
-        self.pairs.len() * 16
     }
 }
 

@@ -10,21 +10,24 @@ mod determinism;
 mod panic_freedom;
 mod secret_branching;
 mod transport_discipline;
+mod wire_discipline;
 
 pub use dependency_policy::DependencyPolicy;
 pub use determinism::Determinism;
 pub use panic_freedom::PanicFreedom;
 pub use secret_branching::SecretBranching;
 pub use transport_discipline::TransportDiscipline;
+pub use wire_discipline::WireDiscipline;
 
 use crate::engine::Rule;
 
-/// The five shipped rules, in reporting order.
+/// The six shipped rules, in reporting order.
 pub fn default_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(PanicFreedom),
         Box::new(SecretBranching),
         Box::new(TransportDiscipline),
+        Box::new(WireDiscipline),
         Box::new(Determinism),
         Box::new(DependencyPolicy),
     ]

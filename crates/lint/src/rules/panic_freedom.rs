@@ -3,7 +3,8 @@
 //! ROADMAP's north star is a production service; a mediator that aborts on
 //! a malformed ciphertext is a denial-of-service lever for any party.  In
 //! the directories that execute protocol runs (`crates/core/src/protocol/`)
-//! and the layers under them (`crates/crypto/`, `crates/mpint/`), non-test
+//! and the layers under them (`crates/crypto/`, `crates/mpint/`,
+//! `crates/wire/`), non-test
 //! code may not call `.unwrap()` / `.expect(...)` or invoke `panic!` /
 //! `unreachable!` / `todo!` / `unimplemented!`.  Errors must surface as
 //! typed `Result`s; genuinely unreachable states need an audited
@@ -17,6 +18,7 @@ const SCOPE: &[&str] = &[
     "crates/core/src/protocol/",
     "crates/crypto/src/",
     "crates/mpint/src/",
+    "crates/wire/src/",
 ];
 
 /// Method names that abort on `Err`/`None`.

@@ -1,0 +1,135 @@
+//! `wire-discipline` — frame encoding and decoding happen at the fabric
+//! boundary, nowhere else.
+//!
+//! The leakage audit (paper Table 1) is recomputed from the transport's
+//! decoded frame log, and the byte accounting is the recorded payload
+//! lengths.  Both are only trustworthy if the wire codec is invoked at
+//! exactly one boundary: code that called `secmed_wire` directly from,
+//! say, the engine or a bench binary could fabricate or re-serialize
+//! frames the fabric never carried.  Outside `crates/wire/`,
+//! `crates/core/src/protocol/`, and `crates/core/src/transport.rs`,
+//! non-test code may not name `secmed_wire` or call
+//! `Frame::encode`/`Frame::decode`.
+
+use crate::engine::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// Path prefixes exempt from the rule: the codec itself, the protocol
+/// drivers (which build and match frames), and the transport module
+/// (which encodes on send and decodes on receipt).
+const ALLOWED_PREFIXES: &[&str] = &["crates/wire/", "crates/core/src/protocol/"];
+
+/// Exact files exempt from the rule.
+const ALLOWED_FILES: &[&str] = &["crates/core/src/transport.rs"];
+
+/// Two-segment paths that mean "I am running the codec myself".
+const BANNED_PATHS: &[(&str, &str)] = &[("Frame", "encode"), ("Frame", "decode")];
+
+/// The wire-discipline rule (see module docs).
+pub struct WireDiscipline;
+
+impl Rule for WireDiscipline {
+    fn id(&self) -> &'static str {
+        "wire-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "frame codec calls only in crates/wire, core protocol drivers, and the transport module"
+    }
+
+    fn check_source(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !file.path.starts_with("crates/") || !file.path.contains("/src/") {
+            return;
+        }
+        if ALLOWED_PREFIXES.iter().any(|p| file.path.starts_with(p))
+            || ALLOWED_FILES.contains(&file.path.as_str())
+        {
+            return;
+        }
+        let code = file.code_indices();
+        for (ci, &ti) in code.iter().enumerate() {
+            if file.is_test_token(ti) {
+                continue;
+            }
+            let tok = &file.tokens[ti];
+            if tok.is_ident("secmed_wire") {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tok.line,
+                    rule: self.id(),
+                    message: "`secmed_wire` is reserved for the protocol drivers and the \
+                              transport module; use the `secmed-core::transport` re-exports \
+                              and let the fabric run the codec"
+                        .to_string(),
+                });
+                continue;
+            }
+            let is_path = |&(a, b): &(&str, &str)| {
+                tok.is_ident(a)
+                    && code
+                        .get(ci + 1)
+                        .is_some_and(|&n| file.tokens[n].is_punct("::"))
+                    && code
+                        .get(ci + 2)
+                        .is_some_and(|&n| file.tokens[n].is_ident(b))
+            };
+            if let Some((a, b)) = BANNED_PATHS.iter().find(|p| is_path(p)) {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tok.line,
+                    rule: self.id(),
+                    message: format!(
+                        "`{a}::{b}` outside the fabric boundary; frames must be encoded \
+                         on send and decoded on receipt by the transport, or the byte \
+                         accounting and the Table 1 audit drift from reality"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        WireDiscipline.check_source(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_secmed_wire_and_codec_calls_in_engine_code() {
+        let src = "use secmed_wire::Frame;\nfn f(b: &[u8]) { let _ = Frame::decode(b); }";
+        let out = check("crates/core/src/engine.rs", src);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|f| f.rule == "wire-discipline"));
+    }
+
+    #[test]
+    fn protocol_drivers_transport_and_wire_are_exempt() {
+        let src = "use secmed_wire::Frame;\nfn f(fr: &Frame) { let _ = fr.encode(); }";
+        assert!(check("crates/core/src/protocol/das.rs", src).is_empty());
+        assert!(check("crates/core/src/transport.rs", src).is_empty());
+        assert!(check("crates/wire/src/frame.rs", src).is_empty());
+    }
+
+    #[test]
+    fn integration_tests_are_out_of_scope() {
+        let src = "use secmed_wire::Frame;";
+        assert!(check("crates/core/tests/protocols.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests { use secmed_wire::Frame; }";
+        assert!(check("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bench_binaries_are_in_scope() {
+        let src = "fn f(b: &[u8]) { let _ = secmed_wire::Frame::decode(b); }";
+        assert!(!check("crates/bench/src/bin/report.rs", src).is_empty());
+    }
+}

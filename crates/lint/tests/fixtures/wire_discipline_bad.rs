@@ -1,0 +1,13 @@
+//! Fixture: engine-layer code running the wire codec itself — both the
+//! direct `secmed_wire` import and the qualified codec calls must be
+//! flagged.
+
+use secmed_wire::Frame;
+
+pub fn smuggle(bytes: &[u8]) -> usize {
+    let frame = Frame::decode(bytes).ok();
+    match frame {
+        Some(f) => Frame::encode(&f).len(),
+        None => 0,
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: engine-layer code that stays behind the fabric boundary —
+//! it hands frames to the transport and reads decoded views back, never
+//! touching the codec.
+
+pub fn observe(transport: &secmed_core::Transport) -> usize {
+    transport.total_bytes()
+}

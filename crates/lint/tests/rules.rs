@@ -122,6 +122,38 @@ fn transport_discipline_passes_good_fixture() {
 }
 
 #[test]
+fn wire_discipline_flags_bad_fixture() {
+    let out = lint_at(
+        "crates/core/src/engine.rs",
+        include_str!("fixtures/wire_discipline_bad.rs"),
+    );
+    assert!(
+        out.findings.iter().all(|f| f.rule == "wire-discipline"),
+        "{:#?}",
+        out.findings
+    );
+    let lines: Vec<u32> = out.findings.iter().map(|f| f.line).collect();
+    assert!(lines.contains(&5), "secmed_wire import: {lines:?}");
+    assert!(lines.contains(&8), "Frame::decode call: {lines:?}");
+    assert!(lines.contains(&10), "Frame::encode call: {lines:?}");
+}
+
+#[test]
+fn wire_discipline_passes_good_fixture_and_the_boundary_itself() {
+    let out = lint_at(
+        "crates/core/src/engine.rs",
+        include_str!("fixtures/wire_discipline_good.rs"),
+    );
+    assert!(out.clean(), "{:#?}", out.findings);
+    // The same codec-running code is fine at the fabric boundary.
+    let out = lint_at(
+        "crates/core/src/transport.rs",
+        include_str!("fixtures/wire_discipline_bad.rs"),
+    );
+    assert!(out.clean(), "{:#?}", out.findings);
+}
+
+#[test]
 fn determinism_flags_bad_fixture_even_in_tests() {
     let out = lint_at(
         "crates/core/src/protocol/fixture.rs",

@@ -1,0 +1,185 @@
+//! Bounds-checked big-endian writer/reader used by the frame codec.
+//!
+//! The reader never indexes past its input: every accessor returns
+//! [`WireError::Truncated`] instead.  Element counts are length prefixes
+//! claimed by the input, so pre-allocations are capped — a hostile prefix
+//! cannot force a large allocation before the (short) input runs out.
+
+use mpint::Natural;
+
+use crate::WireError;
+
+/// Largest pre-allocation honoured for a claimed element count.
+const MAX_PREALLOC: usize = 4096;
+
+/// Converts an in-memory length to a `u32` prefix.  Saturates at
+/// `u32::MAX`, which no well-formed body can satisfy, so an (impossible in
+/// practice) > 4 GiB field fails loudly at decode instead of misparsing.
+pub(crate) fn len_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// A capped capacity for `Vec::with_capacity` from an untrusted count.
+pub(crate) fn cap(count: u32) -> usize {
+    (count as usize).min(MAX_PREALLOC)
+}
+
+#[derive(Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a `u32` length prefix followed by the raw bytes.
+    pub(crate) fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(len_u32(v.len()));
+        self.buf.extend_from_slice(v);
+    }
+
+    pub(crate) fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Writes a magnitude as its minimal big-endian byte string.
+    pub(crate) fn put_nat(&mut self, v: &Natural) {
+        self.put_bytes(&v.to_bytes_be());
+    }
+}
+
+pub(crate) struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.data.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = self.data.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn get_u8(&mut self) -> Result<u8, WireError> {
+        let b = self.take(1)?;
+        b.first().copied().ok_or(WireError::Truncated)
+    }
+
+    pub(crate) fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        let arr: [u8; 4] = b.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_be_bytes(arr))
+    }
+
+    pub(crate) fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub(crate) fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    pub(crate) fn get_str(&mut self) -> Result<String, WireError> {
+        let raw = self.get_bytes()?;
+        std::str::from_utf8(raw)
+            .map(str::to_string)
+            .map_err(|_| WireError::Malformed("string is not UTF-8"))
+    }
+
+    pub(crate) fn get_nat(&mut self) -> Result<Natural, WireError> {
+        Ok(Natural::from_bytes_be(self.get_bytes()?))
+    }
+
+    /// Fails with [`WireError::TrailingBytes`] unless the input was
+    /// consumed exactly.
+    pub(crate) fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(42);
+        w.put_bytes(b"abc");
+        w.put_str("héllo");
+        w.put_nat(&Natural::from(123_456u64));
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 42);
+        assert_eq!(r.get_bytes().unwrap(), b"abc");
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_nat().unwrap(), Natural::from(123_456u64));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.put_bytes(b"abcdef");
+        let buf = w.into_vec();
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert_eq!(r.get_bytes().unwrap_err(), WireError::Truncated);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        let mut buf = w.into_vec();
+        buf.push(0xFF);
+        let mut r = Reader::new(&buf);
+        r.get_u8().unwrap();
+        assert_eq!(r.finish().unwrap_err(), WireError::TrailingBytes);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_truncated_error() {
+        let mut r = Reader::new(&[0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3]);
+        assert_eq!(r.get_bytes().unwrap_err(), WireError::Truncated);
+    }
+}

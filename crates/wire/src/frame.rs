@@ -1,0 +1,652 @@
+//! Typed frames for every cross-party message of Listings 1–4.
+//!
+//! One [`Frame`] variant exists per message shape; the kind byte in the
+//! header selects the variant.  Embedded ciphertexts reuse their own
+//! canonical codecs ([`HybridCiphertext::encode`], [`IndexTable::encode`],
+//! [`SessionCiphertext::encode`]); bare group/ring elements (SRA values,
+//! Paillier ciphertexts) travel as minimal big-endian magnitudes and are
+//! re-validated by the receiving party when it rebuilds typed ciphertexts.
+
+use mpint::Natural;
+use secmed_crypto::hybrid::SessionCiphertext;
+use secmed_crypto::HybridCiphertext;
+use secmed_das::{DasRow, IndexTable, IndexValue};
+
+use crate::bytesio::{cap, len_u32, Reader, Writer};
+use crate::{WireError, WIRE_MAGIC, WIRE_VERSION};
+
+/// The index-table part of a `R^S` transfer: encrypted toward the client
+/// (client setting) or plaintext for the mediator (mediator setting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DasTable {
+    /// Hybrid-encrypted `IndexTable::encode()` bytes — only the client can
+    /// open them (Listing 2, client setting).
+    Encrypted(HybridCiphertext),
+    /// The plaintext index table itself (Listing 2, mediator setting).
+    Plain(IndexTable),
+}
+
+/// How a commutative-protocol message refers to the tuple ciphertext that
+/// rides with a hashed join value (Listing 3, footnote 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TupleRef {
+    /// The tuple ciphertext itself is echoed through the opposite source.
+    Echo(HybridCiphertext),
+    /// A positional reference into the sender's original value set; the
+    /// mediator resolves it against the set it already holds.
+    Id(u64),
+}
+
+/// Encrypted polynomial coefficients (Listing 4): either one flat
+/// coefficient vector or the bucketed variant's per-bucket vectors.  Each
+/// magnitude is a Paillier ciphertext element in `Z_{n^2}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolyCoeffs {
+    /// Coefficients of a single polynomial, constant term first.
+    Flat(Vec<Natural>),
+    /// One coefficient vector per hash bucket.
+    Bucketed(Vec<Vec<Natural>>),
+}
+
+/// One side's evaluated-polynomial payload (Listing 4 steps 5–7):
+/// Paillier ciphertext elements plus the session-key table (empty in
+/// inline-payload mode, footnote 2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PmPayloadSet {
+    /// Paillier ciphertext elements, one per evaluated domain value.
+    pub evals: Vec<Natural>,
+    /// `(session id, encrypted tuple)` rows, sorted by id.
+    pub table: Vec<(u64, SessionCiphertext)>,
+}
+
+/// Every message that crosses a party boundary, as a typed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Listing 1 step 1: the client's query plus its credential set.
+    /// Credentials are opaque `Credential::encode()` bytes — the wire
+    /// layer does not interpret them.
+    Query {
+        /// The SQL text of the join query.
+        sql: String,
+        /// Encoded credentials, in client order.
+        credentials: Vec<Vec<u8>>,
+    },
+    /// Listing 1 step 3: a partial query for one source, the credential
+    /// subset forwarded with it, and the join attributes of the plan.
+    PartialQuery {
+        /// The partial query's SQL text.
+        sql: String,
+        /// Encoded forwarded credentials.
+        credentials: Vec<Vec<u8>>,
+        /// Join attribute names, in plan order.
+        join_attrs: Vec<String>,
+    },
+    /// Listing 2 step 3: an encrypted partial result `R^S` — rows of
+    /// `⟨etuple, index⟩` plus the index table (encrypted or plaintext
+    /// depending on the setting).
+    DasRelation {
+        /// The encrypted rows.
+        rows: Vec<DasRow>,
+        /// The index table accompanying the relation.
+        table: DasTable,
+    },
+    /// Listing 2 step 4 (client setting): the encrypted index tables
+    /// forwarded from the mediator to the client.
+    DasIndexTables {
+        /// One encrypted `IndexTable::encode()` blob per source.
+        tables: Vec<HybridCiphertext>,
+    },
+    /// Listing 2 step 5 (client setting): the translated server query — a
+    /// disjunction of index-value pairs.
+    DasServerQuery {
+        /// Admitted `(left index, right index)` pairs.
+        pairs: Vec<(IndexValue, IndexValue)>,
+    },
+    /// Listing 2 step 6: the coarse result set `R_C` of candidate row
+    /// pairs, still encrypted toward the client.
+    DasCandidates {
+        /// Candidate `(left row, right row)` pairs.
+        pairs: Vec<(DasRow, DasRow)>,
+    },
+    /// Listing 3 step 3: a source's singly-encrypted value set, each hash
+    /// paired with its hybrid-encrypted tuple.
+    CommutativeSet {
+        /// `(f_e(h(a)), encrypt(tuple))`, sorted by encrypted hash.
+        items: Vec<(Natural, HybridCiphertext)>,
+    },
+    /// Listing 3 step 4: the opposite source's set crossing over for the
+    /// second encryption, tuples echoed or referenced by id (footnote 1).
+    CommutativeCross {
+        /// `(f_e(h(a)), tuple ref)` in the original set order.
+        items: Vec<(Natural, TupleRef)>,
+    },
+    /// Listing 3 step 5: the doubly-encrypted set coming back, each value
+    /// still carrying its tuple reference.
+    CommutativeDoubled {
+        /// `(f_e1(f_e2(h(a))), tuple ref)` in the crossed set's order.
+        items: Vec<(Natural, TupleRef)>,
+    },
+    /// Listing 3 step 7: matched ciphertext pairs delivered to the client.
+    ResultPairs {
+        /// `(left tuple ct, right tuple ct)` per matched join value.
+        pairs: Vec<(HybridCiphertext, HybridCiphertext)>,
+    },
+    /// Listing 4 steps 2–4: an encrypted polynomial in transit (source to
+    /// mediator, then mediator to the opposite source).
+    PmPolynomial {
+        /// The encrypted coefficients.
+        poly: PolyCoeffs,
+    },
+    /// Listing 4 steps 5–6: one source's evaluated payload set returning
+    /// to the mediator.
+    PmEvaluations {
+        /// The evaluations and (optionally) the session-key table.
+        payload: PmPayloadSet,
+    },
+    /// Listing 4 step 7: both sides' payloads delivered to the client.
+    PmDelivery {
+        /// The left source's payload set.
+        left: PmPayloadSet,
+        /// The right source's payload set.
+        right: PmPayloadSet,
+    },
+}
+
+const KIND_QUERY: u8 = 0x01;
+const KIND_PARTIAL_QUERY: u8 = 0x02;
+const KIND_DAS_RELATION: u8 = 0x10;
+const KIND_DAS_INDEX_TABLES: u8 = 0x11;
+const KIND_DAS_SERVER_QUERY: u8 = 0x12;
+const KIND_DAS_CANDIDATES: u8 = 0x13;
+const KIND_COMM_SET: u8 = 0x20;
+const KIND_COMM_CROSS: u8 = 0x21;
+const KIND_COMM_DOUBLED: u8 = 0x22;
+const KIND_RESULT_PAIRS: u8 = 0x23;
+const KIND_PM_POLYNOMIAL: u8 = 0x30;
+const KIND_PM_EVALUATIONS: u8 = 0x31;
+const KIND_PM_DELIVERY: u8 = 0x32;
+
+const TAG_TABLE_ENCRYPTED: u8 = 0x01;
+const TAG_TABLE_PLAIN: u8 = 0x02;
+const TAG_REF_ECHO: u8 = 0x01;
+const TAG_REF_ID: u8 = 0x02;
+const TAG_POLY_FLAT: u8 = 0x01;
+const TAG_POLY_BUCKETED: u8 = 0x02;
+
+impl Frame {
+    /// The kind byte written into this frame's header.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Query { .. } => KIND_QUERY,
+            Frame::PartialQuery { .. } => KIND_PARTIAL_QUERY,
+            Frame::DasRelation { .. } => KIND_DAS_RELATION,
+            Frame::DasIndexTables { .. } => KIND_DAS_INDEX_TABLES,
+            Frame::DasServerQuery { .. } => KIND_DAS_SERVER_QUERY,
+            Frame::DasCandidates { .. } => KIND_DAS_CANDIDATES,
+            Frame::CommutativeSet { .. } => KIND_COMM_SET,
+            Frame::CommutativeCross { .. } => KIND_COMM_CROSS,
+            Frame::CommutativeDoubled { .. } => KIND_COMM_DOUBLED,
+            Frame::ResultPairs { .. } => KIND_RESULT_PAIRS,
+            Frame::PmPolynomial { .. } => KIND_PM_POLYNOMIAL,
+            Frame::PmEvaluations { .. } => KIND_PM_EVALUATIONS,
+            Frame::PmDelivery { .. } => KIND_PM_DELIVERY,
+        }
+    }
+
+    /// A short stable name for diagnostics and vector fixtures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Query { .. } => "query",
+            Frame::PartialQuery { .. } => "partial_query",
+            Frame::DasRelation { .. } => "das_relation",
+            Frame::DasIndexTables { .. } => "das_index_tables",
+            Frame::DasServerQuery { .. } => "das_server_query",
+            Frame::DasCandidates { .. } => "das_candidates",
+            Frame::CommutativeSet { .. } => "commutative_set",
+            Frame::CommutativeCross { .. } => "commutative_cross",
+            Frame::CommutativeDoubled { .. } => "commutative_doubled",
+            Frame::ResultPairs { .. } => "result_pairs",
+            Frame::PmPolynomial { .. } => "pm_polynomial",
+            Frame::PmEvaluations { .. } => "pm_evaluations",
+            Frame::PmDelivery { .. } => "pm_delivery",
+        }
+    }
+
+    /// Encodes the frame into its canonical byte representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Writer::new();
+        self.encode_body(&mut body);
+        let body = body.into_vec();
+        let mut out = Vec::with_capacity(body.len() + 8);
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.push(WIRE_VERSION);
+        out.push(self.kind());
+        out.extend_from_slice(&len_u32(body.len()).to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a frame, validating the header, the body grammar and every
+    /// embedded ciphertext codec.  Total: returns `Err` on any malformed
+    /// input, never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+        let mut r = Reader::new(bytes);
+        let m0 = r.get_u8()?;
+        let m1 = r.get_u8()?;
+        if [m0, m1] != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.get_u8()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = r.get_u8()?;
+        let body_len = r.get_u32()? as usize;
+        let header_len = 8usize;
+        match bytes.len().checked_sub(header_len) {
+            Some(rest) if rest == body_len => {}
+            Some(rest) if rest < body_len => return Err(WireError::Truncated),
+            _ => return Err(WireError::TrailingBytes),
+        }
+        let frame = Frame::decode_body(kind, &mut r)?;
+        r.finish()?;
+        Ok(frame)
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
+        match self {
+            Frame::Query { sql, credentials } => {
+                w.put_str(sql);
+                w.put_u32(len_u32(credentials.len()));
+                for c in credentials {
+                    w.put_bytes(c);
+                }
+            }
+            Frame::PartialQuery {
+                sql,
+                credentials,
+                join_attrs,
+            } => {
+                w.put_str(sql);
+                w.put_u32(len_u32(credentials.len()));
+                for c in credentials {
+                    w.put_bytes(c);
+                }
+                w.put_u32(len_u32(join_attrs.len()));
+                for a in join_attrs {
+                    w.put_str(a);
+                }
+            }
+            Frame::DasRelation { rows, table } => {
+                w.put_u32(len_u32(rows.len()));
+                for row in rows {
+                    w.put_bytes(&row.etuple.encode());
+                    w.put_u64(row.index.0);
+                }
+                match table {
+                    DasTable::Encrypted(ct) => {
+                        w.put_u8(TAG_TABLE_ENCRYPTED);
+                        w.put_bytes(&ct.encode());
+                    }
+                    DasTable::Plain(t) => {
+                        w.put_u8(TAG_TABLE_PLAIN);
+                        w.put_bytes(&t.encode());
+                    }
+                }
+            }
+            Frame::DasIndexTables { tables } => {
+                w.put_u32(len_u32(tables.len()));
+                for ct in tables {
+                    w.put_bytes(&ct.encode());
+                }
+            }
+            Frame::DasServerQuery { pairs } => {
+                w.put_u32(len_u32(pairs.len()));
+                for (l, r) in pairs {
+                    w.put_u64(l.0);
+                    w.put_u64(r.0);
+                }
+            }
+            Frame::DasCandidates { pairs } => {
+                w.put_u32(len_u32(pairs.len()));
+                for (l, r) in pairs {
+                    w.put_bytes(&l.etuple.encode());
+                    w.put_u64(l.index.0);
+                    w.put_bytes(&r.etuple.encode());
+                    w.put_u64(r.index.0);
+                }
+            }
+            Frame::CommutativeSet { items } => {
+                w.put_u32(len_u32(items.len()));
+                for (v, ct) in items {
+                    w.put_nat(v);
+                    w.put_bytes(&ct.encode());
+                }
+            }
+            Frame::CommutativeCross { items } | Frame::CommutativeDoubled { items } => {
+                w.put_u32(len_u32(items.len()));
+                for (v, tr) in items {
+                    w.put_nat(v);
+                    match tr {
+                        TupleRef::Echo(ct) => {
+                            w.put_u8(TAG_REF_ECHO);
+                            w.put_bytes(&ct.encode());
+                        }
+                        TupleRef::Id(id) => {
+                            w.put_u8(TAG_REF_ID);
+                            w.put_u64(*id);
+                        }
+                    }
+                }
+            }
+            Frame::ResultPairs { pairs } => {
+                w.put_u32(len_u32(pairs.len()));
+                for (l, r) in pairs {
+                    w.put_bytes(&l.encode());
+                    w.put_bytes(&r.encode());
+                }
+            }
+            Frame::PmPolynomial { poly } => match poly {
+                PolyCoeffs::Flat(coeffs) => {
+                    w.put_u8(TAG_POLY_FLAT);
+                    w.put_u32(len_u32(coeffs.len()));
+                    for c in coeffs {
+                        w.put_nat(c);
+                    }
+                }
+                PolyCoeffs::Bucketed(buckets) => {
+                    w.put_u8(TAG_POLY_BUCKETED);
+                    w.put_u32(len_u32(buckets.len()));
+                    for bucket in buckets {
+                        w.put_u32(len_u32(bucket.len()));
+                        for c in bucket {
+                            w.put_nat(c);
+                        }
+                    }
+                }
+            },
+            Frame::PmEvaluations { payload } => {
+                encode_payload_set(w, payload);
+            }
+            Frame::PmDelivery { left, right } => {
+                encode_payload_set(w, left);
+                encode_payload_set(w, right);
+            }
+        }
+    }
+
+    fn decode_body(kind: u8, r: &mut Reader<'_>) -> Result<Frame, WireError> {
+        match kind {
+            KIND_QUERY => {
+                let sql = r.get_str()?;
+                let credentials = decode_byte_vecs(r)?;
+                Ok(Frame::Query { sql, credentials })
+            }
+            KIND_PARTIAL_QUERY => {
+                let sql = r.get_str()?;
+                let credentials = decode_byte_vecs(r)?;
+                let n = r.get_u32()?;
+                let mut join_attrs = Vec::with_capacity(cap(n));
+                for _ in 0..n {
+                    join_attrs.push(r.get_str()?);
+                }
+                Ok(Frame::PartialQuery {
+                    sql,
+                    credentials,
+                    join_attrs,
+                })
+            }
+            KIND_DAS_RELATION => {
+                let n = r.get_u32()?;
+                let mut rows = Vec::with_capacity(cap(n));
+                for _ in 0..n {
+                    rows.push(decode_das_row(r)?);
+                }
+                let table = match r.get_u8()? {
+                    TAG_TABLE_ENCRYPTED => {
+                        DasTable::Encrypted(HybridCiphertext::decode(r.get_bytes()?)?)
+                    }
+                    TAG_TABLE_PLAIN => DasTable::Plain(IndexTable::decode(r.get_bytes()?)?),
+                    _ => return Err(WireError::Malformed("unknown index-table tag")),
+                };
+                Ok(Frame::DasRelation { rows, table })
+            }
+            KIND_DAS_INDEX_TABLES => {
+                let n = r.get_u32()?;
+                let mut tables = Vec::with_capacity(cap(n));
+                for _ in 0..n {
+                    tables.push(HybridCiphertext::decode(r.get_bytes()?)?);
+                }
+                Ok(Frame::DasIndexTables { tables })
+            }
+            KIND_DAS_SERVER_QUERY => {
+                let n = r.get_u32()?;
+                let mut pairs = Vec::with_capacity(cap(n));
+                for _ in 0..n {
+                    let l = IndexValue(r.get_u64()?);
+                    let rt = IndexValue(r.get_u64()?);
+                    pairs.push((l, rt));
+                }
+                Ok(Frame::DasServerQuery { pairs })
+            }
+            KIND_DAS_CANDIDATES => {
+                let n = r.get_u32()?;
+                let mut pairs = Vec::with_capacity(cap(n));
+                for _ in 0..n {
+                    let l = decode_das_row(r)?;
+                    let rt = decode_das_row(r)?;
+                    pairs.push((l, rt));
+                }
+                Ok(Frame::DasCandidates { pairs })
+            }
+            KIND_COMM_SET => {
+                let n = r.get_u32()?;
+                let mut items = Vec::with_capacity(cap(n));
+                for _ in 0..n {
+                    let v = r.get_nat()?;
+                    let ct = HybridCiphertext::decode(r.get_bytes()?)?;
+                    items.push((v, ct));
+                }
+                Ok(Frame::CommutativeSet { items })
+            }
+            KIND_COMM_CROSS | KIND_COMM_DOUBLED => {
+                let n = r.get_u32()?;
+                let mut items = Vec::with_capacity(cap(n));
+                for _ in 0..n {
+                    let v = r.get_nat()?;
+                    let tr = match r.get_u8()? {
+                        TAG_REF_ECHO => TupleRef::Echo(HybridCiphertext::decode(r.get_bytes()?)?),
+                        TAG_REF_ID => TupleRef::Id(r.get_u64()?),
+                        _ => return Err(WireError::Malformed("unknown tuple-ref tag")),
+                    };
+                    items.push((v, tr));
+                }
+                if kind == KIND_COMM_CROSS {
+                    Ok(Frame::CommutativeCross { items })
+                } else {
+                    Ok(Frame::CommutativeDoubled { items })
+                }
+            }
+            KIND_RESULT_PAIRS => {
+                let n = r.get_u32()?;
+                let mut pairs = Vec::with_capacity(cap(n));
+                for _ in 0..n {
+                    let l = HybridCiphertext::decode(r.get_bytes()?)?;
+                    let rt = HybridCiphertext::decode(r.get_bytes()?)?;
+                    pairs.push((l, rt));
+                }
+                Ok(Frame::ResultPairs { pairs })
+            }
+            KIND_PM_POLYNOMIAL => {
+                let poly = match r.get_u8()? {
+                    TAG_POLY_FLAT => {
+                        let n = r.get_u32()?;
+                        let mut coeffs = Vec::with_capacity(cap(n));
+                        for _ in 0..n {
+                            coeffs.push(r.get_nat()?);
+                        }
+                        PolyCoeffs::Flat(coeffs)
+                    }
+                    TAG_POLY_BUCKETED => {
+                        let n = r.get_u32()?;
+                        let mut buckets = Vec::with_capacity(cap(n));
+                        for _ in 0..n {
+                            let k = r.get_u32()?;
+                            let mut bucket = Vec::with_capacity(cap(k));
+                            for _ in 0..k {
+                                bucket.push(r.get_nat()?);
+                            }
+                            buckets.push(bucket);
+                        }
+                        PolyCoeffs::Bucketed(buckets)
+                    }
+                    _ => return Err(WireError::Malformed("unknown polynomial tag")),
+                };
+                Ok(Frame::PmPolynomial { poly })
+            }
+            KIND_PM_EVALUATIONS => {
+                let payload = decode_payload_set(r)?;
+                Ok(Frame::PmEvaluations { payload })
+            }
+            KIND_PM_DELIVERY => {
+                let left = decode_payload_set(r)?;
+                let right = decode_payload_set(r)?;
+                Ok(Frame::PmDelivery { left, right })
+            }
+            other => Err(WireError::BadKind(other)),
+        }
+    }
+}
+
+fn decode_byte_vecs(r: &mut Reader<'_>) -> Result<Vec<Vec<u8>>, WireError> {
+    let n = r.get_u32()?;
+    let mut out = Vec::with_capacity(cap(n));
+    for _ in 0..n {
+        out.push(r.get_bytes()?.to_vec());
+    }
+    Ok(out)
+}
+
+fn decode_das_row(r: &mut Reader<'_>) -> Result<DasRow, WireError> {
+    let etuple = HybridCiphertext::decode(r.get_bytes()?)?;
+    let index = IndexValue(r.get_u64()?);
+    Ok(DasRow { etuple, index })
+}
+
+fn encode_payload_set(w: &mut Writer, p: &PmPayloadSet) {
+    w.put_u32(len_u32(p.evals.len()));
+    for e in &p.evals {
+        w.put_nat(e);
+    }
+    w.put_u32(len_u32(p.table.len()));
+    for (id, ct) in &p.table {
+        w.put_u64(*id);
+        w.put_bytes(&ct.encode());
+    }
+}
+
+fn decode_payload_set(r: &mut Reader<'_>) -> Result<PmPayloadSet, WireError> {
+    let n = r.get_u32()?;
+    let mut evals = Vec::with_capacity(cap(n));
+    for _ in 0..n {
+        evals.push(r.get_nat()?);
+    }
+    let m = r.get_u32()?;
+    let mut table = Vec::with_capacity(cap(m));
+    for _ in 0..m {
+        let id = r.get_u64()?;
+        let ct = SessionCiphertext::decode(r.get_bytes()?)?;
+        table.push((id, ct));
+    }
+    Ok(PmPayloadSet { evals, table })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These in-module tests exercise frames whose fields need no key
+    // material; ciphertext-bearing frames are covered by the golden-vector
+    // and robustness integration tests.
+
+    #[test]
+    fn query_round_trip() {
+        let f = Frame::Query {
+            sql: "select * from r1 natural join r2".into(),
+            credentials: vec![vec![1, 2, 3], vec![], vec![0xFF; 40]],
+        };
+        let bytes = f.encode();
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn partial_query_round_trip() {
+        let f = Frame::PartialQuery {
+            sql: "select * from r1".into(),
+            credentials: vec![vec![9; 10]],
+            join_attrs: vec!["k".into(), "dept".into()],
+        };
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn server_query_round_trip() {
+        let f = Frame::DasServerQuery {
+            pairs: vec![
+                (IndexValue(1), IndexValue(2)),
+                (IndexValue(7), IndexValue(7)),
+            ],
+        };
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn polynomial_round_trip_both_shapes() {
+        for poly in [
+            PolyCoeffs::Flat(vec![Natural::from(5u64), Natural::from(0u64)]),
+            PolyCoeffs::Bucketed(vec![
+                vec![Natural::from(1u64)],
+                vec![],
+                vec![Natural::from(u64::MAX)],
+            ]),
+        ] {
+            let f = Frame::PmPolynomial { poly };
+            assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn header_validation() {
+        let good = Frame::DasServerQuery { pairs: vec![] }.encode();
+        assert!(Frame::decode(&good).is_ok());
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(Frame::decode(&bad).unwrap_err(), WireError::BadMagic);
+
+        let mut bad = good.clone();
+        bad[2] = 99;
+        assert_eq!(Frame::decode(&bad).unwrap_err(), WireError::BadVersion(99));
+
+        let mut bad = good.clone();
+        bad[3] = 0xEE;
+        assert_eq!(Frame::decode(&bad).unwrap_err(), WireError::BadKind(0xEE));
+
+        let mut bad = good.clone();
+        bad.push(0);
+        assert_eq!(Frame::decode(&bad).unwrap_err(), WireError::TrailingBytes);
+
+        assert_eq!(Frame::decode(&good[..4]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn declared_body_length_must_match() {
+        let mut bytes = Frame::DasServerQuery {
+            pairs: vec![(IndexValue(3), IndexValue(4))],
+        }
+        .encode();
+        // Claim a longer body than present.
+        bytes[7] = bytes[7].wrapping_add(1);
+        assert_eq!(Frame::decode(&bytes).unwrap_err(), WireError::Truncated);
+    }
+}

@@ -1,0 +1,99 @@
+//! Shared fixtures for the wire integration tests: one deterministic
+//! sample frame per frame type, built from seeded DRBGs so the encoded
+//! bytes are reproducible across runs and machines.
+
+use std::collections::BTreeSet;
+
+use mpint::Natural;
+use relalg::Value;
+use secmed_crypto::drbg::HmacDrbg;
+use secmed_crypto::group::{GroupSize, SafePrimeGroup};
+use secmed_crypto::hybrid::{HybridCiphertext, HybridKeyPair, SessionKey};
+use secmed_das::{DasRow, IndexTable, IndexValue, PartitionScheme};
+use secmed_wire::{DasTable, Frame, PmPayloadSet, PolyCoeffs, TupleRef};
+
+/// One frame per [`Frame`] variant, in kind order, fully deterministic.
+pub fn sample_frames() -> Vec<Frame> {
+    let group = SafePrimeGroup::preset(GroupSize::S256);
+    let mut rng = HmacDrbg::from_label("wire/fixtures");
+    let keys = HybridKeyPair::generate(group, &mut rng);
+    let ct = {
+        let pk = keys.public();
+        move |rng: &mut HmacDrbg, msg: &[u8]| -> HybridCiphertext { pk.encrypt(msg, rng) }
+    };
+
+    let domain: BTreeSet<Value> = (1i64..=4).map(Value::Int).collect();
+    let table =
+        IndexTable::build(&domain, PartitionScheme::EquiWidth(2), 7).expect("fixture index table");
+    let row = |rng: &mut HmacDrbg, msg: &[u8], iv: u64| DasRow {
+        etuple: ct(rng, msg),
+        index: IndexValue(iv),
+    };
+
+    let session = SessionKey::generate(&mut rng);
+    let session_ct = session.encrypt(b"fixture tuple set", &mut rng);
+
+    let nat = |v: u64| Natural::from(v);
+
+    vec![
+        Frame::Query {
+            sql: "select * from r1 natural join r2".to_string(),
+            credentials: vec![vec![0x01, 0x02, 0x03], vec![0xff; 5]],
+        },
+        Frame::PartialQuery {
+            sql: "select * from r1".to_string(),
+            credentials: vec![vec![0xaa, 0xbb]],
+            join_attrs: vec!["k".to_string()],
+        },
+        Frame::DasRelation {
+            rows: vec![row(&mut rng, b"tuple-1", 11), row(&mut rng, b"tuple-2", 22)],
+            table: DasTable::Plain(table.clone()),
+        },
+        Frame::DasIndexTables {
+            tables: vec![ct(&mut rng, &table.encode())],
+        },
+        Frame::DasServerQuery {
+            pairs: vec![
+                (IndexValue(11), IndexValue(22)),
+                (IndexValue(33), IndexValue(44)),
+            ],
+        },
+        Frame::DasCandidates {
+            pairs: vec![(row(&mut rng, b"cand-l", 1), row(&mut rng, b"cand-r", 2))],
+        },
+        Frame::CommutativeSet {
+            items: vec![(nat(12345), ct(&mut rng, b"tuples-a"))],
+        },
+        Frame::CommutativeCross {
+            items: vec![
+                (nat(777), TupleRef::Id(0)),
+                (nat(888), TupleRef::Echo(ct(&mut rng, b"echoed"))),
+            ],
+        },
+        Frame::CommutativeDoubled {
+            items: vec![(nat(999_999), TupleRef::Id(1))],
+        },
+        Frame::ResultPairs {
+            pairs: vec![(ct(&mut rng, b"left-ts"), ct(&mut rng, b"right-ts"))],
+        },
+        Frame::PmPolynomial {
+            poly: PolyCoeffs::Bucketed(vec![vec![nat(1), nat(2)], vec![nat(3), nat(4)]]),
+        },
+        Frame::PmEvaluations {
+            payload: PmPayloadSet {
+                evals: vec![nat(5), nat(6)],
+                table: vec![(42, session_ct.clone())],
+            },
+        },
+        Frame::PmDelivery {
+            left: PmPayloadSet {
+                evals: vec![nat(7)],
+                table: Vec::new(),
+            },
+            right: PmPayloadSet {
+                evals: vec![nat(8)],
+                table: vec![(43, session_ct)],
+            },
+        },
+    ]
+}

@@ -11,6 +11,10 @@ cargo fmt --check
 # silently drop it: identical RunReports at 1, 2, and 8 worker threads.
 cargo test -q --offline -p secmed-core --test determinism
 
+# Wire-format stability, run by name for the same reason: the committed
+# golden vectors must match the codec byte for byte.
+cargo test -q --offline -p secmed-wire --test golden_vectors
+
 # Static analysis: the in-tree lint (prints a rule → count table and
 # exits non-zero on any violation) and clippy with warnings denied.
 cargo run -q -p secmed-lint --offline
