@@ -12,7 +12,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::transport::{DasTable, Frame, PartyId, PolyCoeffs};
+use crate::transport::{DasTable, Envelope, Frame, PartyId, PolyCoeffs};
 
 /// What the mediator can derive from its view of one protocol run.
 ///
@@ -118,6 +118,24 @@ impl ClientView {
         }
         parts.join("; ")
     }
+}
+
+/// The frames the receivers actually accepted, decoded in log order.
+///
+/// Under a fault plan the raw log also holds copies the receiver never
+/// used: dropped/corrupted/truncated attempts, unavailable-party sends,
+/// and duplicate extras.  Those copies *do* count towards byte accounting
+/// (they crossed the fabric), but folding them into [`derive_views`] would
+/// double-count protocol messages — the positional conventions below
+/// assume one frame per logical message.  This filter keeps exactly the
+/// accepted copy of each delivery (a delayed copy was still received) and
+/// skips anything whose decode fails, which for accepted copies is
+/// impossible by construction.
+pub fn effective_frames(log: &[Envelope]) -> Vec<(PartyId, PartyId, Frame)> {
+    log.iter()
+        .filter(|e| e.accepted())
+        .filter_map(|e| Some((e.from.clone(), e.to.clone(), e.frame().ok()?)))
+        .collect()
 }
 
 /// The observable degree of a transported polynomial: what the mediator

@@ -27,9 +27,9 @@ use crate::party::{Client, DataSource, Mediator};
 use crate::policy::AccessPolicy;
 use crate::protocol::{
     commutative, das, pm, request_phase, CommutativeConfig, DasConfig, PmConfig, ProtocolKind,
-    RunReport, Scenario,
+    RunOutcome, RunReport, Scenario,
 };
-use crate::transport::{PartyId, Transport};
+use crate::transport::{DeliveryPolicy, FaultPlan, PartyId, Transport};
 use crate::workload::Workload;
 use crate::MedError;
 
@@ -163,7 +163,7 @@ pub enum TraceSink {
 }
 
 /// Options for one protocol execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOptions {
     /// Which delivery-phase protocol to run, with its options.
     pub protocol: ProtocolKind,
@@ -171,15 +171,25 @@ pub struct RunOptions {
     pub exec: ExecPolicy,
     /// Trace handling.
     pub trace: TraceSink,
+    /// Bounded-retry policy for every delivery in the run.
+    pub delivery: DeliveryPolicy,
+    /// Optional deterministic fault plan installed on the fabric.  With a
+    /// plan present, an exhausted delivery becomes a typed
+    /// [`RunOutcome::Aborted`] report instead of an `Err` — chaos runs
+    /// always return a report.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunOptions {
-    /// Sequential execution of the given protocol, trace kept.
+    /// Sequential execution of the given protocol, trace kept, default
+    /// retry policy, no fault plan.
     pub fn new(protocol: ProtocolKind) -> Self {
         RunOptions {
             protocol,
             exec: ExecPolicy::sequential(),
             trace: TraceSink::Keep,
+            delivery: DeliveryPolicy::default(),
+            faults: None,
         }
     }
 
@@ -207,6 +217,18 @@ impl RunOptions {
     /// Sets the trace sink.
     pub fn trace(mut self, sink: TraceSink) -> Self {
         self.trace = sink;
+        self
+    }
+
+    /// Sets the bounded-retry policy.
+    pub fn delivery(mut self, policy: DeliveryPolicy) -> Self {
+        self.delivery = policy;
+        self
+    }
+
+    /// Installs a deterministic fault plan on the fabric.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -238,22 +260,37 @@ impl Engine {
         root.field("protocol", kind.key());
         let before = Snapshot::capture();
         let mut transport = Transport::new();
-        let prepared = {
-            let _s = secmed_obs::span(&format!("{}.request", kind.key()));
-            request_phase(sc, &mut transport)?
-        };
-        let mut report = match kind {
-            ProtocolKind::Das(cfg) => das::deliver(sc, prepared, cfg, &mut transport, &pool)?,
-            ProtocolKind::Commutative(cfg) => {
-                commutative::deliver(sc, prepared, cfg, &mut transport, &pool)?
+        transport.set_policy(opts.delivery);
+        if let Some(plan) = &opts.faults {
+            transport.install_faults(plan.clone());
+        }
+        let driven = Self::drive(sc, kind, &mut transport, &pool);
+        // A delay on the final message must still surface in the log.
+        transport.flush_delayed();
+        let mut report = match driven {
+            Ok(report) => report,
+            Err(error) if opts.faults.is_some() => {
+                // Under an installed fault plan an exhausted delivery is a
+                // typed outcome, not a crash: the report carries an empty
+                // result, the abort reason, and the full transport log (so
+                // the accounting still covers every attempted byte).
+                RunReport {
+                    result: relalg::Relation::empty(relalg::Schema::new(&[])),
+                    outcome: RunOutcome::Aborted { error, retries: 0 },
+                    transport: Transport::new(), // replaced below
+                    mediator_view: Default::default(),
+                    client_view: Default::default(),
+                    primitives: Vec::new(),
+                }
             }
-            ProtocolKind::Pm(cfg) => pm::deliver(sc, prepared, cfg, &mut transport, &pool)?,
+            Err(error) => return Err(error),
         };
-        // The Table 1 views are recomputed from the recorded frames — the
-        // drivers report only what needs a secret key (the client's
-        // useful-payload count).
-        let decoded = transport.decode_log()?;
-        let (mut mediator_view, mut client_view) = crate::audit::derive_views(&decoded);
+        // The Table 1 views are recomputed from the recorded frames the
+        // receivers accepted — the drivers report only what needs a secret
+        // key (the client's useful-payload count).  Failed and duplicate
+        // copies stay in the byte accounting below.
+        let accepted = crate::audit::effective_frames(transport.log());
+        let (mut mediator_view, mut client_view) = crate::audit::derive_views(&accepted);
         client_view.useful_payloads = report.client_view.useful_payloads;
         report.transport = transport;
         mediator_view.bytes_observed = report.transport.bytes_received_by(&PartyId::Mediator);
@@ -261,9 +298,40 @@ impl Engine {
         report.mediator_view = mediator_view;
         report.client_view = client_view;
         report.primitives = Snapshot::capture().since(&before);
+        // Finalize the outcome against the fabric's retry counter.
+        let retries = report.transport.retries();
+        report.outcome = match report.outcome {
+            RunOutcome::Clean if retries > 0 => RunOutcome::RecoveredWithRetries { retries },
+            RunOutcome::Clean => RunOutcome::Clean,
+            RunOutcome::RecoveredWithRetries { .. } => RunOutcome::RecoveredWithRetries { retries },
+            RunOutcome::Degraded { details, .. } => RunOutcome::Degraded { details, retries },
+            RunOutcome::Aborted { error, .. } => RunOutcome::Aborted { error, retries },
+        };
         root.field("messages", report.transport.message_count());
         root.field("bytes", report.transport.total_bytes());
         root.field("result_rows", report.result.len());
+        root.field("outcome", report.outcome.key());
+        root.field("retries", retries);
         Ok(report)
+    }
+
+    /// Listing 1 followed by the selected delivery phase.
+    fn drive(
+        sc: &mut Scenario,
+        kind: ProtocolKind,
+        transport: &mut Transport,
+        pool: &Pool,
+    ) -> Result<RunReport, MedError> {
+        let prepared = {
+            let _s = secmed_obs::span(&format!("{}.request", kind.key()));
+            request_phase(sc, transport)?
+        };
+        match kind {
+            ProtocolKind::Das(cfg) => das::deliver(sc, prepared, cfg, transport, pool),
+            ProtocolKind::Commutative(cfg) => {
+                commutative::deliver(sc, prepared, cfg, transport, pool)
+            }
+            ProtocolKind::Pm(cfg) => pm::deliver(sc, prepared, cfg, transport, pool),
+        }
     }
 }

@@ -71,6 +71,12 @@ pub fn chained_join(
         query: query1,
     };
     let report1 = Engine::run(&mut stage1, opts)?;
+    if !report1.outcome.delivered() {
+        return Err(MedError::Protocol(format!(
+            "lower mediation aborted; no relation to derive a source from ({})",
+            report1.outcome
+        )));
+    }
 
     // The lower mediation's result becomes a datasource for the upper
     // mediation.  Rows were already filtered by the stage-1 policies, so
@@ -100,6 +106,12 @@ pub fn chained_join(
         query: query2,
     };
     let report2 = Engine::run(&mut stage2, opts)?;
+    if !report2.outcome.delivered() {
+        return Err(MedError::Protocol(format!(
+            "upper mediation aborted; the chained join has no result ({})",
+            report2.outcome
+        )));
+    }
 
     Ok(HierarchyReport {
         result: report2.result.clone(),

@@ -52,11 +52,15 @@ pub use credential::{CertificationAuthority, Credential, Property};
 pub use engine::{Engine, ExecPolicy, RunOptions, ScenarioBuilder, TraceSink};
 pub use party::{Client, DataSource, Mediator};
 pub use policy::{AccessDecision, AccessPolicy, AccessRule};
+pub use protocol::RunOutcome;
 pub use protocol::{
     CommutativeConfig, CommutativeMode, DasConfig, DasSetting, PmConfig, PmEval, PmPayloadMode,
     ProtocolKind, RunReport, Scenario,
 };
-pub use transport::{Envelope, PartyId, Transport};
+pub use transport::{
+    DeliveryError, DeliveryFailure, DeliveryPolicy, Envelope, FaultKind, FaultPlan, LinkMask,
+    OnExhausted, Outage, PartyId, Transport,
+};
 
 /// Errors from the mediation layer.
 #[derive(Debug)]
@@ -73,6 +77,8 @@ pub enum MedError {
     Das(secmed_das::DasError),
     /// A wire frame failed to encode/decode canonically.
     Wire(transport::WireError),
+    /// A message stayed undelivered after every allowed attempt.
+    Delivery(transport::DeliveryFailure),
     /// Protocol-level invariant violation (malformed message flow).
     Protocol(String),
 }
@@ -86,12 +92,24 @@ impl std::fmt::Display for MedError {
             MedError::Crypto(e) => write!(f, "crypto error: {e}"),
             MedError::Das(e) => write!(f, "DAS error: {e}"),
             MedError::Wire(e) => write!(f, "wire error: {e}"),
+            MedError::Delivery(e) => write!(f, "delivery failed: {e}"),
             MedError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
 
-impl std::error::Error for MedError {}
+impl std::error::Error for MedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MedError::Query(e) => Some(e),
+            MedError::Crypto(e) => Some(e),
+            MedError::Das(e) => Some(e),
+            MedError::Wire(e) => Some(e),
+            MedError::Delivery(e) => Some(e),
+            MedError::AccessDenied(_) | MedError::BadCredential(_) | MedError::Protocol(_) => None,
+        }
+    }
+}
 
 impl From<relalg::RelError> for MedError {
     fn from(e: relalg::RelError) -> Self {
@@ -114,5 +132,61 @@ impl From<secmed_das::DasError> for MedError {
 impl From<transport::WireError> for MedError {
     fn from(e: transport::WireError) -> Self {
         MedError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use std::error::Error as _;
+
+    use super::*;
+
+    /// Collects the Display of every error in the `source()` chain,
+    /// starting below `e` itself.
+    fn chain(e: &dyn std::error::Error) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = e.source();
+        while let Some(c) = cur {
+            out.push(c.to_string());
+            cur = c.source();
+        }
+        out
+    }
+
+    #[test]
+    fn source_exposes_the_wrapped_cause() {
+        let wire = MedError::Wire(transport::WireError::BadMagic);
+        let got = chain(&wire);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], transport::WireError::BadMagic.to_string());
+
+        let query = MedError::Query(relalg::RelError::UnknownAttribute("x".into()));
+        assert_eq!(chain(&query).len(), 1);
+
+        let das = MedError::Das(secmed_das::DasError::EmptyDomain);
+        assert_eq!(chain(&das).len(), 1);
+    }
+
+    #[test]
+    fn delivery_chain_reaches_the_wire_error() {
+        // Delivery → DeliveryFailure → WireError: a two-link chain.
+        let err = MedError::Delivery(transport::DeliveryFailure {
+            from: PartyId::Client,
+            to: PartyId::Mediator,
+            label: "L1.1".into(),
+            attempts: 3,
+            last: transport::DeliveryError::Undecodable(transport::WireError::Truncated),
+        });
+        let got = chain(&err);
+        assert_eq!(got.len(), 2, "failure then its wire cause: {got:?}");
+        assert!(got[0].contains("undelivered after 3 attempt"));
+        assert_eq!(got[1], transport::WireError::Truncated.to_string());
+    }
+
+    #[test]
+    fn leaf_errors_have_no_source() {
+        assert!(MedError::AccessDenied("who".into()).source().is_none());
+        assert!(MedError::Protocol("oops".into()).source().is_none());
+        assert!(MedError::BadCredential("sig".into()).source().is_none());
     }
 }

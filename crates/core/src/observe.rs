@@ -88,6 +88,8 @@ pub fn unified_report(
         interactions,
         leakage,
         result_rows: report.result.len() as u64,
+        outcome: report.outcome.key().to_string(),
+        retries: report.outcome.retries(),
     }
 }
 

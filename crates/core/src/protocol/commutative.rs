@@ -26,8 +26,8 @@ use secmed_crypto::{SraCipher, SraDomain};
 use secmed_pool::Pool;
 
 use crate::protocol::{
-    apply_residual, assemble_from_tuple_sets, group_by_join_key, CommutativeConfig,
-    CommutativeMode, Prepared, RunReport, Scenario,
+    apply_residual, assemble_from_tuple_sets, degrade_note, group_by_join_key, CommutativeConfig,
+    CommutativeMode, Prepared, RunOutcome, RunReport, Scenario,
 };
 use crate::transport::{Frame, PartyId, Transport};
 use crate::MedError;
@@ -114,23 +114,39 @@ pub fn deliver(
             .map(|(i, (v, ct))| (v.clone(), cross_ref(i, ct)))
             .collect(),
     };
-    let received = transport.deliver(
+    // An exhausted L3.4 delivery degrades to an empty crossing set for
+    // that source: its doubled set comes back empty, so every match
+    // involving it is lost — a *partial* intersection, reported as
+    // `Degraded`, never a silent wrong answer (matching only ever removes
+    // pairs, and the client still verifies join values in step 8).
+    let mut degraded: Vec<String> = Vec::new();
+    let s1_in = match transport.deliver(
         PartyId::Mediator,
         PartyId::source(sc.left.name()),
         "L3.4 M2 → S1",
         &cross_of(&med_m2),
-    )?;
-    let Frame::CommutativeCross { items: s1_in } = received else {
-        return Err(MedError::Protocol("expected a crossing frame".to_string()));
+    ) {
+        Ok(Frame::CommutativeCross { items }) => items,
+        Ok(_) => return Err(MedError::Protocol("expected a crossing frame".to_string())),
+        Err(MedError::Delivery(f)) if transport.degrade_on_exhausted() => {
+            degraded.push(degrade_note(&f));
+            Vec::new()
+        }
+        Err(e) => return Err(e),
     };
-    let received = transport.deliver(
+    let s2_in = match transport.deliver(
         PartyId::Mediator,
         PartyId::source(sc.right.name()),
         "L3.4 M1 → S2",
         &cross_of(&med_m1),
-    )?;
-    let Frame::CommutativeCross { items: s2_in } = received else {
-        return Err(MedError::Protocol("expected a crossing frame".to_string()));
+    ) {
+        Ok(Frame::CommutativeCross { items }) => items,
+        Ok(_) => return Err(MedError::Protocol("expected a crossing frame".to_string())),
+        Err(MedError::Delivery(f)) if transport.degrade_on_exhausted() => {
+            degraded.push(degrade_note(&f));
+            Vec::new()
+        }
+        Err(e) => return Err(e),
     };
     drop(transfer);
 
@@ -153,27 +169,43 @@ pub fn deliver(
         (doubled(d1, s1_in), doubled(d2, s2_in))
     };
     let transfer = secmed_obs::span("commutative.transfer");
-    let received = transport.deliver(
+    // L3.5/L3.6 degrade the same way: a doubled set that never arrives
+    // contributes no matches.
+    let doubled_m2 = match transport.deliver(
         PartyId::source(sc.left.name()),
         PartyId::Mediator,
         "L3.5 ⟨f_e1(f_e2(h(a))), …⟩",
         &doubled_by_s1,
-    )?;
-    let Frame::CommutativeDoubled { items: doubled_m2 } = received else {
-        return Err(MedError::Protocol(
-            "expected a doubled-set frame".to_string(),
-        ));
+    ) {
+        Ok(Frame::CommutativeDoubled { items }) => items,
+        Ok(_) => {
+            return Err(MedError::Protocol(
+                "expected a doubled-set frame".to_string(),
+            ))
+        }
+        Err(MedError::Delivery(f)) if transport.degrade_on_exhausted() => {
+            degraded.push(degrade_note(&f));
+            Vec::new()
+        }
+        Err(e) => return Err(e),
     };
-    let received = transport.deliver(
+    let doubled_m1 = match transport.deliver(
         PartyId::source(sc.right.name()),
         PartyId::Mediator,
         "L3.6 ⟨f_e2(f_e1(h(a))), …⟩",
         &doubled_by_s2,
-    )?;
-    let Frame::CommutativeDoubled { items: doubled_m1 } = received else {
-        return Err(MedError::Protocol(
-            "expected a doubled-set frame".to_string(),
-        ));
+    ) {
+        Ok(Frame::CommutativeDoubled { items }) => items,
+        Ok(_) => {
+            return Err(MedError::Protocol(
+                "expected a doubled-set frame".to_string(),
+            ))
+        }
+        Err(MedError::Delivery(f)) if transport.degrade_on_exhausted() => {
+            degraded.push(degrade_note(&f));
+            Vec::new()
+        }
+        Err(e) => return Err(e),
     };
     drop(transfer);
 
@@ -242,6 +274,14 @@ pub fn deliver(
 
     Ok(RunReport {
         result,
+        outcome: if degraded.is_empty() {
+            RunOutcome::Clean
+        } else {
+            RunOutcome::Degraded {
+                details: degraded,
+                retries: 0, // filled in by the engine
+            }
+        },
         transport: Transport::new(),
         mediator_view: Default::default(),
         client_view: Default::default(),

@@ -26,7 +26,8 @@ use secmed_pool::Pool;
 
 use crate::party::DataSource;
 use crate::protocol::{
-    apply_residual, assemble_from_candidates, DasConfig, DasSetting, Prepared, RunReport, Scenario,
+    apply_residual, assemble_from_candidates, degrade_note, DasConfig, DasSetting, Prepared,
+    RunOutcome, RunReport, Scenario,
 };
 use crate::transport::{Frame, PartyId, Transport};
 use crate::MedError;
@@ -110,55 +111,79 @@ pub fn deliver(
     let med_r1s = med_relations.pop().unwrap_or_default();
     let (med_t2, med_t1) = (med_tables.pop(), med_tables.pop());
 
+    let mut degraded: Vec<String> = Vec::new();
     let server_query = match cfg.setting {
         DasSetting::ClientSetting => {
-            // Step 4: mediator → client (the encrypted index tables, as
-            // decoded from the sources' frames).
-            let tables = match (med_t1, med_t2) {
-                (Some(DasTable::Encrypted(t1)), Some(DasTable::Encrypted(t2))) => vec![t1, t2],
-                _ => {
+            // Steps 4-5 as a unit: mediator → client (the encrypted index
+            // tables, as decoded from the sources' frames), client
+            // translation, client → mediator (the server query).
+            let translate = || -> Result<ServerQuery, MedError> {
+                let tables = match (med_t1, med_t2) {
+                    (Some(DasTable::Encrypted(t1)), Some(DasTable::Encrypted(t2))) => vec![t1, t2],
+                    _ => {
+                        return Err(MedError::Protocol(
+                            "client setting requires encrypted index tables".to_string(),
+                        ))
+                    }
+                };
+                let received = transport.deliver(
+                    PartyId::Mediator,
+                    PartyId::Client,
+                    "L2.4 encrypt(ITable1), encrypt(ITable2)",
+                    &Frame::DasIndexTables { tables },
+                )?;
+                let Frame::DasIndexTables { tables } = received else {
                     return Err(MedError::Protocol(
-                        "client setting requires encrypted index tables".to_string(),
-                    ))
+                        "expected an index-tables frame".to_string(),
+                    ));
+                };
+                let [ref enc_t1, ref enc_t2] = tables[..] else {
+                    return Err(MedError::Protocol(format!(
+                        "expected two index tables, got {}",
+                        tables.len()
+                    )));
+                };
+                // Step 5: client decrypts the tables and builds the server
+                // query.
+                let t1 = IndexTable::decode(&sc.client.hybrid().decrypt(enc_t1)?)
+                    .map_err(MedError::Das)?;
+                let t2 = IndexTable::decode(&sc.client.hybrid().decrypt(enc_t2)?)
+                    .map_err(MedError::Das)?;
+                let q = ServerQuery::translate(&t1, &t2);
+                let received = transport.deliver(
+                    PartyId::Client,
+                    PartyId::Mediator,
+                    "L2.5 server query qS",
+                    &Frame::DasServerQuery {
+                        pairs: q.pairs().to_vec(),
+                    },
+                )?;
+                let Frame::DasServerQuery { pairs } = received else {
+                    return Err(MedError::Protocol(
+                        "expected a server-query frame".to_string(),
+                    ));
+                };
+                Ok(ServerQuery::from_pairs(pairs))
+            };
+            match translate() {
+                Ok(q) => q,
+                Err(MedError::Delivery(f)) if transport.degrade_on_exhausted() => {
+                    // Sound degradation: without the client's translated
+                    // query, the mediator joins every index pair — a
+                    // superset of the true candidate set, so step 7's
+                    // client query still filters it down to the correct
+                    // result.  Costs ciphertext volume, never correctness.
+                    degraded.push(degrade_note(&f));
+                    let mut pairs = std::collections::BTreeSet::new();
+                    for l in med_r1s.rows() {
+                        for r in med_r2s.rows() {
+                            pairs.insert((l.index, r.index));
+                        }
+                    }
+                    ServerQuery::from_pairs(pairs.into_iter().collect())
                 }
-            };
-            let received = transport.deliver(
-                PartyId::Mediator,
-                PartyId::Client,
-                "L2.4 encrypt(ITable1), encrypt(ITable2)",
-                &Frame::DasIndexTables { tables },
-            )?;
-            let Frame::DasIndexTables { tables } = received else {
-                return Err(MedError::Protocol(
-                    "expected an index-tables frame".to_string(),
-                ));
-            };
-            let [ref enc_t1, ref enc_t2] = tables[..] else {
-                return Err(MedError::Protocol(format!(
-                    "expected two index tables, got {}",
-                    tables.len()
-                )));
-            };
-            // Step 5: client decrypts the tables and builds the server query.
-            let t1 =
-                IndexTable::decode(&sc.client.hybrid().decrypt(enc_t1)?).map_err(MedError::Das)?;
-            let t2 =
-                IndexTable::decode(&sc.client.hybrid().decrypt(enc_t2)?).map_err(MedError::Das)?;
-            let q = ServerQuery::translate(&t1, &t2);
-            let received = transport.deliver(
-                PartyId::Client,
-                PartyId::Mediator,
-                "L2.5 server query qS",
-                &Frame::DasServerQuery {
-                    pairs: q.pairs().to_vec(),
-                },
-            )?;
-            let Frame::DasServerQuery { pairs } = received else {
-                return Err(MedError::Protocol(
-                    "expected a server-query frame".to_string(),
-                ));
-            };
-            ServerQuery::from_pairs(pairs)
+                Err(e) => return Err(e),
+            }
         }
         DasSetting::MediatorSetting => {
             // The mediator translates directly from the plaintext tables —
@@ -221,6 +246,14 @@ pub fn deliver(
 
     Ok(RunReport {
         result,
+        outcome: if degraded.is_empty() {
+            RunOutcome::Clean
+        } else {
+            RunOutcome::Degraded {
+                details: degraded,
+                retries: 0, // filled in by the engine
+            }
+        },
         transport: Transport::new(), // replaced by the caller
         mediator_view: Default::default(),
         client_view: Default::default(),

@@ -26,7 +26,7 @@ use secmed_das::PartitionScheme;
 
 use crate::audit::{ClientView, MediatorView};
 use crate::party::{Client, DataSource, Mediator};
-use crate::transport::{Frame, PartyId, Transport};
+use crate::transport::{DeliveryFailure, Frame, PartyId, Transport};
 use crate::MedError;
 
 /// Which delivery-phase protocol to run, with its options.
@@ -151,11 +151,109 @@ pub struct PmConfig {
     pub payload: PmPayloadMode,
 }
 
+/// How a protocol run ended, robustness-wise.
+///
+/// Under a fault plan a run may still complete perfectly
+/// ([`RunOutcome::Clean`]), complete correctly only because the bounded
+/// retry absorbed fabric faults ([`RunOutcome::RecoveredWithRetries`]),
+/// complete with a documented partial substitute after a delivery was
+/// exhausted ([`RunOutcome::Degraded`]), or stop at an unrecoverable step
+/// ([`RunOutcome::Aborted`]).  The variant is part of the report — chaos
+/// runs never panic and never silently return a wrong join; they return a
+/// typed outcome instead.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// Every delivery succeeded on its first attempt.
+    Clean,
+    /// The result is the correct join, but the fabric misbehaved and the
+    /// retry policy absorbed it.
+    RecoveredWithRetries {
+        /// Retransmissions executed across the run.
+        retries: u64,
+    },
+    /// A delivery was exhausted and the driver substituted a documented
+    /// partial input instead of aborting (policy `OnExhausted::Degrade`).
+    Degraded {
+        /// Which deliveries degraded, in protocol order.
+        details: Vec<String>,
+        /// Retransmissions executed across the run.
+        retries: u64,
+    },
+    /// The run stopped: a delivery was exhausted at a step with no sound
+    /// degradation (or the policy demands aborting).
+    Aborted {
+        /// The terminal error.
+        error: MedError,
+        /// Retransmissions executed before the run stopped.
+        retries: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the run completed without any fault interference.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, RunOutcome::Clean)
+    }
+
+    /// Whether a result reached the client (clean, recovered, or
+    /// degraded — everything but an abort).
+    pub fn delivered(&self) -> bool {
+        !matches!(self, RunOutcome::Aborted { .. })
+    }
+
+    /// Retransmissions executed during the run.
+    pub fn retries(&self) -> u64 {
+        match self {
+            RunOutcome::Clean => 0,
+            RunOutcome::RecoveredWithRetries { retries }
+            | RunOutcome::Degraded { retries, .. }
+            | RunOutcome::Aborted { retries, .. } => *retries,
+        }
+    }
+
+    /// Short machine-readable key (trace field / report column).
+    pub fn key(&self) -> &'static str {
+        match self {
+            RunOutcome::Clean => "clean",
+            RunOutcome::RecoveredWithRetries { .. } => "recovered",
+            RunOutcome::Degraded { .. } => "degraded",
+            RunOutcome::Aborted { .. } => "aborted",
+        }
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunOutcome::Clean => write!(f, "clean"),
+            RunOutcome::RecoveredWithRetries { retries } => {
+                write!(f, "recovered after {retries} retransmission(s)")
+            }
+            RunOutcome::Degraded { details, retries } => write!(
+                f,
+                "degraded ({}; {retries} retransmission(s))",
+                details.join("; ")
+            ),
+            RunOutcome::Aborted { error, retries } => {
+                write!(f, "aborted after {retries} retransmission(s): {error}")
+            }
+        }
+    }
+}
+
+/// The standard note a driver records when it degrades past an exhausted
+/// delivery (one entry in [`RunOutcome::Degraded`]'s details).
+pub(crate) fn degrade_note(f: &DeliveryFailure) -> String {
+    format!("{} undelivered after {} attempt(s)", f.label, f.attempts)
+}
+
 /// The complete output of one protocol run.
 #[derive(Debug)]
 pub struct RunReport {
     /// The global result delivered to the client.
     pub result: Relation,
+    /// How the run ended (clean / recovered / degraded / aborted).
+    pub outcome: RunOutcome,
     /// Every message that crossed the fabric.
     pub transport: Transport,
     /// What the mediator could derive.

@@ -35,8 +35,8 @@ use secmed_wire::{PmPayloadSet, PolyCoeffs};
 
 use crate::audit::ClientView;
 use crate::protocol::{
-    apply_residual, assemble_from_tuple_sets, group_by_join_key, PmConfig, PmEval, PmPayloadMode,
-    Prepared, RunReport, Scenario,
+    apply_residual, assemble_from_tuple_sets, degrade_note, group_by_join_key, PmConfig, PmEval,
+    PmPayloadMode, Prepared, RunOutcome, RunReport, Scenario,
 };
 use crate::transport::{Frame, PartyId, Transport};
 use crate::MedError;
@@ -185,84 +185,129 @@ pub fn deliver(
         ));
     };
 
-    // Step 4: the mediator forwards each polynomial to the opposite source.
-    let received = transport.deliver(
+    // Step 4: the mediator forwards each polynomial to the opposite
+    // source.  A source that never receives the opposite polynomial (an
+    // exhausted L4.4 under the degrade policy — e.g. the source died right
+    // after its own polynomial transfer) contributes no evaluations: the
+    // client then sees only the partial delivery set, reported as
+    // `Degraded`, never a silent wrong join.
+    let mut degraded: Vec<String> = Vec::new();
+    let p1_at_s2 = match transport.deliver(
         PartyId::Mediator,
         PartyId::source(sc.right.name()),
         "L4.4 E(P1) → S2",
         &Frame::PmPolynomial { poly: med_p1 },
-    )?;
-    let Frame::PmPolynomial { poly } = received else {
-        return Err(MedError::Protocol(
-            "expected a polynomial frame".to_string(),
-        ));
+    ) {
+        Ok(Frame::PmPolynomial { poly }) => Some(ShippedPoly::from_coeffs(poly, &paillier_pk)?),
+        Ok(_) => {
+            return Err(MedError::Protocol(
+                "expected a polynomial frame".to_string(),
+            ))
+        }
+        Err(MedError::Delivery(f)) if transport.degrade_on_exhausted() => {
+            degraded.push(degrade_note(&f));
+            None
+        }
+        Err(e) => return Err(e),
     };
-    let p1_at_s2 = ShippedPoly::from_coeffs(poly, &paillier_pk)?;
-    let received = transport.deliver(
+    let p2_at_s1 = match transport.deliver(
         PartyId::Mediator,
         PartyId::source(sc.left.name()),
         "L4.4 E(P2) → S1",
         &Frame::PmPolynomial { poly: med_p2 },
-    )?;
-    let Frame::PmPolynomial { poly } = received else {
-        return Err(MedError::Protocol(
-            "expected a polynomial frame".to_string(),
-        ));
+    ) {
+        Ok(Frame::PmPolynomial { poly }) => Some(ShippedPoly::from_coeffs(poly, &paillier_pk)?),
+        Ok(_) => {
+            return Err(MedError::Protocol(
+                "expected a polynomial frame".to_string(),
+            ))
+        }
+        Err(MedError::Delivery(f)) if transport.degrade_on_exhausted() => {
+            degraded.push(degrade_note(&f));
+            None
+        }
+        Err(e) => return Err(e),
     };
-    let p2_at_s1 = ShippedPoly::from_coeffs(poly, &paillier_pk)?;
     drop(transfer);
 
     // Steps 5-6: masked evaluations with payloads — the oblivious
     // matching work of this protocol — against the *received* polynomials.
     let mut intersection = secmed_obs::span("pm.intersection");
     let naive = matches!(cfg.eval, PmEval::Naive);
-    let (evals1, table1) = evaluate_side(
-        &groups1,
-        &p2_at_s1,
-        &paillier_pk,
-        cfg.payload,
-        naive,
-        sc.left.rng(),
-        pool,
-    )?;
-    let (evals2, table2) = evaluate_side(
-        &groups2,
-        &p1_at_s2,
-        &paillier_pk,
-        cfg.payload,
-        naive,
-        sc.right.rng(),
-        pool,
-    )?;
+    let (evals1, table1) = match &p2_at_s1 {
+        Some(poly) => evaluate_side(
+            &groups1,
+            poly,
+            &paillier_pk,
+            cfg.payload,
+            naive,
+            sc.left.rng(),
+            pool,
+        )?,
+        None => (Vec::new(), BTreeMap::new()),
+    };
+    let (evals2, table2) = match &p1_at_s2 {
+        Some(poly) => evaluate_side(
+            &groups2,
+            poly,
+            &paillier_pk,
+            cfg.payload,
+            naive,
+            sc.right.rng(),
+            pool,
+        )?,
+        None => (Vec::new(), BTreeMap::new()),
+    };
     intersection.field("evaluations", evals1.len() + evals2.len());
     drop(intersection);
 
     let transfer = secmed_obs::span("pm.transfer");
-    let received = transport.deliver(
+    // L4.5/L4.6 degrade like L4.4: an evaluation set that never reaches
+    // the mediator leaves that side out of the delivery — a partial
+    // delivery set, visibly typed.
+    let empty_set = || PmPayloadSet {
+        evals: Vec::new(),
+        table: Vec::new(),
+    };
+    let med_e1 = match transport.deliver(
         PartyId::source(sc.left.name()),
         PartyId::Mediator,
         "L4.5 e_k values (+ session table)",
         &Frame::PmEvaluations {
             payload: payload_set(&evals1, &table1),
         },
-    )?;
-    let Frame::PmEvaluations { payload: med_e1 } = received else {
-        return Err(MedError::Protocol(
-            "expected an evaluations frame".to_string(),
-        ));
+    ) {
+        Ok(Frame::PmEvaluations { payload }) => payload,
+        Ok(_) => {
+            return Err(MedError::Protocol(
+                "expected an evaluations frame".to_string(),
+            ))
+        }
+        Err(MedError::Delivery(f)) if transport.degrade_on_exhausted() => {
+            degraded.push(degrade_note(&f));
+            empty_set()
+        }
+        Err(e) => return Err(e),
     };
-    let received = transport.deliver(
+    let med_e2 = match transport.deliver(
         PartyId::source(sc.right.name()),
         PartyId::Mediator,
         "L4.6 e'_l values (+ session table)",
         &Frame::PmEvaluations {
             payload: payload_set(&evals2, &table2),
         },
-    )?;
-    let Frame::PmEvaluations { payload: med_e2 } = received else {
-        return Err(MedError::Protocol(
-            "expected an evaluations frame".to_string(),
-        ));
+    ) {
+        Ok(Frame::PmEvaluations { payload }) => payload,
+        Ok(_) => {
+            return Err(MedError::Protocol(
+                "expected an evaluations frame".to_string(),
+            ))
+        }
+        Err(MedError::Delivery(f)) if transport.degrade_on_exhausted() => {
+            degraded.push(degrade_note(&f));
+            empty_set()
+        }
+        Err(e) => return Err(e),
     };
 
     // Step 7: mediator → client, all n + m encrypted values in one frame.
@@ -318,6 +363,14 @@ pub fn deliver(
 
     Ok(RunReport {
         result,
+        outcome: if degraded.is_empty() {
+            RunOutcome::Clean
+        } else {
+            RunOutcome::Degraded {
+                details: degraded,
+                retries: 0, // filled in by the engine
+            }
+        },
         transport: Transport::new(),
         mediator_view: Default::default(),
         client_view,

@@ -15,8 +15,29 @@
 //! * the leakage audit: a party's *view* is exactly the sequence of frames
 //!   it received, and `audit::derive_views` recomputes Table 1 from the
 //!   decoded log.
+//!
+//! # Fault injection
+//!
+//! The fabric can misbehave on purpose.  A [`FaultPlan`] installed via
+//! `RunOptions` makes [`Transport::deliver`] deterministically drop,
+//! corrupt (header bit-flip), truncate, duplicate, or delay-by-reordering
+//! frames on selected links ([`LinkMask`]), and can take a party down for
+//! a span of delivery steps ([`Outage`]).  Decisions derive from an
+//! HMAC-DRBG keyed by the plan seed and a global step counter, so the
+//! same plan produces a byte-identical log at any thread count — the
+//! determinism invariant extends to faulty runs.
+//!
+//! Every attempt is recorded: a failed copy stays in the log tagged with
+//! its [`FaultKind`] and attempt number, so retransmissions are part of
+//! the mediator's observable view and the Table 1 accounting stays
+//! empirical under faults.  The [`DeliveryPolicy`] bounds how often a
+//! sender retries before `deliver` returns a typed [`DeliveryFailure`].
 
 use std::fmt;
+use std::fmt::Write as _;
+
+use secmed_crypto::drbg::HmacDrbg;
+use secmed_obs::trace::FieldValue;
 
 use crate::MedError;
 
@@ -53,6 +74,37 @@ impl fmt::Display for PartyId {
     }
 }
 
+/// What the fabric did to one recorded copy of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The copy was lost in flight; the receiver saw nothing.
+    Dropped,
+    /// A header bit was flipped; the receiver's decode rejects the copy.
+    Corrupted,
+    /// The copy was cut short; the receiver's decode rejects it.
+    Truncated,
+    /// A redundant copy delivered alongside an accepted one.
+    Duplicated,
+    /// The copy arrived, but reordered after later traffic.
+    Delayed,
+    /// A party was down for this delivery step.
+    Unavailable,
+}
+
+impl FaultKind {
+    /// Lowercase tag used in flow rendering and trace events.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::Dropped => "dropped",
+            FaultKind::Corrupted => "corrupted",
+            FaultKind::Truncated => "truncated",
+            FaultKind::Duplicated => "duplicated",
+            FaultKind::Delayed => "delayed",
+            FaultKind::Unavailable => "unavailable",
+        }
+    }
+}
+
 /// One recorded message: an encoded frame in flight.
 #[derive(Clone)]
 pub struct Envelope {
@@ -62,8 +114,13 @@ pub struct Envelope {
     pub to: PartyId,
     /// Human-readable step label, e.g. `"L3.3 M_i"` for Listing 3 step 3.
     pub label: String,
-    /// The encoded frame exactly as it crossed the fabric.
+    /// The encoded frame exactly as it crossed the fabric (for a corrupted
+    /// or truncated copy: the damaged bytes the receiver actually saw).
     pub payload: Vec<u8>,
+    /// Which delivery attempt produced this copy (1 = first try).
+    pub attempt: u32,
+    /// What the fabric did to this copy; `None` for an intact delivery.
+    pub fault: Option<FaultKind>,
 }
 
 impl Envelope {
@@ -76,10 +133,19 @@ impl Envelope {
     pub fn frame(&self) -> Result<Frame, WireError> {
         Frame::decode(&self.payload)
     }
+
+    /// Whether the receiver accepted this copy as the logical message.  A
+    /// delayed copy still arrives (just reordered); every other fault kind
+    /// marks a copy the receiver never used — fabric overhead.
+    pub fn accepted(&self) -> bool {
+        matches!(self.fault, None | Some(FaultKind::Delayed))
+    }
 }
 
 /// One line per envelope: `sender → receiver [size B] label`, the format
 /// `Transport::render_flow` stacks into the Figure 1/2 message flow.
+/// Retransmissions and faulted copies are tagged visibly, e.g.
+/// `label (attempt 2)` or `label [dropped]`.
 impl fmt::Display for Envelope {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -89,48 +155,314 @@ impl fmt::Display for Envelope {
             self.to.to_string(),
             self.bytes(),
             self.label
-        )
+        )?;
+        if self.attempt > 1 {
+            write!(f, " (attempt {})", self.attempt)?;
+        }
+        if let Some(k) = self.fault {
+            write!(f, " [{}]", k.tag())?;
+        }
+        Ok(())
     }
 }
 
-/// `Debug` covers the full payload (as lowercase hex), so a `{:?}` render
-/// of a transport log fingerprints every byte that crossed the fabric —
-/// the determinism suite relies on this.
+/// `Debug` covers the full payload (as lowercase hex) plus the attempt and
+/// fault tags, so a `{:?}` render of a transport log fingerprints every
+/// byte that crossed the fabric *and* every fabric misbehaviour — the
+/// determinism suites (clean and chaos) rely on this.
 impl fmt::Debug for Envelope {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut hex = String::with_capacity(self.payload.len() * 2);
         for b in &self.payload {
-            hex.push_str(&format!("{b:02x}"));
+            let _ = write!(hex, "{b:02x}");
         }
         f.debug_struct("Envelope")
             .field("from", &self.from)
             .field("to", &self.to)
             .field("label", &self.label)
             .field("payload", &hex)
+            .field("attempt", &self.attempt)
+            .field("fault", &self.fault)
             .finish()
     }
 }
 
-/// The in-process message fabric with full recording.
-#[derive(Debug, Default)]
+/// Selects the links a [`FaultPlan`]'s random faults apply to.  `None`
+/// matches any party on that side; `LinkMask::default()` matches every
+/// link.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkMask {
+    /// Sender filter (`None` = any sender).
+    pub from: Option<PartyId>,
+    /// Receiver filter (`None` = any receiver).
+    pub to: Option<PartyId>,
+}
+
+impl LinkMask {
+    /// Whether a directed link matches this mask.
+    pub fn matches(&self, from: &PartyId, to: &PartyId) -> bool {
+        self.from.as_ref().is_none_or(|f| f == from) && self.to.as_ref().is_none_or(|t| t == to)
+    }
+}
+
+/// Marks a party unavailable for a span of delivery steps.  The step
+/// counter advances once per delivery *attempt*, so an outage of `steps`
+/// consumes that many attempts fabric-wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outage {
+    /// The party that is down.
+    pub party: PartyId,
+    /// First delivery step of the outage (0-based).
+    pub from_step: u64,
+    /// Number of consecutive steps the party stays down.
+    pub steps: u64,
+}
+
+impl Outage {
+    /// Whether the outage covers `step`.
+    pub fn covers(&self, step: u64) -> bool {
+        step >= self.from_step && step - self.from_step < self.steps
+    }
+}
+
+/// A deterministic fault schedule for the fabric.
+///
+/// Rates are per-mille probabilities per delivery attempt, evaluated in
+/// the fixed order drop → corrupt → truncate → duplicate → delay against
+/// one seeded roll (so their sum should stay ≤ 1000; kinds past the cap
+/// can never fire).  All randomness comes from an HMAC-DRBG keyed by
+/// `seed` and the attempt's global step index — nothing depends on wall
+/// clock, thread count, or scheduling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed label for the per-step decision DRBG.
+    pub seed: String,
+    /// Per-mille chance a copy is dropped.
+    pub drop_per_mille: u16,
+    /// Per-mille chance a header bit is flipped.
+    pub corrupt_per_mille: u16,
+    /// Per-mille chance a copy is truncated.
+    pub truncate_per_mille: u16,
+    /// Per-mille chance a copy is duplicated.
+    pub duplicate_per_mille: u16,
+    /// Per-mille chance a copy is delayed past later traffic.
+    pub delay_per_mille: u16,
+    /// Links the random faults apply to (empty = all links).
+    pub links: Vec<LinkMask>,
+    /// Party outages, by delivery-step span.
+    pub outages: Vec<Outage>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — by contract, runs with a zero plan
+    /// installed are byte-identical to runs with no plan at all.
+    pub fn none(seed: impl Into<String>) -> Self {
+        FaultPlan {
+            seed: seed.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Whether this plan can never inject a fault.
+    pub fn is_zero(&self) -> bool {
+        self.drop_per_mille == 0
+            && self.corrupt_per_mille == 0
+            && self.truncate_per_mille == 0
+            && self.duplicate_per_mille == 0
+            && self.delay_per_mille == 0
+            && self.outages.is_empty()
+    }
+
+    fn party_down(&self, party: &PartyId, step: u64) -> bool {
+        self.outages
+            .iter()
+            .any(|o| &o.party == party && o.covers(step))
+    }
+
+    fn link_selected(&self, from: &PartyId, to: &PartyId) -> bool {
+        self.links.is_empty() || self.links.iter().any(|m| m.matches(from, to))
+    }
+}
+
+/// What a driver does when a delivery exhausts its attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnExhausted {
+    /// Propagate the [`DeliveryFailure`]; the engine reports `Aborted`.
+    #[default]
+    Abort,
+    /// Drivers substitute a documented partial input (empty set, fallback
+    /// query) and the run completes with a `Degraded` outcome.
+    Degrade,
+}
+
+/// Bounded-retry policy for [`Transport::deliver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryPolicy {
+    /// Total attempts per logical message (≥ 1; the first send counts).
+    pub max_attempts: u32,
+    /// What drivers do once the attempts are spent.
+    pub on_exhausted: OnExhausted,
+}
+
+impl Default for DeliveryPolicy {
+    fn default() -> Self {
+        DeliveryPolicy {
+            max_attempts: 3,
+            on_exhausted: OnExhausted::Abort,
+        }
+    }
+}
+
+/// Why a single delivery attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeliveryError {
+    /// The fabric lost the copy.
+    Dropped,
+    /// The sender was down for this step; nothing left its stack.
+    SenderUnavailable,
+    /// The receiver was down for this step.
+    ReceiverUnavailable,
+    /// The copy arrived damaged and the receiver's total decode rejected
+    /// it.
+    Undecodable(WireError),
+}
+
+impl fmt::Display for DeliveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeliveryError::Dropped => write!(f, "dropped by the fabric"),
+            DeliveryError::SenderUnavailable => write!(f, "sender unavailable"),
+            DeliveryError::ReceiverUnavailable => write!(f, "receiver unavailable"),
+            DeliveryError::Undecodable(e) => write!(f, "undecodable frame: {e}"),
+        }
+    }
+}
+
+/// A logical message that stayed undelivered after every allowed attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryFailure {
+    /// Sender of the failed message.
+    pub from: PartyId,
+    /// Intended receiver.
+    pub to: PartyId,
+    /// Protocol step label of the message.
+    pub label: String,
+    /// Attempts made (= the policy's `max_attempts`).
+    pub attempts: u32,
+    /// The failure of the final attempt.
+    pub last: DeliveryError,
+}
+
+impl fmt::Display for DeliveryFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} → {} undelivered after {} attempt(s): {}",
+            self.label, self.from, self.to, self.attempts, self.last
+        )
+    }
+}
+
+impl std::error::Error for DeliveryFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.last {
+            DeliveryError::Undecodable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The per-attempt decision the injector reaches before any bytes move.
+enum Verdict {
+    Clean,
+    Drop,
+    Corrupt { byte: usize, bit: u8 },
+    Truncate { keep: usize },
+    Duplicate,
+    Delay,
+    SenderDown,
+    ReceiverDown,
+}
+
+/// Header byte offsets a corruption may hit: magic (0-1), version (2), and
+/// the four length bytes (4-7).  The kind byte (3) is deliberately skipped
+/// — without a MAC on the body, only header damage is *guaranteed* to be
+/// rejected by the total decoder, which keeps "corrupted ⇒ receiver
+/// noticed" an invariant instead of a probability.
+const CORRUPT_TARGETS: [usize; 7] = [0, 1, 2, 4, 5, 6, 7];
+
+/// A uniform draw in `[0, bound)` by rejection sampling (no modulo bias),
+/// mirroring `secmed_testkit::Gen::u64_below`.
+fn draw_below(rng: &mut HmacDrbg, bound: u64) -> u64 {
+    let zone = u64::MAX - u64::MAX % bound;
+    loop {
+        let mut b = [0u8; 8];
+        rng.fill(&mut b);
+        let v = u64::from_be_bytes(b);
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+/// The in-process message fabric with full recording, bounded retry, and
+/// deterministic fault injection.
+#[derive(Default)]
 pub struct Transport {
     log: Vec<Envelope>,
+    /// Delayed copies waiting to surface after the next recorded envelope.
+    delayed: Vec<Envelope>,
+    policy: DeliveryPolicy,
+    plan: Option<FaultPlan>,
+    /// Global delivery-attempt counter; the sole input (with the plan
+    /// seed) to every fault decision.
+    step: u64,
+    retries: u64,
+}
+
+/// `Debug` renders only the log and the retry counter: the log hex is the
+/// determinism fingerprint, and the installed plan/policy are inputs, not
+/// observations — a zero-fault plan must leave reports byte-identical to
+/// no plan at all.
+impl fmt::Debug for Transport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transport")
+            .field("log", &self.log)
+            .field("retries", &self.retries)
+            .finish()
+    }
 }
 
 impl Transport {
-    /// A fresh, empty fabric.
+    /// A fresh, empty fabric (default policy, no fault plan).
     pub fn new() -> Self {
         Transport::default()
     }
 
-    /// Records an already-encoded frame.
+    /// Sets the bounded-retry policy.
+    pub fn set_policy(&mut self, policy: DeliveryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active delivery policy.
+    pub fn policy(&self) -> DeliveryPolicy {
+        self.policy
+    }
+
+    /// Whether drivers should degrade (rather than abort) on an exhausted
+    /// delivery — the only fault-layer question a protocol driver asks.
+    pub fn degrade_on_exhausted(&self) -> bool {
+        self.policy.on_exhausted == OnExhausted::Degrade
+    }
+
+    /// Installs a fault plan; subsequent deliveries roll against it.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Records an already-encoded frame as an intact first-attempt copy.
     pub fn send(&mut self, from: PartyId, to: PartyId, label: impl Into<String>, payload: Vec<u8>) {
-        self.log.push(Envelope {
-            from,
-            to,
-            label: label.into(),
-            payload,
-        });
+        self.record(from, to, &label.into(), payload, 1, None);
     }
 
     /// Sends a typed frame and hands the receiver its *decoded copy of the
@@ -138,6 +470,11 @@ impl Transport {
     /// boundary.  Encoding happens on the sender's side, the fabric keeps
     /// the canonical bytes, and the receiver sees exactly what a network
     /// peer would see.
+    ///
+    /// Under an installed [`FaultPlan`] each attempt may be dropped,
+    /// damaged, duplicated, or delayed; the sender retries up to the
+    /// policy's `max_attempts`, every attempt is recorded, and exhaustion
+    /// returns [`MedError::Delivery`].
     pub fn deliver(
         &mut self,
         from: PartyId,
@@ -145,11 +482,273 @@ impl Transport {
         label: impl Into<String>,
         frame: &Frame,
     ) -> Result<Frame, MedError> {
-        self.send(from, to, label, frame.encode());
-        let recorded = self.log.last().map(|e| e.frame()).ok_or_else(|| {
-            MedError::Protocol("transport recorded nothing for a delivered frame".to_string())
-        })?;
-        Ok(recorded?)
+        let label = label.into();
+        let encoded = frame.encode();
+        let max = self.policy.max_attempts.max(1);
+        let mut last = DeliveryError::Dropped;
+        for attempt in 1..=max {
+            if attempt > 1 {
+                self.retries += 1;
+            }
+            match self.attempt(&from, &to, &label, &encoded, attempt) {
+                Ok(frame) => return Ok(frame),
+                Err(e) => last = e,
+            }
+        }
+        secmed_obs::trace::event_with(
+            "transport.exhausted",
+            [
+                ("label", FieldValue::from(label.as_str())),
+                ("attempts", FieldValue::from(max as u64)),
+                ("last", FieldValue::from(last.to_string())),
+            ],
+        );
+        Err(MedError::Delivery(DeliveryFailure {
+            from,
+            to,
+            label,
+            attempts: max,
+            last,
+        }))
+    }
+
+    /// One delivery attempt: advance the step counter, roll the fault
+    /// verdict, record what crossed the fabric, and decode what (if
+    /// anything) the receiver accepted.
+    fn attempt(
+        &mut self,
+        from: &PartyId,
+        to: &PartyId,
+        label: &str,
+        encoded: &[u8],
+        attempt: u32,
+    ) -> Result<Frame, DeliveryError> {
+        let step = self.step;
+        self.step += 1;
+        let verdict = self.verdict(step, from, to, encoded.len());
+        match verdict {
+            Verdict::Clean => {
+                self.record(
+                    from.clone(),
+                    to.clone(),
+                    label,
+                    encoded.to_vec(),
+                    attempt,
+                    None,
+                );
+                // The copy just recorded is byte-for-byte `encoded`, so the
+                // receiver's decode runs directly over those bytes.
+                Frame::decode(encoded).map_err(DeliveryError::Undecodable)
+            }
+            Verdict::Duplicate => {
+                self.fault_event(FaultKind::Duplicated, label, step, attempt);
+                self.record(
+                    from.clone(),
+                    to.clone(),
+                    label,
+                    encoded.to_vec(),
+                    attempt,
+                    None,
+                );
+                self.record(
+                    from.clone(),
+                    to.clone(),
+                    label,
+                    encoded.to_vec(),
+                    attempt,
+                    Some(FaultKind::Duplicated),
+                );
+                Frame::decode(encoded).map_err(DeliveryError::Undecodable)
+            }
+            Verdict::Delay => {
+                self.fault_event(FaultKind::Delayed, label, step, attempt);
+                // The copy arrives, but surfaces in the log only after the
+                // next recorded envelope — a real reordering an observer
+                // folding over the log will see.
+                self.delayed.push(Envelope {
+                    from: from.clone(),
+                    to: to.clone(),
+                    label: label.to_string(),
+                    payload: encoded.to_vec(),
+                    attempt,
+                    fault: Some(FaultKind::Delayed),
+                });
+                Frame::decode(encoded).map_err(DeliveryError::Undecodable)
+            }
+            Verdict::Drop => {
+                self.fault_event(FaultKind::Dropped, label, step, attempt);
+                self.record(
+                    from.clone(),
+                    to.clone(),
+                    label,
+                    encoded.to_vec(),
+                    attempt,
+                    Some(FaultKind::Dropped),
+                );
+                Err(DeliveryError::Dropped)
+            }
+            Verdict::Corrupt { byte, bit } => {
+                self.fault_event(FaultKind::Corrupted, label, step, attempt);
+                let mut damaged = encoded.to_vec();
+                damaged[byte] ^= 1 << bit;
+                let decode = Frame::decode(&damaged);
+                self.record(
+                    from.clone(),
+                    to.clone(),
+                    label,
+                    damaged,
+                    attempt,
+                    Some(FaultKind::Corrupted),
+                );
+                match decode {
+                    // Unreachable for header damage (the targets guarantee
+                    // rejection), but the model stays honest: a copy that
+                    // decodes is a copy the receiver accepted.
+                    Ok(f) => Ok(f),
+                    Err(e) => Err(DeliveryError::Undecodable(e)),
+                }
+            }
+            Verdict::Truncate { keep } => {
+                self.fault_event(FaultKind::Truncated, label, step, attempt);
+                let damaged = encoded[..keep].to_vec();
+                let decode = Frame::decode(&damaged);
+                self.record(
+                    from.clone(),
+                    to.clone(),
+                    label,
+                    damaged,
+                    attempt,
+                    Some(FaultKind::Truncated),
+                );
+                match decode {
+                    Ok(f) => Ok(f),
+                    Err(e) => Err(DeliveryError::Undecodable(e)),
+                }
+            }
+            Verdict::SenderDown => {
+                self.fault_event(FaultKind::Unavailable, label, step, attempt);
+                self.record(
+                    from.clone(),
+                    to.clone(),
+                    label,
+                    encoded.to_vec(),
+                    attempt,
+                    Some(FaultKind::Unavailable),
+                );
+                Err(DeliveryError::SenderUnavailable)
+            }
+            Verdict::ReceiverDown => {
+                self.fault_event(FaultKind::Unavailable, label, step, attempt);
+                self.record(
+                    from.clone(),
+                    to.clone(),
+                    label,
+                    encoded.to_vec(),
+                    attempt,
+                    Some(FaultKind::Unavailable),
+                );
+                Err(DeliveryError::ReceiverUnavailable)
+            }
+        }
+    }
+
+    /// Rolls the fault verdict for one attempt.  Outages trump random
+    /// faults; random faults respect the plan's link masks; all draws come
+    /// from a DRBG keyed by `(plan.seed, step)` alone.
+    fn verdict(&self, step: u64, from: &PartyId, to: &PartyId, len: usize) -> Verdict {
+        let Some(plan) = &self.plan else {
+            return Verdict::Clean;
+        };
+        if plan.is_zero() {
+            return Verdict::Clean;
+        }
+        if plan.party_down(from, step) {
+            return Verdict::SenderDown;
+        }
+        if plan.party_down(to, step) {
+            return Verdict::ReceiverDown;
+        }
+        if !plan.link_selected(from, to) {
+            return Verdict::Clean;
+        }
+        let mut rng = HmacDrbg::from_label(&format!("{}/step/{}", plan.seed, step));
+        let roll = draw_below(&mut rng, 1000);
+        let mut edge = u64::from(plan.drop_per_mille);
+        if roll < edge {
+            return Verdict::Drop;
+        }
+        edge += u64::from(plan.corrupt_per_mille);
+        if roll < edge {
+            // Frames are always ≥ the 8-byte header, but `len` is checked
+            // anyway so an exotic payload degrades to a drop, not a panic.
+            if len < 8 {
+                return Verdict::Drop;
+            }
+            let byte = CORRUPT_TARGETS[draw_below(&mut rng, CORRUPT_TARGETS.len() as u64) as usize];
+            let bit = draw_below(&mut rng, 8) as u8;
+            return Verdict::Corrupt { byte, bit };
+        }
+        edge += u64::from(plan.truncate_per_mille);
+        if roll < edge {
+            if len == 0 {
+                return Verdict::Drop;
+            }
+            let keep = draw_below(&mut rng, len as u64) as usize;
+            return Verdict::Truncate { keep };
+        }
+        edge += u64::from(plan.duplicate_per_mille);
+        if roll < edge {
+            return Verdict::Duplicate;
+        }
+        edge += u64::from(plan.delay_per_mille);
+        if roll < edge {
+            return Verdict::Delay;
+        }
+        Verdict::Clean
+    }
+
+    fn fault_event(&self, kind: FaultKind, label: &str, step: u64, attempt: u32) {
+        secmed_obs::trace::event_with(
+            "transport.fault",
+            [
+                ("kind", FieldValue::from(kind.tag())),
+                ("label", FieldValue::from(label)),
+                ("step", FieldValue::from(step)),
+                ("attempt", FieldValue::from(attempt as u64)),
+            ],
+        );
+    }
+
+    /// Appends one copy to the log, then surfaces any delayed copies —
+    /// which is exactly what makes a delay a *reordering*.
+    fn record(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        label: &str,
+        payload: Vec<u8>,
+        attempt: u32,
+        fault: Option<FaultKind>,
+    ) {
+        self.log.push(Envelope {
+            from,
+            to,
+            label: label.to_string(),
+            payload,
+            attempt,
+            fault,
+        });
+        if !self.delayed.is_empty() {
+            self.log.append(&mut self.delayed);
+        }
+    }
+
+    /// Surfaces delayed copies still in flight (the engine calls this when
+    /// a run ends, so a delay on the final message is not silently lost).
+    pub fn flush_delayed(&mut self) {
+        if !self.delayed.is_empty() {
+            self.log.append(&mut self.delayed);
+        }
     }
 
     /// The full log, in order.
@@ -158,7 +757,9 @@ impl Transport {
     }
 
     /// Decodes every recorded envelope, in order.  This is the transcript
-    /// the leakage audit runs over.
+    /// the leakage audit runs over for clean logs; a damaged copy surfaces
+    /// the receiver-side [`WireError`].  Fault-tolerant consumers use
+    /// `audit::effective_frames` instead.
     pub fn decode_log(&self) -> Result<Vec<(PartyId, PartyId, Frame)>, WireError> {
         self.log
             .iter()
@@ -166,14 +767,30 @@ impl Transport {
             .collect()
     }
 
-    /// Number of messages.
+    /// Number of messages (every recorded copy, retransmissions included).
     pub fn message_count(&self) -> usize {
         self.log.len()
     }
 
-    /// Total bytes moved.
+    /// Total bytes moved (every recorded copy, retransmissions included).
     pub fn total_bytes(&self) -> usize {
         self.log.iter().map(Envelope::bytes).sum()
+    }
+
+    /// Retransmissions executed: attempts beyond the first, across all
+    /// deliveries.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Fabric overhead: `(messages, bytes)` of recorded copies the
+    /// receiver never accepted (failed attempts and duplicate copies) —
+    /// what retrying cost on the wire.
+    pub fn overhead(&self) -> (usize, usize) {
+        self.log
+            .iter()
+            .filter(|e| !e.accepted())
+            .fold((0, 0), |(m, b), e| (m + 1, b + e.bytes()))
     }
 
     /// Messages on one directed link.
@@ -203,7 +820,8 @@ impl Transport {
         count
     }
 
-    /// Bytes received by a party (the size of its view).
+    /// Bytes received by a party (the size of its view, damaged and
+    /// duplicate copies included — they crossed the fabric towards it).
     pub fn bytes_received_by(&self, party: &PartyId) -> usize {
         self.log
             .iter()
@@ -215,11 +833,18 @@ impl Transport {
     /// Renders the flow as an indented trace (used by the quickstart
     /// example to regenerate Figure 1/2's message flow): one
     /// [`Envelope`] `Display` line per message, sizes taken from the real
-    /// encoded frames.
+    /// encoded frames, retried copies tagged `(attempt N)`.
     pub fn render_flow(&self) -> String {
-        let mut out = String::new();
+        // Display adds a handful of punctuation to the two party names and
+        // the label; 64 covers the fixed-width columns comfortably.
+        let estimate: usize = self
+            .log
+            .iter()
+            .map(|e| 64 + e.label.len() + e.from.to_string().len() + e.to.to_string().len())
+            .sum();
+        let mut out = String::with_capacity(estimate);
         for e in &self.log {
-            out.push_str(&format!("{e}\n"));
+            let _ = writeln!(out, "{e}");
         }
         out
     }
@@ -245,6 +870,26 @@ mod tests {
         t
     }
 
+    /// A plan whose single fault kind fires on every attempt.
+    fn always(kind: FaultKind) -> FaultPlan {
+        let mut p = FaultPlan::none("always");
+        match kind {
+            FaultKind::Dropped => p.drop_per_mille = 1000,
+            FaultKind::Corrupted => p.corrupt_per_mille = 1000,
+            FaultKind::Truncated => p.truncate_per_mille = 1000,
+            FaultKind::Duplicated => p.duplicate_per_mille = 1000,
+            FaultKind::Delayed => p.delay_per_mille = 1000,
+            FaultKind::Unavailable => unreachable!("use outages"),
+        }
+        p
+    }
+
+    fn query_frame() -> Frame {
+        Frame::DasServerQuery {
+            pairs: vec![(IndexValue(1), IndexValue(2))],
+        }
+    }
+
     #[test]
     fn accounting() {
         let t = t();
@@ -261,6 +906,44 @@ mod tests {
         assert_eq!(t.interactions_of(&PartyId::Mediator), 2);
         assert_eq!(t.interactions_of(&PartyId::Client), 1);
         assert_eq!(t.interactions_of(&PartyId::source("s1")), 1);
+    }
+
+    #[test]
+    fn interactions_of_empty_log_is_zero() {
+        let t = Transport::new();
+        assert_eq!(t.interactions_of(&PartyId::Client), 0);
+        assert_eq!(t.interactions_of(&PartyId::Mediator), 0);
+    }
+
+    #[test]
+    fn interactions_of_single_party_log_is_one_run() {
+        let mut t = Transport::new();
+        for i in 0..4 {
+            t.send(
+                PartyId::Client,
+                PartyId::Mediator,
+                format!("m{i}"),
+                payload(8),
+            );
+        }
+        // Four consecutive sends by one party are a single interaction;
+        // parties that never sent have none.
+        assert_eq!(t.interactions_of(&PartyId::Client), 1);
+        assert_eq!(t.interactions_of(&PartyId::Mediator), 0);
+    }
+
+    #[test]
+    fn interactions_of_counts_interleaved_bursts() {
+        let mut t = Transport::new();
+        let a = PartyId::source("a");
+        let b = PartyId::source("b");
+        // A A | B | A — two bursts for A, one for B.
+        t.send(a.clone(), PartyId::Mediator, "a1", payload(8));
+        t.send(a.clone(), PartyId::Mediator, "a2", payload(8));
+        t.send(b.clone(), PartyId::Mediator, "b1", payload(8));
+        t.send(a.clone(), PartyId::Mediator, "a3", payload(8));
+        assert_eq!(t.interactions_of(&a), 2);
+        assert_eq!(t.interactions_of(&b), 1);
     }
 
     #[test]
@@ -284,6 +967,8 @@ mod tests {
             to: PartyId::Mediator,
             label: "x".into(),
             payload: vec![1, 2, 3],
+            attempt: 1,
+            fault: None,
         };
         assert_eq!(e.bytes(), 3);
         assert!(format!("{e:?}").contains("010203"), "hex payload in Debug");
@@ -292,9 +977,7 @@ mod tests {
     #[test]
     fn deliver_round_trips_through_recorded_bytes() {
         let mut t = Transport::new();
-        let frame = Frame::DasServerQuery {
-            pairs: vec![(IndexValue(1), IndexValue(2))],
-        };
+        let frame = query_frame();
         let received = t
             .deliver(PartyId::Client, PartyId::Mediator, "L2.5 q_S", &frame)
             .unwrap();
@@ -303,6 +986,306 @@ mod tests {
         assert_eq!(t.total_bytes(), frame.encode().len());
         let decoded = t.decode_log().unwrap();
         assert_eq!(decoded[0].2, frame);
+    }
+
+    #[test]
+    fn decode_log_surfaces_wire_error_for_corrupted_envelope() {
+        let mut t = Transport::new();
+        t.deliver(PartyId::Client, PartyId::Mediator, "ok", &query_frame())
+            .unwrap();
+        // Hand-corrupt the recorded copy's magic byte.
+        t.log[0].payload[0] ^= 0xFF;
+        assert!(t.decode_log().is_err());
+        assert!(t.log[0].frame().is_err());
+    }
+
+    #[test]
+    fn dropped_frames_are_recorded_and_retried() {
+        let mut t = Transport::new();
+        let mut plan = always(FaultKind::Dropped);
+        plan.drop_per_mille = 400; // fails sometimes, succeeds within retries
+        plan.seed = "retry".into();
+        t.install_faults(plan);
+        t.set_policy(DeliveryPolicy {
+            max_attempts: 10,
+            on_exhausted: OnExhausted::Abort,
+        });
+        let frame = query_frame();
+        for i in 0..20 {
+            t.deliver(PartyId::Client, PartyId::Mediator, format!("m{i}"), &frame)
+                .unwrap();
+        }
+        let dropped = t.log().iter().filter(|e| !e.accepted()).count();
+        assert!(dropped > 0, "a 40% drop rate over 20 messages must fire");
+        assert_eq!(t.retries() as usize, dropped, "every drop forced a retry");
+        let (om, ob) = t.overhead();
+        assert_eq!(om, dropped);
+        assert_eq!(ob, dropped * frame.encode().len());
+        // Accepted copies still decode; accounting covers all copies.
+        assert_eq!(t.message_count(), 20 + dropped);
+    }
+
+    #[test]
+    fn exhausted_delivery_returns_typed_failure() {
+        let mut t = Transport::new();
+        t.install_faults(always(FaultKind::Dropped));
+        t.set_policy(DeliveryPolicy {
+            max_attempts: 3,
+            on_exhausted: OnExhausted::Abort,
+        });
+        let err = t
+            .deliver(PartyId::Client, PartyId::Mediator, "doomed", &query_frame())
+            .unwrap_err();
+        let MedError::Delivery(f) = err else {
+            panic!("expected a delivery failure, got {err:?}");
+        };
+        assert_eq!(f.attempts, 3);
+        assert_eq!(f.last, DeliveryError::Dropped);
+        assert_eq!(f.label, "doomed");
+        assert_eq!(t.message_count(), 3, "every failed attempt is recorded");
+        assert!(t.log().iter().all(|e| e.fault == Some(FaultKind::Dropped)));
+        assert_eq!(t.log()[2].attempt, 3);
+    }
+
+    #[test]
+    fn corrupted_copies_never_decode() {
+        let mut t = Transport::new();
+        t.install_faults(always(FaultKind::Corrupted));
+        t.set_policy(DeliveryPolicy {
+            max_attempts: 2,
+            on_exhausted: OnExhausted::Abort,
+        });
+        let err = t
+            .deliver(PartyId::Client, PartyId::Mediator, "bits", &query_frame())
+            .unwrap_err();
+        let MedError::Delivery(f) = err else {
+            panic!("expected a delivery failure");
+        };
+        assert!(matches!(f.last, DeliveryError::Undecodable(_)));
+        for e in t.log() {
+            assert_eq!(e.fault, Some(FaultKind::Corrupted));
+            assert!(e.frame().is_err(), "header damage must be rejected");
+        }
+    }
+
+    #[test]
+    fn truncated_copies_are_shorter_and_rejected() {
+        let mut t = Transport::new();
+        t.install_faults(always(FaultKind::Truncated));
+        t.set_policy(DeliveryPolicy {
+            max_attempts: 1,
+            on_exhausted: OnExhausted::Abort,
+        });
+        let frame = query_frame();
+        let full = frame.encode().len();
+        assert!(t
+            .deliver(PartyId::Client, PartyId::Mediator, "cut", &frame)
+            .is_err());
+        assert_eq!(t.message_count(), 1);
+        assert!(t.log()[0].bytes() < full);
+        assert!(t.log()[0].frame().is_err());
+    }
+
+    #[test]
+    fn duplicated_copies_double_the_wire_not_the_message() {
+        let mut t = Transport::new();
+        t.install_faults(always(FaultKind::Duplicated));
+        let frame = query_frame();
+        let got = t
+            .deliver(PartyId::Client, PartyId::Mediator, "dup", &frame)
+            .unwrap();
+        assert_eq!(got, frame, "the receiver still gets one logical message");
+        assert_eq!(t.message_count(), 2);
+        assert!(t.log()[0].accepted());
+        assert_eq!(t.log()[1].fault, Some(FaultKind::Duplicated));
+        assert_eq!(t.overhead(), (1, frame.encode().len()));
+        assert_eq!(t.retries(), 0);
+    }
+
+    #[test]
+    fn delayed_copies_reorder_behind_later_traffic() {
+        let mut t = Transport::new();
+        let mut plan = always(FaultKind::Delayed);
+        plan.seed = "delay-first".into();
+        t.install_faults(plan);
+        let frame = query_frame();
+        let got = t
+            .deliver(PartyId::Client, PartyId::Mediator, "first", &frame)
+            .unwrap();
+        assert_eq!(got, frame, "a delayed frame still arrives");
+        assert_eq!(t.message_count(), 0, "in flight until later traffic");
+        // Disable faults and send a second message: the delayed copy
+        // surfaces *after* it.
+        t.plan = None;
+        t.deliver(PartyId::Client, PartyId::Mediator, "second", &frame)
+            .unwrap();
+        assert_eq!(t.message_count(), 2);
+        assert_eq!(t.log()[0].label, "second");
+        assert_eq!(t.log()[1].label, "first");
+        assert_eq!(t.log()[1].fault, Some(FaultKind::Delayed));
+        assert!(t.log()[1].accepted(), "delayed copies were received");
+    }
+
+    #[test]
+    fn flush_delayed_surfaces_trailing_copies() {
+        let mut t = Transport::new();
+        t.install_faults(always(FaultKind::Delayed));
+        t.deliver(PartyId::Client, PartyId::Mediator, "tail", &query_frame())
+            .unwrap();
+        assert_eq!(t.message_count(), 0);
+        t.flush_delayed();
+        assert_eq!(t.message_count(), 1);
+        assert_eq!(t.log()[0].label, "tail");
+    }
+
+    #[test]
+    fn outage_fails_both_directions_and_expires() {
+        let mut t = Transport::new();
+        let mut plan = FaultPlan::none("outage");
+        plan.outages.push(Outage {
+            party: PartyId::source("s1"),
+            from_step: 0,
+            steps: 2,
+        });
+        t.install_faults(plan);
+        t.set_policy(DeliveryPolicy {
+            max_attempts: 1,
+            on_exhausted: OnExhausted::Abort,
+        });
+        let frame = query_frame();
+        // Step 0: s1 as sender is down.
+        let err = t
+            .deliver(PartyId::source("s1"), PartyId::Mediator, "up", &frame)
+            .unwrap_err();
+        let MedError::Delivery(f) = err else {
+            panic!("expected failure")
+        };
+        assert_eq!(f.last, DeliveryError::SenderUnavailable);
+        // Step 1: s1 as receiver is down.
+        let err = t
+            .deliver(PartyId::Mediator, PartyId::source("s1"), "down", &frame)
+            .unwrap_err();
+        let MedError::Delivery(f) = err else {
+            panic!("expected failure")
+        };
+        assert_eq!(f.last, DeliveryError::ReceiverUnavailable);
+        // Step 2: the outage is over.
+        assert!(t
+            .deliver(PartyId::Mediator, PartyId::source("s1"), "ok", &frame)
+            .is_ok());
+        assert!(t.log()[..2]
+            .iter()
+            .all(|e| e.fault == Some(FaultKind::Unavailable)));
+    }
+
+    #[test]
+    fn link_masks_confine_faults() {
+        let mut t = Transport::new();
+        let mut plan = always(FaultKind::Dropped);
+        plan.links.push(LinkMask {
+            from: Some(PartyId::Client),
+            to: None,
+        });
+        t.install_faults(plan);
+        t.set_policy(DeliveryPolicy {
+            max_attempts: 1,
+            on_exhausted: OnExhausted::Abort,
+        });
+        let frame = query_frame();
+        assert!(t
+            .deliver(PartyId::Client, PartyId::Mediator, "masked", &frame)
+            .is_err());
+        assert!(t
+            .deliver(PartyId::Mediator, PartyId::Client, "other way", &frame)
+            .is_ok());
+    }
+
+    #[test]
+    fn same_seed_same_faults_regardless_of_history_shape() {
+        let run = || {
+            let mut t = Transport::new();
+            let mut plan = FaultPlan::none("fingerprint");
+            plan.drop_per_mille = 300;
+            plan.duplicate_per_mille = 200;
+            plan.delay_per_mille = 150;
+            t.install_faults(plan);
+            let frame = query_frame();
+            for i in 0..12 {
+                let _ = t.deliver(PartyId::Client, PartyId::Mediator, format!("m{i}"), &frame);
+            }
+            t.flush_delayed();
+            format!("{:?}", t.log())
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "the fault schedule is a pure function of the seed"
+        );
+    }
+
+    #[test]
+    fn zero_plan_is_indistinguishable_from_no_plan() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut t = Transport::new();
+            if let Some(p) = plan {
+                t.install_faults(p);
+            }
+            let frame = query_frame();
+            for i in 0..5 {
+                t.deliver(PartyId::Client, PartyId::Mediator, format!("m{i}"), &frame)
+                    .unwrap();
+            }
+            format!("{t:?}")
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::none("zero"))));
+    }
+
+    #[test]
+    fn render_flow_tags_retried_and_faulted_envelopes() {
+        let mut t = Transport::new();
+        let mut plan = FaultPlan::none("flow");
+        plan.drop_per_mille = 500;
+        t.install_faults(plan);
+        t.set_policy(DeliveryPolicy {
+            max_attempts: 8,
+            on_exhausted: OnExhausted::Abort,
+        });
+        let frame = query_frame();
+        for i in 0..10 {
+            t.deliver(PartyId::Client, PartyId::Mediator, format!("m{i}"), &frame)
+                .unwrap();
+        }
+        assert!(t.retries() > 0, "a 50% drop rate over 10 messages retries");
+        let flow = t.render_flow();
+        assert!(
+            flow.contains("(attempt 2)"),
+            "retried envelopes are tagged visibly:\n{flow}"
+        );
+        assert!(flow.contains("[dropped]"), "faulted copies are tagged");
+        // Clean copies carry no tag.
+        let clean_line = t
+            .log()
+            .iter()
+            .find(|e| e.attempt == 1 && e.fault.is_none())
+            .unwrap()
+            .to_string();
+        assert!(!clean_line.contains("attempt"));
+        assert!(!clean_line.contains("[dropped]"));
+    }
+
+    #[test]
+    fn delivery_failure_display_names_the_step() {
+        let f = DeliveryFailure {
+            from: PartyId::Client,
+            to: PartyId::Mediator,
+            label: "L1.1 query".into(),
+            attempts: 3,
+            last: DeliveryError::Dropped,
+        };
+        let s = f.to_string();
+        assert!(s.contains("L1.1 query"));
+        assert!(s.contains("3 attempt"));
+        assert!(s.contains("dropped"));
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! `fault-discipline` — fault plans are constructed at the fabric
+//! boundary and in test harnesses, never inside protocol drivers.
+//!
+//! The chaos suite's determinism argument rests on every fault decision
+//! flowing through one seeded interception point in
+//! `Transport::deliver`.  A protocol driver that built its own
+//! [`FaultPlan`], added an `Outage`, or called `install_faults` mid-run
+//! would fork the fault schedule away from the plan the harness seeded —
+//! the same chaos seed would no longer reproduce the same log.  Drivers
+//! are restricted to the two fault-agnostic questions the transport
+//! answers for them (`degrade_on_exhausted`, and matching
+//! `MedError::Delivery`); plan construction is allowed only in the
+//! transport/engine layer, the test kit, and the bench harnesses.
+
+use crate::engine::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// Path prefixes allowed to construct fault plans: the test kit (chaos
+/// generators) and the bench harnesses (`chaos_sweep`).
+const ALLOWED_PREFIXES: &[&str] = &["crates/testkit/", "crates/bench/", "crates/lint/"];
+
+/// Exact files allowed to construct fault plans: the fabric itself, the
+/// engine that installs plans from `RunOptions`, and the crate root that
+/// re-exports the types.
+const ALLOWED_FILES: &[&str] = &[
+    "crates/core/src/transport.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/lib.rs",
+];
+
+/// Identifiers that mean "I am building or installing a fault schedule".
+const BANNED_IDENTS: &[&str] = &["FaultPlan", "LinkMask", "Outage", "install_faults"];
+
+/// The fault-discipline rule (see module docs).
+pub struct FaultDiscipline;
+
+impl Rule for FaultDiscipline {
+    fn id(&self) -> &'static str {
+        "fault-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "fault-plan construction only in the transport/engine layer, testkit, and bench harnesses"
+    }
+
+    fn check_source(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if !file.path.starts_with("crates/") || !file.path.contains("/src/") {
+            return;
+        }
+        if ALLOWED_PREFIXES.iter().any(|p| file.path.starts_with(p))
+            || ALLOWED_FILES.contains(&file.path.as_str())
+        {
+            return;
+        }
+        for &ti in &file.code_indices() {
+            if file.is_test_token(ti) {
+                continue;
+            }
+            let tok = &file.tokens[ti];
+            if let Some(name) = BANNED_IDENTS.iter().find(|n| tok.is_ident(n)) {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tok.line,
+                    rule: self.id(),
+                    message: format!(
+                        "`{name}` outside the fabric boundary; fault schedules are seeded \
+                         by the harness and installed via `RunOptions` — a driver that \
+                         builds its own would break seed-reproducible chaos runs"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        FaultDiscipline.check_source(&SourceFile::new(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_plan_construction_in_a_driver() {
+        let src = "fn f(t: &mut Transport) {\n    let p = FaultPlan::none(\"x\");\n    t.install_faults(p);\n}";
+        let out = check("crates/core/src/protocol/das.rs", src);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|f| f.rule == "fault-discipline"));
+    }
+
+    #[test]
+    fn flags_outages_and_masks_too() {
+        let src =
+            "fn f() { let _ = (Outage { party, from_step: 0, steps: 1 }, LinkMask::default()); }";
+        let out = check("crates/core/src/protocol/pm.rs", src);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn transport_engine_lib_testkit_and_bench_are_exempt() {
+        let src = "fn f() { let _ = FaultPlan::none(\"x\"); }";
+        assert!(check("crates/core/src/transport.rs", src).is_empty());
+        assert!(check("crates/core/src/engine.rs", src).is_empty());
+        assert!(check("crates/core/src/lib.rs", src).is_empty());
+        assert!(check("crates/testkit/src/lib.rs", src).is_empty());
+        assert!(check("crates/bench/src/bin/chaos_sweep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn degrade_queries_are_not_flagged() {
+        let src = "fn f(t: &Transport) -> bool { t.degrade_on_exhausted() }";
+        assert!(check("crates/core/src/protocol/commutative.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_integration_tests_are_out_of_scope() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { let _ = FaultPlan::none(\"x\"); } }";
+        assert!(check("crates/core/src/protocol/das.rs", src).is_empty());
+        assert!(check(
+            "crates/core/tests/chaos.rs",
+            "fn f() { FaultPlan::none(\"x\"); }"
+        )
+        .is_empty());
+    }
+}

@@ -7,6 +7,7 @@
 
 mod dependency_policy;
 mod determinism;
+mod fault_discipline;
 mod panic_freedom;
 mod secret_branching;
 mod transport_discipline;
@@ -14,6 +15,7 @@ mod wire_discipline;
 
 pub use dependency_policy::DependencyPolicy;
 pub use determinism::Determinism;
+pub use fault_discipline::FaultDiscipline;
 pub use panic_freedom::PanicFreedom;
 pub use secret_branching::SecretBranching;
 pub use transport_discipline::TransportDiscipline;
@@ -21,13 +23,14 @@ pub use wire_discipline::WireDiscipline;
 
 use crate::engine::Rule;
 
-/// The six shipped rules, in reporting order.
+/// The seven shipped rules, in reporting order.
 pub fn default_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(PanicFreedom),
         Box::new(SecretBranching),
         Box::new(TransportDiscipline),
         Box::new(WireDiscipline),
+        Box::new(FaultDiscipline),
         Box::new(Determinism),
         Box::new(DependencyPolicy),
     ]

@@ -1,0 +1,13 @@
+//! Fixture: a protocol driver building and installing its own fault
+//! schedule — every fault-plan identifier must be flagged.
+
+pub fn sabotage(transport: &mut Transport) {
+    let mut plan = FaultPlan::none("driver-local");
+    plan.links.push(LinkMask::default());
+    plan.outages.push(Outage {
+        party: PartyId::Mediator,
+        from_step: 0,
+        steps: 4,
+    });
+    transport.install_faults(plan);
+}

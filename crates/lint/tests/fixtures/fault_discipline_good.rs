@@ -1,0 +1,10 @@
+//! Fixture: a protocol driver using only the fault-agnostic surface the
+//! transport exposes — degrade queries and typed delivery errors.
+
+pub fn tolerate(transport: &mut Transport) -> Result<Frame, MedError> {
+    match transport.deliver(PartyId::Mediator, PartyId::Client, "L2.4", &frame()) {
+        Ok(f) => Ok(f),
+        Err(MedError::Delivery(f)) if transport.degrade_on_exhausted() => Ok(fallback(f)),
+        Err(e) => Err(e),
+    }
+}

@@ -71,6 +71,11 @@ pub struct RunReport {
     pub leakage: Vec<String>,
     /// Rows in the final join result delivered to the client.
     pub result_rows: u64,
+    /// Robustness outcome key (`clean`/`recovered`/`degraded`/`aborted`);
+    /// empty for producers that predate fault injection.
+    pub outcome: String,
+    /// Retransmissions the delivery layer executed during the run.
+    pub retries: u64,
 }
 
 impl RunReport {
@@ -185,6 +190,8 @@ impl RunReport {
                 Json::arr(self.leakage.iter().map(|l| Json::Str(l.clone()))),
             ),
             ("result_rows", Json::UInt(self.result_rows)),
+            ("outcome", Json::Str(self.outcome.clone())),
+            ("retries", Json::UInt(self.retries)),
         ])
     }
 
@@ -201,6 +208,12 @@ impl RunReport {
             out.push_str(&format!("workload: {}\n", desc.join(" ")));
         }
         out.push_str(&format!("result rows: {}\n", self.result_rows));
+        if !self.outcome.is_empty() {
+            out.push_str(&format!(
+                "outcome: {} ({} retransmissions)\n",
+                self.outcome, self.retries
+            ));
+        }
 
         if !self.phases.is_empty() {
             out.push('\n');
@@ -383,6 +396,8 @@ mod tests {
             interactions: vec![("client".to_string(), 2)],
             leakage: vec!["mediator: 3 result sizes".to_string()],
             result_rows: 12,
+            outcome: "recovered".to_string(),
+            retries: 2,
         }
     }
 
@@ -425,6 +440,8 @@ mod tests {
             r#""hybrid-encrypt":5"#,
             r#""interactions":{"client":2}"#,
             r#""result_rows":12"#,
+            r#""outcome":"recovered""#,
+            r#""retries":2"#,
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }
@@ -435,6 +452,7 @@ mod tests {
         let t = sample().render_table();
         assert!(t.contains("=== run report: das ==="));
         assert!(t.contains("workload: left_rows=40 seed=7"));
+        assert!(t.contains("outcome: recovered (2 retransmissions)"));
         // Numeric columns right-align: header and rule share widths.
         let lines: Vec<&str> = t.lines().collect();
         let header = lines.iter().position(|l| l.starts_with("edge")).unwrap();

@@ -82,6 +82,15 @@ impl Gen {
         }
     }
 
+    /// A uniform per-mille rate in `[0, max]` (inclusive, `max` ≤ 1000) —
+    /// the unit fault-plan probabilities are expressed in.  Chaos suites
+    /// draw each fault kind's rate with this so a plan's rates stay
+    /// individually bounded and jointly below the 1000‰ budget.
+    pub fn per_mille(&mut self, max: u16) -> u16 {
+        assert!(max <= 1000, "per_mille: max above 1000‰");
+        self.u64_below(u64::from(max) + 1) as u16
+    }
+
     /// A uniform `usize` in `[lo, hi]` (inclusive).
     pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo <= hi, "usize_in: empty range");
@@ -201,6 +210,24 @@ mod tests {
             let v = g.usize_in(3, 3);
             assert_eq!(v, 3);
         }
+    }
+
+    #[test]
+    fn per_mille_stays_in_range_and_reaches_the_edges() {
+        let mut g = Gen::for_case("per-mille", 0);
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..500 {
+            let v = g.per_mille(5);
+            assert!(v <= 5);
+            saw_zero |= v == 0;
+            saw_max |= v == 5;
+        }
+        assert!(saw_zero && saw_max, "both endpoints of [0, max] appear");
+        for _ in 0..50 {
+            assert!(g.per_mille(1000) <= 1000);
+        }
+        assert_eq!(g.per_mille(0), 0);
     }
 
     #[test]

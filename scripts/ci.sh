@@ -15,6 +15,12 @@ cargo test -q --offline -p secmed-core --test determinism
 # golden vectors must match the codec byte for byte.
 cargo test -q --offline -p secmed-wire --test golden_vectors
 
+# The fault fabric's invariants, run by name: 64 seeded fault plans per
+# protocol, checked for typed outcomes, schedule-independent fault
+# logs, and exact byte accounting under retransmission.
+cargo test -q --offline -p secmed-core --test chaos
+echo "chaos suite: swept 64 fault seeds x 3 protocols x 3 thread counts (+ zero-fault equivalence)"
+
 # Static analysis: the in-tree lint (prints a rule → count table and
 # exits non-zero on any violation) and clippy with warnings denied.
 cargo run -q -p secmed-lint --offline
