@@ -1,0 +1,142 @@
+//! `BENCH_*.json` regression gate.
+//!
+//! Validates a freshly emitted trajectory file against schema version 1
+//! and, optionally, against a committed baseline:
+//!
+//! ```text
+//! bench_check FILE [--require NAME]... [--baseline FILE] [--max-ratio R]
+//! ```
+//!
+//! * `--require NAME` — the file must contain a bench series `NAME`
+//!   (repeatable).
+//! * `--baseline FILE` — compare against a baseline trajectory.  For every
+//!   series present in both files: deterministic units (anything but
+//!   `"ns"`) must match the baseline median *exactly*; wall-clock series
+//!   (`"ns"`) must keep `fresh ≤ baseline × R` (`--max-ratio`, default
+//!   `2.0` — generous because CI machines vary; the trajectory history is
+//!   the fine-grained record).
+//!
+//! Exit status 0 iff every check passes; each failure prints one line.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use secmed_obs::json::Json;
+use secmed_obs::trajectory;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_check FILE [--require NAME]... [--baseline FILE] [--max-ratio R]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut baseline: Option<String> = None;
+    let mut max_ratio = 2.0f64;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--require" => match it.next() {
+                Some(name) => required.push(name.clone()),
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(path) => baseline = Some(path.clone()),
+                None => return usage(),
+            },
+            "--max-ratio" => match it.next().and_then(|r| r.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => max_ratio = r,
+                _ => return usage(),
+            },
+            _ if file.is_none() && !arg.starts_with("--") => file = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+
+    let mut failures: Vec<String> = Vec::new();
+    let doc = match trajectory::load(Path::new(&file)) {
+        Ok(doc) => doc,
+        Err(errors) => {
+            for e in errors {
+                eprintln!("FAIL {file}: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let names = trajectory::bench_names(&doc);
+    println!(
+        "{file}: schema v{} ok, suite {:?}, {} series",
+        trajectory::SCHEMA_VERSION,
+        doc.get("suite").and_then(Json::as_str).unwrap_or("?"),
+        names.len()
+    );
+
+    for name in &required {
+        if !names.iter().any(|n| n == name) {
+            failures.push(format!("required series {name:?} is missing"));
+        }
+    }
+
+    if let Some(baseline) = baseline {
+        match trajectory::load(Path::new(&baseline)) {
+            Err(errors) => {
+                for e in errors {
+                    failures.push(format!("baseline {baseline}: {e}"));
+                }
+            }
+            Ok(base) => {
+                let mut compared = 0usize;
+                for name in &names {
+                    let (Some(fresh), Some(old)) = (
+                        trajectory::bench_median(&doc, name),
+                        trajectory::bench_median(&base, name),
+                    ) else {
+                        continue;
+                    };
+                    let unit = unit_of(&doc, name);
+                    compared += 1;
+                    if unit == "ns" {
+                        if old > 0.0 && fresh > old * max_ratio {
+                            failures.push(format!(
+                                "{name}: {fresh:.0} ns exceeds baseline {old:.0} ns × {max_ratio}"
+                            ));
+                        }
+                    } else if fresh != old {
+                        failures.push(format!(
+                            "{name}: deterministic series changed, {fresh} != baseline {old} ({unit})"
+                        ));
+                    }
+                }
+                println!("compared {compared} series against {baseline} (max ratio {max_ratio})");
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_check: ok");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// The declared unit of a named series (empty if absent).
+fn unit_of(doc: &Json, name: &str) -> String {
+    doc.get("benches")
+        .and_then(Json::as_array)
+        .and_then(|benches| {
+            benches
+                .iter()
+                .find(|b| b.get("name").and_then(Json::as_str) == Some(name))
+        })
+        .and_then(|b| b.get("unit").and_then(Json::as_str))
+        .unwrap_or("")
+        .to_string()
+}

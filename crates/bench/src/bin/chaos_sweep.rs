@@ -11,6 +11,8 @@ use secmed_core::{
     CommutativeConfig, DasConfig, DeliveryPolicy, Engine, FaultPlan, OnExhausted, Outage, PartyId,
     PmConfig, ProtocolKind, RunOptions, RunOutcome, ScenarioBuilder, TraceSink,
 };
+use secmed_obs::metrics;
+use secmed_obs::trajectory::TrajectoryFile;
 use secmed_testkit::Gen;
 
 const SEEDS: u64 = 64;
@@ -77,6 +79,10 @@ struct Tally {
 
 fn main() {
     let w = workload();
+    // Everything in this sweep is seeded, so the whole trajectory is
+    // deterministic — retries and overhead bytes compare exactly across
+    // machines.  The engine runs its default single-worker pool here.
+    let mut traj = TrajectoryFile::new("chaos", "chaos_sweep", 1);
     let kinds = [
         (
             "Database-as-a-Service",
@@ -139,6 +145,24 @@ fn main() {
             t.total_bytes += report.transport.total_bytes() as u64;
         }
 
+        let key = kind.key();
+        traj.push(&format!("{key}/retries"), "count", vec![t.retries as f64]);
+        traj.push(
+            &format!("{key}/overhead_bytes"),
+            "bytes",
+            vec![t.overhead_bytes as f64],
+        );
+        traj.push(
+            &format!("{key}/total_bytes"),
+            "bytes",
+            vec![t.total_bytes as f64],
+        );
+        traj.push(
+            &format!("{key}/aborted"),
+            "count",
+            vec![t.outcomes[3] as f64],
+        );
+
         // Overhead relative to what fault-free transfers would have cost.
         let pct = 100.0 * t.overhead_bytes as f64 / (clean_bytes * SEEDS) as f64;
         println!(
@@ -159,4 +183,10 @@ fn main() {
         "\nextra msgs/bytes = log entries the receiver did not accept (failed attempts,\n\
          duplicate copies); overhead% is extra bytes relative to {SEEDS} fault-free runs."
     );
+
+    traj.set_metrics(&metrics::snapshot());
+    let path = traj
+        .write_under(std::path::Path::new("target/bench"))
+        .expect("write BENCH_chaos.json");
+    println!("bench: {}", path.display());
 }

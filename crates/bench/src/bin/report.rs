@@ -21,9 +21,12 @@ use secmed_core::{
 };
 use secmed_obs::bench::cli_threads;
 use secmed_obs::json::Json;
+use secmed_obs::metrics;
+use secmed_obs::trajectory::TrajectoryFile;
 
 fn main() {
     let threads = cli_threads();
+    let mut traj = TrajectoryFile::new("core", "report", threads as u64);
     println!(
         "End-to-end protocol comparison (S6b). 512-bit groups, 512-bit Paillier, {threads} thread(s).\n"
     );
@@ -77,6 +80,18 @@ fn main() {
                 report.transport.bytes_received_by(&PartyId::Client),
                 report.result.len(),
             );
+            // Trajectory rows: wall-clock is machine-local, byte volume
+            // is deterministic and comparable against any baseline.
+            traj.push(
+                &format!("{}/rows{rows}", kind.key()),
+                "ns",
+                vec![elapsed.as_nanos() as f64],
+            );
+            traj.push(
+                &format!("{}/rows{rows}/bytes", kind.key()),
+                "bytes",
+                vec![report.transport.total_bytes() as f64],
+            );
             jsonl.push_str(
                 &Json::obj([
                     ("experiment", Json::Str("s6b-report".to_string())),
@@ -110,4 +125,10 @@ fn main() {
     let path = out_dir.join("report.jsonl");
     fs::write(&path, jsonl).expect("write report JSONL");
     println!("jsonl: {}", path.display());
+
+    // The performance trajectory, with the process's metrics registry
+    // split into deterministic (portable) and timing (machine-local).
+    traj.set_metrics(&metrics::snapshot());
+    let bench_path = traj.write_under(&out_dir).expect("write BENCH_core.json");
+    println!("bench: {}", bench_path.display());
 }

@@ -11,9 +11,12 @@ use secmed_core::{
 };
 use secmed_obs::bench::cli_threads;
 use secmed_obs::json::Json;
+use secmed_obs::metrics;
+use secmed_obs::trajectory::TrajectoryFile;
 
 fn main() {
     let threads = cli_threads();
+    let mut traj = TrajectoryFile::new("table2", "table2_primitives", threads as u64);
     let w = WorkloadSpec {
         left_rows: 30,
         right_rows: 30,
@@ -51,13 +54,32 @@ fn main() {
             .seed("table2")
             .paillier_bits(768)
             .build();
+        let before = metrics::snapshot();
         let report = Engine::run(&mut sc, &RunOptions::new(kind).threads(threads))
             .expect("protocol run succeeds");
+        // The obs registry mirrors every census bump as a `crypto.<op>`
+        // counter; its delta over the run must agree with the report's
+        // census exactly — two recorders, one truth.
+        let delta = metrics::snapshot().since(&before);
+        for (op, count) in &report.primitives {
+            let mirrored = delta.counter(&secmed_crypto::metrics::registry_name(*op));
+            assert_eq!(
+                mirrored,
+                *count,
+                "{name}: registry mirror disagrees with census for {}",
+                op.name()
+            );
+        }
         println!("== {name}");
         println!("   paper:    {paper}");
         print!("   measured:");
         for (op, count) in &report.primitives {
             print!(" {}×{count}", op.name());
+            traj.push(
+                &format!("{}/{}", kind.key(), op.name()),
+                "count",
+                vec![*count as f64],
+            );
         }
         println!("\n");
         jsonl.push_str(
@@ -85,4 +107,8 @@ fn main() {
     let path = out_dir.join("table2_primitives.jsonl");
     fs::write(&path, jsonl).expect("write table2 JSONL");
     println!("jsonl: {}", path.display());
+
+    traj.set_metrics(&metrics::snapshot());
+    let bench_path = traj.write_under(&out_dir).expect("write BENCH_table2.json");
+    println!("bench: {}", bench_path.display());
 }

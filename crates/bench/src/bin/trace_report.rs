@@ -27,6 +27,7 @@ use secmed_core::{
 };
 use secmed_obs::bench::cli_threads;
 use secmed_obs::json::Json;
+use secmed_obs::profile;
 use secmed_obs::trace;
 
 fn main() {
@@ -78,9 +79,24 @@ fn main() {
         );
         assert_eq!(report.result.len(), w.expected_join_size);
 
+        // Fold the span trace into a self/total-time profile; per-phase
+        // totals must reconcile exactly with the trace-derived phase rows
+        // before the collapsed stacks are written.
+        let prof = profile::aggregate(&records);
+        for phase in &unified.phases {
+            assert_eq!(
+                prof.total_of(&phase.name),
+                phase.wall_ns,
+                "profile total for {} disagrees with the span trace",
+                phase.name
+            );
+        }
+
         let key = kind.key();
         let trace_path = out_dir.join(format!("{key}.trace.jsonl"));
         fs::write(&trace_path, trace::export_jsonl(&records)).expect("write trace JSONL");
+        let collapsed_path = out_dir.join(format!("{key}.collapsed.txt"));
+        fs::write(&collapsed_path, prof.collapsed()).expect("write collapsed stacks");
         let json_path = out_dir.join(format!("{key}.report.json"));
         let mut value = unified.to_json();
         // Record how the run was executed alongside what it measured.
@@ -98,8 +114,10 @@ fn main() {
             .map(|(p, n)| format!("{p} ×{n}"))
             .collect();
         println!("§6 interaction pattern: {}", pattern.join(", "));
-        println!("trace:  {}", trace_path.display());
-        println!("report: {}", json_path.display());
+        println!("{}", prof.render_table());
+        println!("trace:   {}", trace_path.display());
+        println!("report:  {}", json_path.display());
+        println!("profile: {}", collapsed_path.display());
         println!();
     }
 }

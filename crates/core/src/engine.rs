@@ -256,6 +256,14 @@ impl Engine {
     fn run_traced(sc: &mut Scenario, opts: &RunOptions) -> Result<RunReport, MedError> {
         let kind = opts.protocol;
         let pool = Pool::new(opts.exec);
+        secmed_obs::metrics::incr(
+            secmed_obs::metrics::Class::Deterministic,
+            &format!("engine.runs.{}", kind.key()),
+            1,
+        );
+        // Timing class: the wall clock is read inside obs, behind its
+        // `Clock` abstraction — this module never names `Instant`.
+        let _run_timer = secmed_obs::metrics::start_timer("engine.run_ns");
         let mut root = secmed_obs::span("run");
         root.field("protocol", kind.key());
         let before = Snapshot::capture();
@@ -281,6 +289,7 @@ impl Engine {
                     mediator_view: Default::default(),
                     client_view: Default::default(),
                     primitives: Vec::new(),
+                    metrics: Vec::new(), // filled in below
                 }
             }
             Err(error) => return Err(error),
@@ -298,6 +307,18 @@ impl Engine {
         report.mediator_view = mediator_view;
         report.client_view = client_view;
         report.primitives = Snapshot::capture().since(&before);
+        // Per-run deterministic metrics: the fabric totals from this run's
+        // own transport log plus this run's census delta.  Both are pure
+        // functions of the scenario seed (never of wall clocks, schedules,
+        // or the process-global registry, which concurrent runs share), so
+        // the determinism fingerprint covers them at every thread count.
+        let mut metrics = report.transport.run_metrics();
+        for &(op, n) in &report.primitives {
+            metrics.push((secmed_crypto::metrics::registry_name(op), n));
+        }
+        metrics.push(("run.result_rows".to_string(), report.result.len() as u64));
+        metrics.sort();
+        report.metrics = metrics;
         // Finalize the outcome against the fabric's retry counter.
         let retries = report.transport.retries();
         report.outcome = match report.outcome {

@@ -90,6 +90,7 @@ pub fn unified_report(
         result_rows: report.result.len() as u64,
         outcome: report.outcome.key().to_string(),
         retries: report.outcome.retries(),
+        metrics: report.metrics.clone(),
     }
 }
 

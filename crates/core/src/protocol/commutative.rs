@@ -272,6 +272,21 @@ pub fn deliver(
     post.field("result_rows", result.len());
     drop(post);
 
+    {
+        use secmed_obs::metrics::{incr, Class};
+        incr(Class::Deterministic, "driver.commutative.runs", 1);
+        incr(
+            Class::Deterministic,
+            "driver.commutative.matched_pairs",
+            pairs.len() as u64,
+        );
+        incr(
+            Class::Deterministic,
+            "driver.commutative.result_rows",
+            result.len() as u64,
+        );
+    }
+
     Ok(RunReport {
         result,
         outcome: if degraded.is_empty() {
@@ -286,6 +301,7 @@ pub fn deliver(
         mediator_view: Default::default(),
         client_view: Default::default(),
         primitives: Vec::new(),
+        metrics: Vec::new(), // filled in by the engine
     })
 }
 

@@ -244,6 +244,21 @@ pub fn deliver(
     post.field("result_rows", result.len());
     drop(post);
 
+    {
+        use secmed_obs::metrics::{incr, Class};
+        incr(Class::Deterministic, "driver.das.runs", 1);
+        incr(
+            Class::Deterministic,
+            "driver.das.candidate_pairs",
+            pairs.len() as u64,
+        );
+        incr(
+            Class::Deterministic,
+            "driver.das.result_rows",
+            result.len() as u64,
+        );
+    }
+
     Ok(RunReport {
         result,
         outcome: if degraded.is_empty() {
@@ -258,6 +273,7 @@ pub fn deliver(
         mediator_view: Default::default(),
         client_view: Default::default(),
         primitives: Vec::new(),
+        metrics: Vec::new(), // filled in by the engine
     })
 }
 

@@ -262,6 +262,12 @@ pub struct RunReport {
     pub client_view: ClientView,
     /// Cryptographic primitives invoked during the run (Table 2 census).
     pub primitives: Vec<(Op, u64)>,
+    /// Deterministic-class metrics for this run, sorted by name: pure
+    /// functions of the scenario seed (frames, bytes, retries, fault and
+    /// primitive tallies), computed from this run's own transport log and
+    /// census delta — never from wall clocks — so the byte-identical
+    /// determinism fingerprint covers them at every thread count.
+    pub metrics: Vec<(String, u64)>,
 }
 
 /// A configured mediation scenario: one client, one mediator, two sources.

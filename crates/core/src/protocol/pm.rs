@@ -361,6 +361,26 @@ pub fn deliver(
         ..Default::default()
     };
 
+    {
+        use secmed_obs::metrics::{incr, Class};
+        incr(Class::Deterministic, "driver.pm.runs", 1);
+        incr(
+            Class::Deterministic,
+            "driver.pm.useful_payloads",
+            useful as u64,
+        );
+        incr(
+            Class::Deterministic,
+            "driver.pm.matched_pairs",
+            tuple_set_pairs.len() as u64,
+        );
+        incr(
+            Class::Deterministic,
+            "driver.pm.result_rows",
+            result.len() as u64,
+        );
+    }
+
     Ok(RunReport {
         result,
         outcome: if degraded.is_empty() {
@@ -375,6 +395,7 @@ pub fn deliver(
         mediator_view: Default::default(),
         client_view,
         primitives: Vec::new(),
+        metrics: Vec::new(), // filled in by the engine
     })
 }
 

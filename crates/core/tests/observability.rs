@@ -82,6 +82,72 @@ fn check(kind: ProtocolKind, seed: &str) {
     // The result row count in the report is the actual join size.
     assert_eq!(unified.result_rows, w.expected_join_size as u64);
 
+    // Deterministic run metrics reconcile with the recorders they mirror:
+    // fabric totals, per-receiver bytes, the Table 2 census, and the
+    // result cardinality — and the unified report carries them verbatim.
+    let metric = |name: &str| {
+        report
+            .metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    };
+    assert_eq!(
+        metric("transport.frames"),
+        Some(report.transport.message_count() as u64),
+        "{key}: frame metric drifted from the transport log"
+    );
+    assert_eq!(
+        metric("transport.bytes"),
+        Some(report.transport.total_bytes() as u64),
+        "{key}: byte metric drifted from the transport log"
+    );
+    assert_eq!(metric("transport.retries"), Some(0), "{key}: fault-free");
+    for party in ["client", "mediator", "source:r1", "source:r2"] {
+        let expected = report
+            .transport
+            .log()
+            .iter()
+            .filter(|e| e.to.to_string() == party)
+            .map(|e| e.bytes() as u64)
+            .sum::<u64>();
+        if expected > 0 {
+            assert_eq!(
+                metric(&format!("transport.to.{party}.bytes")),
+                Some(expected),
+                "{key}: per-receiver bytes drifted for {party}"
+            );
+        }
+    }
+    for (op, count) in &report.primitives {
+        assert_eq!(
+            metric(&secmed_crypto::metrics::registry_name(*op)),
+            Some(*count),
+            "{key}: census metric drifted for {}",
+            op.name()
+        );
+    }
+    assert_eq!(metric("run.result_rows"), Some(w.expected_join_size as u64));
+    let mut sorted = report.metrics.clone();
+    sorted.sort();
+    assert_eq!(report.metrics, sorted, "{key}: metrics must be sorted");
+    assert_eq!(
+        unified.metrics, report.metrics,
+        "{key}: unified report must carry the run metrics verbatim"
+    );
+
+    // The span-profile aggregation reproduces the per-phase totals that
+    // were computed straight from the raw records.
+    let prof = secmed_obs::profile::aggregate(&records);
+    for phase in &unified.phases {
+        assert_eq!(
+            prof.total_of(&phase.name),
+            phase.wall_ns,
+            "{key}: profile total for {} disagrees with the trace",
+            phase.name
+        );
+    }
+
     // §6 interaction pattern: DAS needs two client interactions with the
     // mediator; the encryption-key protocols need two per source.
     let of = |party: &str| {

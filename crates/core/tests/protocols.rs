@@ -494,8 +494,10 @@ fn commutative_id_mode_moves_fewer_bytes_through_sources() {
 
 #[test]
 fn transport_bytes_are_exact_frame_lengths_in_every_protocol() {
-    let w = small_workload("exact-bytes");
     for (name, kind) in all_protocol_configs() {
+        // `workload_for` keeps the inline-payload PM configs on tuple sets
+        // that fit a 768-bit Paillier plaintext (footnote 2's restriction).
+        let w = workload_for(name, "exact-bytes");
         let mut sc = ScenarioBuilder::new(&w)
             .seed("exact-bytes")
             .paillier_bits(768)

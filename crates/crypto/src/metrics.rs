@@ -5,8 +5,15 @@
 //! resets these counters, runs a protocol, and reports the primitives that
 //! were *actually* invoked.  Counters are process-global atomics, so they
 //! also work across the in-process parties of a protocol run.
+//!
+//! Every increment is mirrored into the `secmed_obs::metrics` registry as
+//! a deterministic-class counter named `crypto.<op-name>`, so the unified
+//! metrics exports carry the primitive census without a second
+//! instrumentation pass — and `table2_primitives` cross-checks that the
+//! two views never drift.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// A countable cryptographic operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,10 +104,30 @@ impl Op {
     }
 }
 
-/// Increments the counter for `op`.
+/// The registry name the census mirror publishes `op` under.
+pub fn registry_name(op: Op) -> String {
+    format!("crypto.{}", op.name())
+}
+
+/// Handles into the obs registry, one per op, interned on first use so
+/// the hot path is a single extra relaxed atomic add.
+fn obs_mirror() -> &'static [secmed_obs::metrics::Counter; OP_COUNT] {
+    static MIRROR: OnceLock<[secmed_obs::metrics::Counter; OP_COUNT]> = OnceLock::new();
+    MIRROR.get_or_init(|| {
+        std::array::from_fn(|i| {
+            secmed_obs::metrics::counter(
+                secmed_obs::metrics::Class::Deterministic,
+                &registry_name(ALL_OPS[i]),
+            )
+        })
+    })
+}
+
+/// Increments the counter for `op` (and its registry mirror).
 #[inline]
 pub fn count(op: Op) {
     COUNTERS[op as usize].fetch_add(1, Ordering::Relaxed);
+    obs_mirror()[op as usize].incr();
 }
 
 /// Current value of the counter for `op`.
@@ -183,5 +210,26 @@ mod tests {
     fn snapshot_since_is_empty_without_activity() {
         let s = Snapshot::capture();
         assert!(s.since(&s).is_empty());
+    }
+
+    #[test]
+    fn census_mirrors_into_obs_registry() {
+        // Parallel tests also count ops, so compare the two views' deltas
+        // of the same op as lower bounds anchored on this test's adds.
+        let census_before = Snapshot::capture();
+        let obs_before = secmed_obs::metrics::snapshot();
+        count(Op::SchnorrSign);
+        count(Op::SchnorrSign);
+        count(Op::SchnorrSign);
+        let census_delta = Snapshot::capture().since(&census_before);
+        let obs_delta = secmed_obs::metrics::snapshot().since(&obs_before);
+        let census_signs = census_delta
+            .iter()
+            .find(|(op, _)| *op == Op::SchnorrSign)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        let obs_signs = obs_delta.counter(&registry_name(Op::SchnorrSign));
+        assert!(census_signs >= 3);
+        assert!(obs_signs >= 3, "mirror must follow the census");
     }
 }

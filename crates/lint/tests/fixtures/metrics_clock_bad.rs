@@ -1,0 +1,17 @@
+// Fixture: scanned as crates/core/src/protocol/fixture.rs — instrumenting
+// a driver by reading the wall clock directly is exactly what the
+// obs-confined `Clock` abstraction exists to prevent; counters alone do
+// not license an `Instant` in protocol code.
+
+fn instrumented_phase() {
+    secmed_obs::metrics::incr(
+        secmed_obs::metrics::Class::Deterministic,
+        "driver.fixture.frames",
+        1,
+    );
+    let started = std::time::Instant::now(); // line 12
+    work();
+    let _ns = started.elapsed().as_nanos();
+}
+
+fn work() {}

@@ -1,0 +1,16 @@
+// Fixture: scanned as crates/core/src/protocol/fixture.rs — the sanctioned
+// instrumentation pattern: deterministic counters for run-report data plus
+// the obs-owned timer handle, which keeps the wall clock behind the
+// `secmed_obs::metrics::Clock` abstraction and out of driver code.
+
+fn instrumented_phase() {
+    secmed_obs::metrics::incr(
+        secmed_obs::metrics::Class::Deterministic,
+        "driver.fixture.frames",
+        1,
+    );
+    let _timer = secmed_obs::metrics::start_timer("driver.fixture.phase_ns");
+    work();
+}
+
+fn work() {}

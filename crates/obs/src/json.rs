@@ -6,6 +6,11 @@
 //! output, and builders that keep call-sites terse.  Objects preserve
 //! insertion order (they are association lists, not maps), which keeps
 //! exported reports diffable.
+//!
+//! [`parse`] is the matching reader: a small tolerant recursive-descent
+//! parser (leading/trailing whitespace, trailing commas, lone surrogates
+//! replaced) — enough for `bench_check` to re-read `BENCH_*.json` files
+//! without an external parser.
 
 use std::fmt::Write as _;
 
@@ -123,6 +128,336 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Object member lookup (first match; `None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(v) => Some(*v),
+            Json::Int(v) => Some(*v as f64),
+            Json::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// A parse failure: byte offset into the input plus a short message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing stopped.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document.  Tolerant where it is cheap to be: leading
+/// and trailing whitespace, trailing commas in arrays/objects, and lone
+/// `\uXXXX` surrogates (replaced with U+FFFD).  Non-negative integers
+/// become [`Json::UInt`], negative ones [`Json::Int`], everything else
+/// numeric [`Json::Float`] — matching what the writer emits, so
+/// `parse(v.render())` round-trips.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Array(items));
+            }
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1; // trailing comma before ']' tolerated
+                }
+                Some(b']') => {}
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut pairs = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Object(pairs));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1; // trailing comma before '}' tolerated
+                }
+                Some(b'}') => {}
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let nibble = match d {
+                b'0'..=b'9' => (d - b'0') as u32,
+                b'a'..=b'f' => (d - b'a' + 10) as u32,
+                b'A'..=b'F' => (d - b'A' + 10) as u32,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            v = (v << 4) | nibble;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain UTF-8.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Input is a &str, so any escape-free run is valid UTF-8.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Try to pair a high surrogate; tolerate a
+                                // lone one with U+FFFD.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    let save = self.pos;
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xdc00..0xe000).contains(&lo) {
+                                        0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                                    } else {
+                                        self.pos = save;
+                                        0xfffd
+                                    }
+                                } else {
+                                    0xfffd
+                                }
+                            } else if (0xdc00..0xe000).contains(&hi) {
+                                0xfffd // lone low surrogate
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("invalid number"));
+        }
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Json::Int(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+            // Out-of-range integers fall through to f64.
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
 fn indent(out: &mut String, depth: usize) {
     for _ in 0..depth {
         out.push_str("  ");
@@ -151,7 +486,7 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20 || (c as u32) == 0x7f => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -241,6 +576,123 @@ mod tests {
         assert_eq!(Json::arr([]).render(), "[]");
         assert_eq!(Json::obj::<String>([]).render(), "{}");
         assert_eq!(Json::arr([]).render_pretty(), "[]");
+    }
+
+    #[test]
+    fn control_chars_and_del_escape_and_round_trip() {
+        // Everything below 0x20, plus DEL (0x7f), must escape; the first
+        // printable characters after DEL must not.
+        let s: String = (0u32..=0x82).filter_map(char::from_u32).collect::<String>();
+        let rendered = Json::Str(s.clone()).render();
+        assert!(rendered.contains("\\u0000"));
+        assert!(rendered.contains("\\u000b"));
+        assert!(rendered.contains("\\u007f"));
+        assert!(!rendered.contains("\\u0080"), "0x80+ passes through raw");
+        assert_eq!(parse(&rendered), Ok(Json::Str(s)));
+    }
+
+    #[test]
+    fn integer_boundaries_round_trip_with_exact_types() {
+        for v in [0u64, 1, i64::MAX as u64, i64::MAX as u64 + 1, u64::MAX] {
+            let j = Json::UInt(v);
+            assert_eq!(parse(&j.render()), Ok(j), "u64 {v}");
+        }
+        for v in [i64::MIN, i64::MIN + 1, -1i64] {
+            let j = Json::Int(v);
+            assert_eq!(parse(&j.render()), Ok(j), "i64 {v}");
+        }
+        // One past i64::MIN has no integer spelling: tolerant float.
+        match parse("-9223372036854775809") {
+            Ok(Json::Float(f)) => assert!(f <= i64::MIN as f64),
+            other => panic!("expected float fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn object_insertion_order_survives_round_trip() {
+        let v = Json::obj([
+            ("zeta", Json::from(1u64)),
+            ("alpha", Json::from(2u64)),
+            (
+                "mid",
+                Json::obj([("y", Json::Null), ("x", Json::from(true))]),
+            ),
+        ]);
+        let reparsed = parse(&v.render()).expect("round trip");
+        assert_eq!(reparsed, v, "association lists preserve order");
+        assert_eq!(reparsed.render(), v.render());
+        // Pretty output parses back to the same value too.
+        assert_eq!(parse(&v.render_pretty()), Ok(v));
+    }
+
+    #[test]
+    fn parser_is_tolerant_where_documented() {
+        // Leading/trailing whitespace and trailing commas.
+        let v = parse(" \n\t{\"a\": [1, 2,], \"b\": {\"c\": null,},} \r\n").expect("tolerant");
+        assert_eq!(v.render(), r#"{"a":[1,2],"b":{"c":null}}"#);
+        // Escapes, including solidus and \b \f the writer never emits.
+        assert_eq!(
+            parse(r#""a\/bA\b\f""#),
+            Ok(Json::Str("a/bA\u{8}\u{c}".to_string()))
+        );
+        // Surrogate pair and tolerated lone surrogate.
+        assert_eq!(parse(r#""😀""#), Ok(Json::Str("\u{1f600}".to_string())));
+        assert_eq!(
+            parse(r#""\ud800x""#),
+            Ok(Json::Str("\u{fffd}x".to_string()))
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1 2]",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01x",
+            "nul",
+            "-",
+            "{\"a\":1} trailing",
+            r#""\q""#,
+        ] {
+            let e = parse(bad).expect_err(bad);
+            assert!(!e.message.is_empty());
+            assert!(e.to_string().contains("json parse error"));
+        }
+        // Depth bomb stays an error, not a stack overflow.
+        let deep = "[".repeat(4000) + &"]".repeat(4000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let v = parse(r#"{"s":"x","u":7,"i":-7,"f":1.5,"a":[true]}"#).expect("parse");
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("u").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("i").and_then(Json::as_u64), None);
+        assert_eq!(v.get("i").and_then(Json::as_f64), Some(-7.0));
+        assert_eq!(v.get("f").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(v.as_object().map(<[(String, Json)]>::len), Some(5));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("s"), None);
+    }
+
+    #[test]
+    fn float_round_trip_through_parse() {
+        for v in [0.0f64, 2.0, -1.25, 6.02e23, 1e-9] {
+            let rendered = Json::Float(v).render();
+            let back = parse(&rendered)
+                .expect(&rendered)
+                .as_f64()
+                .expect("numeric");
+            assert_eq!(back, v, "{rendered}");
+        }
     }
 
     #[test]

@@ -76,6 +76,12 @@ pub struct RunReport {
     pub outcome: String,
     /// Retransmissions the delivery layer executed during the run.
     pub retries: u64,
+    /// Deterministic-class run metrics as sorted `(name, value)` pairs —
+    /// fabric totals, per-kind fault counts, primitive census entries and
+    /// result cardinality, all derived from the run's own recorders (never
+    /// from wall clocks), so the vector is reproducible across reruns and
+    /// thread counts.
+    pub metrics: Vec<(String, u64)>,
 }
 
 impl RunReport {
@@ -192,6 +198,15 @@ impl RunReport {
             ("result_rows", Json::UInt(self.result_rows)),
             ("outcome", Json::Str(self.outcome.clone())),
             ("retries", Json::UInt(self.retries)),
+            (
+                "metrics",
+                Json::Object(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -265,6 +280,16 @@ impl RunReport {
                 .collect();
             rows.push(["total".to_string(), self.total_ops().to_string()]);
             push_table(&mut out, &["primitive", "count"], &rows);
+        }
+
+        if !self.metrics.is_empty() {
+            out.push('\n');
+            let rows: Vec<[String; 2]> = self
+                .metrics
+                .iter()
+                .map(|(k, v)| [k.clone(), v.to_string()])
+                .collect();
+            push_table(&mut out, &["metric", "value"], &rows);
         }
 
         if !self.leakage.is_empty() {
@@ -398,6 +423,10 @@ mod tests {
             result_rows: 12,
             outcome: "recovered".to_string(),
             retries: 2,
+            metrics: vec![
+                ("run.result_rows".to_string(), 12),
+                ("transport.frames".to_string(), 5),
+            ],
         }
     }
 
@@ -442,6 +471,7 @@ mod tests {
             r#""result_rows":12"#,
             r#""outcome":"recovered""#,
             r#""retries":2"#,
+            r#""metrics":{"run.result_rows":12,"transport.frames":5}"#,
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }
@@ -461,6 +491,7 @@ mod tests {
         assert!(t.contains("total"));
         assert!(t.contains("1.500 ms"));
         assert!(t.contains("700 ns"));
+        assert!(t.contains("transport.frames"));
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! The `BENCH_*.json` performance-trajectory file format.
+//!
+//! Every bench binary emits one file per suite under `target/bench/`,
+//! named `BENCH_<suite>.json`; a committed `BENCH_core.json` at the repo
+//! root is the baseline that `scripts/bench_check.sh` compares fresh
+//! emissions against.  Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "core",
+//!   "emitter": "report",
+//!   "git_rev": "abc1234",
+//!   "threads": 1,
+//!   "benches": [
+//!     {"name": "das/rows64", "unit": "ns",
+//!      "samples": [..],
+//!      "summary": {"mean": .., "median": .., "stddev": .., "min": .., "max": ..}}
+//!   ],
+//!   "metrics": {"deterministic": {..}, "timing": {..}}
+//! }
+//! ```
+//!
+//! `metrics` holds two [`crate::metrics::MetricsSnapshot`] JSON exports,
+//! keeping the deterministic counters (comparable across machines) apart
+//! from wall-clock data (comparable only against the same machine's
+//! history).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, Json};
+use crate::metrics::{Class, MetricsSnapshot};
+
+/// Current schema version; bump when the layout changes incompatibly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One named measurement series inside a trajectory file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEntry {
+    /// Bench name, e.g. `"das/rows64"`.
+    pub name: String,
+    /// Unit of every sample, e.g. `"ns"` or `"bytes"`.
+    pub unit: String,
+    /// Raw samples in recording order.
+    pub samples: Vec<f64>,
+}
+
+impl TrajectoryEntry {
+    /// Summary statistics over the samples (all zero when empty).
+    pub fn summary(&self) -> (f64, f64, f64, f64, f64) {
+        if self.samples.is_empty() {
+            return (0.0, 0.0, 0.0, 0.0, 0.0);
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        (mean, median, var.sqrt(), min, max)
+    }
+
+    fn to_json(&self) -> Json {
+        let (mean, median, stddev, min, max) = self.summary();
+        Json::obj([
+            ("name", Json::from(self.name.clone())),
+            ("unit", Json::from(self.unit.clone())),
+            (
+                "samples",
+                Json::arr(self.samples.iter().map(|&s| Json::Float(s))),
+            ),
+            (
+                "summary",
+                Json::obj([
+                    ("mean", Json::Float(mean)),
+                    ("median", Json::Float(median)),
+                    ("stddev", Json::Float(stddev)),
+                    ("min", Json::Float(min)),
+                    ("max", Json::Float(max)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A whole `BENCH_<suite>.json` file under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryFile {
+    /// Suite name; determines the file name `BENCH_<suite>.json`.
+    pub suite: String,
+    /// The binary that produced the file, e.g. `"report"`.
+    pub emitter: String,
+    /// Git revision the measurements were taken at.
+    pub git_rev: String,
+    /// Worker thread count the suite ran with.
+    pub threads: u64,
+    /// The measurement series.
+    pub benches: Vec<TrajectoryEntry>,
+    /// Deterministic-class metrics snapshot (portable across machines).
+    pub deterministic: MetricsSnapshot,
+    /// Timing-class metrics snapshot (machine-local).
+    pub timing: MetricsSnapshot,
+}
+
+/// The git revision to stamp into trajectory files: `BENCH_GIT_REV` if
+/// set (CI pins it), else `git rev-parse --short HEAD`, else `"unknown"`.
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("BENCH_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+impl TrajectoryFile {
+    /// An empty trajectory for `suite`, stamped with [`git_rev`].
+    pub fn new(suite: &str, emitter: &str, threads: u64) -> Self {
+        TrajectoryFile {
+            suite: suite.to_string(),
+            emitter: emitter.to_string(),
+            git_rev: git_rev(),
+            threads,
+            benches: Vec::new(),
+            deterministic: MetricsSnapshot::default(),
+            timing: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Appends one measurement series.
+    pub fn push(&mut self, name: &str, unit: &str, samples: Vec<f64>) {
+        self.benches.push(TrajectoryEntry {
+            name: name.to_string(),
+            unit: unit.to_string(),
+            samples,
+        });
+    }
+
+    /// Attaches a metrics snapshot, split by class.
+    pub fn set_metrics(&mut self, snapshot: &MetricsSnapshot) {
+        self.deterministic = snapshot.only(Class::Deterministic);
+        self.timing = snapshot.only(Class::Timing);
+    }
+
+    /// The whole file as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
+            ("suite", Json::from(self.suite.clone())),
+            ("emitter", Json::from(self.emitter.clone())),
+            ("git_rev", Json::from(self.git_rev.clone())),
+            ("threads", Json::UInt(self.threads)),
+            (
+                "benches",
+                Json::arr(self.benches.iter().map(TrajectoryEntry::to_json)),
+            ),
+            (
+                "metrics",
+                Json::obj([
+                    ("deterministic", self.deterministic.to_json()),
+                    ("timing", self.timing.to_json()),
+                ]),
+            ),
+        ])
+    }
+
+    /// The file name this suite serializes to.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.suite)
+    }
+
+    /// Writes `dir/BENCH_<suite>.json` (pretty, trailing newline),
+    /// creating `dir` if needed.  Returns the written path.
+    pub fn write_under(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json().render_pretty() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// A schema violation found by [`validate`].
+pub type SchemaError = String;
+
+/// Validates a parsed `BENCH_*.json` document against schema version 1.
+/// Returns every violation (empty ⇒ valid).
+pub fn validate(doc: &Json) -> Vec<SchemaError> {
+    let mut errors = Vec::new();
+    let Some(_) = doc.as_object() else {
+        return vec!["document is not an object".to_string()];
+    };
+    match doc.get("schema_version").and_then(Json::as_u64) {
+        Some(SCHEMA_VERSION) => {}
+        Some(v) => errors.push(format!("schema_version {v} != supported {SCHEMA_VERSION}")),
+        None => errors.push("missing integer schema_version".to_string()),
+    }
+    for key in ["suite", "emitter", "git_rev"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            errors.push(format!("missing string {key}"));
+        }
+    }
+    if doc.get("threads").and_then(Json::as_u64).is_none() {
+        errors.push("missing integer threads".to_string());
+    }
+    match doc.get("benches").and_then(Json::as_array) {
+        None => errors.push("missing array benches".to_string()),
+        Some(benches) => {
+            for (i, b) in benches.iter().enumerate() {
+                let label = b
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("benches[{i}]"));
+                if b.get("name").and_then(Json::as_str).is_none() {
+                    errors.push(format!("{label}: missing string name"));
+                }
+                if b.get("unit").and_then(Json::as_str).is_none() {
+                    errors.push(format!("{label}: missing string unit"));
+                }
+                let samples = b.get("samples").and_then(Json::as_array);
+                match samples {
+                    None => errors.push(format!("{label}: missing array samples")),
+                    Some(s) if s.iter().any(|v| v.as_f64().is_none()) => {
+                        errors.push(format!("{label}: non-numeric sample"));
+                    }
+                    _ => {}
+                }
+                match b.get("summary").and_then(Json::as_object) {
+                    None => errors.push(format!("{label}: missing object summary")),
+                    Some(_) => {
+                        for stat in ["mean", "median", "stddev", "min", "max"] {
+                            if b.get("summary")
+                                .and_then(|s| s.get(stat))
+                                .and_then(Json::as_f64)
+                                .is_none()
+                            {
+                                errors.push(format!("{label}: summary missing {stat}"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    match doc.get("metrics").and_then(Json::as_object) {
+        None => errors.push("missing object metrics".to_string()),
+        Some(_) => {
+            for class in ["deterministic", "timing"] {
+                if doc
+                    .get("metrics")
+                    .and_then(|m| m.get(class))
+                    .and_then(Json::as_object)
+                    .is_none()
+                {
+                    errors.push(format!("metrics missing object {class}"));
+                }
+            }
+        }
+    }
+    errors
+}
+
+/// Reads and validates a `BENCH_*.json` file; `Ok` carries the parsed
+/// document, `Err` the list of problems.
+pub fn load(path: &Path) -> Result<Json, Vec<SchemaError>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| vec![format!("{}: {e}", path.display())])?;
+    let doc = json::parse(&text).map_err(|e| vec![format!("{}: {e}", path.display())])?;
+    let errors = validate(&doc);
+    if errors.is_empty() {
+        Ok(doc)
+    } else {
+        Err(errors)
+    }
+}
+
+/// The median of a named bench inside a parsed trajectory document.
+pub fn bench_median(doc: &Json, name: &str) -> Option<f64> {
+    doc.get("benches")?
+        .as_array()?
+        .iter()
+        .find(|b| b.get("name").and_then(Json::as_str) == Some(name))?
+        .get("summary")?
+        .get("median")?
+        .as_f64()
+}
+
+/// Every bench name inside a parsed trajectory document.
+pub fn bench_names(doc: &Json) -> Vec<String> {
+    doc.get("benches")
+        .and_then(Json::as_array)
+        .map(|benches| {
+            benches
+                .iter()
+                .filter_map(|b| b.get("name").and_then(Json::as_str))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn sample_file() -> TrajectoryFile {
+        let mut f = TrajectoryFile::new("testsuite", "unit-test", 2);
+        f.git_rev = "deadbee".to_string(); // pin: no git dependence in tests
+        f.push("alpha/one", "ns", vec![10.0, 30.0, 20.0]);
+        f.push("beta/two", "bytes", vec![512.0]);
+        f
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let f = sample_file();
+        let (mean, median, stddev, min, max) = f.benches[0].summary();
+        assert_eq!(mean, 20.0);
+        assert_eq!(median, 20.0);
+        assert!((stddev - 8.164965809).abs() < 1e-6);
+        assert_eq!(min, 10.0);
+        assert_eq!(max, 30.0);
+        let empty = TrajectoryEntry {
+            name: "e".into(),
+            unit: "ns".into(),
+            samples: vec![],
+        };
+        assert_eq!(empty.summary(), (0.0, 0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn emitted_file_round_trips_and_validates() {
+        let mut f = sample_file();
+        metrics::counter(metrics::Class::Deterministic, "t.traj.frames").add(4);
+        f.set_metrics(&metrics::snapshot());
+        let doc = json::parse(&f.to_json().render_pretty()).expect("parse");
+        assert_eq!(validate(&doc), Vec::<String>::new());
+        assert_eq!(doc.get("suite").and_then(Json::as_str), Some("testsuite"));
+        assert_eq!(doc.get("threads").and_then(Json::as_u64), Some(2));
+        assert_eq!(bench_names(&doc), vec!["alpha/one", "beta/two"]);
+        assert_eq!(bench_median(&doc, "alpha/one"), Some(20.0));
+        assert_eq!(bench_median(&doc, "nope"), None);
+        assert!(doc
+            .get("metrics")
+            .and_then(|m| m.get("deterministic"))
+            .and_then(|d| d.get("counters"))
+            .and_then(|c| c.get("t.traj.frames"))
+            .and_then(Json::as_u64)
+            .map(|v| v >= 4)
+            .unwrap_or(false));
+        // Timing data never leaks into the deterministic section.
+        assert!(doc
+            .get("metrics")
+            .and_then(|m| m.get("timing"))
+            .and_then(Json::as_object)
+            .is_some());
+    }
+
+    #[test]
+    fn validate_reports_each_violation() {
+        let doc = json::parse(
+            r#"{"schema_version":9,"suite":"s","threads":"x",
+                "benches":[{"unit":"ns","samples":[1,"bad"]}]}"#,
+        )
+        .expect("parse");
+        let errors = validate(&doc);
+        let joined = errors.join("; ");
+        for needle in [
+            "schema_version 9",
+            "missing string emitter",
+            "missing string git_rev",
+            "missing integer threads",
+            "missing string name",
+            "non-numeric sample",
+            "missing object summary",
+            "missing object metrics",
+        ] {
+            assert!(joined.contains(needle), "missing {needle:?} in {joined}");
+        }
+        assert_eq!(
+            validate(&Json::Null),
+            vec!["document is not an object".to_string()]
+        );
+    }
+
+    #[test]
+    fn write_under_creates_named_file() {
+        let dir = std::env::temp_dir().join(format!("secmed-traj-{}", std::process::id()));
+        let f = sample_file();
+        let path = f.write_under(&dir).expect("write");
+        assert!(path.ends_with("BENCH_testsuite.json"));
+        let doc = load(&path).expect("valid file");
+        assert_eq!(doc.get("git_rev").and_then(Json::as_str), Some("deadbee"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn load_rejects_invalid_schema() {
+        let dir = std::env::temp_dir().join(format!("secmed-traj-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("BENCH_bad.json");
+        std::fs::write(&path, "{\"schema_version\":1}").expect("write");
+        let errors = load(&path).expect_err("schema errors");
+        assert!(errors.iter().any(|e| e.contains("missing array benches")));
+        assert!(load(&dir.join("BENCH_absent.json")).is_err());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

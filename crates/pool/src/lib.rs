@@ -34,8 +34,47 @@
 //! The crate is std-only, `forbid(unsafe_code)`, and contains no clocks,
 //! sockets, or channels — the repo lint enforces that scoped threads stay
 //! in here and wall-clock reads stay in `crates/obs`/`crates/bench`.
+//! Every fan-out reports deterministic-class metrics (`pool.calls`,
+//! `pool.items`, `pool.chunks`, `pool.chunk_items`) to the
+//! `secmed_obs::metrics` registry; the counts depend only on workload
+//! size and thread budget, never on scheduling.
 
 use std::ops::Range;
+use std::sync::OnceLock;
+
+use secmed_obs::metrics::{self, Class, Counter, Histogram};
+
+/// Deterministic-class pool instrumentation: how often the pool is
+/// entered, how many items it fans out, and the chunk-size distribution.
+/// Handles are interned once; the hot path pays one relaxed atomic add
+/// per field.  All values are pure functions of the workload and the
+/// thread budget, never of scheduling.
+struct PoolMetrics {
+    calls: Counter,
+    items: Counter,
+    chunks: Counter,
+    chunk_items: Histogram,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        calls: metrics::counter(Class::Deterministic, "pool.calls"),
+        items: metrics::counter(Class::Deterministic, "pool.items"),
+        chunks: metrics::counter(Class::Deterministic, "pool.chunks"),
+        chunk_items: metrics::histogram(Class::Deterministic, "pool.chunk_items"),
+    })
+}
+
+fn record_fanout(len: usize, ranges: &[Range<usize>]) {
+    let m = pool_metrics();
+    m.calls.incr();
+    m.items.add(len as u64);
+    m.chunks.add(ranges.len() as u64);
+    for r in ranges {
+        m.chunk_items.observe((r.end - r.start) as u64);
+    }
+}
 
 /// How a protocol run executes: the worker-thread budget.
 ///
@@ -137,6 +176,7 @@ impl Pool {
         let run_range =
             |range: Range<usize>| -> Result<Vec<U>, E> { range.map(|i| f(i, &items[i])).collect() };
         let ranges = chunk_ranges(items.len(), self.threads);
+        record_fanout(items.len(), &ranges);
         if ranges.len() <= 1 {
             return run_range(0..items.len());
         }
@@ -182,6 +222,7 @@ impl Pool {
         F: Fn(usize, &[T]) -> Vec<U> + Sync,
     {
         let ranges = chunk_ranges(items.len(), self.threads);
+        record_fanout(items.len(), &ranges);
         if ranges.len() <= 1 {
             return f(0, items);
         }
@@ -344,6 +385,24 @@ mod tests {
         let pool = Pool::with_threads(64);
         let items: Vec<u64> = (0..5).collect();
         assert_eq!(pool.par_map(&items, |_, x| x * 2), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn fanout_metrics_count_calls_items_and_chunks() {
+        // The registry is process-global and other pool tests run
+        // concurrently in this binary, so assert deltas as lower bounds.
+        let before = secmed_obs::metrics::snapshot();
+        let pool = Pool::with_threads(4);
+        let items: Vec<u64> = (0..40).collect();
+        let _ = pool.par_map(&items, |_, x| *x);
+        let _ = pool.par_chunks(&items, |_, c| c.to_vec());
+        let delta = secmed_obs::metrics::snapshot().since(&before);
+        assert!(delta.counter("pool.calls") >= 2);
+        assert!(delta.counter("pool.items") >= 80);
+        assert!(delta.counter("pool.chunks") >= 8, "4 chunks per call");
+        let h = delta.histogram("pool.chunk_items").expect("chunk sizes");
+        assert!(h.count() >= 8);
+        assert!(h.max() >= 10, "40 items over 4 workers: 10 per chunk");
     }
 
     #[test]

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# BENCH_*.json regression gate.
+#
+#   scripts/bench_check.sh          # smoke: emit BENCH_core.json, check
+#                                   # schema + required series (CI mode)
+#   scripts/bench_check.sh full     # also gate against the committed
+#                                   # baseline BENCH_core.json: byte
+#                                   # series exactly, wall-clock within
+#                                   # --max-ratio
+#
+# The committed baseline lives at the repo root; refresh it with
+#   cargo run --release -p secmed-bench --bin report && \
+#   cp target/bench/BENCH_core.json BENCH_core.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-smoke}"
+
+# Emit a fresh trajectory (also exercises the instrumented engine paths).
+cargo run -q --release --offline -p secmed-bench --bin report >/dev/null
+
+required=()
+for proto in das commutative pm; do
+  for rows in 16 32 64 128; do
+    required+=(--require "$proto/rows$rows" --require "$proto/rows$rows/bytes")
+  done
+done
+
+if [ "$mode" = full ]; then
+  cargo run -q --release --offline -p secmed-bench --bin bench_check -- \
+    target/bench/BENCH_core.json "${required[@]}" \
+    --baseline BENCH_core.json --max-ratio 4.0
+else
+  cargo run -q --release --offline -p secmed-bench --bin bench_check -- \
+    target/bench/BENCH_core.json "${required[@]}"
+fi

@@ -21,6 +21,20 @@ cargo test -q --offline -p secmed-wire --test golden_vectors
 cargo test -q --offline -p secmed-core --test chaos
 echo "chaos suite: swept 64 fault seeds x 3 protocols x 3 thread counts (+ zero-fault equivalence)"
 
+# The metrics registry and span-profile aggregation, run by name: the
+# deterministic/timing class split and the self-time invariant are what
+# keep RunReports reproducible while still carrying metrics.
+cargo test -q --offline -p secmed-obs metrics::
+cargo test -q --offline -p secmed-obs profile::
+cargo test -q --offline -p secmed-obs trajectory::
+cargo test -q --offline -p secmed-core --test observability
+
+# The BENCH_*.json gate in smoke mode: emit a fresh core trajectory and
+# validate schema + required series (full baseline compare is manual:
+# scripts/bench_check.sh full).
+scripts/bench_check.sh
+echo "bench gate: BENCH_core.json schema + series presence ok"
+
 # Static analysis: the in-tree lint (prints a rule → count table and
 # exits non-zero on any violation) and clippy with warnings denied.
 cargo run -q -p secmed-lint --offline
