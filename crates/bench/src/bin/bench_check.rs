@@ -4,11 +4,17 @@
 //! and, optionally, against a committed baseline:
 //!
 //! ```text
-//! bench_check FILE [--require NAME]... [--baseline FILE] [--max-ratio R]
+//! bench_check FILE [--require NAME]... [--require-timing NAME]...
+//!             [--baseline FILE] [--max-ratio R]
 //! ```
 //!
 //! * `--require NAME` — the file must contain a bench series `NAME`
 //!   (repeatable).
+//! * `--require-timing NAME` — like `--require`, but the series must also
+//!   be *declared* as wall-clock (`"ns"`), i.e. one the baseline compare
+//!   treats ratio-wise and never byte-exactly.  Guards against a timing
+//!   series being accidentally re-declared deterministic, which would
+//!   make CI flaky on machine variance.
 //! * `--baseline FILE` — compare against a baseline trajectory.  For every
 //!   series present in both files: deterministic units (anything but
 //!   `"ns"`) must match the baseline median *exactly*; wall-clock series
@@ -25,7 +31,10 @@ use secmed_obs::json::Json;
 use secmed_obs::trajectory;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_check FILE [--require NAME]... [--baseline FILE] [--max-ratio R]");
+    eprintln!(
+        "usage: bench_check FILE [--require NAME]... [--require-timing NAME]... \
+         [--baseline FILE] [--max-ratio R]"
+    );
     ExitCode::from(2)
 }
 
@@ -33,6 +42,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file: Option<String> = None;
     let mut required: Vec<String> = Vec::new();
+    let mut required_timing: Vec<String> = Vec::new();
     let mut baseline: Option<String> = None;
     let mut max_ratio = 2.0f64;
 
@@ -41,6 +51,10 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--require" => match it.next() {
                 Some(name) => required.push(name.clone()),
+                None => return usage(),
+            },
+            "--require-timing" => match it.next() {
+                Some(name) => required_timing.push(name.clone()),
                 None => return usage(),
             },
             "--baseline" => match it.next() {
@@ -78,6 +92,20 @@ fn main() -> ExitCode {
     for name in &required {
         if !names.iter().any(|n| n == name) {
             failures.push(format!("required series {name:?} is missing"));
+        }
+    }
+
+    for name in &required_timing {
+        if !names.iter().any(|n| n == name) {
+            failures.push(format!("required timing series {name:?} is missing"));
+        } else {
+            let unit = unit_of(&doc, name);
+            if unit != "ns" {
+                failures.push(format!(
+                    "{name}: declared unit {unit:?}, expected \"ns\" — wall-clock \
+                     must stay a timing series or baseline compares become flaky"
+                ));
+            }
         }
     }
 

@@ -66,6 +66,7 @@ impl ExpElGamalKeyPair {
     /// Recovers `g^m` (always possible); the caller may already know how
     /// to interpret it — e.g. "is it `g^0 = 1`?" costs no discrete log.
     pub fn decrypt_element(&self, ct: &ExpElGamalCiphertext) -> Natural {
+        count(Op::PaillierDecrypt); // homomorphic-decryption op class
         let g = &self.public.group;
         // c1 lies in the prime-order-q subgroup, so (c1^x)^{-1} = c1^{q-x}:
         // the inverse is one more exponentiation, with no fallible modinv.
@@ -144,6 +145,7 @@ impl ExpElGamalCiphertext {
 
 /// Baby-step/giant-step: finds `m < bound` with `g^m = target`, if any.
 pub fn discrete_log(group: &SafePrimeGroup, target: &Natural, bound: u64) -> Option<u64> {
+    count(Op::DiscreteLog);
     if target.is_one() {
         return Some(0);
     }

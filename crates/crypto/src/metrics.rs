@@ -53,9 +53,14 @@ pub enum Op {
     SchnorrVerify,
     /// Fresh random masks drawn for polynomial evaluation.
     RandomMask,
+    /// Commutative (SRA) decryptions `y -> y^d mod p`.
+    CommutativeDecrypt,
+    /// Baby-step/giant-step discrete-log recoveries (exponential ElGamal
+    /// decode).
+    DiscreteLog,
 }
 
-const OP_COUNT: usize = 17;
+const OP_COUNT: usize = 19;
 
 static COUNTERS: [AtomicU64; OP_COUNT] = [const { AtomicU64::new(0) }; OP_COUNT];
 
@@ -77,6 +82,8 @@ const ALL_OPS: [Op; OP_COUNT] = [
     Op::SchnorrSign,
     Op::SchnorrVerify,
     Op::RandomMask,
+    Op::CommutativeDecrypt,
+    Op::DiscreteLog,
 ];
 
 impl Op {
@@ -100,6 +107,8 @@ impl Op {
             Op::SchnorrSign => "schnorr-sign",
             Op::SchnorrVerify => "schnorr-verify",
             Op::RandomMask => "random-mask",
+            Op::CommutativeDecrypt => "commutative-decrypt",
+            Op::DiscreteLog => "discrete-log",
         }
     }
 }

@@ -139,7 +139,7 @@ impl PaillierKeyPair {
         loop {
             let p = gen_prime(n_bits / 2, rng);
             let q = gen_prime(n_bits.div_ceil(2), rng);
-            // lint:allow(secret-branching) -- keygen rejection sampling: a
+            // lint:allow(secret-flow) -- keygen rejection sampling: a
             // p = q collision is discarded, so the branch reveals nothing
             // about the factors actually kept.
             if p == q {
@@ -274,6 +274,7 @@ impl PaillierPublicKey {
     /// Fresh encryption of zero multiplied in — makes a ciphertext
     /// unlinkable to its origin.
     pub fn rerandomize(&self, a: &PaillierCiphertext, rng: &mut dyn Rng) -> PaillierCiphertext {
+        count(Op::PaillierEncrypt); // a rerandomization is a fresh encryption of zero
         let r = self.random_unit(rng);
         let rn = self.mont_n2.modpow(&r, &self.n);
         PaillierCiphertext(a.0.modmul(&rn, &self.n2))

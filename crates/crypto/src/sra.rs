@@ -81,12 +81,12 @@ impl SraCipher {
         let q = domain.group.q();
         loop {
             let e = random_below(rng, q);
-            // lint:allow(secret-branching) -- keygen rejection sampling: the
+            // lint:allow(secret-flow) -- keygen rejection sampling: the
             // candidate is discarded (never used) when the branch rejects it.
             if e.is_zero() || e.is_one() {
                 continue;
             }
-            // lint:allow(secret-branching) -- same rejection-sampling loop;
+            // lint:allow(secret-flow) -- same rejection-sampling loop;
             // a rejected candidate leaks nothing about the key actually kept.
             if !gcd(&e, q).is_one() {
                 continue;
@@ -127,6 +127,7 @@ impl SraCipher {
 
     /// `f_e^{-1}(y) = y^d mod p`.
     pub fn decrypt(&self, y: &Natural) -> Natural {
+        count(Op::CommutativeDecrypt);
         self.domain.group.pow(y, &self.d)
     }
 

@@ -1,0 +1,213 @@
+//! The `lint-baseline.json` ratchet.
+//!
+//! Findings the team has reviewed and accepted (false positives awaiting
+//! an analyzer refinement, or debt burned down incrementally) live in a
+//! committed baseline keyed by `(file, rule, line)`.  The ratchet is
+//! two-sided:
+//!
+//! * a finding **not** in the baseline fails CI (new violations cannot
+//!   land), and
+//! * a baseline entry with no matching finding fails CI too (a fixed
+//!   finding must be removed from the baseline in the same commit, so
+//!   the file never rots into a blanket allow-list).
+//!
+//! `secmed-lint --bless-baseline` regenerates the file from the current
+//! findings; the diff is the review surface.
+
+use std::collections::BTreeSet;
+
+use secmed_obs::json::{self, Json};
+
+use crate::engine::Finding;
+
+/// One accepted finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Why the finding is accepted (free text, for the reviewer).
+    pub note: String,
+}
+
+/// A parsed baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Entries, sorted by (file, rule, line).
+    pub entries: Vec<Entry>,
+}
+
+/// The result of ratcheting findings against a baseline.
+#[derive(Debug)]
+pub struct Ratchet {
+    /// Findings not covered by the baseline — these fail CI.
+    pub new_findings: Vec<Finding>,
+    /// Baseline entries that no longer match any finding — these fail CI
+    /// too (remove them from `lint-baseline.json`).
+    pub stale: Vec<Entry>,
+    /// Findings silenced by a baseline entry.
+    pub matched: usize,
+}
+
+impl Ratchet {
+    /// True when the ratchet neither admits new findings nor carries
+    /// stale entries.
+    pub fn clean(&self) -> bool {
+        self.new_findings.is_empty() && self.stale.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Parses a baseline document.  Accepts the shape
+    /// `{"entries": [{"file":…, "rule":…, "line":…, "note":…}, …]}`.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let items = doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "baseline: missing `entries` array".to_string())?;
+        let mut entries = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            let field = |k: &str| {
+                item.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry {i}: missing `{k}`"))
+            };
+            let line = item
+                .get("line")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("baseline entry {i}: missing `line`"))?;
+            entries.push(Entry {
+                file: field("file")?,
+                rule: field("rule")?,
+                line: u32::try_from(line)
+                    .map_err(|_| format!("baseline entry {i}: line out of range"))?,
+                note: field("note").unwrap_or_default(),
+            });
+        }
+        entries.sort();
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes the baseline (pretty, trailing newline) for committing.
+    pub fn render(&self) -> String {
+        let doc = Json::obj([(
+            "entries",
+            Json::arr(self.entries.iter().map(|e| {
+                Json::obj([
+                    ("file", Json::from(e.file.as_str())),
+                    ("rule", Json::from(e.rule.as_str())),
+                    ("line", Json::from(u64::from(e.line))),
+                    ("note", Json::from(e.note.as_str())),
+                ])
+            })),
+        )]);
+        let mut out = doc.render_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// Builds a baseline accepting exactly the given findings.
+    pub fn bless(findings: &[Finding]) -> Baseline {
+        let mut entries: Vec<Entry> = findings
+            .iter()
+            .map(|f| Entry {
+                file: f.file.clone(),
+                rule: f.rule.to_string(),
+                line: f.line,
+                note: f.message.clone(),
+            })
+            .collect();
+        entries.sort();
+        entries.dedup();
+        Baseline { entries }
+    }
+
+    /// Splits findings into new-vs-accepted and detects stale entries.
+    pub fn ratchet(&self, findings: &[Finding]) -> Ratchet {
+        let accepted: BTreeSet<(&str, &str, u32)> = self
+            .entries
+            .iter()
+            .map(|e| (e.file.as_str(), e.rule.as_str(), e.line))
+            .collect();
+        let mut hit: BTreeSet<(&str, &str, u32)> = BTreeSet::new();
+        let mut new_findings = Vec::new();
+        let mut matched = 0;
+        for f in findings {
+            let key = (f.file.as_str(), f.rule, f.line);
+            if accepted.contains(&key) {
+                hit.insert(key);
+                matched += 1;
+            } else {
+                new_findings.push(f.clone());
+            }
+        }
+        let stale = self
+            .entries
+            .iter()
+            .filter(|e| !hit.contains(&(e.file.as_str(), e.rule.as_str(), e.line)))
+            .cloned()
+            .collect();
+        Ratchet {
+            new_findings,
+            stale,
+            matched,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &'static str, line: u32) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_sorts() {
+        let b = Baseline::bless(&[
+            finding("z.rs", "r2", 9),
+            finding("a.rs", "r1", 3),
+            finding("a.rs", "r1", 3),
+        ]);
+        assert_eq!(b.entries.len(), 2, "deduped");
+        assert_eq!(b.entries[0].file, "a.rs", "sorted");
+        let reparsed = Baseline::parse(&b.render()).expect("round trip");
+        assert_eq!(reparsed.entries, b.entries);
+    }
+
+    #[test]
+    fn ratchet_splits_new_matched_and_stale() {
+        let b = Baseline::bless(&[finding("a.rs", "r1", 3), finding("b.rs", "r1", 7)]);
+        let now = [finding("a.rs", "r1", 3), finding("c.rs", "r2", 1)];
+        let r = b.ratchet(&now);
+        assert_eq!(r.matched, 1);
+        assert_eq!(r.new_findings.len(), 1);
+        assert_eq!(r.new_findings[0].file, "c.rs");
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!(r.stale[0].file, "b.rs");
+        assert!(!r.clean());
+        assert!(b
+            .ratchet(&[finding("a.rs", "r1", 3), finding("b.rs", "r1", 7)])
+            .clean());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse(r#"{"entries":[{"file":"a.rs"}]}"#).is_err());
+        let empty = Baseline::parse(r#"{"entries":[]}"#).expect("empty ok");
+        assert!(empty.entries.is_empty());
+        assert!(empty.ratchet(&[]).clean());
+    }
+}

@@ -1,0 +1,235 @@
+//! A whole-workspace call graph over the parsed ASTs.
+//!
+//! Nodes are function items; edges are call sites resolved *by name* —
+//! without type inference the graph is a deliberate over-approximation.
+//! Resolution prefers precision where the token stream offers it:
+//!
+//! 1. `Type::method(...)` paths bind to functions inside an `impl Type`
+//!    block (any file),
+//! 2. plain `helper(...)` and `recv.method(...)` calls bind to all
+//!    functions with that name, preferring same-file candidates when any
+//!    exist (the common case for private helpers),
+//! 3. cross-crate `secmed_*::module::fn` paths fall back to the last
+//!    segment, which resolves because every workspace source is a node.
+//!
+//! The dataflow rules consume the graph two ways: the taint pass walks
+//! *callee* summaries at each call site, and the census rule walks
+//! *caller* edges to decide whether an uncounted primitive helper is
+//! reachable only through counted entry points.
+
+use std::collections::HashMap;
+
+use crate::ast::{self, Ast, Expr, FnItem};
+
+/// One function node.
+pub struct FnNode<'a> {
+    /// Workspace-relative path of the defining file.
+    pub file: &'a str,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub owner: Option<&'a str>,
+    /// The parsed function item.
+    pub item: &'a FnItem,
+    /// Whether the item sits inside a `#[cfg(test)]`/`#[test]` region.
+    pub in_test_region: bool,
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct CallEdge {
+    /// Caller node index.
+    pub caller: usize,
+    /// Callee node index.
+    pub callee: usize,
+    /// Source line of the call site.
+    pub line: u32,
+}
+
+/// The workspace call graph.
+pub struct CallGraph<'a> {
+    /// All function nodes, in (file, source-order) order.
+    pub nodes: Vec<FnNode<'a>>,
+    /// Resolved edges.
+    pub edges: Vec<CallEdge>,
+    by_name: HashMap<&'a str, Vec<usize>>,
+    callers: Vec<Vec<usize>>,
+}
+
+/// A parsed file paired with its path and test mask, the input to
+/// [`CallGraph::build`].
+pub struct ParsedFile<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// The parsed AST.
+    pub ast: &'a Ast,
+    /// Per-token test-region mask (indexed by token index), empty when the
+    /// whole file is a test file.
+    pub test_mask: &'a [bool],
+    /// Whether the entire file is test code.
+    pub is_test_file: bool,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Builds the graph over every function in `files`.
+    pub fn build(files: &[ParsedFile<'a>]) -> Self {
+        let mut nodes = Vec::new();
+        let mut by_name: HashMap<&'a str, Vec<usize>> = HashMap::new();
+        for file in files {
+            ast::for_each_fn(file.ast, &mut |owner, item| {
+                let in_test_region = file.is_test_file
+                    || file
+                        .test_mask
+                        .get(item.token_index)
+                        .copied()
+                        .unwrap_or(false);
+                let idx = nodes.len();
+                nodes.push(FnNode {
+                    file: file.path,
+                    owner,
+                    item,
+                    in_test_region,
+                });
+                by_name.entry(item.name.as_str()).or_default().push(idx);
+            });
+        }
+        let mut graph = CallGraph {
+            callers: vec![Vec::new(); nodes.len()],
+            nodes,
+            edges: Vec::new(),
+            by_name,
+        };
+        for caller in 0..graph.nodes.len() {
+            let node = &graph.nodes[caller];
+            let (file, body) = (node.file, &node.item.body);
+            let mut sites: Vec<(u32, Vec<usize>)> = Vec::new();
+            ast::walk_exprs(body, &mut |e| match e {
+                Expr::Call { path, line, .. } => {
+                    sites.push((*line, graph.resolve_path(file, path)));
+                }
+                Expr::MethodCall { name, line, .. } => {
+                    sites.push((*line, graph.resolve_name(file, name)));
+                }
+                _ => {}
+            });
+            for (line, callees) in sites {
+                for callee in callees {
+                    graph.edges.push(CallEdge {
+                        caller,
+                        callee,
+                        line,
+                    });
+                    graph.callers[callee].push(caller);
+                }
+            }
+        }
+        for c in &mut graph.callers {
+            c.sort_unstable();
+            c.dedup();
+        }
+        graph
+    }
+
+    /// Candidate callees for a path call like `helper(..)`,
+    /// `Type::method(..)`, or `secmed_x::module::fn(..)`.
+    pub fn resolve_path(&self, from_file: &str, path: &[String]) -> Vec<usize> {
+        let Some(name) = path.last() else {
+            return Vec::new();
+        };
+        let candidates = self.resolve_name(from_file, name);
+        // `Type::method`: narrow by the owning impl when the qualifier is a
+        // type path segment (uppercase first letter).
+        if path.len() >= 2 {
+            let qualifier = &path[path.len() - 2];
+            if qualifier.starts_with(char::is_uppercase) && qualifier != "Self" {
+                let narrowed: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.nodes[i].owner == Some(qualifier.as_str()))
+                    .collect();
+                if !narrowed.is_empty() {
+                    return narrowed;
+                }
+            }
+        }
+        candidates
+    }
+
+    /// Candidate callees for a bare name, preferring same-file definitions.
+    pub fn resolve_name(&self, from_file: &str, name: &str) -> Vec<usize> {
+        let Some(all) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let same_file: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| self.nodes[i].file == from_file)
+            .collect();
+        if !same_file.is_empty() {
+            same_file
+        } else {
+            all.clone()
+        }
+    }
+
+    /// Indices of nodes that call `node` (deduplicated).
+    pub fn callers_of(&self, node: usize) -> &[usize] {
+        &self.callers[node]
+    }
+
+    /// Index of the node for `file`/`fn_name` (first match), if any.
+    pub fn find(&self, file: &str, fn_name: &str) -> Option<usize> {
+        self.by_name
+            .get(fn_name)?
+            .iter()
+            .copied()
+            .find(|&i| self.nodes[i].file == file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::lex;
+
+    #[test]
+    fn resolves_same_file_cross_file_and_typed_paths() {
+        let a_src = "fn helper() {}\nfn caller() { helper(); secmed_b::codec::shared(); }\n";
+        let b_src = "pub fn shared() {}\nimpl Codec { pub fn decode() { shared(); } }\n";
+        let a = parse(&lex(a_src));
+        let b = parse(&lex(b_src));
+        let files = [
+            ParsedFile {
+                path: "crates/a/src/lib.rs",
+                ast: &a,
+                test_mask: &[],
+                is_test_file: false,
+            },
+            ParsedFile {
+                path: "crates/b/src/lib.rs",
+                ast: &b,
+                test_mask: &[],
+                is_test_file: false,
+            },
+        ];
+        let g = CallGraph::build(&files);
+        assert_eq!(g.nodes.len(), 4);
+        let helper = g.find("crates/a/src/lib.rs", "helper").unwrap();
+        let caller = g.find("crates/a/src/lib.rs", "caller").unwrap();
+        let shared = g.find("crates/b/src/lib.rs", "shared").unwrap();
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.caller == caller && e.callee == helper));
+        // Cross-file resolution by last path segment.
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.caller == caller && e.callee == shared));
+        assert_eq!(g.callers_of(shared).len(), 2, "caller + Codec::decode");
+        // Typed-path narrowing.
+        let decode = g.find("crates/b/src/lib.rs", "decode").unwrap();
+        assert_eq!(g.nodes[decode].owner, Some("Codec"));
+        let narrowed = g.resolve_path("crates/a/src/lib.rs", &["Codec".into(), "decode".into()]);
+        assert_eq!(narrowed, vec![decode]);
+    }
+}

@@ -1,11 +1,19 @@
-//! The pluggable rule engine: rules see lexed sources and raw manifests,
-//! emit findings, and the engine applies suppressions and audits the
-//! suppressions themselves.
+//! The pluggable rule engine: rules see lexed sources, parsed ASTs with
+//! a workspace call graph, and raw manifests; the engine applies
+//! suppressions and audits the suppressions themselves.
+//!
+//! Per-file rules run in parallel via `secmed-pool` (one task per file,
+//! results rejoined in input order), then workspace rules run once over
+//! the parsed view, then suppressions are applied sequentially — so the
+//! output is byte-identical at any thread count.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use secmed_obs::json::Json;
+use secmed_pool::Pool;
 
+use crate::ast::{self, Ast};
+use crate::callgraph::{CallGraph, ParsedFile};
 use crate::source::SourceFile;
 
 /// Rule id used for problems with the suppression mechanism itself
@@ -54,14 +62,26 @@ pub struct ManifestFile {
     pub text: String,
 }
 
-/// A lint rule over lexed sources and/or manifests.
-pub trait Rule {
+/// The parsed whole-workspace view handed to [`Rule::check_workspace`]:
+/// every source's AST plus the call graph over all of them.
+pub struct WorkspaceView<'a> {
+    /// Parsed files, parallel to the engine's source list.
+    pub files: Vec<ParsedFile<'a>>,
+    /// The call graph over `files`.
+    pub graph: CallGraph<'a>,
+}
+
+/// A lint rule over lexed sources, the parsed workspace, and/or
+/// manifests.  Rules must be `Sync`: per-file checks run in parallel.
+pub trait Rule: Sync {
     /// Stable id, used in findings and `lint:allow` comments.
     fn id(&self) -> &'static str;
     /// One-line description for `--list` style output and reports.
     fn description(&self) -> &'static str;
     /// Checks one source file.
     fn check_source(&self, _file: &SourceFile, _findings: &mut Vec<Finding>) {}
+    /// Checks the whole parsed workspace (AST/callgraph rules).
+    fn check_workspace(&self, _ws: &WorkspaceView<'_>, _findings: &mut Vec<Finding>) {}
     /// Checks one manifest.
     fn check_manifest(&self, _manifest: &ManifestFile, _findings: &mut Vec<Finding>) {}
 }
@@ -148,22 +168,94 @@ impl RunOutcome {
     }
 }
 
-/// Runs `rules` over the given sources and manifests.
+/// Runs `rules` over the given sources and manifests on one thread.
 pub fn run(
     rules: &[Box<dyn Rule>],
     sources: &[SourceFile],
     manifests: &[ManifestFile],
 ) -> RunOutcome {
-    let mut findings = Vec::new();
-    for file in sources {
+    run_with(rules, sources, manifests, 1)
+}
+
+/// Runs `rules` with `threads` workers for the per-file phase (`0` ⇒ the
+/// pool default).  Output is identical at any thread count.
+pub fn run_with(
+    rules: &[Box<dyn Rule>],
+    sources: &[SourceFile],
+    manifests: &[ManifestFile],
+    threads: usize,
+) -> RunOutcome {
+    let pool = match threads {
+        0 => Pool::default(),
+        1 => Pool::sequential(),
+        n => Pool::with_threads(n),
+    };
+
+    // Phase 1 — parse + per-file rules, one task per file.  `par_map`
+    // rejoins results in input order, so parallelism cannot reorder
+    // findings.
+    let per_file: Vec<(Ast, Vec<Finding>)> = pool.par_map(sources, |_, file| {
+        let ast = ast::parse(&file.tokens);
         let mut raw = Vec::new();
         for rule in rules {
             rule.check_source(file, &mut raw);
         }
-        // Suppression filter: a finding survives unless an audited
-        // allow-comment for its rule covers its line.
-        findings.extend(raw.into_iter().filter(|f| !file.suppresses(f.rule, f.line)));
-        // The suppression mechanism itself is audited.
+        (ast, raw)
+    });
+
+    // Phase 2 — workspace rules over the parsed view.
+    let mut asts = Vec::with_capacity(per_file.len());
+    let mut findings_raw = Vec::new();
+    for (ast, raw) in per_file {
+        asts.push(ast);
+        findings_raw.extend(raw);
+    }
+    let files: Vec<ParsedFile<'_>> = sources
+        .iter()
+        .zip(&asts)
+        .map(|(src, ast)| ParsedFile {
+            path: &src.path,
+            ast,
+            test_mask: src.test_mask(),
+            is_test_file: src.is_test_file,
+        })
+        .collect();
+    let graph = CallGraph::build(&files);
+    let ws = WorkspaceView { files, graph };
+    for rule in rules {
+        rule.check_workspace(&ws, &mut findings_raw);
+    }
+
+    // Phase 3 — suppressions, applied sequentially.  A finding survives
+    // unless an audited allow-comment for its rule covers its line; usage
+    // is tracked per (suppression, rule) so `lint:allow(a, b)` where only
+    // `a` ever fires still reports `b` as unused.
+    let by_path: HashMap<&str, usize> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.path.as_str(), i))
+        .collect();
+    let mut used: Vec<Vec<BTreeSet<&str>>> = sources
+        .iter()
+        .map(|s| vec![BTreeSet::new(); s.suppressions.len()])
+        .collect();
+    let mut findings = Vec::new();
+    for f in findings_raw {
+        let silenced = by_path.get(f.file.as_str()).copied().and_then(|si| {
+            sources[si]
+                .suppression_for(f.rule, f.line)
+                .map(|supp| (si, supp))
+        });
+        match silenced {
+            Some((si, supp)) => {
+                used[si][supp].insert(f.rule);
+            }
+            None => findings.push(f),
+        }
+    }
+
+    // The suppression mechanism itself is audited.
+    for (si, file) in sources.iter().enumerate() {
         for (line, problem) in &file.malformed {
             findings.push(Finding {
                 file: file.path.clone(),
@@ -172,20 +264,27 @@ pub fn run(
                 message: problem.clone(),
             });
         }
-        for s in &file.suppressions {
-            if !s.used.get() {
+        for (supp, s) in file.suppressions.iter().enumerate() {
+            let unused: Vec<&str> = s
+                .rules
+                .iter()
+                .map(String::as_str)
+                .filter(|r| !used[si][supp].contains(r))
+                .collect();
+            if !unused.is_empty() {
                 findings.push(Finding {
                     file: file.path.clone(),
                     line: s.line,
                     rule: SUPPRESSION_RULE,
                     message: format!(
                         "unused suppression for `{}` — remove it or re-justify it",
-                        s.rules.join(", ")
+                        unused.join(", ")
                     ),
                 });
             }
         }
     }
+
     for manifest in manifests {
         for rule in rules {
             rule.check_manifest(manifest, &mut findings);
@@ -194,11 +293,17 @@ pub fn run(
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     let suppressions_used = sources
         .iter()
-        .flat_map(|f| {
+        .enumerate()
+        .flat_map(|(si, f)| {
             f.suppressions
                 .iter()
-                .filter(|s| s.used.get())
-                .map(|s| (f.path.clone(), s.line, s.rules.join(", "), s.reason.clone()))
+                .enumerate()
+                .filter(|&(supp, _)| !used[si][supp].is_empty())
+                .map(|(supp, s)| {
+                    let rules: Vec<&str> = used[si][supp].iter().copied().collect();
+                    (f.path.clone(), s.line, rules.join(", "), s.reason.clone())
+                })
+                .collect::<Vec<_>>()
         })
         .collect();
     RunOutcome {

@@ -1,0 +1,194 @@
+//! `retry-discipline` — bounded retries and explained degradation.
+//!
+//! The chaos suite (PR 5) proved the protocol drivers terminate under
+//! injected faults *because* every `DeliveryPolicy` carries a finite
+//! `max_attempts`; a policy constructed with an unbounded attempt count
+//! (or one inherited implicitly through `..` functional update) can spin
+//! a mediator forever on a dead peer — a DoS lever the paper's
+//! availability discussion rules out.  Similarly, a `RunOutcome::Degraded`
+//! without `details` destroys the audit trail the leakage accounting
+//! depends on: a degraded run must say *what* was lost.
+//!
+//! Both checks are structural, over struct-literal expressions in the
+//! AST:
+//!
+//! * `DeliveryPolicy { .. }` must set `max_attempts` explicitly, and not
+//!   to `u32::MAX`,
+//! * `RunOutcome::Degraded { .. }` must set `details`, and not to an
+//!   evidently-empty `vec![]` / `Vec::new()`.
+
+use crate::ast::{walk_exprs, Expr};
+use crate::engine::{Finding, Rule, WorkspaceView};
+
+/// The retry-discipline rule (see module docs).
+pub struct RetryDiscipline;
+
+impl Rule for RetryDiscipline {
+    fn id(&self) -> &'static str {
+        "retry-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "DeliveryPolicy must bound max_attempts; RunOutcome::Degraded must attach details"
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceView<'_>, findings: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.is_test_file {
+                continue;
+            }
+            crate::ast::for_each_fn(file.ast, &mut |_, item| {
+                if file
+                    .test_mask
+                    .get(item.token_index)
+                    .copied()
+                    .unwrap_or(false)
+                {
+                    return;
+                }
+                walk_exprs(&item.body, &mut |e| {
+                    let Expr::StructLit {
+                        path,
+                        fields,
+                        has_rest,
+                        line,
+                    } = e
+                    else {
+                        return;
+                    };
+                    match path.last().map(String::as_str) {
+                        Some("DeliveryPolicy") => {
+                            check_policy(file.path, fields, *has_rest, *line, findings)
+                        }
+                        Some("Degraded") if path.len() >= 2 => {
+                            check_degraded(file.path, fields, *line, findings)
+                        }
+                        _ => {}
+                    }
+                });
+            });
+        }
+    }
+}
+
+fn check_policy(
+    path: &str,
+    fields: &[crate::ast::FieldInit],
+    has_rest: bool,
+    line: u32,
+    findings: &mut Vec<Finding>,
+) {
+    let finding = |message: String| Finding {
+        file: path.to_string(),
+        line,
+        rule: "retry-discipline",
+        message,
+    };
+    let Some(f) = fields.iter().find(|f| f.name == "max_attempts") else {
+        findings.push(finding(format!(
+            "DeliveryPolicy constructed without an explicit `max_attempts`{} — \
+             every retry loop must be finitely bounded",
+            if has_rest {
+                " (inherited via `..` functional update)"
+            } else {
+                ""
+            }
+        )));
+        return;
+    };
+    if let Some(Expr::Path { segs, .. }) = &f.value {
+        if segs.last().map(String::as_str) == Some("MAX") {
+            findings.push(finding(
+                "DeliveryPolicy sets `max_attempts` to `MAX` — that is an unbounded \
+                 retry loop in disguise"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn check_degraded(
+    path: &str,
+    fields: &[crate::ast::FieldInit],
+    line: u32,
+    findings: &mut Vec<Finding>,
+) {
+    let empty = match fields.iter().find(|f| f.name == "details") {
+        None => true,
+        Some(f) => match &f.value {
+            Some(Expr::Macro { name, args, .. }) => name == "vec" && args.is_empty(),
+            Some(Expr::Call { path, args, .. }) => {
+                args.is_empty() && path.last().map(String::as_str) == Some("new")
+            }
+            _ => false,
+        },
+    };
+    if empty {
+        findings.push(Finding {
+            file: path.to_string(),
+            line,
+            rule: "retry-discipline",
+            message: "RunOutcome::Degraded without `details` — a degraded run must record \
+                      what was lost for the audit trail"
+                .to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+    use crate::source::SourceFile;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let rules: Vec<Box<dyn Rule>> = vec![Box::new(RetryDiscipline)];
+        engine::run(
+            &rules,
+            &[SourceFile::new("crates/core/src/transport.rs", src)],
+            &[],
+        )
+        .findings
+    }
+
+    #[test]
+    fn bounded_policy_and_detailed_degradation_pass() {
+        let src = "\
+fn f() -> DeliveryPolicy {
+    let o = RunOutcome::Degraded { details: vec![reason], joined: 3 };
+    DeliveryPolicy { max_attempts: 4, backoff: Backoff::None }
+}
+";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn missing_and_rest_inherited_max_attempts_are_flagged() {
+        let src = "\
+fn f() {
+    let a = DeliveryPolicy { backoff: Backoff::None };
+    let b = DeliveryPolicy { backoff: Backoff::None, ..base };
+    let c = DeliveryPolicy { max_attempts: u32::MAX, backoff: Backoff::None };
+}
+";
+        let out = check(src);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out[1].message.contains("functional update"));
+        assert!(out[2].message.contains("unbounded"));
+    }
+
+    #[test]
+    fn empty_degraded_details_are_flagged() {
+        let src = "\
+fn f() {
+    let a = RunOutcome::Degraded { joined: 0 };
+    let b = RunOutcome::Degraded { details: vec![], joined: 0 };
+    let c = RunOutcome::Degraded { details: Vec::new(), joined: 0 };
+    let d = RunOutcome::Degraded { details, joined: 0 };
+}
+";
+        let out = check(src);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out[0].message.contains("audit trail"));
+    }
+}

@@ -2,8 +2,6 @@
 //! which token ranges are test code, and which `lint:allow` suppressions
 //! the file declares.
 
-use std::cell::Cell;
-
 use crate::lexer::{lex, Token, TokenKind};
 
 /// An audited suppression comment:
@@ -24,9 +22,6 @@ pub struct Suppression {
     pub rules: Vec<String>,
     /// The audit reason (non-empty).
     pub reason: String,
-    /// Set when a finding was actually silenced; unused suppressions are
-    /// themselves reported.
-    pub used: Cell<bool>,
 }
 
 /// A lexed `.rs` file with workspace-relative path.
@@ -77,6 +72,12 @@ impl SourceFile {
         self.is_test_file || self.test_mask.get(index).copied().unwrap_or(false)
     }
 
+    /// Per-token test-region mask, indexed by token index (empty ⇒ no
+    /// test attributes; whole-file test status is `is_test_file`).
+    pub fn test_mask(&self) -> &[bool] {
+        &self.test_mask
+    }
+
     /// The non-comment token stream indices, in order — rules usually want
     /// to reason about adjacency without comments in between.
     pub fn code_indices(&self) -> Vec<usize> {
@@ -85,16 +86,14 @@ impl SourceFile {
             .collect()
     }
 
-    /// True when `rule` is suppressed for a finding on `line`, marking the
-    /// matching suppression used.
-    pub fn suppresses(&self, rule: &str, line: u32) -> bool {
-        for s in &self.suppressions {
-            if s.line <= line && line <= s.end_line && s.rules.iter().any(|r| r == rule) {
-                s.used.set(true);
-                return true;
-            }
-        }
-        false
+    /// Index of the suppression covering `rule` on `line`, if any.  The
+    /// engine tracks which (suppression, rule) pairs actually silenced a
+    /// finding — the file itself is immutable, so the engine can scan
+    /// files from several threads.
+    pub fn suppression_for(&self, rule: &str, line: u32) -> Option<usize> {
+        self.suppressions
+            .iter()
+            .position(|s| s.line <= line && line <= s.end_line && s.rules.iter().any(|r| r == rule))
     }
 }
 
@@ -259,7 +258,6 @@ fn collect_suppressions(tokens: &[Token]) -> (Vec<Suppression>, Vec<(u32, String
             end_line: t.line, // fixed up by SourceFile::new
             rules,
             reason,
-            used: Cell::new(false),
         });
     }
     (good, bad)
@@ -325,11 +323,10 @@ let a = 1; // lint:allow(panic-freedom) -- documented contract\n\
     fn suppression_covers_own_and_next_line() {
         let src = "// lint:allow(r) -- above\nlet x = 1;\nlet y = 2;";
         let f = SourceFile::new("crates/x/src/lib.rs", src);
-        assert!(f.suppresses("r", 1));
-        assert!(f.suppresses("r", 2));
-        assert!(!f.suppresses("r", 3));
-        assert!(!f.suppresses("other", 2));
-        assert!(f.suppressions[0].used.get());
+        assert_eq!(f.suppression_for("r", 1), Some(0));
+        assert_eq!(f.suppression_for("r", 2), Some(0));
+        assert_eq!(f.suppression_for("r", 3), None);
+        assert_eq!(f.suppression_for("other", 2), None);
     }
 
     #[test]
@@ -354,8 +351,8 @@ let x = foo()\n\
     .bar();\n\
 let y = 2;";
         let f = SourceFile::new("crates/x/src/lib.rs", src);
-        assert!(f.suppresses("r", 3));
-        assert!(f.suppresses("r", 4));
-        assert!(!f.suppresses("r", 5));
+        assert!(f.suppression_for("r", 3).is_some());
+        assert!(f.suppression_for("r", 4).is_some());
+        assert!(f.suppression_for("r", 5).is_none());
     }
 }

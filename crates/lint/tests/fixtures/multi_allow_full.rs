@@ -1,0 +1,7 @@
+// Fixture: scanned as crates/crypto/src/fixture.rs — one audited comment
+// covering two rules that both fire on the suppressed line.
+
+fn both(v: Option<u64>) -> u64 {
+    // lint:allow(panic-freedom, determinism) -- fixture: expect and Instant on one line.
+    v.expect("boom") + (std::time::Instant::now().elapsed().as_nanos() as u64)
+}

@@ -1,0 +1,8 @@
+// Fixture: scanned as crates/crypto/src/fixture.rs — the same two-rule
+// comment where only panic-freedom actually fires: the unused half must
+// itself be reported so stale suppressions cannot accumulate.
+
+fn partial(v: Option<u64>) -> u64 {
+    // lint:allow(panic-freedom, determinism) -- fixture: only panic-freedom fires.
+    v.expect("boom")
+}

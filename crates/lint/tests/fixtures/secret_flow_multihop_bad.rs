@@ -1,0 +1,34 @@
+// Fixture: scanned as crates/crypto/src/paillier.rs — the multi-hop leak
+// the retired token-level rule provably missed: key material flows through
+// a helper *return value* into an innocently named binding, then steers a
+// branch, an allocation length, and a callee-internal branch.  No single
+// line mentions a secret name next to a branch or comparison token.
+
+struct KeyPair {
+    lambda: u64,
+    mu: u64,
+}
+
+fn half_order(kp: &KeyPair) -> u64 {
+    kp.lambda / 2
+}
+
+fn clamp(x: u64) -> u64 {
+    if x > 64 {
+        64
+    } else {
+        x
+    }
+}
+
+fn leaky_pad(kp: &KeyPair) -> Vec<u8> {
+    let width = half_order(kp);
+    if width > 64 {
+        return Vec::new();
+    }
+    vec![0u8; width]
+}
+
+fn leaky_clamp(kp: &KeyPair) -> u64 {
+    clamp(kp.mu)
+}

@@ -1,0 +1,27 @@
+// Fixture: scanned as crates/crypto/src/paillier.rs — the same multi-hop
+// shape over *public* data: the modulus is published with the key, so a
+// width derived from it may steer branches and allocations freely.
+
+struct PublicKey {
+    n: u64,
+}
+
+fn modulus_width(pk: &PublicKey) -> u64 {
+    pk.n / 2
+}
+
+fn bound(x: u64) -> u64 {
+    if x > 64 {
+        64
+    } else {
+        x
+    }
+}
+
+fn pad(pk: &PublicKey) -> Vec<u8> {
+    let width = modulus_width(pk);
+    if width > 64 {
+        return Vec::new();
+    }
+    vec![0u8; bound(width)]
+}

@@ -1,32 +1,52 @@
-//! The shipped workspace must be violation-free: this is the same scan
-//! `scripts/ci.sh` runs via `cargo run -p secmed-lint`, executed in-process
-//! so `cargo test` alone also guards the invariants.
+//! The shipped workspace must pass the baseline gate: this is the same
+//! scan `scripts/ci.sh` runs via `cargo run -p secmed-lint`, executed
+//! in-process so `cargo test` alone also guards the invariants.
 
 use std::path::Path;
 
-use secmed_lint::lint_workspace;
+use secmed_lint::{gate_workspace, lint_workspace_with};
 
-#[test]
-fn shipped_workspace_is_violation_free() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("lint crate lives two levels below the workspace root");
-    let outcome = lint_workspace(root).expect("workspace walk succeeds");
-    assert!(outcome.files_scanned > 50, "walker found the workspace");
+        .expect("lint crate lives two levels below the workspace root")
+}
+
+#[test]
+fn shipped_workspace_passes_the_baseline_gate() {
+    let gate = gate_workspace(workspace_root(), 0).expect("workspace walk succeeds");
     assert!(
-        outcome.clean(),
-        "the shipped workspace must lint clean:\n{}",
-        outcome
-            .findings
+        gate.outcome.files_scanned > 50,
+        "walker found the workspace"
+    );
+    assert!(
+        gate.passing(),
+        "the shipped workspace must pass the ratchet:\nnew findings:\n{}\nstale baseline entries: {:#?}",
+        gate.ratchet
+            .new_findings
             .iter()
             .map(|f| f.render())
             .collect::<Vec<_>>()
-            .join("\n")
+            .join("\n"),
+        gate.ratchet.stale
     );
+    // Accepted debt is visible, not silent: every live finding is matched
+    // by a committed baseline entry.
+    assert_eq!(gate.ratchet.matched, gate.outcome.findings.len());
     // Every suppression in the tree is in active use (unused ones would be
     // findings) and carries its audit reason.
-    for (file, line, rules, reason) in &outcome.suppressions_used {
+    for (file, line, rules, reason) in &gate.outcome.suppressions_used {
         assert!(!reason.is_empty(), "{file}:{line} ({rules}) lacks a reason");
     }
+}
+
+/// The parallel per-file phase must not perturb output: the whole real
+/// workspace lints to identical findings at one and eight threads.
+#[test]
+fn workspace_scan_is_thread_count_invariant() {
+    let root = workspace_root();
+    let one = lint_workspace_with(root, 1).expect("sequential scan");
+    let eight = lint_workspace_with(root, 8).expect("parallel scan");
+    assert_eq!(one.to_jsonl(), eight.to_jsonl());
 }

@@ -35,7 +35,25 @@ cargo test -q --offline -p secmed-core --test observability
 scripts/bench_check.sh
 echo "bench gate: BENCH_core.json schema + series presence ok"
 
-# Static analysis: the in-tree lint (prints a rule → count table and
-# exits non-zero on any violation) and clippy with warnings denied.
-cargo run -q -p secmed-lint --offline
+# The analyzer's own suite, run by name so a filter change can never
+# silently drop it: fixture-pair rule tests (including the multi-hop
+# secret-flow regression the old token rule missed), the JSONL report
+# round-trip, and the in-process workspace self-scan + baseline gate.
+cargo test -q --offline -p secmed-lint --test rules
+cargo test -q --offline -p secmed-lint --test report
+cargo test -q --offline -p secmed-lint --test selftest
+
+# Static analysis: the in-tree lint ratchets findings against the
+# committed lint-baseline.json — new findings fail, stale entries fail,
+# `cargo run -p secmed-lint -- . --bless-baseline` regenerates.  On
+# failure, surface the machine-readable report and per-rule counts for
+# the CI log/artifacts before propagating the exit status.
+if ! cargo run -q -p secmed-lint --offline; then
+  echo "--- target/obs/lint.jsonl ---"
+  cat target/obs/lint.jsonl 2>/dev/null || echo "(no lint report written)"
+  echo "--- rule counts ---"
+  tail -n 1 target/obs/lint.jsonl 2>/dev/null \
+    | sed -n 's/.*"by_rule":{\([^}]*\)}.*/\1/p' | tr ',' '\n'
+  exit 1
+fi
 cargo clippy --workspace --all-targets --offline -- -D warnings
