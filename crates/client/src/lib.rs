@@ -1,0 +1,34 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `secmed-client` — one mediation session over a real socket.
+//!
+//! The thinnest possible shim over the redesigned engine API: dial a
+//! `secmed-server`, run one scenario through [`Engine::run_on`] with a
+//! [`SocketFabric`], and disconnect.  Everything protocol-shaped lives
+//! in `secmed-core`; this crate only decides *which* fabric carries the
+//! bytes.  By construction (the server is a validating relay and the
+//! recorder logs the echoed copies), the report returned here is
+//! byte-identical to an in-process [`Engine::run`] of the same scenario
+//! — including the Table 1 views and the traffic metrics.
+
+use std::net::SocketAddr;
+
+use secmed_core::{Engine, MedError, RunOptions, RunReport, Scenario, SocketFabric};
+
+/// Runs `scenario` against the server at `addr` as session `session`.
+///
+/// Connects (performing the `Hello`/`HelloAck` handshake with the
+/// delivery policy from `opts`), drives the selected protocol over the
+/// socket, says `Goodbye`, and returns the full [`RunReport`].  Session
+/// ids are chosen by the caller; the server refuses duplicates among its
+/// live connections, so concurrent clients must pick distinct ids.
+pub fn run_session(
+    addr: SocketAddr,
+    session: u64,
+    scenario: &mut Scenario,
+    opts: &RunOptions,
+) -> Result<RunReport, MedError> {
+    let fabric = SocketFabric::connect(addr, session, opts.delivery)?;
+    Engine::run_on(fabric, scenario, opts)
+}

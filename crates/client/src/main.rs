@@ -1,0 +1,75 @@
+//! The `secmed-client` binary: dial a `secmed-server`, run one protocol
+//! session over loopback TCP, print what came back, disconnect.
+//!
+//! ```text
+//! secmed-client [ADDR] [PROTOCOL] [SESSION]
+//!   ADDR      server address       (default 127.0.0.1:7788)
+//!   PROTOCOL  das|commutative|pm   (default commutative)
+//!   SESSION   numeric session id   (default 1)
+//! ```
+
+use std::net::SocketAddr;
+
+use secmed_core::workload::WorkloadSpec;
+use secmed_core::{CommutativeConfig, DasConfig, PmConfig, RunOptions, ScenarioBuilder};
+
+fn usage(msg: &str) -> ! {
+    eprintln!("secmed-client: {msg}");
+    eprintln!("usage: secmed-client [ADDR] [PROTOCOL: das|commutative|pm] [SESSION]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr: SocketAddr = args
+        .next()
+        .unwrap_or_else(|| "127.0.0.1:7788".to_string())
+        .parse()
+        .unwrap_or_else(|e| usage(&format!("bad address: {e}")));
+    let protocol = args.next().unwrap_or_else(|| "commutative".to_string());
+    let opts = match protocol.as_str() {
+        "das" => RunOptions::das(DasConfig::default()),
+        "commutative" => RunOptions::commutative(CommutativeConfig::default()),
+        "pm" => RunOptions::pm(PmConfig::default()),
+        other => usage(&format!("unknown protocol `{other}`")),
+    };
+    let session: u64 = args
+        .next()
+        .unwrap_or_else(|| "1".to_string())
+        .parse()
+        .unwrap_or_else(|e| usage(&format!("bad session id: {e}")));
+
+    let workload = WorkloadSpec {
+        left_rows: 12,
+        right_rows: 12,
+        left_domain: 8,
+        right_domain: 8,
+        shared_values: 4,
+        payload_attrs: 1,
+        seed: "secmed-client".to_string(),
+        ..Default::default()
+    }
+    .generate();
+    let mut scenario = ScenarioBuilder::new(&workload)
+        .seed("secmed-client")
+        .paillier_bits(512)
+        .build();
+
+    println!("dialing {addr} as session {session} ({protocol})");
+    let report = match secmed_client::run_session(addr, session, &mut scenario, &opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("secmed-client: session failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("outcome: {:?}", report.outcome);
+    println!(
+        "result: {} tuples; transport: {} frames, {} bytes",
+        report.result.len(),
+        report.transport.message_count(),
+        report.transport.total_bytes(),
+    );
+    println!("mediator learned: {}", report.mediator_view.describe());
+    println!("client received:  {}", report.client_view.describe());
+}

@@ -1,0 +1,60 @@
+//! Soak smoke: eight concurrent client sessions against one server
+//! process — the small, always-on version of the `soak` bench bin, run
+//! by name from `scripts/ci.sh`.
+//!
+//! Each session picks a distinct id and a distinct workload seed, runs a
+//! full commutative-protocol scenario over its own socket, and must come
+//! back `Clean` with a non-empty transport log.  Afterwards the server's
+//! ledger shows exactly eight completed sessions and an empty session
+//! table.
+
+use secmed_core::workload::WorkloadSpec;
+use secmed_core::{CommutativeConfig, RunOptions, ScenarioBuilder, TraceSink};
+use secmed_server::Server;
+
+const SESSIONS: u64 = 8;
+
+#[test]
+fn eight_concurrent_sessions_complete_cleanly() {
+    let server = Server::bind().expect("bind loopback");
+    let addr = server.addr();
+    secmed_pool::scope(|s| {
+        let handle = server.start(s);
+        let workers: Vec<_> = (0..SESSIONS)
+            .map(|i| {
+                s.spawn(move || {
+                    let w = WorkloadSpec {
+                        left_rows: 4,
+                        right_rows: 4,
+                        left_domain: 3,
+                        right_domain: 3,
+                        shared_values: 2,
+                        payload_attrs: 1,
+                        seed: format!("soak-smoke/{i}"),
+                        ..Default::default()
+                    }
+                    .generate();
+                    let mut sc = ScenarioBuilder::new(&w).seed("soak-smoke").build();
+                    let opts = RunOptions::commutative(CommutativeConfig::default())
+                        .trace(TraceSink::Discard);
+                    let report = secmed_client::run_session(addr, 1000 + i, &mut sc, &opts)
+                        .unwrap_or_else(|e| panic!("session {i} failed: {e}"));
+                    assert!(
+                        report.outcome.is_clean(),
+                        "session {i}: {:?}",
+                        report.outcome
+                    );
+                    assert!(report.transport.message_count() > 0);
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("session thread");
+        }
+        handle.shutdown();
+    });
+    let summaries = server.summaries();
+    assert_eq!(summaries.len() as u64, SESSIONS);
+    assert!(summaries.iter().all(|s| s.completed()), "{summaries:?}");
+    assert_eq!(server.active_sessions(), 0, "session table leaked");
+}

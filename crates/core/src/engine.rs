@@ -29,7 +29,7 @@ use crate::protocol::{
     commutative, das, pm, request_phase, CommutativeConfig, DasConfig, PmConfig, ProtocolKind,
     RunOutcome, RunReport, Scenario,
 };
-use crate::transport::{DeliveryPolicy, FaultPlan, PartyId, Transport};
+use crate::transport::{DeliveryPolicy, Fabric, FaultPlan, PartyId, Transport};
 use crate::workload::Workload;
 use crate::MedError;
 
@@ -245,15 +245,31 @@ impl Engine {
     /// spans the delivery functions open (`<key>.encryption`,
     /// `<key>.transfer`, `<key>.join`/`<key>.intersection`, `<key>.post`).
     pub fn run(scenario: &mut Scenario, opts: &RunOptions) -> Result<RunReport, MedError> {
+        Self::run_on(Transport::new(), scenario, opts)
+    }
+
+    /// [`Engine::run`] over an explicit [`Fabric`]: the in-process
+    /// recorder, a loopback [`SocketFabric`](crate::SocketFabric) session,
+    /// or any other implementation.  The fabric is consumed — its recorder
+    /// (with the complete log) comes back inside the report.
+    pub fn run_on<F: Fabric>(
+        fabric: F,
+        scenario: &mut Scenario,
+        opts: &RunOptions,
+    ) -> Result<RunReport, MedError> {
         let mark = secmed_obs::trace::checkpoint();
-        let out = Self::run_traced(scenario, opts);
+        let out = Self::run_traced(fabric, scenario, opts);
         if opts.trace == TraceSink::Discard {
             drop(secmed_obs::trace::take_since(mark));
         }
         out
     }
 
-    fn run_traced(sc: &mut Scenario, opts: &RunOptions) -> Result<RunReport, MedError> {
+    fn run_traced<F: Fabric>(
+        mut fabric: F,
+        sc: &mut Scenario,
+        opts: &RunOptions,
+    ) -> Result<RunReport, MedError> {
         let kind = opts.protocol;
         let pool = Pool::new(opts.exec);
         secmed_obs::metrics::incr(
@@ -267,14 +283,16 @@ impl Engine {
         let mut root = secmed_obs::span("run");
         root.field("protocol", kind.key());
         let before = Snapshot::capture();
-        let mut transport = Transport::new();
-        transport.set_policy(opts.delivery);
+        fabric.set_policy(opts.delivery);
         if let Some(plan) = &opts.faults {
-            transport.install_faults(plan.clone());
+            fabric.install_faults(plan.clone());
         }
-        let driven = Self::drive(sc, kind, &mut transport, &pool);
+        let driven = Self::drive(sc, kind, &mut fabric, &pool);
         // A delay on the final message must still surface in the log.
-        transport.flush_delayed();
+        fabric.flush_delayed();
+        // Tear the fabric down (a socket session says goodbye here) and
+        // keep the recorder: the complete log of every attempted byte.
+        let transport = fabric.into_recorder()?;
         let mut report = match driven {
             Ok(report) => report,
             Err(error) if opts.faults.is_some() => {
@@ -337,10 +355,10 @@ impl Engine {
     }
 
     /// Listing 1 followed by the selected delivery phase.
-    fn drive(
+    fn drive<F: Fabric>(
         sc: &mut Scenario,
         kind: ProtocolKind,
-        transport: &mut Transport,
+        transport: &mut F,
         pool: &Pool,
     ) -> Result<RunReport, MedError> {
         let prepared = {

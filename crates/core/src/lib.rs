@@ -57,9 +57,10 @@ pub use protocol::{
     CommutativeConfig, CommutativeMode, DasConfig, DasSetting, PmConfig, PmEval, PmPayloadMode,
     ProtocolKind, RunReport, Scenario,
 };
+pub use transport::socket::SocketFabric;
 pub use transport::{
-    DeliveryError, DeliveryFailure, DeliveryPolicy, Envelope, FaultKind, FaultPlan, LinkMask,
-    OnExhausted, Outage, PartyId, Transport,
+    DeliveryError, DeliveryFailure, DeliveryPolicy, Envelope, Fabric, FaultKind, FaultPlan,
+    LinkMask, OnExhausted, Outage, PartyId, Transport,
 };
 
 /// Errors from the mediation layer.
@@ -81,6 +82,9 @@ pub enum MedError {
     Delivery(transport::DeliveryFailure),
     /// Protocol-level invariant violation (malformed message flow).
     Protocol(String),
+    /// The fabric's infrastructure failed (torn socket, rejected session)
+    /// — distinct from a modeled [`FaultKind`] the plan injected.
+    Fabric(String),
 }
 
 impl std::fmt::Display for MedError {
@@ -94,6 +98,7 @@ impl std::fmt::Display for MedError {
             MedError::Wire(e) => write!(f, "wire error: {e}"),
             MedError::Delivery(e) => write!(f, "delivery failed: {e}"),
             MedError::Protocol(m) => write!(f, "protocol error: {m}"),
+            MedError::Fabric(m) => write!(f, "fabric error: {m}"),
         }
     }
 }
@@ -106,7 +111,10 @@ impl std::error::Error for MedError {
             MedError::Das(e) => Some(e),
             MedError::Wire(e) => Some(e),
             MedError::Delivery(e) => Some(e),
-            MedError::AccessDenied(_) | MedError::BadCredential(_) | MedError::Protocol(_) => None,
+            MedError::AccessDenied(_)
+            | MedError::BadCredential(_)
+            | MedError::Protocol(_)
+            | MedError::Fabric(_) => None,
         }
     }
 }

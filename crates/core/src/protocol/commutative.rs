@@ -29,7 +29,7 @@ use crate::protocol::{
     apply_residual, assemble_from_tuple_sets, degrade_note, group_by_join_key, CommutativeConfig,
     CommutativeMode, Prepared, RunOutcome, RunReport, Scenario,
 };
-use crate::transport::{Frame, PartyId, Transport};
+use crate::transport::{Fabric, Frame, PartyId, Transport};
 use crate::MedError;
 use secmed_wire::TupleRef;
 
@@ -41,11 +41,11 @@ struct SourceMessage {
 }
 
 /// Runs the delivery phase of Listing 3.
-pub fn deliver(
+pub fn deliver<F: Fabric>(
     sc: &mut Scenario,
     p: Prepared,
     cfg: CommutativeConfig,
-    transport: &mut Transport,
+    transport: &mut F,
     pool: &Pool,
 ) -> Result<RunReport, MedError> {
     // The client key each source encrypts tuple sets under comes from its

@@ -29,7 +29,7 @@ use crate::protocol::{
     apply_residual, assemble_from_candidates, degrade_note, DasConfig, DasSetting, Prepared,
     RunOutcome, RunReport, Scenario,
 };
-use crate::transport::{Frame, PartyId, Transport};
+use crate::transport::{Fabric, Frame, PartyId, Transport};
 use crate::MedError;
 use secmed_wire::DasTable;
 
@@ -43,11 +43,11 @@ fn relation_from_rows(rows: Vec<DasRow>) -> EncryptedDasRelation {
 }
 
 /// Runs the delivery phase of Listing 2.
-pub fn deliver(
+pub fn deliver<F: Fabric>(
     sc: &mut Scenario,
     p: Prepared,
     cfg: DasConfig,
-    transport: &mut Transport,
+    transport: &mut F,
     pool: &Pool,
 ) -> Result<RunReport, MedError> {
     if p.join_attrs.len() != 1 {

@@ -26,7 +26,7 @@ use secmed_das::PartitionScheme;
 
 use crate::audit::{ClientView, MediatorView};
 use crate::party::{Client, DataSource, Mediator};
-use crate::transport::{DeliveryFailure, Frame, PartyId, Transport};
+use crate::transport::{DeliveryFailure, Fabric, Frame, PartyId, Transport};
 use crate::MedError;
 
 /// Which delivery-phase protocol to run, with its options.
@@ -357,7 +357,10 @@ fn credential_subset(
 /// query and credentials it received, and each source decodes (and then
 /// verifies) the credential subset off the wire — byte sizes on the
 /// transport are exact encoded lengths.
-pub fn request_phase(sc: &mut Scenario, transport: &mut Transport) -> Result<Prepared, MedError> {
+pub fn request_phase<F: Fabric>(
+    sc: &mut Scenario,
+    transport: &mut F,
+) -> Result<Prepared, MedError> {
     // Step 1: client → mediator — the query text plus the client's
     // encoded credentials.
     let query_frame = Frame::Query {

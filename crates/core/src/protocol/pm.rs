@@ -38,7 +38,7 @@ use crate::protocol::{
     apply_residual, assemble_from_tuple_sets, degrade_note, group_by_join_key, PmConfig, PmEval,
     PmPayloadMode, Prepared, RunOutcome, RunReport, Scenario,
 };
-use crate::transport::{Frame, PartyId, Transport};
+use crate::transport::{Fabric, Frame, PartyId, Transport};
 use crate::MedError;
 
 /// Payload framing version tags.
@@ -122,11 +122,11 @@ fn unpack_payload_set(
 }
 
 /// Runs the delivery phase of Listing 4.
-pub fn deliver(
+pub fn deliver<F: Fabric>(
     sc: &mut Scenario,
     p: Prepared,
     cfg: PmConfig,
-    transport: &mut Transport,
+    transport: &mut F,
     pool: &Pool,
 ) -> Result<RunReport, MedError> {
     // Step 1: the client's homomorphic public key is distributed with the

@@ -1,11 +1,13 @@
 //! The recorded message fabric.
 //!
-//! The paper's prototype was "a prototypical web based system"; networking
-//! is irrelevant to its claims, so parties here exchange messages through
-//! an in-process [`Transport`].  Every message is a real encoded
-//! [`Frame`]: the sender serializes, the fabric records the bytes, and the
-//! receiver decodes from the recorded bytes — there is no struct side
-//! channel.  The recorder is the ground truth for:
+//! Parties exchange messages through a [`Fabric`]: the sender serializes,
+//! the fabric records the bytes, and the receiver decodes from the
+//! recorded bytes — there is no struct side channel.  The concrete
+//! [`Transport`] recorder is the in-process implementation; the
+//! [`socket::SocketFabric`] carries the same bytes over loopback TCP to a
+//! `secmed-server` process and records the echoed copies, so both fabrics
+//! produce byte-identical logs for the same seeded scenario.  The
+//! recorder is the ground truth for:
 //!
 //! * the interaction-pattern analysis of Section 6 ("the client has to
 //!   interact twice with the mediator", "the datasources have to interact
@@ -19,7 +21,7 @@
 //! # Fault injection
 //!
 //! The fabric can misbehave on purpose.  A [`FaultPlan`] installed via
-//! `RunOptions` makes [`Transport::deliver`] deterministically drop,
+//! `RunOptions` makes [`Fabric::deliver`] deterministically drop,
 //! corrupt (header bit-flip), truncate, duplicate, or delay-by-reordering
 //! frames on selected links ([`LinkMask`]), and can take a party down for
 //! a span of delivery steps ([`Outage`]).  Decisions derive from an
@@ -32,6 +34,8 @@
 //! the mediator's observable view and the Table 1 accounting stays
 //! empirical under faults.  The [`DeliveryPolicy`] bounds how often a
 //! sender retries before `deliver` returns a typed [`DeliveryFailure`].
+
+pub mod socket;
 
 use std::fmt;
 use std::fmt::Write as _;
@@ -320,7 +324,7 @@ pub enum OnExhausted {
     Degrade,
 }
 
-/// Bounded-retry policy for [`Transport::deliver`].
+/// Bounded-retry policy for [`Fabric::deliver`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeliveryPolicy {
     /// Total attempts per logical message (≥ 1; the first send counts).
@@ -409,12 +413,49 @@ enum Verdict {
     ReceiverDown,
 }
 
+impl Verdict {
+    /// The fault this verdict injects (`None` for a clean delivery).
+    fn fault_kind(&self) -> Option<FaultKind> {
+        match self {
+            Verdict::Clean => None,
+            Verdict::Drop => Some(FaultKind::Dropped),
+            Verdict::Corrupt { .. } => Some(FaultKind::Corrupted),
+            Verdict::Truncate { .. } => Some(FaultKind::Truncated),
+            Verdict::Duplicate => Some(FaultKind::Duplicated),
+            Verdict::Delay => Some(FaultKind::Delayed),
+            Verdict::SenderDown => Some(FaultKind::Unavailable),
+            Verdict::ReceiverDown => Some(FaultKind::Unavailable),
+        }
+    }
+
+    /// The bytes that physically cross the fabric under this verdict:
+    /// the clean copy, a damaged copy, or nothing at all (drops and
+    /// outages never leave the sender's stack).
+    fn transit(&self, encoded: &[u8]) -> Option<Vec<u8>> {
+        match self {
+            Verdict::Clean | Verdict::Duplicate | Verdict::Delay => Some(encoded.to_vec()),
+            Verdict::Corrupt { byte, bit } => {
+                let mut damaged = encoded.to_vec();
+                if let Some(b) = damaged.get_mut(*byte) {
+                    *b ^= 1 << bit;
+                }
+                Some(damaged)
+            }
+            Verdict::Truncate { keep } => Some(encoded.get(..*keep).unwrap_or(encoded).to_vec()),
+            Verdict::Drop | Verdict::SenderDown | Verdict::ReceiverDown => None,
+        }
+    }
+}
+
 /// Header byte offsets a corruption may hit: magic (0-1), version (2), and
-/// the four length bytes (4-7).  The kind byte (3) is deliberately skipped
-/// — without a MAC on the body, only header damage is *guaranteed* to be
-/// rejected by the total decoder, which keeps "corrupted ⇒ receiver
-/// noticed" an invariant instead of a probability.
-const CORRUPT_TARGETS: [usize; 7] = [0, 1, 2, 4, 5, 6, 7];
+/// the four length bytes (12-15).  The kind byte (3) is deliberately
+/// skipped — without a MAC on the body, only header damage is *guaranteed*
+/// to be rejected by the total decoder, which keeps "corrupted ⇒ receiver
+/// noticed" an invariant instead of a probability.  The session bytes
+/// (4-11) are skipped for the same reason: the decoder ignores them, and a
+/// flip there would otherwise fabricate a wrong-session frame the server
+/// relay could mistake for a protocol violation.
+const CORRUPT_TARGETS: [usize; 7] = [0, 1, 2, 12, 13, 14, 15];
 
 /// A uniform draw in `[0, bound)` by rejection sampling (no modulo bias),
 /// mirroring `secmed_testkit::Gen::u64_below`.
@@ -431,7 +472,9 @@ fn draw_below(rng: &mut HmacDrbg, bound: u64) -> u64 {
 }
 
 /// The in-process message fabric with full recording, bounded retry, and
-/// deterministic fault injection.
+/// deterministic fault injection.  Also the recording core of every other
+/// [`Fabric`] implementation: the socket fabric wraps one of these and
+/// funnels all accounting through it.
 #[derive(Default)]
 pub struct Transport {
     log: Vec<Envelope>,
@@ -443,6 +486,8 @@ pub struct Transport {
     /// seed) to every fault decision.
     step: u64,
     retries: u64,
+    /// Session id threaded into every frame header (0 = in-process run).
+    session: u64,
 }
 
 /// `Debug` renders only the log and the retry counter: the log hex is the
@@ -459,9 +504,24 @@ impl fmt::Debug for Transport {
 }
 
 impl Transport {
-    /// A fresh, empty fabric (default policy, no fault plan).
+    /// A fresh, empty fabric (default policy, no fault plan, session 0).
     pub fn new() -> Self {
         Transport::default()
+    }
+
+    /// A fresh fabric whose frames carry the given session id — what a
+    /// loopback-equivalence check uses to make the in-process log
+    /// byte-identical to a socket session's.
+    pub fn with_session(session: u64) -> Self {
+        Transport {
+            session,
+            ..Transport::default()
+        }
+    }
+
+    /// The session id threaded into every frame this fabric encodes.
+    pub fn session(&self) -> u64 {
+        self.session
     }
 
     /// Sets the bounded-retry policy.
@@ -474,12 +534,6 @@ impl Transport {
         self.policy
     }
 
-    /// Whether drivers should degrade (rather than abort) on an exhausted
-    /// delivery — the only fault-layer question a protocol driver asks.
-    pub fn degrade_on_exhausted(&self) -> bool {
-        self.policy.on_exhausted == OnExhausted::Degrade
-    }
-
     /// Installs a fault plan; subsequent deliveries roll against it.
     pub fn install_faults(&mut self, plan: FaultPlan) {
         self.plan = Some(plan);
@@ -490,89 +544,63 @@ impl Transport {
         self.record(from, to, &label.into(), payload, 1, None);
     }
 
-    /// Sends a typed frame and hands the receiver its *decoded copy of the
-    /// recorded bytes* — the only way protocol data crosses a party
-    /// boundary.  Encoding happens on the sender's side, the fabric keeps
-    /// the canonical bytes, and the receiver sees exactly what a network
-    /// peer would see.
-    ///
-    /// Under an installed [`FaultPlan`] each attempt may be dropped,
-    /// damaged, duplicated, or delayed; the sender retries up to the
-    /// policy's `max_attempts`, every attempt is recorded, and exhaustion
-    /// returns [`MedError::Delivery`].
-    pub fn deliver(
-        &mut self,
-        from: PartyId,
-        to: PartyId,
-        label: impl Into<String>,
-        frame: &Frame,
-    ) -> Result<Frame, MedError> {
-        let label = label.into();
-        let encoded = frame.encode();
-        let max = self.policy.max_attempts.max(1);
-        let mut last = DeliveryError::Dropped;
-        for attempt in 1..=max {
-            if attempt > 1 {
-                self.retries += 1;
-                fabric_metrics().retries.incr();
-            }
-            match self.attempt(&from, &to, &label, &encoded, attempt) {
-                Ok(frame) => return Ok(frame),
-                Err(e) => last = e,
-            }
-        }
-        secmed_obs::trace::event_with(
-            "transport.exhausted",
-            [
-                ("label", FieldValue::from(label.as_str())),
-                ("attempts", FieldValue::from(max as u64)),
-                ("last", FieldValue::from(last.to_string())),
-            ],
-        );
-        Err(MedError::Delivery(DeliveryFailure {
-            from,
-            to,
-            label,
-            attempts: max,
-            last,
-        }))
-    }
-
-    /// One delivery attempt: advance the step counter, roll the fault
-    /// verdict, record what crossed the fabric, and decode what (if
-    /// anything) the receiver accepted.
-    fn attempt(
+    /// Phase 1 of a delivery attempt: advance the step counter, roll the
+    /// fault verdict, and emit its trace event.  The caller then carries
+    /// the (possibly damaged) bytes and hands the result to
+    /// [`Transport::conclude`].
+    fn stage(
         &mut self,
         from: &PartyId,
         to: &PartyId,
         label: &str,
-        encoded: &[u8],
+        len: usize,
         attempt: u32,
-    ) -> Result<Frame, DeliveryError> {
+    ) -> Verdict {
         let step = self.step;
         self.step += 1;
-        let verdict = self.verdict(step, from, to, encoded.len());
+        let verdict = self.verdict(step, from, to, len);
+        if let Some(kind) = verdict.fault_kind() {
+            self.fault_event(kind, label, step, attempt);
+        }
+        verdict
+    }
+
+    /// Phase 2 of a delivery attempt: record what crossed the fabric and
+    /// decode what (if anything) the receiver accepted.  `arrived` is the
+    /// carried copy (`None` when nothing left the sender); `sent` is the
+    /// sender's canonical encoding, logged for copies that never crossed.
+    #[allow(clippy::too_many_arguments)]
+    fn conclude(
+        &mut self,
+        from: &PartyId,
+        to: &PartyId,
+        label: &str,
+        sent: &[u8],
+        arrived: Option<Vec<u8>>,
+        verdict: &Verdict,
+        attempt: u32,
+    ) -> Result<Frame, DeliveryError> {
+        let arrived = arrived.unwrap_or_else(|| sent.to_vec());
         match verdict {
             Verdict::Clean => {
                 self.record(
                     from.clone(),
                     to.clone(),
                     label,
-                    encoded.to_vec(),
+                    arrived.clone(),
                     attempt,
                     None,
                 );
-                // The copy just recorded is byte-for-byte `encoded`, so the
+                // The copy just recorded is what the fabric carried, so the
                 // receiver's decode runs directly over those bytes.
-                Frame::decode(encoded).map_err(DeliveryError::Undecodable)
+                Frame::decode(&arrived).map_err(DeliveryError::Undecodable)
             }
             Verdict::Duplicate => {
-                self.fault_event(FaultKind::Duplicated, label, step, attempt);
                 self.record(
                     from.clone(),
                     to.clone(),
                     label,
-                    encoded.to_vec(),
+                    arrived.clone(),
                     attempt,
                     None,
                 );
@@ -580,14 +608,13 @@ impl Transport {
                     from.clone(),
                     to.clone(),
                     label,
-                    encoded.to_vec(),
+                    arrived.clone(),
                     attempt,
                     Some(FaultKind::Duplicated),
                 );
-                Frame::decode(encoded).map_err(DeliveryError::Undecodable)
+                Frame::decode(&arrived).map_err(DeliveryError::Undecodable)
             }
             Verdict::Delay => {
-                self.fault_event(FaultKind::Delayed, label, step, attempt);
                 // The copy arrives, but surfaces in the log only after the
                 // next recorded envelope — a real reordering an observer
                 // folding over the log will see.
@@ -595,36 +622,37 @@ impl Transport {
                     from: from.clone(),
                     to: to.clone(),
                     label: label.to_string(),
-                    payload: encoded.to_vec(),
+                    payload: arrived.clone(),
                     attempt,
                     fault: Some(FaultKind::Delayed),
                 });
-                Frame::decode(encoded).map_err(DeliveryError::Undecodable)
+                Frame::decode(&arrived).map_err(DeliveryError::Undecodable)
             }
             Verdict::Drop => {
-                self.fault_event(FaultKind::Dropped, label, step, attempt);
                 self.record(
                     from.clone(),
                     to.clone(),
                     label,
-                    encoded.to_vec(),
+                    sent.to_vec(),
                     attempt,
                     Some(FaultKind::Dropped),
                 );
                 Err(DeliveryError::Dropped)
             }
-            Verdict::Corrupt { byte, bit } => {
-                self.fault_event(FaultKind::Corrupted, label, step, attempt);
-                let mut damaged = encoded.to_vec();
-                damaged[byte] ^= 1 << bit;
-                let decode = Frame::decode(&damaged);
+            Verdict::Corrupt { .. } | Verdict::Truncate { .. } => {
+                let decode = Frame::decode(&arrived);
+                let kind = if matches!(verdict, Verdict::Corrupt { .. }) {
+                    FaultKind::Corrupted
+                } else {
+                    FaultKind::Truncated
+                };
                 self.record(
                     from.clone(),
                     to.clone(),
                     label,
-                    damaged,
+                    arrived,
                     attempt,
-                    Some(FaultKind::Corrupted),
+                    Some(kind),
                 );
                 match decode {
                     // Unreachable for header damage (the targets guarantee
@@ -634,42 +662,23 @@ impl Transport {
                     Err(e) => Err(DeliveryError::Undecodable(e)),
                 }
             }
-            Verdict::Truncate { keep } => {
-                self.fault_event(FaultKind::Truncated, label, step, attempt);
-                let damaged = encoded[..keep].to_vec();
-                let decode = Frame::decode(&damaged);
-                self.record(
-                    from.clone(),
-                    to.clone(),
-                    label,
-                    damaged,
-                    attempt,
-                    Some(FaultKind::Truncated),
-                );
-                match decode {
-                    Ok(f) => Ok(f),
-                    Err(e) => Err(DeliveryError::Undecodable(e)),
-                }
-            }
             Verdict::SenderDown => {
-                self.fault_event(FaultKind::Unavailable, label, step, attempt);
                 self.record(
                     from.clone(),
                     to.clone(),
                     label,
-                    encoded.to_vec(),
+                    sent.to_vec(),
                     attempt,
                     Some(FaultKind::Unavailable),
                 );
                 Err(DeliveryError::SenderUnavailable)
             }
             Verdict::ReceiverDown => {
-                self.fault_event(FaultKind::Unavailable, label, step, attempt);
                 self.record(
                     from.clone(),
                     to.clone(),
                     label,
-                    encoded.to_vec(),
+                    sent.to_vec(),
                     attempt,
                     Some(FaultKind::Unavailable),
                 );
@@ -705,9 +714,9 @@ impl Transport {
         }
         edge += u64::from(plan.corrupt_per_mille);
         if roll < edge {
-            // Frames are always ≥ the 8-byte header, but `len` is checked
+            // Frames are always ≥ the 16-byte header, but `len` is checked
             // anyway so an exotic payload degrades to a drop, not a panic.
-            if len < 8 {
+            if len < 16 {
                 return Verdict::Drop;
             }
             let byte = CORRUPT_TARGETS[draw_below(&mut rng, CORRUPT_TARGETS.len() as u64) as usize];
@@ -931,6 +940,165 @@ impl Transport {
         }
         out
     }
+}
+
+/// A message fabric: something that can move encoded frames between
+/// parties while funneling every copy through a recording [`Transport`].
+///
+/// The engine, the three protocol drivers, the leakage audit, and the
+/// chaos suite are all generic over this trait.  Implementations differ
+/// only in [`Fabric::carry`] — how bytes physically move:
+///
+/// * [`Transport`] is the in-process fabric (carry is the identity);
+/// * [`socket::SocketFabric`] writes each copy to a loopback TCP
+///   connection and records the `secmed-server` echo.
+///
+/// Fault injection, retry, byte accounting, and log recording live in the
+/// shared recorder, so the same seeded scenario produces a byte-identical
+/// log over every fabric — the property the loopback equivalence suite
+/// asserts.
+pub trait Fabric {
+    /// The recording core (log, policy, fault plan, session id).
+    fn recorder(&self) -> &Transport;
+
+    /// Mutable access to the recording core.
+    fn recorder_mut(&mut self) -> &mut Transport;
+
+    /// Physically moves one (possibly fault-damaged) copy from sender to
+    /// receiver and returns the bytes the receiver holds.  For a faithful
+    /// fabric the result equals the input; an infrastructure failure (a
+    /// torn socket, a server-side session violation) is a [`MedError`],
+    /// not a modeled [`FaultKind`].
+    fn carry(&mut self, from: &PartyId, to: &PartyId, bytes: &[u8]) -> Result<Vec<u8>, MedError>;
+
+    /// Tears the fabric down (socket: `Goodbye` + disconnect) and returns
+    /// the recorder with the complete log.
+    fn into_recorder(self) -> Result<Transport, MedError>
+    where
+        Self: Sized;
+
+    /// Sends a typed frame and hands the receiver its *decoded copy of
+    /// the carried bytes* — the only way protocol data crosses a party
+    /// boundary.  Encoding happens on the sender's side, the recorder
+    /// keeps the canonical bytes, and the receiver sees exactly what a
+    /// network peer would see.
+    ///
+    /// Under an installed [`FaultPlan`] each attempt may be dropped,
+    /// damaged, duplicated, or delayed; the sender retries up to the
+    /// policy's `max_attempts`, every attempt is recorded, and exhaustion
+    /// returns [`MedError::Delivery`].
+    fn deliver(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        label: impl Into<String>,
+        frame: &Frame,
+    ) -> Result<Frame, MedError>
+    where
+        Self: Sized,
+    {
+        deliver_over(self, from, to, &label.into(), frame)
+    }
+
+    /// Sets the bounded-retry policy on the recorder.
+    fn set_policy(&mut self, policy: DeliveryPolicy) {
+        self.recorder_mut().set_policy(policy);
+    }
+
+    /// The active delivery policy.
+    fn policy(&self) -> DeliveryPolicy {
+        self.recorder().policy()
+    }
+
+    /// Whether drivers should degrade (rather than abort) on an exhausted
+    /// delivery — the only fault-layer question a protocol driver asks.
+    fn degrade_on_exhausted(&self) -> bool {
+        self.recorder().policy().on_exhausted == OnExhausted::Degrade
+    }
+
+    /// Installs a fault plan; subsequent deliveries roll against it.
+    fn install_faults(&mut self, plan: FaultPlan) {
+        self.recorder_mut().install_faults(plan);
+    }
+
+    /// Surfaces delayed copies still in flight (the engine calls this
+    /// when a run ends, so a delay on the final message is not silently
+    /// lost).
+    fn flush_delayed(&mut self) {
+        self.recorder_mut().flush_delayed();
+    }
+}
+
+/// The in-process fabric: bytes "cross" by staying exactly where they
+/// are.
+impl Fabric for Transport {
+    fn recorder(&self) -> &Transport {
+        self
+    }
+
+    fn recorder_mut(&mut self) -> &mut Transport {
+        self
+    }
+
+    fn carry(&mut self, _from: &PartyId, _to: &PartyId, bytes: &[u8]) -> Result<Vec<u8>, MedError> {
+        Ok(bytes.to_vec())
+    }
+
+    fn into_recorder(self) -> Result<Transport, MedError> {
+        Ok(self)
+    }
+}
+
+/// The shared delivery loop behind [`Fabric::deliver`]: encode once, then
+/// per attempt roll the verdict on the recorder, carry the surviving copy
+/// over the fabric, and record/decode the result.  Lives as a free
+/// function so the borrow of the recorder never overlaps the borrow of
+/// the fabric's carry path.
+fn deliver_over<F: Fabric>(
+    fabric: &mut F,
+    from: PartyId,
+    to: PartyId,
+    label: &str,
+    frame: &Frame,
+) -> Result<Frame, MedError> {
+    let encoded = frame.encode_with_session(fabric.recorder().session());
+    let max = fabric.recorder().policy().max_attempts.max(1);
+    let mut last = DeliveryError::Dropped;
+    for attempt in 1..=max {
+        if attempt > 1 {
+            fabric.recorder_mut().retries += 1;
+            fabric_metrics().retries.incr();
+        }
+        let verdict = fabric
+            .recorder_mut()
+            .stage(&from, &to, label, encoded.len(), attempt);
+        let arrived = match verdict.transit(&encoded) {
+            Some(bytes) => Some(fabric.carry(&from, &to, &bytes)?),
+            None => None,
+        };
+        match fabric
+            .recorder_mut()
+            .conclude(&from, &to, label, &encoded, arrived, &verdict, attempt)
+        {
+            Ok(frame) => return Ok(frame),
+            Err(e) => last = e,
+        }
+    }
+    secmed_obs::trace::event_with(
+        "transport.exhausted",
+        [
+            ("label", FieldValue::from(label)),
+            ("attempts", FieldValue::from(max as u64)),
+            ("last", FieldValue::from(last.to_string())),
+        ],
+    );
+    Err(MedError::Delivery(DeliveryFailure {
+        from,
+        to,
+        label: label.to_string(),
+        attempts: max,
+        last,
+    }))
 }
 
 #[cfg(test)]

@@ -1,0 +1,117 @@
+//! The loopback-socket fabric: the same recorded delivery semantics as
+//! the in-process [`Transport`], with every copy physically crossing a
+//! `std::net::TcpStream` to a `secmed-server` process.
+//!
+//! The server is a *relay*: it validates the session header of each
+//! message and echoes the bytes back verbatim.  The echoed copy is what
+//! gets recorded and decoded, so if the server is faithful the log is
+//! byte-for-byte identical to an in-process run with the same session id
+//! — the equivalence the loopback suite asserts.  Fault injection happens
+//! on the client side *before* the bytes hit the socket (the fabric
+//! models an unreliable network between honest endpoints), so damaged
+//! copies really do cross the wire and come back damaged.
+//!
+//! A connection opens with a `Hello`/`HelloAck` handshake (version
+//! negotiation + per-connection delivery policy) and closes with
+//! `Goodbye`.  Handshake frames are fabric metadata, not protocol
+//! traffic: they are never recorded in the transport log, so the Table 1
+//! views derived from the log are unchanged by the transport swap.
+
+use std::net::{SocketAddr, TcpStream};
+
+use secmed_wire::{stream, Frame, SessionStatus, WIRE_VERSION};
+
+use super::{DeliveryPolicy, Fabric, OnExhausted, PartyId, Transport};
+use crate::MedError;
+
+fn io_err(what: &str, e: std::io::Error) -> MedError {
+    MedError::Fabric(format!("{what}: {e}"))
+}
+
+/// A [`Fabric`] carried over one TCP connection to a `secmed-server`.
+pub struct SocketFabric {
+    recorder: Transport,
+    socket: TcpStream,
+    session: u64,
+}
+
+impl SocketFabric {
+    /// Connects, performs the `Hello`/`HelloAck` handshake for `session`,
+    /// and returns a fabric whose recorder threads that session id onto
+    /// every frame.  The requested [`DeliveryPolicy`] is announced to the
+    /// server and installed on the recorder.
+    pub fn connect(
+        addr: SocketAddr,
+        session: u64,
+        policy: DeliveryPolicy,
+    ) -> Result<Self, MedError> {
+        let mut socket = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        socket
+            .set_nodelay(true)
+            .map_err(|e| io_err("set_nodelay", e))?;
+        let hello = Frame::Hello {
+            client_version: WIRE_VERSION,
+            max_attempts: policy.max_attempts,
+            degrade_on_exhausted: policy.on_exhausted == OnExhausted::Degrade,
+        };
+        stream::write_blob(&mut socket, &hello.encode_with_session(session))
+            .map_err(|e| io_err("send hello", e))?;
+        let ack = stream::read_blob(&mut socket)
+            .map_err(|e| io_err("read hello ack", e))?
+            .ok_or_else(|| MedError::Fabric("server closed during handshake".into()))?;
+        match Frame::decode_expecting_session(&ack, session).map_err(MedError::Wire)? {
+            Frame::HelloAck {
+                status: SessionStatus::Accepted,
+            } => {}
+            Frame::HelloAck { status } => {
+                return Err(MedError::Fabric(format!(
+                    "server rejected session {session}: {status:?}"
+                )));
+            }
+            other => {
+                return Err(MedError::Fabric(format!(
+                    "expected HelloAck, got {}",
+                    other.name()
+                )));
+            }
+        }
+        let mut recorder = Transport::with_session(session);
+        recorder.set_policy(policy);
+        Ok(SocketFabric {
+            recorder,
+            socket,
+            session,
+        })
+    }
+
+    /// The negotiated session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+}
+
+impl Fabric for SocketFabric {
+    fn recorder(&self) -> &Transport {
+        &self.recorder
+    }
+
+    fn recorder_mut(&mut self) -> &mut Transport {
+        &mut self.recorder
+    }
+
+    fn carry(&mut self, _from: &PartyId, _to: &PartyId, bytes: &[u8]) -> Result<Vec<u8>, MedError> {
+        stream::write_blob(&mut self.socket, bytes).map_err(|e| io_err("send", e))?;
+        stream::read_blob(&mut self.socket)
+            .map_err(|e| io_err("read echo", e))?
+            .ok_or_else(|| MedError::Fabric("server closed mid-session".into()))
+    }
+
+    fn into_recorder(mut self) -> Result<Transport, MedError> {
+        stream::write_blob(
+            &mut self.socket,
+            &Frame::Goodbye.encode_with_session(self.session),
+        )
+        .map_err(|e| io_err("send goodbye", e))?;
+        Ok(self.recorder)
+    }
+}

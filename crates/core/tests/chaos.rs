@@ -1,286 +1,31 @@
-//! Seeded chaos suite: the fault fabric's hard invariants, swept over
-//! many deterministic fault plans.
+//! Seeded chaos sweep over the in-process fabric.
 //!
-//! Every case installs a [`FaultPlan`] generated from a testkit seed and
-//! asserts four properties the robustness layer promises:
-//!
-//! 1. **No panics, typed outcomes only.** Under an installed plan a run
-//!    always returns a [`RunReport`]; an exhausted delivery surfaces as
-//!    [`RunOutcome::Aborted`], never as a crash or an `Err`.
-//! 2. **Correct or honestly non-clean.** When the outcome says `Clean` or
-//!    `RecoveredWithRetries`, the result relation is byte-identical to a
-//!    fault-free run.  An `Aborted` run carries an empty result.
-//! 3. **Schedule independence.** The same fault seed produces a
-//!    byte-identical transport log — ordering, labels, attempt tags,
-//!    fault tags, every payload byte — at 1, 2, and 8 worker threads.
-//! 4. **Accounting reconciles.** The per-party byte views derived by the
-//!    audit layer agree with the raw log: the per-receiver sums partition
-//!    `total_bytes()`, retransmitted and damaged copies included.
-//!
-//! Fingerprints deliberately exclude `RunReport::primitives`: the
-//! primitive census is a process-global counter bank, so concurrent test
-//! threads pollute each other's deltas.  Everything else — result,
-//! outcome, transport log, leakage views — is compared byte for byte.
+//! The harness itself — seeds, plans, invariants, fingerprints — lives in
+//! `secmed_testkit::chaos` so the same sweep runs over any `Fabric`.
+//! This suite instantiates it with the plain in-process recorder
+//! ([`Transport::new`]), which preserves the original behavior byte for
+//! byte; the loopback-socket instantiation lives in `secmed-server`'s
+//! test suite.
 
-use secmed_core::workload::{Workload, WorkloadSpec};
-use secmed_core::{
-    CommutativeConfig, DasConfig, DeliveryPolicy, Engine, FaultPlan, OnExhausted, Outage, PartyId,
-    PmConfig, ProtocolKind, RunOptions, RunOutcome, RunReport, ScenarioBuilder, TraceSink,
-};
-use secmed_testkit::Gen;
-
-/// Fault seeds swept per protocol (the issue's floor is 64).
-const SEEDS: u64 = 64;
-
-/// Thread counts every seed must agree across.
-const THREADS: [usize; 3] = [1, 2, 8];
-
-const DAS: ProtocolKind = ProtocolKind::Das(DasConfig {
-    scheme: secmed_das::PartitionScheme::EquiDepth(2),
-    setting: secmed_core::DasSetting::ClientSetting,
-});
-const COMMUTATIVE: ProtocolKind = ProtocolKind::Commutative(CommutativeConfig {
-    mode: secmed_core::CommutativeMode::IdReferences,
-});
-const PM: ProtocolKind = ProtocolKind::Pm(PmConfig {
-    eval: secmed_core::PmEval::Horner,
-    payload: secmed_core::PmPayloadMode::SessionKeyTable,
-});
-
-/// A deliberately tiny workload: the sweep's cost is dominated by
-/// public-key work per row, so chaos coverage buys breadth with a small
-/// join, not a large one.
-fn workload() -> Workload {
-    WorkloadSpec {
-        left_rows: 6,
-        right_rows: 6,
-        left_domain: 3,
-        right_domain: 3,
-        shared_values: 2,
-        payload_attrs: 1,
-        seed: "chaos".to_string(),
-        ..Default::default()
-    }
-    .generate()
-}
-
-/// The fault plan and retry policy for one chaos case, drawn entirely
-/// from the testkit DRBG so every case reproduces from its seed alone.
-fn plan_for(seed: u64) -> (FaultPlan, DeliveryPolicy) {
-    let mut g = Gen::for_case("chaos-plan", seed);
-    let mut plan = FaultPlan::none(format!("chaos/{seed}"));
-    plan.drop_per_mille = g.per_mille(120);
-    plan.corrupt_per_mille = g.per_mille(120);
-    plan.truncate_per_mille = g.per_mille(100);
-    plan.duplicate_per_mille = g.per_mille(100);
-    plan.delay_per_mille = g.per_mille(100);
-    // One case in four also takes a party down for a span of steps.
-    if g.u64_below(4) == 0 {
-        let party = g
-            .choose(&[
-                PartyId::Mediator,
-                PartyId::Client,
-                PartyId::source("r1"),
-                PartyId::source("r2"),
-            ])
-            .clone();
-        plan.outages.push(Outage {
-            party,
-            from_step: g.u64_below(12),
-            steps: 1 + g.u64_below(3),
-        });
-    }
-    let policy = DeliveryPolicy {
-        max_attempts: 2 + (seed % 3) as u32,
-        on_exhausted: if seed.is_multiple_of(2) {
-            OnExhausted::Abort
-        } else {
-            OnExhausted::Degrade
-        },
-    };
-    (plan, policy)
-}
-
-/// One chaos run.  Under an installed plan `Engine::run` must never
-/// return `Err` — that is property 1.
-fn run_chaos(kind: ProtocolKind, seed: u64, threads: usize) -> RunReport {
-    let w = workload();
-    let mut sc = ScenarioBuilder::new(&w).seed("chaos").build();
-    let (plan, policy) = plan_for(seed);
-    let opts = RunOptions::new(kind)
-        .threads(threads)
-        .trace(TraceSink::Discard)
-        .delivery(policy)
-        .faults(plan);
-    Engine::run(&mut sc, &opts)
-        .unwrap_or_else(|e| panic!("{} seed {seed}: chaos run returned Err: {e}", kind.name()))
-}
-
-/// Everything a run reports except the process-global primitive census
-/// (see the module docs for why it is excluded).
-fn fingerprint(r: &RunReport) -> String {
-    format!(
-        "{:?}|{:?}|{:?}|{:?}|{:?}",
-        r.result, r.outcome, r.transport, r.mediator_view, r.client_view
-    )
-}
-
-/// The fault-free result relation, the yardstick for property 2.
-fn expected_result(kind: ProtocolKind) -> String {
-    let w = workload();
-    let mut sc = ScenarioBuilder::new(&w).seed("chaos").build();
-    let opts = RunOptions::new(kind).trace(TraceSink::Discard);
-    let report = Engine::run(&mut sc, &opts).expect("fault-free run succeeds");
-    assert!(report.outcome.is_clean(), "fault-free run must be Clean");
-    format!("{:?}", report.result)
-}
-
-/// Properties 2 and 4 over one report (already known not to have
-/// panicked, property 1).
-fn check_report(kind: ProtocolKind, seed: u64, report: &RunReport, expected: &str) {
-    let name = kind.name();
-    match &report.outcome {
-        RunOutcome::Clean | RunOutcome::RecoveredWithRetries { .. } => {
-            assert_eq!(
-                format!("{:?}", report.result),
-                expected,
-                "{name} seed {seed}: outcome {} but the result diverged",
-                report.outcome
-            );
-        }
-        RunOutcome::Degraded { details, .. } => {
-            assert!(
-                !details.is_empty(),
-                "{name} seed {seed}: Degraded without details"
-            );
-        }
-        RunOutcome::Aborted { .. } => {
-            assert_eq!(
-                report.result.len(),
-                0,
-                "{name} seed {seed}: Aborted run must not carry rows"
-            );
-        }
-    }
-    // Retries reported on the outcome come from the fabric's counter.
-    assert_eq!(
-        report.outcome.retries(),
-        report.transport.retries(),
-        "{name} seed {seed}: outcome retries diverged from the fabric"
-    );
-    // Property 4: the receiver partition of the log covers every byte —
-    // failed attempts, duplicates, and delayed copies included.
-    let parties = [
-        PartyId::Client,
-        PartyId::Mediator,
-        PartyId::source("r1"),
-        PartyId::source("r2"),
-        PartyId::Ca,
-    ];
-    let per_receiver: usize = parties
-        .iter()
-        .map(|p| report.transport.bytes_received_by(p))
-        .sum();
-    assert_eq!(
-        per_receiver,
-        report.transport.total_bytes(),
-        "{name} seed {seed}: per-receiver bytes do not partition the log"
-    );
-    assert_eq!(
-        report.mediator_view.bytes_observed,
-        report.transport.bytes_received_by(&PartyId::Mediator),
-        "{name} seed {seed}: mediator view out of sync with the log"
-    );
-    assert_eq!(
-        report.client_view.bytes_received,
-        report.transport.bytes_received_by(&PartyId::Client),
-        "{name} seed {seed}: client view out of sync with the log"
-    );
-    // Overhead never exceeds the log it is carved from.
-    let (extra_msgs, extra_bytes) = report.transport.overhead();
-    assert!(extra_msgs <= report.transport.message_count());
-    assert!(extra_bytes <= report.transport.total_bytes());
-}
-
-/// Sweeps all seeds for one protocol: each seed runs at every thread
-/// count, properties 2 and 4 are checked on the sequential report, and
-/// property 3 compares the full fingerprints across thread counts.
-fn sweep(kind: ProtocolKind) {
-    let expected = expected_result(kind);
-    let mut outcomes = [0usize; 4];
-    for seed in 0..SEEDS {
-        let base = run_chaos(kind, seed, THREADS[0]);
-        check_report(kind, seed, &base, &expected);
-        let base_print = fingerprint(&base);
-        for &threads in &THREADS[1..] {
-            let other = fingerprint(&run_chaos(kind, seed, threads));
-            assert_eq!(
-                base_print,
-                other,
-                "{} seed {seed}: report diverged between 1 and {threads} threads",
-                kind.name()
-            );
-        }
-        match base.outcome {
-            RunOutcome::Clean => outcomes[0] += 1,
-            RunOutcome::RecoveredWithRetries { .. } => outcomes[1] += 1,
-            RunOutcome::Degraded { .. } => outcomes[2] += 1,
-            RunOutcome::Aborted { .. } => outcomes[3] += 1,
-        }
-    }
-    // The sweep must actually exercise the fault machinery: across 64
-    // seeded plans at these rates, both recovery and non-clean endings
-    // occur.  (Counts are deterministic — seeded plans, seeded runs.)
-    assert!(
-        outcomes[1] + outcomes[2] + outcomes[3] > 0,
-        "{}: no seed produced a non-clean outcome — rates too low to test anything: {outcomes:?}",
-        kind.name()
-    );
-    assert!(
-        outcomes[0] + outcomes[1] > 0,
-        "{}: no seed delivered a clean-or-recovered run: {outcomes:?}",
-        kind.name()
-    );
-}
+use secmed_core::Transport;
+use secmed_testkit::chaos;
 
 #[test]
 fn chaos_das() {
-    sweep(DAS);
+    chaos::sweep_on(chaos::DAS, |_| Transport::new());
 }
 
 #[test]
 fn chaos_commutative() {
-    sweep(COMMUTATIVE);
+    chaos::sweep_on(chaos::COMMUTATIVE, |_| Transport::new());
 }
 
 #[test]
 fn chaos_pm() {
-    sweep(PM);
+    chaos::sweep_on(chaos::PM, |_| Transport::new());
 }
 
-/// The acceptance boundary for the whole layer: installing a fault plan
-/// with every rate at zero changes nothing — report fingerprints (result,
-/// outcome, transport log, views) are byte-identical to a run with no
-/// plan installed at all.
 #[test]
 fn zero_fault_plan_is_indistinguishable_from_no_plan() {
-    for kind in [DAS, COMMUTATIVE, PM] {
-        let w = workload();
-        let mut sc = ScenarioBuilder::new(&w).seed("chaos").build();
-        let opts = RunOptions::new(kind).trace(TraceSink::Discard);
-        let bare = Engine::run(&mut sc, &opts).expect("fault-free run succeeds");
-
-        let mut sc = ScenarioBuilder::new(&w).seed("chaos").build();
-        let opts = RunOptions::new(kind)
-            .trace(TraceSink::Discard)
-            .faults(FaultPlan::none("zero"));
-        let zeroed = Engine::run(&mut sc, &opts).expect("zero-fault run succeeds");
-
-        assert_eq!(
-            fingerprint(&bare),
-            fingerprint(&zeroed),
-            "{}: a zero-rate plan must be observationally absent",
-            kind.name()
-        );
-    }
+    chaos::zero_fault_invariance_on(|_| Transport::new());
 }

@@ -1250,14 +1250,21 @@ impl<'a> Parser<'a> {
                 }
                 "," => self.pos += 1,
                 ".." => {
+                    let rest_line = t.line;
                     has_rest = true;
                     self.pos += 1;
+                    // `Path { .. }` is a rest *pattern* read in expression
+                    // position (e.g. inside `matches!`): there is no base
+                    // expression, and parsing one would swallow the `}`.
+                    if self.at_punct("}") {
+                        continue;
+                    }
                     // The base expression of the functional update.
                     let base = self.expr(true);
                     fields.push(FieldInit {
                         name: "..".to_string(),
                         value: Some(base),
-                        line: t.line,
+                        line: rest_line,
                     });
                 }
                 _ => {
@@ -1970,6 +1977,26 @@ mod tests {
         assert!(*has_rest);
         assert_eq!(fields[0].name, "max");
         assert!(fields[1].value.is_none(), "shorthand field");
+    }
+
+    /// A `Path { .. }` rest pattern in expression position (the
+    /// `matches!` idiom) must not swallow the closing brace — that
+    /// desyncs the parser and folds every following item into one body.
+    #[test]
+    fn bare_rest_pattern_in_matches_does_not_desync() {
+        let ast = parse_src(
+            "fn f(v: &Verdict) -> K { if matches!(v, Verdict::Corrupt { .. }) { K::A } else { K::B } }\n\
+             fn g() -> Policy { Policy { max: 3 } }",
+        );
+        let fns: Vec<&str> = ast
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Fn(f) => Some(f.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fns, ["f", "g"], "both items must survive the rest pattern");
     }
 
     #[test]

@@ -16,12 +16,18 @@ use crate::engine::{Finding, Rule};
 use crate::source::SourceFile;
 
 /// Path prefixes allowed to construct fault plans: the test kit (chaos
-/// generators) and the bench harnesses (`chaos_sweep`).
-const ALLOWED_PREFIXES: &[&str] = &["crates/testkit/", "crates/bench/", "crates/lint/"];
+/// generators), the bench harnesses (`chaos_sweep`), and the transport
+/// module (the fabric trait and its implementations install plans).
+const ALLOWED_PREFIXES: &[&str] = &[
+    "crates/testkit/",
+    "crates/bench/",
+    "crates/lint/",
+    "crates/core/src/transport/",
+];
 
-/// Exact files allowed to construct fault plans: the fabric itself, the
-/// engine that installs plans from `RunOptions`, and the crate root that
-/// re-exports the types.
+/// Exact files allowed to construct fault plans: the fabric itself (in
+/// its legacy single-file spelling), the engine that installs plans from
+/// `RunOptions`, and the crate root that re-exports the types.
 const ALLOWED_FILES: &[&str] = &[
     "crates/core/src/transport.rs",
     "crates/core/src/engine.rs",

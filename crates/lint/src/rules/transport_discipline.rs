@@ -5,23 +5,31 @@
 //! through the recording `Transport` so the observability layer sees the
 //! complete conversation and the leakage accounting (paper Table 1) stays
 //! honest: a side channel built on a raw `std::sync::mpsc` pair or an ad
-//! hoc socket would carry plaintext the trace never shows.  In
-//! `crates/core/src/` and `crates/das/src/`, non-test code may not name
-//! `std::sync::mpsc`, `std::net`, or raw socket types.
+//! hoc socket would carry plaintext the trace never shows.  Two checks:
+//!
+//! * in `crates/core/src/`, `crates/das/src/`, and `crates/pool/src/`,
+//!   non-test code may not name `std::sync::mpsc` (the fabric module
+//!   itself owns whatever primitive backs it);
+//! * workspace-wide, `std::net` / `std::os` and raw socket types appear
+//!   only where bytes are *supposed* to leave the process: the socket
+//!   fabric, `secmed-server`, and `secmed-client`.
 
 use crate::engine::{Finding, Rule};
 use crate::source::SourceFile;
 
-/// Directories the rule applies to.  The pool crate is in scope because a
-/// worker that opened its own channel or socket could smuggle protocol
-/// state past the recording transport just as easily as protocol code.
+/// Directories the channel (`mpsc`) check applies to.  The pool crate is
+/// in scope because a worker that opened its own channel could smuggle
+/// protocol state past the recording transport just as easily as
+/// protocol code.
 const SCOPE: &[&str] = &["crates/core/src/", "crates/das/src/", "crates/pool/src/"];
 
-/// Identifiers that indicate an out-of-band channel.  `mpsc` catches both
-/// `std::sync::mpsc` paths and `use ... mpsc` imports; the socket types
-/// catch `std::net` and raw-fd escape hatches.
-const BANNED_IDENTS: &[&str] = &[
-    "mpsc",
+/// Identifiers that indicate an out-of-band in-process channel.  `mpsc`
+/// catches both `std::sync::mpsc` paths and `use ... mpsc` imports.
+const BANNED_IDENTS: &[&str] = &["mpsc"];
+
+/// Raw socket types, banned workspace-wide outside [`NET_ALLOWED_FILES`]
+/// and [`NET_ALLOWED_PREFIXES`].
+const SOCKET_IDENTS: &[&str] = &[
     "TcpStream",
     "TcpListener",
     "UdpSocket",
@@ -29,8 +37,16 @@ const BANNED_IDENTS: &[&str] = &[
     "UnixListener",
 ];
 
-/// Two-segment paths banned as a unit (`std :: net`).
+/// Two-segment paths banned as a unit (`std :: net`), workspace-wide.
 const BANNED_PATHS: &[(&str, &str)] = &[("std", "net"), ("std", "os")];
+
+/// The only file inside the library crates allowed to open sockets: the
+/// loopback fabric implementation.
+const NET_ALLOWED_FILES: &[&str] = &["crates/core/src/transport/socket.rs"];
+
+/// The process-boundary crates: the server binary that hosts the
+/// mediator and the client that dials it.
+const NET_ALLOWED_PREFIXES: &[&str] = &["crates/server/src/", "crates/client/src/"];
 
 /// The transport-discipline rule (see module docs).
 pub struct TransportDiscipline;
@@ -45,12 +61,22 @@ impl Rule for TransportDiscipline {
     }
 
     fn check_source(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
-        if !SCOPE.iter().any(|dir| file.path.starts_with(dir)) {
+        if !file.path.starts_with("crates/") || !file.path.contains("/src/") {
             return;
         }
-        // The transport module itself is the one place allowed to own
+        // The channel check is scoped to the protocol-bearing crates; the
+        // transport module itself is the one place allowed to own
         // whatever primitive backs it.
-        if file.path.ends_with("/transport.rs") {
+        let check_channels = SCOPE.iter().any(|dir| file.path.starts_with(dir))
+            && !file.path.ends_with("/transport.rs")
+            && file.path != "crates/core/src/transport/mod.rs";
+        // The socket check is workspace-wide minus the declared process
+        // boundaries.
+        let check_sockets = !NET_ALLOWED_FILES.contains(&file.path.as_str())
+            && !NET_ALLOWED_PREFIXES
+                .iter()
+                .any(|p| file.path.starts_with(p));
+        if !check_channels && !check_sockets {
             return;
         }
         let code = file.code_indices();
@@ -59,7 +85,7 @@ impl Rule for TransportDiscipline {
                 continue;
             }
             let tok = &file.tokens[ti];
-            if BANNED_IDENTS.iter().any(|b| tok.is_ident(b)) {
+            if check_channels && BANNED_IDENTS.iter().any(|b| tok.is_ident(b)) {
                 findings.push(Finding {
                     file: file.path.clone(),
                     line: tok.line,
@@ -67,6 +93,22 @@ impl Rule for TransportDiscipline {
                     message: format!(
                         "`{}` bypasses secmed-core::transport; route messages through \
                          the recording Transport so traces stay complete",
+                        tok.text
+                    ),
+                });
+                continue;
+            }
+            if !check_sockets {
+                continue;
+            }
+            if SOCKET_IDENTS.iter().any(|b| tok.is_ident(b)) {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: tok.line,
+                    rule: self.id(),
+                    message: format!(
+                        "`{}` outside the socket fabric and the server/client crates; \
+                         bytes leave the process only through SocketFabric",
                         tok.text
                     ),
                 });
@@ -87,8 +129,8 @@ impl Rule for TransportDiscipline {
                     line: tok.line,
                     rule: self.id(),
                     message: format!(
-                        "`{a}::{b}` bypasses secmed-core::transport; route messages \
-                         through the recording Transport so traces stay complete"
+                        "`{a}::{b}` outside the socket fabric and the server/client \
+                         crates; bytes leave the process only through SocketFabric"
                     ),
                 });
             }
@@ -125,7 +167,29 @@ mod tests {
     fn transport_module_and_out_of_scope_are_exempt() {
         let src = "use std::sync::mpsc;";
         assert!(check("crates/core/src/transport.rs", src).is_empty());
+        assert!(check("crates/core/src/transport/mod.rs", src).is_empty());
         assert!(check("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sockets_are_banned_workspace_wide() {
+        // The mpsc scope does not limit the socket check: a bench or
+        // testkit helper opening its own socket is still a bypass.
+        let src = "fn f(s: TcpStream) { let _ = std::net::TcpListener::bind(\"x\"); }";
+        assert_eq!(check("crates/bench/src/lib.rs", src).len(), 3);
+        assert_eq!(check("crates/testkit/src/chaos.rs", src).len(), 3);
+        // ...but only inside crate sources; generated/output dirs are not.
+        assert!(check("target/debug/build/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn socket_fabric_and_process_boundary_crates_may_open_sockets() {
+        let src = "fn f() { let s = std::net::TcpStream::connect(\"x\"); }";
+        assert!(check("crates/core/src/transport/socket.rs", src).is_empty());
+        assert!(check("crates/server/src/lib.rs", src).is_empty());
+        assert!(check("crates/client/src/bin/secmed-client.rs", src).is_empty());
+        // The rest of the transport module is NOT on the net allowlist.
+        assert_eq!(check("crates/core/src/transport/mod.rs", src).len(), 2);
     }
 
     #[test]

@@ -7,17 +7,26 @@
 //! exactly one boundary: code that called `secmed_wire` directly from,
 //! say, the engine or a bench binary could fabricate or re-serialize
 //! frames the fabric never carried.  Outside `crates/wire/`,
-//! `crates/core/src/protocol/`, and `crates/core/src/transport.rs`,
-//! non-test code may not name `secmed_wire` or call
+//! `crates/core/src/protocol/`, the transport module
+//! (`crates/core/src/transport/`), and the process-boundary crates
+//! (`secmed-server` relays framed blobs, `secmed-client` drives the
+//! socket fabric), non-test code may not name `secmed_wire` or call
 //! `Frame::encode`/`Frame::decode`.
 
 use crate::engine::{Finding, Rule};
 use crate::source::SourceFile;
 
 /// Path prefixes exempt from the rule: the codec itself, the protocol
-/// drivers (which build and match frames), and the transport module
-/// (which encodes on send and decodes on receipt).
-const ALLOWED_PREFIXES: &[&str] = &["crates/wire/", "crates/core/src/protocol/"];
+/// drivers (which build and match frames), the transport module (which
+/// encodes on send and decodes on receipt — both the recording fabric
+/// and the socket fabric), and the server, whose relay loop peeks frame
+/// headers to validate sessions.
+const ALLOWED_PREFIXES: &[&str] = &[
+    "crates/wire/",
+    "crates/core/src/protocol/",
+    "crates/core/src/transport/",
+    "crates/server/src/",
+];
 
 /// Exact files exempt from the rule.
 const ALLOWED_FILES: &[&str] = &["crates/core/src/transport.rs"];

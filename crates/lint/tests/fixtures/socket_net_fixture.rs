@@ -1,0 +1,9 @@
+//! Fixture: code that opens real sockets.  Clean when mounted at the
+//! socket fabric or in the server/client crates, flagged anywhere else.
+
+use std::net::{SocketAddr, TcpListener};
+
+fn serve(addr: SocketAddr) -> std::io::Result<TcpListener> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    Ok(listener)
+}

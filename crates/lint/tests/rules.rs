@@ -207,6 +207,36 @@ fn transport_discipline_passes_good_fixture() {
 }
 
 #[test]
+fn socket_code_is_flagged_outside_the_process_boundary() {
+    // Outside the allowlist even harness crates may not open sockets.
+    for path in ["crates/bench/src/lib.rs", "crates/core/src/engine.rs"] {
+        let out = lint_at(path, include_str!("fixtures/socket_net_fixture.rs"));
+        assert!(
+            out.findings
+                .iter()
+                .all(|f| f.rule == "transport-discipline"),
+            "{:#?}",
+            out.findings
+        );
+        let lines: Vec<u32> = out.findings.iter().map(|f| f.line).collect();
+        assert!(lines.contains(&4), "use std::net: {lines:?}");
+        assert!(lines.contains(&7), "bind call: {lines:?}");
+    }
+}
+
+#[test]
+fn socket_code_passes_at_the_declared_process_boundaries() {
+    for path in [
+        "crates/core/src/transport/socket.rs",
+        "crates/server/src/lib.rs",
+        "crates/client/src/lib.rs",
+    ] {
+        let out = lint_at(path, include_str!("fixtures/socket_net_fixture.rs"));
+        assert!(out.clean(), "{path}: {:#?}", out.findings);
+    }
+}
+
+#[test]
 fn wire_discipline_flags_bad_fixture() {
     let out = lint_at(
         "crates/core/src/engine.rs",
@@ -230,12 +260,16 @@ fn wire_discipline_passes_good_fixture_and_the_boundary_itself() {
         include_str!("fixtures/wire_discipline_good.rs"),
     );
     assert!(out.clean(), "{:#?}", out.findings);
-    // The same codec-running code is fine at the fabric boundary.
-    let out = lint_at(
-        "crates/core/src/transport.rs",
-        include_str!("fixtures/wire_discipline_bad.rs"),
-    );
-    assert!(out.clean(), "{:#?}", out.findings);
+    // The same codec-running code is fine at the fabric boundary — both
+    // fabrics — and in the server's relay loop.
+    for path in [
+        "crates/core/src/transport/mod.rs",
+        "crates/core/src/transport/socket.rs",
+        "crates/server/src/lib.rs",
+    ] {
+        let out = lint_at(path, include_str!("fixtures/wire_discipline_bad.rs"));
+        assert!(out.clean(), "{path}: {:#?}", out.findings);
+    }
 }
 
 #[test]
@@ -263,7 +297,7 @@ fn fault_discipline_passes_degrade_only_driver_and_the_fabric_itself() {
     // The same plan-building code is fine at the fabric boundary and in
     // the harness crates that seed chaos runs.
     for path in [
-        "crates/core/src/transport.rs",
+        "crates/core/src/transport/mod.rs",
         "crates/core/src/engine.rs",
         "crates/testkit/src/lib.rs",
         "crates/bench/src/bin/chaos_sweep.rs",

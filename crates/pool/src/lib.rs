@@ -255,6 +255,26 @@ impl Default for Pool {
     }
 }
 
+/// Runs `f` inside a structured thread scope and returns its result.
+///
+/// This is the crate's second primitive, for *long-lived* workers that
+/// a fork-join `par_*` call cannot model: a server's accept loop and its
+/// per-connection handlers.  Like `par_*`, it is structured — every
+/// spawned worker is joined before `scope` returns, so no thread
+/// outlives its borrows — and it keeps raw `std::thread` naming inside
+/// this crate, where the determinism lint can audit it.  Callers must
+/// not let scheduling order influence *what* is computed, only when;
+/// anything feeding a `RunReport` still goes through the ordered
+/// fork-join API.
+pub fn scope<'env, T, F>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(f)
+}
+
+pub use std::thread::{Scope, ScopedJoinHandle};
+
 /// An uninhabited error type: lets `par_map` reuse `try_par_map` without
 /// an unwrap on a path that cannot fail.
 enum Unreachable {}
@@ -403,6 +423,25 @@ mod tests {
         let h = delta.histogram("pool.chunk_items").expect("chunk sizes");
         assert!(h.count() >= 8);
         assert!(h.max() >= 10, "40 items over 4 workers: 10 per chunk");
+    }
+
+    #[test]
+    fn scope_joins_workers_and_returns_the_closure_result() {
+        let mut counters = [0u64; 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = counters
+                .iter_mut()
+                .enumerate()
+                .map(|(i, c)| s.spawn(move || *c = i as u64 + 1))
+                .collect();
+            for h in handles {
+                h.join().expect("worker");
+            }
+            21 + 21
+        });
+        assert_eq!(total, 42);
+        // Every worker ran and was joined inside the scope.
+        assert_eq!(counters, [1, 2, 3, 4]);
     }
 
     #[test]

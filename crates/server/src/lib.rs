@@ -1,0 +1,314 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `secmed-server` — the mediator as a persistent process.
+//!
+//! The paper's architecture (§2) is multi-party: client, mediator, and
+//! autonomous sources exchange the Listing 2/3/4 messages over a real
+//! network.  This crate hosts the mediation side of that conversation as
+//! a long-lived TCP server: one accept loop, one relay thread per
+//! connection (spawned through `secmed-pool`'s structured [`scope`]),
+//! and a session table keyed by the session id every wire-v2 frame
+//! carries in its header.
+//!
+//! # The relay contract
+//!
+//! A connection opens with a `Hello` (protocol version + the client's
+//! `DeliveryPolicy`), is answered with a `HelloAck`, and then relays:
+//! each framed blob the client sends is echoed back verbatim after the
+//! server validates its *header* (magic, codec version, session id).
+//! The echoed copy is the one the client-side fabric records and
+//! decodes, so a faithful relay makes the socket run byte-identical to
+//! an in-process run — the equivalence the loopback suite asserts.  Two
+//! deliberate asymmetries:
+//!
+//! * blobs whose header does not parse are echoed *verbatim*: a
+//!   chaos-damaged copy (flipped magic, truncated header) is legitimate
+//!   modeled traffic, and the receiver's total decoder is the component
+//!   responsible for rejecting it;
+//! * blobs whose header parses but names a *different* session are a
+//!   protocol violation, not line noise (the fault model never touches
+//!   the session bytes): the server aborts the session.
+//!
+//! Frame *bodies* are never decoded here — the server learns exactly
+//! what a wire observer learns (lengths, kinds, timing), keeping the
+//! Table 1 leakage accounting intact and the primitive census clean.
+//!
+//! [`scope`]: secmed_pool::scope
+
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use secmed_pool::Scope;
+use secmed_wire::{stream, Frame, FrameHeader, SessionStatus, WireError, WIRE_VERSION};
+
+/// How a session ended, as the server saw it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// The client said `Goodbye`; the session ran to completion.
+    Completed,
+    /// The connection died or violated the protocol mid-session; the
+    /// message says what happened.  The session-table entry is reclaimed
+    /// either way.
+    Aborted(String),
+    /// The handshake was refused; the status says why.
+    Rejected(SessionStatus),
+}
+
+/// One line of the server's ledger: what a single connection did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// The session id the client proposed in its `Hello` header.
+    pub session: u64,
+    /// Framed blobs relayed (handshake frames excluded).
+    pub frames: u64,
+    /// Payload bytes relayed, request direction only.
+    pub bytes: u64,
+    /// How the session ended.
+    pub outcome: SessionOutcome,
+}
+
+impl SessionSummary {
+    /// Whether the session completed cleanly.
+    pub fn completed(&self) -> bool {
+        self.outcome == SessionOutcome::Completed
+    }
+}
+
+/// A bound-but-not-yet-serving mediation server.
+///
+/// [`Server::bind`] grabs a loopback port; [`Server::start`] (inside a
+/// [`secmed_pool::scope`]) runs the accept loop and returns a
+/// [`ServerHandle`] for shutdown.  After the scope joins, the
+/// [`Server::summaries`] ledger holds every session the server saw.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    active: Mutex<BTreeSet<u64>>,
+    summaries: Mutex<Vec<SessionSummary>>,
+}
+
+/// Borrowed control surface for a running [`Server`].
+pub struct ServerHandle<'a> {
+    server: &'a Server,
+}
+
+impl ServerHandle<'_> {
+    /// The address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr
+    }
+
+    /// Asks the accept loop to stop.  In-flight sessions run to their
+    /// natural end; the surrounding scope joins every thread.
+    pub fn shutdown(self) {
+        self.server.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection; it checks the
+        // flag before serving what it accepted.
+        let _ = TcpStream::connect(self.server.addr);
+    }
+}
+
+/// Unpoisons a mutex: the protected data (a set and a ledger of plain
+/// values) stays consistent even if a relay thread panicked mid-update.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Server {
+    /// Binds an ephemeral loopback port.
+    pub fn bind() -> std::io::Result<Server> {
+        Server::bind_to("127.0.0.1:0")
+    }
+
+    /// Binds the given address (e.g. `127.0.0.1:7788`).
+    pub fn bind_to(addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            shutdown: AtomicBool::new(false),
+            active: Mutex::new(BTreeSet::new()),
+            summaries: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Spawns the accept loop on `scope` and returns the control handle.
+    /// Each accepted connection gets its own relay thread on the same
+    /// scope, so dropping out of the scope joins everything.
+    pub fn start<'scope, 'env>(
+        &'env self,
+        scope: &'scope Scope<'scope, 'env>,
+    ) -> ServerHandle<'env> {
+        scope.spawn(move || self.accept_loop(scope));
+        ServerHandle { server: self }
+    }
+
+    /// The ledger of every session served so far (clone of the current
+    /// state; complete once the serving scope has joined).
+    pub fn summaries(&self) -> Vec<SessionSummary> {
+        lock(&self.summaries).clone()
+    }
+
+    /// Session-table entries currently held by live connections.  Zero
+    /// once every client has disconnected — the leak check the session
+    /// tests pin down.
+    pub fn active_sessions(&self) -> usize {
+        lock(&self.active).len()
+    }
+
+    fn accept_loop<'scope, 'env>(&'env self, scope: &'scope Scope<'scope, 'env>) {
+        let mut consecutive_errors = 0u32;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    consecutive_errors = 0;
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    scope.spawn(move || {
+                        if let Some(summary) = self.serve_connection(stream) {
+                            lock(&self.summaries).push(summary);
+                        }
+                    });
+                }
+                Err(_) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // Transient accept errors (EMFILE, aborted handshakes)
+                    // are survivable; a persistent failure means the
+                    // listener is gone and serving is over.
+                    consecutive_errors += 1;
+                    if consecutive_errors > 64 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one connection to completion.  Returns `None` only for
+    /// connections that never said anything (the shutdown wake-up, port
+    /// probes); every real session leaves a summary.
+    fn serve_connection(&self, mut stream: TcpStream) -> Option<SessionSummary> {
+        let _ = stream.set_nodelay(true);
+        let hello = match stream::read_blob(&mut stream) {
+            Ok(Some(bytes)) => bytes,
+            Ok(None) | Err(_) => return None,
+        };
+        let (session, frame) = match Frame::decode_with_session(&hello) {
+            Ok(pair) => pair,
+            Err(e) => {
+                // Can't even parse the hello: nothing to acknowledge.
+                return Some(SessionSummary {
+                    session: 0,
+                    frames: 0,
+                    bytes: 0,
+                    outcome: SessionOutcome::Aborted(format!("undecodable hello: {e}")),
+                });
+            }
+        };
+        let Frame::Hello { client_version, .. } = frame else {
+            return Some(SessionSummary {
+                session,
+                frames: 0,
+                bytes: 0,
+                outcome: SessionOutcome::Aborted(format!("expected hello, got {}", frame.name())),
+            });
+        };
+        if client_version != WIRE_VERSION {
+            let status = SessionStatus::VersionMismatch(WIRE_VERSION);
+            self.refuse(&mut stream, session, status);
+            return Some(SessionSummary {
+                session,
+                frames: 0,
+                bytes: 0,
+                outcome: SessionOutcome::Rejected(status),
+            });
+        }
+        if !lock(&self.active).insert(session) {
+            let status = SessionStatus::DuplicateSession;
+            self.refuse(&mut stream, session, status);
+            return Some(SessionSummary {
+                session,
+                frames: 0,
+                bytes: 0,
+                outcome: SessionOutcome::Rejected(status),
+            });
+        }
+        // From here on the table entry is owned by this connection and
+        // must be reclaimed on every exit path.
+        let ack = Frame::HelloAck {
+            status: SessionStatus::Accepted,
+        };
+        let mut summary = SessionSummary {
+            session,
+            frames: 0,
+            bytes: 0,
+            outcome: SessionOutcome::Completed,
+        };
+        summary.outcome = match stream::write_blob(&mut stream, &ack.encode_with_session(session)) {
+            Err(e) => SessionOutcome::Aborted(format!("hello ack failed: {e}")),
+            Ok(()) => self.relay(&mut stream, session, &mut summary),
+        };
+        lock(&self.active).remove(&session);
+        Some(summary)
+    }
+
+    fn refuse(&self, stream: &mut TcpStream, session: u64, status: SessionStatus) {
+        let nack = Frame::HelloAck { status };
+        let _ = stream::write_blob(stream, &nack.encode_with_session(session));
+    }
+
+    /// Echoes framed blobs until `Goodbye`, disconnect, or a session
+    /// violation, counting relayed traffic into `summary`.
+    fn relay(
+        &self,
+        stream: &mut TcpStream,
+        session: u64,
+        summary: &mut SessionSummary,
+    ) -> SessionOutcome {
+        loop {
+            let blob = match stream::read_blob(stream) {
+                Ok(Some(bytes)) => bytes,
+                Ok(None) => {
+                    return SessionOutcome::Aborted("client disconnected mid-session".into())
+                }
+                Err(e) => return SessionOutcome::Aborted(format!("read failed: {e}")),
+            };
+            match Frame::peek_header(&blob) {
+                Ok(FrameHeader { session: named, .. }) if named != session => {
+                    return SessionOutcome::Aborted(WireError::UnknownSession(named).to_string());
+                }
+                Ok(header) if header.kind == Frame::Goodbye.kind() => {
+                    // Fabric metadata: consumed, never echoed (the client
+                    // is already gone by the time an echo would land).
+                    return SessionOutcome::Completed;
+                }
+                // A parseable in-session frame or a chaos-damaged blob:
+                // both are modeled traffic, echoed verbatim for the
+                // client-side recorder to judge.
+                Ok(_) | Err(_) => {
+                    summary.frames += 1;
+                    summary.bytes += blob.len() as u64;
+                    if let Err(e) = stream::write_blob(stream, &blob) {
+                        return SessionOutcome::Aborted(format!("echo failed: {e}"));
+                    }
+                }
+            }
+        }
+    }
+}

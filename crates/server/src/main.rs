@@ -1,0 +1,31 @@
+//! The `secmed-server` binary: a persistent mediation server on loopback.
+//!
+//! ```text
+//! secmed-server [ADDR]        # default 127.0.0.1:7788
+//! ```
+//!
+//! Listens until killed; every client connection gets its own relay
+//! thread.  Pair with `secmed-client` (or the `soak` bench) on the same
+//! machine.
+
+use secmed_server::Server;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7788".to_string());
+    let server = match Server::bind_to(&addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("secmed-server: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("secmed-server listening on {}", server.addr());
+    println!("stop with Ctrl-C; sessions are independent, state is per-connection");
+    secmed_pool::scope(|s| {
+        // The handle is dropped without shutdown: serve until the process
+        // is killed.
+        let _handle = server.start(s);
+    });
+}

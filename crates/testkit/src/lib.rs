@@ -17,6 +17,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use mpint::rng::Rng;
 use secmed_crypto::drbg::HmacDrbg;
 
+pub mod chaos;
+
 /// A deterministic value generator for property tests.
 ///
 /// Wraps an [`HmacDrbg`] seeded from a label and case index, and offers the

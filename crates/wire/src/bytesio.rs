@@ -86,6 +86,12 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
+    /// Advances past `n` bytes without interpreting them (header re-skip
+    /// after a [`peek`](crate::Frame::peek_header)-style parse).
+    pub(crate) fn skip(&mut self, n: usize) -> Result<(), WireError> {
+        self.take(n).map(|_| ())
+    }
+
     pub(crate) fn get_u8(&mut self) -> Result<u8, WireError> {
         let b = self.take(1)?;
         b.first().copied().ok_or(WireError::Truncated)

@@ -48,6 +48,34 @@ pub enum PolyCoeffs {
     Bucketed(Vec<Vec<Natural>>),
 }
 
+/// The server's verdict on a [`Frame::Hello`], carried in
+/// [`Frame::HelloAck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The session is open; subsequent frames must carry its id.
+    Accepted,
+    /// The client spoke a wire version the server does not; the payload
+    /// is the version the server would have accepted.
+    VersionMismatch(u8),
+    /// The proposed session id is already live on this server.
+    DuplicateSession,
+}
+
+/// The fixed-size header of an encoded frame, parsed without touching the
+/// body.  A relay (the server's per-connection loop) uses this to route on
+/// the session id and account bytes without running ciphertext codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The wire version byte.
+    pub version: u8,
+    /// The kind byte (one tag per [`Frame`] variant).
+    pub kind: u8,
+    /// The session id threaded onto the frame (0 for in-process runs).
+    pub session: u64,
+    /// The declared body length in bytes.
+    pub body_len: u32,
+}
+
 /// One side's evaluated-polynomial payload (Listing 4 steps 5–7):
 /// Paillier ciphertext elements plus the session-key table (empty in
 /// inline-payload mode, footnote 2).
@@ -150,6 +178,28 @@ pub enum Frame {
         /// The right source's payload set.
         right: PmPayloadSet,
     },
+    /// Session open: the first frame on a new connection.  The header's
+    /// session field carries the proposed session id; the body carries the
+    /// client's wire version and its requested per-connection delivery
+    /// policy (retry budget + exhaustion behavior).
+    Hello {
+        /// The wire version the client speaks.
+        client_version: u8,
+        /// Requested retry budget per delivery (0 = server default).
+        max_attempts: u32,
+        /// Whether exhausted deliveries should degrade instead of abort.
+        degrade_on_exhausted: bool,
+    },
+    /// Session open verdict, echoing the proposed session id in the
+    /// header.  Anything but [`SessionStatus::Accepted`] closes the
+    /// connection.
+    HelloAck {
+        /// The server's verdict.
+        status: SessionStatus,
+    },
+    /// Clean session close; the server reclaims the session table entry
+    /// and marks the run complete.
+    Goodbye,
 }
 
 const KIND_QUERY: u8 = 0x01;
@@ -165,6 +215,9 @@ const KIND_RESULT_PAIRS: u8 = 0x23;
 const KIND_PM_POLYNOMIAL: u8 = 0x30;
 const KIND_PM_EVALUATIONS: u8 = 0x31;
 const KIND_PM_DELIVERY: u8 = 0x32;
+const KIND_HELLO: u8 = 0x40;
+const KIND_HELLO_ACK: u8 = 0x41;
+const KIND_GOODBYE: u8 = 0x42;
 
 const TAG_TABLE_ENCRYPTED: u8 = 0x01;
 const TAG_TABLE_PLAIN: u8 = 0x02;
@@ -172,6 +225,13 @@ const TAG_REF_ECHO: u8 = 0x01;
 const TAG_REF_ID: u8 = 0x02;
 const TAG_POLY_FLAT: u8 = 0x01;
 const TAG_POLY_BUCKETED: u8 = 0x02;
+const TAG_STATUS_ACCEPTED: u8 = 0x01;
+const TAG_STATUS_VERSION_MISMATCH: u8 = 0x02;
+const TAG_STATUS_DUPLICATE_SESSION: u8 = 0x03;
+
+/// The fixed header length in bytes: magic(2) version(1) kind(1)
+/// session(8) len(4).
+pub(crate) const HEADER_LEN: usize = 16;
 
 impl Frame {
     /// The kind byte written into this frame's header.
@@ -190,6 +250,9 @@ impl Frame {
             Frame::PmPolynomial { .. } => KIND_PM_POLYNOMIAL,
             Frame::PmEvaluations { .. } => KIND_PM_EVALUATIONS,
             Frame::PmDelivery { .. } => KIND_PM_DELIVERY,
+            Frame::Hello { .. } => KIND_HELLO,
+            Frame::HelloAck { .. } => KIND_HELLO_ACK,
+            Frame::Goodbye => KIND_GOODBYE,
         }
     }
 
@@ -209,27 +272,38 @@ impl Frame {
             Frame::PmPolynomial { .. } => "pm_polynomial",
             Frame::PmEvaluations { .. } => "pm_evaluations",
             Frame::PmDelivery { .. } => "pm_delivery",
+            Frame::Hello { .. } => "hello",
+            Frame::HelloAck { .. } => "hello_ack",
+            Frame::Goodbye => "goodbye",
         }
     }
 
-    /// Encodes the frame into its canonical byte representation.
+    /// Encodes the frame with session id 0 (the in-process convention).
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_session(0)
+    }
+
+    /// Encodes the frame with the given session id threaded into the
+    /// header.
+    pub fn encode_with_session(&self, session: u64) -> Vec<u8> {
         let mut body = Writer::new();
         self.encode_body(&mut body);
         let body = body.into_vec();
-        let mut out = Vec::with_capacity(body.len() + 8);
+        let mut out = Vec::with_capacity(body.len() + HEADER_LEN);
         out.extend_from_slice(&WIRE_MAGIC);
         out.push(WIRE_VERSION);
         out.push(self.kind());
+        out.extend_from_slice(&session.to_be_bytes());
         out.extend_from_slice(&len_u32(body.len()).to_be_bytes());
         out.extend_from_slice(&body);
         out
     }
 
-    /// Decodes a frame, validating the header, the body grammar and every
-    /// embedded ciphertext codec.  Total: returns `Err` on any malformed
-    /// input, never panics.
-    pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+    /// Parses and validates only the fixed-size header: magic, version and
+    /// declared length are checked; the kind byte and body are not.  A
+    /// relay uses this to route on the session id without running
+    /// ciphertext codecs.
+    pub fn peek_header(bytes: &[u8]) -> Result<FrameHeader, WireError> {
         let mut r = Reader::new(bytes);
         let m0 = r.get_u8()?;
         let m1 = r.get_u8()?;
@@ -241,16 +315,48 @@ impl Frame {
             return Err(WireError::BadVersion(version));
         }
         let kind = r.get_u8()?;
-        let body_len = r.get_u32()? as usize;
-        let header_len = 8usize;
-        match bytes.len().checked_sub(header_len) {
-            Some(rest) if rest == body_len => {}
-            Some(rest) if rest < body_len => return Err(WireError::Truncated),
+        let session = r.get_u64()?;
+        let body_len = r.get_u32()?;
+        match bytes.len().checked_sub(HEADER_LEN) {
+            Some(rest) if rest == body_len as usize => {}
+            Some(rest) if rest < body_len as usize => return Err(WireError::Truncated),
             _ => return Err(WireError::TrailingBytes),
         }
-        let frame = Frame::decode_body(kind, &mut r)?;
-        r.finish()?;
+        Ok(FrameHeader {
+            version,
+            kind,
+            session,
+            body_len,
+        })
+    }
+
+    /// Decodes a frame, validating the header, the body grammar and every
+    /// embedded ciphertext codec.  Total: returns `Err` on any malformed
+    /// input, never panics.  The header's session id is ignored; use
+    /// [`Frame::decode_with_session`] to recover it.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+        Frame::decode_with_session(bytes).map(|(_, frame)| frame)
+    }
+
+    /// Decodes a frame, additionally requiring the header's session id to
+    /// match an established session.  A mismatch is the typed
+    /// [`WireError::UnknownSession`] carrying the id the frame named.
+    pub fn decode_expecting_session(bytes: &[u8], session: u64) -> Result<Frame, WireError> {
+        let (got, frame) = Frame::decode_with_session(bytes)?;
+        if got != session {
+            return Err(WireError::UnknownSession(got));
+        }
         Ok(frame)
+    }
+
+    /// Decodes a frame together with the session id from its header.
+    pub fn decode_with_session(bytes: &[u8]) -> Result<(u64, Frame), WireError> {
+        let header = Frame::peek_header(bytes)?;
+        let mut r = Reader::new(bytes);
+        r.skip(HEADER_LEN)?;
+        let frame = Frame::decode_body(header.kind, &mut r)?;
+        r.finish()?;
+        Ok((header.session, frame))
     }
 
     fn encode_body(&self, w: &mut Writer) {
@@ -372,6 +478,24 @@ impl Frame {
                 encode_payload_set(w, left);
                 encode_payload_set(w, right);
             }
+            Frame::Hello {
+                client_version,
+                max_attempts,
+                degrade_on_exhausted,
+            } => {
+                w.put_u8(*client_version);
+                w.put_u32(*max_attempts);
+                w.put_u8(u8::from(*degrade_on_exhausted));
+            }
+            Frame::HelloAck { status } => match status {
+                SessionStatus::Accepted => w.put_u8(TAG_STATUS_ACCEPTED),
+                SessionStatus::VersionMismatch(server) => {
+                    w.put_u8(TAG_STATUS_VERSION_MISMATCH);
+                    w.put_u8(*server);
+                }
+                SessionStatus::DuplicateSession => w.put_u8(TAG_STATUS_DUPLICATE_SESSION),
+            },
+            Frame::Goodbye => {}
         }
     }
 
@@ -513,6 +637,30 @@ impl Frame {
                 let right = decode_payload_set(r)?;
                 Ok(Frame::PmDelivery { left, right })
             }
+            KIND_HELLO => {
+                let client_version = r.get_u8()?;
+                let max_attempts = r.get_u32()?;
+                let degrade_on_exhausted = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("bad degrade flag")),
+                };
+                Ok(Frame::Hello {
+                    client_version,
+                    max_attempts,
+                    degrade_on_exhausted,
+                })
+            }
+            KIND_HELLO_ACK => {
+                let status = match r.get_u8()? {
+                    TAG_STATUS_ACCEPTED => SessionStatus::Accepted,
+                    TAG_STATUS_VERSION_MISMATCH => SessionStatus::VersionMismatch(r.get_u8()?),
+                    TAG_STATUS_DUPLICATE_SESSION => SessionStatus::DuplicateSession,
+                    _ => return Err(WireError::Malformed("unknown session-status tag")),
+                };
+                Ok(Frame::HelloAck { status })
+            }
+            KIND_GOODBYE => Ok(Frame::Goodbye),
             other => Err(WireError::BadKind(other)),
         }
     }
@@ -645,8 +793,67 @@ mod tests {
             pairs: vec![(IndexValue(3), IndexValue(4))],
         }
         .encode();
-        // Claim a longer body than present.
-        bytes[7] = bytes[7].wrapping_add(1);
+        // Claim a longer body than present (len is the last header field).
+        bytes[15] = bytes[15].wrapping_add(1);
         assert_eq!(Frame::decode(&bytes).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn session_id_round_trips_and_decode_ignores_it() {
+        let f = Frame::DasServerQuery {
+            pairs: vec![(IndexValue(1), IndexValue(2))],
+        };
+        let bytes = f.encode_with_session(0xDEAD_BEEF_CAFE_F00D);
+        let (session, decoded) = Frame::decode_with_session(&bytes).unwrap();
+        assert_eq!(session, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(decoded, f);
+        // The plain decoder accepts the same bytes and the body encoding
+        // is independent of the session id.
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+        assert_eq!(bytes[16..], f.encode()[16..]);
+        assert_eq!(Frame::decode_with_session(&f.encode()).unwrap().0, 0);
+    }
+
+    #[test]
+    fn peek_header_reports_fields_without_decoding_the_body() {
+        let f = Frame::Hello {
+            client_version: WIRE_VERSION,
+            max_attempts: 3,
+            degrade_on_exhausted: true,
+        };
+        let bytes = f.encode_with_session(42);
+        let h = Frame::peek_header(&bytes).unwrap();
+        assert_eq!(h.version, WIRE_VERSION);
+        assert_eq!(h.kind, f.kind());
+        assert_eq!(h.session, 42);
+        assert_eq!(h.body_len as usize, bytes.len() - 16);
+        // Unknown kinds pass the peek (routing only) but fail full decode.
+        let mut bad = bytes.clone();
+        bad[3] = 0xEE;
+        assert!(Frame::peek_header(&bad).is_ok());
+        assert_eq!(Frame::decode(&bad).unwrap_err(), WireError::BadKind(0xEE));
+    }
+
+    #[test]
+    fn session_frames_round_trip() {
+        for f in [
+            Frame::Hello {
+                client_version: WIRE_VERSION,
+                max_attempts: 0,
+                degrade_on_exhausted: false,
+            },
+            Frame::HelloAck {
+                status: SessionStatus::Accepted,
+            },
+            Frame::HelloAck {
+                status: SessionStatus::VersionMismatch(1),
+            },
+            Frame::HelloAck {
+                status: SessionStatus::DuplicateSession,
+            },
+            Frame::Goodbye,
+        ] {
+            assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+        }
     }
 }

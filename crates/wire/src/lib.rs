@@ -11,10 +11,11 @@
 //! # Frame grammar
 //!
 //! ```text
-//! frame   := magic version kind len body
+//! frame   := magic version kind session len body
 //! magic   := 0x53 0x4D                  ("SM")
-//! version := u8                         (currently 1)
+//! version := u8                         (currently 2)
 //! kind    := u8                         (one tag per Frame variant)
+//! session := u64 be                     (session id, 0 = in-process run)
 //! len     := u32 be                     (body length in bytes)
 //! body    := kind-specific fields, in declaration order
 //! ```
@@ -24,18 +25,29 @@
 //! a `u32` element count.  Decoding is *total*: every malformed input
 //! returns a typed [`WireError`], the body must be consumed exactly, and
 //! trailing bytes are rejected.
+//!
+//! # Session layer
+//!
+//! Version 2 threads a session id through every header so one mediator
+//! process can multiplex concurrent client connections.  A connection
+//! opens with [`Frame::Hello`] (version negotiation plus the client's
+//! requested delivery policy), the server answers [`Frame::HelloAck`]
+//! with a [`SessionStatus`], and [`Frame::Goodbye`] closes the session
+//! cleanly.  The [`stream`] module frames whole encoded messages over any
+//! `io::Read`/`io::Write` pair (the socket fabric's carry path).
 
 #![forbid(unsafe_code)]
 
 mod bytesio;
 mod frame;
+pub mod stream;
 
-pub use frame::{DasTable, Frame, PmPayloadSet, PolyCoeffs, TupleRef};
+pub use frame::{DasTable, Frame, FrameHeader, PmPayloadSet, PolyCoeffs, SessionStatus, TupleRef};
 
 use std::fmt;
 
 /// Wire format version emitted and accepted by this build.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 
 /// The two magic bytes opening every frame.
 pub const WIRE_MAGIC: [u8; 2] = *b"SM";
@@ -56,6 +68,8 @@ pub enum WireError {
     TrailingBytes,
     /// A field-level invariant failed (bad UTF-8, bad tag, bad shape).
     Malformed(&'static str),
+    /// A frame named a session id the receiver has no record of.
+    UnknownSession(u64),
     /// An embedded ciphertext failed its own codec or validity check.
     Crypto(secmed_crypto::CryptoError),
     /// An embedded DAS structure failed its own codec.
@@ -71,6 +85,7 @@ impl fmt::Display for WireError {
             WireError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
             WireError::TrailingBytes => write!(f, "trailing bytes after frame body"),
             WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::UnknownSession(s) => write!(f, "unknown session id {s}"),
             WireError::Crypto(e) => write!(f, "embedded ciphertext: {e}"),
             WireError::Das(e) => write!(f, "embedded DAS structure: {e}"),
         }

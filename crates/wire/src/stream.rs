@@ -1,0 +1,103 @@
+//! Whole-message framing over byte streams.
+//!
+//! A socket carries a byte stream, not discrete messages, so the socket
+//! fabric wraps every encoded frame in a `u32` big-endian length prefix —
+//! a *blob*.  The prefix is transport plumbing, not part of the frame: the
+//! bytes inside the blob are exactly what [`Frame::encode_with_session`]
+//! produced, so byte accounting and golden vectors are unaffected by
+//! which fabric carried them.
+//!
+//! [`Frame::encode_with_session`]: crate::Frame::encode_with_session
+
+use std::io::{self, Read, Write};
+
+/// Largest blob accepted from a peer.  Far above any real frame, far
+/// below an allocation a hostile length prefix could weaponize.
+pub const MAX_BLOB_LEN: u32 = 1 << 28;
+
+/// Writes one length-prefixed blob and flushes the stream.
+pub fn write_blob<W: Write>(w: &mut W, bytes: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(bytes.len())
+        .ok()
+        .filter(|&n| n <= MAX_BLOB_LEN)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "blob too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed blob.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF before the first
+/// prefix byte — the peer closed between messages); EOF anywhere inside a
+/// blob is an [`io::ErrorKind::UnexpectedEof`] error.
+pub fn read_blob<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < prefix.len() {
+        let slice = prefix.get_mut(filled..).unwrap_or(&mut []);
+        let n = r.read(slice)?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended inside a blob length prefix",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_BLOB_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "blob length prefix exceeds MAX_BLOB_LEN",
+        ));
+    }
+    let mut blob = vec![0u8; len as usize];
+    r.read_exact(&mut blob)?;
+    Ok(Some(blob))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Frame;
+
+    #[test]
+    fn blob_round_trip_and_clean_eof() {
+        let frames = [
+            Frame::Goodbye.encode(),
+            Frame::Goodbye.encode_with_session(7),
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_blob(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        for f in &frames {
+            assert_eq!(read_blob(&mut r).unwrap().as_deref(), Some(&f[..]));
+        }
+        assert_eq!(read_blob(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_inside_a_blob_is_an_error() {
+        let mut buf = Vec::new();
+        write_blob(&mut buf, &[1, 2, 3, 4]).unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            let err = read_blob(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocating() {
+        let bytes = u32::MAX.to_be_bytes();
+        let mut r = &bytes[..];
+        let err = read_blob(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

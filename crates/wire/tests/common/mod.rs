@@ -10,7 +10,9 @@ use secmed_crypto::drbg::HmacDrbg;
 use secmed_crypto::group::{GroupSize, SafePrimeGroup};
 use secmed_crypto::hybrid::{HybridCiphertext, HybridKeyPair, SessionKey};
 use secmed_das::{DasRow, IndexTable, IndexValue, PartitionScheme};
-use secmed_wire::{DasTable, Frame, PmPayloadSet, PolyCoeffs, TupleRef};
+use secmed_wire::{
+    DasTable, Frame, PmPayloadSet, PolyCoeffs, SessionStatus, TupleRef, WIRE_VERSION,
+};
 
 /// One frame per [`Frame`] variant, in kind order, fully deterministic.
 pub fn sample_frames() -> Vec<Frame> {
@@ -95,5 +97,14 @@ pub fn sample_frames() -> Vec<Frame> {
                 table: vec![(43, session_ct)],
             },
         },
+        Frame::Hello {
+            client_version: WIRE_VERSION,
+            max_attempts: 3,
+            degrade_on_exhausted: true,
+        },
+        Frame::HelloAck {
+            status: SessionStatus::VersionMismatch(WIRE_VERSION),
+        },
+        Frame::Goodbye,
     ]
 }

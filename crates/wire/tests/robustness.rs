@@ -56,9 +56,9 @@ fn bad_magic_version_and_kind_are_typed_errors() {
 fn oversized_length_prefix_and_trailing_bytes_are_errors() {
     for frame in common::sample_frames() {
         let mut oversized = frame.encode();
-        // The body-length prefix lives at bytes 4..8; claiming 4 GiB − 1 of
-        // body must fail as truncated, not preallocate.
-        oversized[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        // The body-length prefix lives at bytes 12..16; claiming 4 GiB − 1
+        // of body must fail as truncated, not preallocate.
+        oversized[12..16].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(
             Frame::decode(&oversized),
             Err(WireError::Truncated)
@@ -112,5 +112,79 @@ fn random_garbage_never_panics() {
             bytes[2] = WIRE_VERSION;
         }
         let _ = Frame::decode(&bytes);
+        let _ = Frame::decode_with_session(&bytes);
+        let _ = Frame::peek_header(&bytes);
+    });
+}
+
+/// Session-layer failure paths are typed errors, never panics: a hello
+/// whose *header* speaks the wrong version, a frame naming a session the
+/// receiver never opened, and truncated hellos at every length.
+#[test]
+fn session_failures_are_typed_errors() {
+    let hello = Frame::Hello {
+        client_version: WIRE_VERSION,
+        max_attempts: 3,
+        degrade_on_exhausted: false,
+    };
+    let encoded = hello.encode_with_session(42);
+
+    // Bad version byte: rejected before the session layer ever sees it.
+    let mut bad_version = encoded.clone();
+    bad_version[2] = WIRE_VERSION + 1;
+    assert!(matches!(
+        Frame::decode_expecting_session(&bad_version, 42),
+        Err(WireError::BadVersion(v)) if v == WIRE_VERSION + 1
+    ));
+
+    // Unknown session id: the typed error carries the id the frame named.
+    assert!(matches!(
+        Frame::decode_expecting_session(&encoded, 7),
+        Err(WireError::UnknownSession(42))
+    ));
+    assert!(matches!(
+        Frame::decode_expecting_session(&encoded, 42),
+        Ok(Frame::Hello { .. })
+    ));
+
+    // Truncated hello: every strict prefix is an error, never a panic.
+    for len in 0..encoded.len() {
+        assert!(
+            Frame::decode_expecting_session(&encoded[..len], 42).is_err(),
+            "hello prefix of {len} bytes decoded"
+        );
+    }
+}
+
+/// Seeded fuzzing on the session path: mangled hellos either decode or
+/// fail typed, and `decode_expecting_session` agrees with `peek_header`
+/// about which session a frame names.
+#[test]
+fn mangled_hellos_never_panic() {
+    cases(256, "wire/hello-fuzz", |g| {
+        let hello = Frame::Hello {
+            client_version: g.u8(),
+            max_attempts: g.u32(),
+            degrade_on_exhausted: g.bool(),
+        };
+        let mut encoded = hello.encode_with_session(g.u64());
+        let flips = g.usize_in(0, 4);
+        for _ in 0..flips {
+            let byte = g.usize_in(0, encoded.len() - 1);
+            encoded[byte] ^= 1 << (g.u8() % 8);
+        }
+        let expected = g.u64();
+        match Frame::decode_expecting_session(&encoded, expected) {
+            Ok(_) => {
+                let h = Frame::peek_header(&encoded).expect("decoded frame has a header");
+                assert_eq!(h.session, expected);
+            }
+            Err(WireError::UnknownSession(named)) => {
+                let h = Frame::peek_header(&encoded).expect("typed session error has a header");
+                assert_eq!(h.session, named);
+                assert_ne!(named, expected);
+            }
+            Err(_) => {}
+        }
     });
 }

@@ -43,3 +43,13 @@ fi
 cargo run -q --release --offline -p secmed-lint -- . >/dev/null 2>&1 || true
 cargo run -q --release --offline -p secmed-bench --bin bench_check -- \
   target/bench/BENCH_lint.json --require-timing lint/wall
+
+# The soak trajectory: >=100 concurrent client sessions against one
+# in-process server over loopback TCP.  Throughput and wall-clock are
+# timing series (machine-local); the per-session byte volumes are a
+# deterministic series, comparable against any baseline.
+cargo run -q --release --offline -p secmed-bench --bin soak -- 128 >/dev/null
+cargo run -q --release --offline -p secmed-bench --bin bench_check -- \
+  target/bench/BENCH_soak.json \
+  --require soak/sessions --require soak/sessions_per_sec \
+  --require soak/session/bytes --require-timing soak/wall

@@ -21,6 +21,21 @@ cargo test -q --offline -p secmed-wire --test golden_vectors
 cargo test -q --offline -p secmed-core --test chaos
 echo "chaos suite: swept 64 fault seeds x 3 protocols x 3 thread counts (+ zero-fault equivalence)"
 
+# The transport redesign's acceptance oracle, run by name: the same
+# seeded scenario over loopback TCP sockets must be byte-identical to
+# the in-process fabric (log, views, report) at 1/2/8 threads; the
+# session layer's failure paths must reclaim the session table; and the
+# full chaos sweep must hold over real sockets.
+cargo test -q --offline -p secmed-server --test equivalence
+cargo test -q --offline -p secmed-server --test sessions
+cargo test -q --offline -p secmed-server --test chaos_socket
+echo "socket fabric: loopback equivalence + session negotiation + chaos-over-sockets ok"
+
+# Soak smoke, run by name: eight concurrent client sessions against one
+# server process, all Clean, ledger complete, no session-table leak.
+cargo test -q --offline -p secmed-client --test soak_smoke
+echo "soak smoke: 8 concurrent loopback sessions ok"
+
 # The metrics registry and span-profile aggregation, run by name: the
 # deterministic/timing class split and the self-time invariant are what
 # keep RunReports reproducible while still carrying metrics.
