@@ -52,6 +52,131 @@ pub struct PredictedOps {
     pub random_mask: u64,
 }
 
+impl PredictedOps {
+    /// Total operation count across all counters.
+    pub fn total(&self) -> u64 {
+        self.hybrid_encrypt
+            + self.hybrid_decrypt
+            + self.commutative_encrypt
+            + self.hash_to_group
+            + self.paillier_encrypt
+            + self.paillier_decrypt
+            + self.paillier_add
+            + self.paillier_scale
+            + self.random_mask
+    }
+
+    /// Deterministic integer cost score for planner comparisons.
+    ///
+    /// Weights approximate relative public-key expense: modular-
+    /// exponentiation-class operations (hybrid/commutative/Paillier
+    /// encrypt/decrypt, hash-to-group, masks, homomorphic scaling) are
+    /// priced at 16 units; a homomorphic addition (one modular
+    /// multiplication) at 1.  The absolute scale is arbitrary — only the
+    /// ordering matters, and it is stable across platforms because the
+    /// score is pure integer arithmetic over predicted counts.
+    pub fn weighted_cost(&self) -> u64 {
+        const EXP: u64 = 16; // modexp-class operation
+        const MUL: u64 = 1; // single modular multiplication
+        EXP * (self.hybrid_encrypt
+            + self.hybrid_decrypt
+            + self.commutative_encrypt
+            + self.hash_to_group
+            + self.paillier_encrypt
+            + self.paillier_decrypt
+            + self.paillier_scale
+            + self.random_mask)
+            + MUL * self.paillier_add
+    }
+}
+
+/// Relative tolerance (parts per million) for predicted-vs-observed
+/// comparisons.  The closed forms are exact for the modeled
+/// configurations, so the tolerance is zero: any drift between model and
+/// census is a bug in one of them.
+pub const DIVERGENCE_TOLERANCE_PPM: u64 = 0;
+
+/// The per-counter comparison of a prediction against a measured census.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Largest relative error across counters, in parts per million
+    /// (counters where both sides are zero contribute nothing; a counter
+    /// where exactly one side is zero contributes `1_000_000`).
+    pub max_ppm: u64,
+    /// Counter names where predicted != observed.
+    pub mismatched: Vec<&'static str>,
+}
+
+impl Divergence {
+    /// True when every counter agrees within
+    /// [`DIVERGENCE_TOLERANCE_PPM`].
+    pub fn within_tolerance(&self) -> bool {
+        self.max_ppm == DIVERGENCE_TOLERANCE_PPM
+    }
+}
+
+/// Compares a prediction against an observed census counter-by-counter.
+pub fn divergence(predicted: &PredictedOps, observed: &PredictedOps) -> Divergence {
+    let pairs: [(&'static str, u64, u64); 9] = [
+        (
+            "hybrid_encrypt",
+            predicted.hybrid_encrypt,
+            observed.hybrid_encrypt,
+        ),
+        (
+            "hybrid_decrypt",
+            predicted.hybrid_decrypt,
+            observed.hybrid_decrypt,
+        ),
+        (
+            "commutative_encrypt",
+            predicted.commutative_encrypt,
+            observed.commutative_encrypt,
+        ),
+        (
+            "hash_to_group",
+            predicted.hash_to_group,
+            observed.hash_to_group,
+        ),
+        (
+            "paillier_encrypt",
+            predicted.paillier_encrypt,
+            observed.paillier_encrypt,
+        ),
+        (
+            "paillier_decrypt",
+            predicted.paillier_decrypt,
+            observed.paillier_decrypt,
+        ),
+        (
+            "paillier_add",
+            predicted.paillier_add,
+            observed.paillier_add,
+        ),
+        (
+            "paillier_scale",
+            predicted.paillier_scale,
+            observed.paillier_scale,
+        ),
+        ("random_mask", predicted.random_mask, observed.random_mask),
+    ];
+    let mut max_ppm = 0u64;
+    let mut mismatched = Vec::new();
+    for (name, p, o) in pairs {
+        if p == o {
+            continue;
+        }
+        mismatched.push(name);
+        let denom = p.max(o);
+        let diff = p.abs_diff(o);
+        max_ppm = max_ppm.max(diff.saturating_mul(1_000_000) / denom);
+    }
+    Divergence {
+        max_ppm,
+        mismatched,
+    }
+}
+
 /// Predicts the public-key operation counts for one protocol run.
 ///
 /// Only flat-polynomial PM modes are modeled (`Naive`/`Horner`; the
@@ -158,4 +283,88 @@ pub fn shape_of(
         intersection: d1.intersection(&d2).count(),
         server_result,
     })
+}
+
+/// [`shape_of`] generalized to composite join keys: the active domain is
+/// the set of distinct join-key *tuples* (the multi-attribute extension of
+/// Section 8).  For a single attribute this coincides with [`shape_of`].
+pub fn shape_of_join(
+    left: &relalg::Relation,
+    right: &relalg::Relation,
+    join_attrs: &[String],
+    server_result: usize,
+) -> Result<WorkloadShape, crate::MedError> {
+    use std::collections::BTreeSet;
+    let key_of = |rel: &relalg::Relation| -> Result<BTreeSet<Vec<relalg::Value>>, crate::MedError> {
+        let idx: Vec<usize> = join_attrs
+            .iter()
+            .map(|a| rel.schema().index_of(a))
+            .collect::<Result<_, _>>()?;
+        Ok(rel
+            .tuples()
+            .iter()
+            .map(|t| idx.iter().map(|&i| t.at(i).clone()).collect())
+            .collect())
+    };
+    let d1 = key_of(left)?;
+    let d2 = key_of(right)?;
+    Ok(WorkloadShape {
+        left_rows: left.len(),
+        right_rows: right.len(),
+        left_domain: d1.len(),
+        right_domain: d2.len(),
+        intersection: d1.intersection(&d2).count(),
+        server_result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_is_zero_for_identical_counts() {
+        let p = PredictedOps {
+            hybrid_encrypt: 10,
+            paillier_add: 100,
+            ..Default::default()
+        };
+        let d = divergence(&p, &p.clone());
+        assert_eq!(d.max_ppm, 0);
+        assert!(d.mismatched.is_empty());
+        assert!(d.within_tolerance());
+    }
+
+    #[test]
+    fn divergence_names_mismatched_counters() {
+        let p = PredictedOps {
+            hybrid_encrypt: 100,
+            ..Default::default()
+        };
+        let o = PredictedOps {
+            hybrid_encrypt: 99,
+            random_mask: 1,
+            ..Default::default()
+        };
+        let d = divergence(&p, &o);
+        assert_eq!(d.mismatched, vec!["hybrid_encrypt", "random_mask"]);
+        // random_mask: 0 vs 1 → full-scale error.
+        assert_eq!(d.max_ppm, 1_000_000);
+        assert!(!d.within_tolerance());
+    }
+
+    #[test]
+    fn weighted_cost_orders_adds_below_exponentiations() {
+        let adds = PredictedOps {
+            paillier_add: 15,
+            ..Default::default()
+        };
+        let exps = PredictedOps {
+            commutative_encrypt: 1,
+            ..Default::default()
+        };
+        assert!(adds.weighted_cost() < exps.weighted_cost());
+        assert_eq!(adds.total(), 15);
+        assert_eq!(exps.total(), 1);
+    }
 }

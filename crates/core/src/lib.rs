@@ -34,7 +34,10 @@
 //! * [`workload`] — synthetic relation generators standing in for the
 //!   paper's (unavailable) enterprise datasets,
 //! * [`hierarchy`] — mediator-as-datasource chaining (the future-work
-//!   item of Section 8).
+//!   item of Section 8),
+//! * [`plan`] — typed query plans (leakage budgets, per-node protocol
+//!   choice) and [`Engine::run_plan`], which executes a multi-way join
+//!   plan over the mediator hierarchy.
 
 pub mod audit;
 pub mod cost;
@@ -43,6 +46,7 @@ pub mod engine;
 pub mod hierarchy;
 pub mod observe;
 pub mod party;
+pub mod plan;
 pub mod policy;
 pub mod protocol;
 pub mod transport;
@@ -51,6 +55,7 @@ pub mod workload;
 pub use credential::{CertificationAuthority, Credential, Property};
 pub use engine::{Engine, ExecPolicy, RunOptions, ScenarioBuilder, TraceSink};
 pub use party::{Client, DataSource, Mediator};
+pub use plan::{LeakageBudget, NodeInput, Plan, PlanNode, PlanReport, PlanRunOptions};
 pub use policy::{AccessDecision, AccessPolicy, AccessRule};
 pub use protocol::RunOutcome;
 pub use protocol::{

@@ -8,9 +8,10 @@
 //! *derived from the same recorders the tests assert against*, so report
 //! numbers and test numbers can never drift apart.
 
-use secmed_obs::report::{EdgeStat, OpStat, RunReport as UnifiedReport};
+use secmed_obs::report::{EdgeStat, OpStat, PlanNodeStat, RunReport as UnifiedReport};
 use secmed_obs::trace::Record;
 
+use crate::plan::{Plan, PlanReport};
 use crate::protocol::{ProtocolKind, RunReport};
 use crate::transport::PartyId;
 use crate::workload::WorkloadSpec;
@@ -91,6 +92,125 @@ pub fn unified_report(
         outcome: report.outcome.key().to_string(),
         retries: report.outcome.retries(),
         metrics: report.metrics.clone(),
+        plan: Vec::new(),
+    }
+}
+
+/// Plan-section rows for a unified report: one [`PlanNodeStat`] per
+/// executed node, carrying the chosen protocol and the
+/// predicted-vs-observed primitive cross-check.
+pub fn plan_stats(exec: &PlanReport) -> Vec<PlanNodeStat> {
+    exec.nodes
+        .iter()
+        .map(|n| PlanNodeStat {
+            label: n.label.clone(),
+            protocol: n.protocol.key().to_string(),
+            predicted_ops: n.predicted.total(),
+            observed_ops: n.observed.total(),
+            divergence_ppm: n.divergence.max_ppm,
+            result_rows: n.report.result.len() as u64,
+        })
+        .collect()
+}
+
+/// Builds the unified report for one executed plan.
+///
+/// Traffic, primitive, interaction, and metric sections aggregate over
+/// every node's run (summed per edge / primitive / partner / metric key,
+/// in first-use order), the leakage section carries each node's audited
+/// views prefixed with its label, and the `plan` section records the
+/// per-node protocol choice and divergence cross-check.  Every number is
+/// drawn from the nodes' own recorders, so the report is byte-identical
+/// across reruns and thread counts.
+pub fn unified_plan_report(plan: &Plan, exec: &PlanReport) -> UnifiedReport {
+    let mut edges: Vec<EdgeStat> = Vec::new();
+    let mut ops: Vec<OpStat> = Vec::new();
+    let mut interactions: Vec<(String, u64)> = Vec::new();
+    let mut leakage: Vec<String> = Vec::new();
+    let mut metrics: Vec<(String, u64)> = Vec::new();
+    let mut retries = 0u64;
+    let mut outcome = "clean".to_string();
+    for n in &exec.nodes {
+        for e in n.report.transport.log() {
+            let from = e.from.to_string();
+            let to = e.to.to_string();
+            match edges.iter_mut().find(|x| x.from == from && x.to == to) {
+                Some(x) => {
+                    x.messages += 1;
+                    x.bytes += e.bytes() as u64;
+                }
+                None => edges.push(EdgeStat {
+                    from,
+                    to,
+                    messages: 1,
+                    bytes: e.bytes() as u64,
+                }),
+            }
+        }
+        for (op, count) in &n.report.primitives {
+            let name = op.name();
+            match ops.iter_mut().find(|o| o.name == name) {
+                Some(o) => o.count += count,
+                None => ops.push(OpStat {
+                    name: name.to_string(),
+                    count: *count,
+                }),
+            }
+        }
+        let mut partners: Vec<PartyId> = Vec::new();
+        for e in n.report.transport.log() {
+            for p in [&e.from, &e.to] {
+                if *p != PartyId::Mediator && !partners.contains(p) {
+                    partners.push(p.clone());
+                }
+            }
+        }
+        for p in partners {
+            let key = p.to_string();
+            let count = n.report.transport.interactions_of(&p) as u64;
+            match interactions.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => *v += count,
+                None => interactions.push((key, count)),
+            }
+        }
+        leakage.push(format!(
+            "{}: mediator: {}",
+            n.label,
+            n.report.mediator_view.describe()
+        ));
+        leakage.push(format!(
+            "{}: client: {}",
+            n.label,
+            n.report.client_view.describe()
+        ));
+        for (k, v) in &n.report.metrics {
+            match metrics.iter_mut().find(|(mk, _)| mk == k) {
+                Some((_, mv)) => *mv += v,
+                None => metrics.push((k.clone(), *v)),
+            }
+        }
+        retries += n.report.outcome.retries();
+        if outcome == "clean" && n.report.outcome.key() != "clean" {
+            outcome = n.report.outcome.key().to_string();
+        }
+    }
+    metrics.sort();
+    UnifiedReport {
+        protocol: "plan".to_string(),
+        workload: vec![
+            ("tables".to_string(), plan.tables.len() as u64),
+            ("nodes".to_string(), plan.nodes.len() as u64),
+        ],
+        phases: Vec::new(),
+        edges,
+        ops,
+        interactions,
+        leakage,
+        result_rows: exec.result.len() as u64,
+        outcome,
+        retries,
+        metrics,
+        plan: plan_stats(exec),
     }
 }
 

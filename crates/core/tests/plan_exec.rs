@@ -1,0 +1,215 @@
+//! Planner → engine integration: a three-way SQL join is planned onto the
+//! delivery protocols and executed over the mediator hierarchy.
+//!
+//! Covers the planner-layer invariants end to end: byte-identical plans
+//! and plan reports across thread counts, the leakage-budget flip (a
+//! tighter budget changes some node's protocol and the plan still runs),
+//! every candidate protocol assignment agreeing with the plaintext
+//! reference evaluation, and the per-node §6 predicted-vs-observed
+//! divergence staying within tolerance.
+
+use std::collections::HashMap;
+
+use relalg::Relation;
+use secmed_core::hierarchy::SourceSpec;
+use secmed_core::observe::unified_plan_report;
+use secmed_core::plan::{LeakageBudget, Plan, PlanReport, PlanRunOptions};
+use secmed_core::{
+    AccessPolicy, CertificationAuthority, Client, CommutativeConfig, DasConfig, Engine, PmConfig,
+    Property, ProtocolKind,
+};
+use secmed_crypto::drbg::HmacDrbg;
+use secmed_crypto::group::{GroupSize, SafePrimeGroup};
+use secmed_plan::{stats_of, Planner};
+use secmed_testkit::federation::{self, Federation, FederationSpec};
+use secmed_testkit::Gen;
+
+fn federation_3way() -> Federation {
+    federation::chain(
+        &mut Gen::for_case("plan-exec", 0),
+        &FederationSpec {
+            tables: 3,
+            rows: 20,
+            key_domain: 8,
+            payload_domain: 50,
+        },
+    )
+}
+
+fn ca_for(label: &str) -> CertificationAuthority {
+    let group = SafePrimeGroup::preset(GroupSize::S512);
+    let mut rng = HmacDrbg::from_label(label);
+    CertificationAuthority::new(group, &mut rng)
+}
+
+fn client_for(ca: &CertificationAuthority) -> Client {
+    Client::setup(
+        ca,
+        vec![Property::new("role", "analyst")],
+        SafePrimeGroup::preset(GroupSize::S512),
+        512,
+        "plan-exec/client",
+    )
+}
+
+fn sources_of(fed: &Federation) -> Vec<SourceSpec> {
+    fed.catalog
+        .iter()
+        .map(|(name, rel)| SourceSpec {
+            name: name.clone(),
+            relation: rel.clone(),
+            policy: AccessPolicy::allow_all(),
+        })
+        .collect()
+}
+
+/// Plaintext reference: evaluate the query directly over the catalog.
+fn reference(fed: &Federation) -> Relation {
+    let catalog: HashMap<String, Relation> = fed
+        .catalog
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    relalg::sql::parse(&fed.query())
+        .unwrap()
+        .eval(&catalog)
+        .unwrap()
+}
+
+/// Compares two relations up to row and column order.
+fn assert_same_rows(got: &Relation, want: &Relation, context: &str) {
+    let mut names: Vec<&str> = want.schema().attr_names();
+    names.sort_unstable();
+    let g = got.project(&names).unwrap().sorted();
+    let w = want.project(&names).unwrap().sorted();
+    assert_eq!(g.tuples(), w.tuples(), "{context}: result drifted");
+}
+
+fn run(fed: &Federation, plan: &Plan, opts: &PlanRunOptions) -> PlanReport {
+    let ca = ca_for("plan-exec/ca");
+    Engine::run_plan(&ca, || client_for(&ca), sources_of(fed), plan, opts).unwrap()
+}
+
+#[test]
+fn three_way_plan_and_report_are_identical_across_thread_counts() {
+    let fed = federation_3way();
+    let stats = stats_of(&fed.catalog);
+    let planner = Planner::new();
+    let plan = planner
+        .plan(&fed.query(), &fed.schemas(), &stats, LeakageBudget::open())
+        .unwrap();
+    let again = planner
+        .plan(&fed.query(), &fed.schemas(), &stats, LeakageBudget::open())
+        .unwrap();
+    assert_eq!(
+        format!("{plan:?}"),
+        format!("{again:?}"),
+        "planning must be a pure function of its inputs"
+    );
+
+    let want = reference(&fed);
+    let mut fingerprints: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let exec = run(&fed, &plan, &PlanRunOptions::default().threads(threads));
+        assert_same_rows(&exec.result, &want, &format!("{threads} threads"));
+        for n in &exec.nodes {
+            assert!(
+                n.divergence.within_tolerance(),
+                "{threads} threads, {}: {} ppm on {:?}",
+                n.label,
+                n.divergence.max_ppm,
+                n.divergence.mismatched
+            );
+        }
+        // The whole unified report — traffic, census, leakage, and the
+        // plan section — must not depend on the thread count.
+        fingerprints.push(unified_plan_report(&plan, &exec).to_json().render());
+    }
+    assert_eq!(fingerprints[0], fingerprints[1], "1 vs 2 threads");
+    assert_eq!(fingerprints[0], fingerprints[2], "1 vs 8 threads");
+    assert!(fingerprints[0].contains(r#""protocol":"plan""#));
+    assert!(fingerprints[0].contains(r#""divergence_ppm":0"#));
+}
+
+#[test]
+fn tightening_the_budget_flips_a_node_and_still_executes() {
+    let fed = federation_3way();
+    let stats = stats_of(&fed.catalog);
+    let planner = Planner::new();
+    let open = planner
+        .plan(&fed.query(), &fed.schemas(), &stats, LeakageBudget::open())
+        .unwrap();
+
+    // Forbid exactly the distinguishing leakage of the protocol the open
+    // plan chose for its first node; that node must flip.
+    let first = open.nodes[0].protocol;
+    let tight = match first {
+        ProtocolKind::Das(_) => LeakageBudget {
+            client_superset: false,
+            ..LeakageBudget::open()
+        },
+        ProtocolKind::Commutative(_) => LeakageBudget {
+            mediator_intersection_size: false,
+            ..LeakageBudget::open()
+        },
+        ProtocolKind::Pm(_) => LeakageBudget {
+            client_extra_ciphertexts: false,
+            ..LeakageBudget::open()
+        },
+    };
+    let flipped = planner
+        .plan(&fed.query(), &fed.schemas(), &stats, tight)
+        .unwrap();
+    assert_ne!(
+        flipped.nodes[0].protocol.key(),
+        first.key(),
+        "budget did not flip the node: {}",
+        flipped.nodes[0].rationale
+    );
+    assert!(
+        flipped.nodes.iter().all(|n| n.protocol.key() != first.key()
+            || tight.permits(&secmed_core::plan::exposure(&n.protocol))),
+        "a chosen protocol exceeds the budget"
+    );
+
+    // Both plans execute and agree with the plaintext reference.
+    let want = reference(&fed);
+    let opts = PlanRunOptions::default();
+    assert_same_rows(&run(&fed, &open, &opts).result, &want, "open budget");
+    assert_same_rows(&run(&fed, &flipped, &opts).result, &want, "tight budget");
+}
+
+#[test]
+fn every_protocol_assignment_executes_and_matches_the_reference() {
+    let fed = federation_3way();
+    let stats = stats_of(&fed.catalog);
+    let want = reference(&fed);
+    for kind in [
+        ProtocolKind::Das(DasConfig::default()),
+        ProtocolKind::Commutative(CommutativeConfig::default()),
+        ProtocolKind::Pm(PmConfig::default()),
+    ] {
+        // A single-candidate planner pins every node to one protocol.
+        let planner = Planner::with_candidates(vec![kind]);
+        let plan = planner
+            .plan(&fed.query(), &fed.schemas(), &stats, LeakageBudget::open())
+            .unwrap();
+        assert!(plan.nodes.iter().all(|n| n.protocol.key() == kind.key()));
+        let exec = run(&fed, &plan, &PlanRunOptions::default());
+        assert_same_rows(&exec.result, &want, kind.key());
+        for n in &exec.nodes {
+            assert!(
+                n.divergence.within_tolerance(),
+                "{} {}: {} ppm on {:?}",
+                kind.key(),
+                n.label,
+                n.divergence.max_ppm,
+                n.divergence.mismatched
+            );
+        }
+        let unified = unified_plan_report(&plan, &exec);
+        assert_eq!(unified.plan.len(), plan.nodes.len());
+        assert_eq!(unified.result_rows, want.len() as u64);
+        assert!(unified.plan.iter().all(|n| n.protocol == kind.key()));
+    }
+}

@@ -173,6 +173,30 @@ mod tests {
     }
 
     #[test]
+    fn plan_manifest_shape_passes_and_registry_variant_fails() {
+        // The planner crate's real manifest shape: workspace path deps only.
+        let check_plan = |text: &str| {
+            let mut out = Vec::new();
+            DependencyPolicy.check_manifest(
+                &ManifestFile {
+                    path: "crates/plan/Cargo.toml".into(),
+                    text: text.into(),
+                },
+                &mut out,
+            );
+            out
+        };
+        let ok = "[dependencies]\nrelalg.workspace = true\n\
+                  secmed-core.workspace = true\n";
+        assert!(check_plan(ok).is_empty());
+        let bad = "[dependencies]\nrelalg.workspace = true\n\
+                   petgraph = \"0.6\"\n";
+        let out = check_plan(bad);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].file, "crates/plan/Cargo.toml");
+    }
+
+    #[test]
     fn dev_dependencies_are_checked_and_comments_stripped() {
         let text = "[dev-dependencies]\n# registry = not a dep\n\
                     criterion = { version = \"0.5\" } # bench\n";

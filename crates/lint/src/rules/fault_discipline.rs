@@ -27,10 +27,13 @@ const ALLOWED_PREFIXES: &[&str] = &[
 
 /// Exact files allowed to construct fault plans: the fabric itself (in
 /// its legacy single-file spelling), the engine that installs plans from
-/// `RunOptions`, and the crate root that re-exports the types.
+/// `RunOptions`, the plan executor that forwards one plan-level schedule
+/// into each node's `RunOptions` (never building its own), and the crate
+/// root that re-exports the types.
 const ALLOWED_FILES: &[&str] = &[
     "crates/core/src/transport.rs",
     "crates/core/src/engine.rs",
+    "crates/core/src/plan.rs",
     "crates/core/src/lib.rs",
 ];
 
@@ -110,7 +113,10 @@ mod tests {
         let src = "fn f() { let _ = FaultPlan::none(\"x\"); }";
         assert!(check("crates/core/src/transport.rs", src).is_empty());
         assert!(check("crates/core/src/engine.rs", src).is_empty());
+        assert!(check("crates/core/src/plan.rs", src).is_empty());
         assert!(check("crates/core/src/lib.rs", src).is_empty());
+        // The planner *crate* is not exempt — only core's plan executor.
+        assert_eq!(check("crates/plan/src/lib.rs", src).len(), 1);
         assert!(check("crates/testkit/src/lib.rs", src).is_empty());
         assert!(check("crates/bench/src/bin/chaos_sweep.rs", src).is_empty());
     }

@@ -7,9 +7,9 @@
 //! honest: a side channel built on a raw `std::sync::mpsc` pair or an ad
 //! hoc socket would carry plaintext the trace never shows.  Two checks:
 //!
-//! * in `crates/core/src/`, `crates/das/src/`, and `crates/pool/src/`,
-//!   non-test code may not name `std::sync::mpsc` (the fabric module
-//!   itself owns whatever primitive backs it);
+//! * in `crates/core/src/`, `crates/das/src/`, `crates/pool/src/`, and
+//!   `crates/plan/src/`, non-test code may not name `std::sync::mpsc`
+//!   (the fabric module itself owns whatever primitive backs it);
 //! * workspace-wide, `std::net` / `std::os` and raw socket types appear
 //!   only where bytes are *supposed* to leave the process: the socket
 //!   fabric, `secmed-server`, and `secmed-client`.
@@ -20,8 +20,14 @@ use crate::source::SourceFile;
 /// Directories the channel (`mpsc`) check applies to.  The pool crate is
 /// in scope because a worker that opened its own channel could smuggle
 /// protocol state past the recording transport just as easily as
-/// protocol code.
-const SCOPE: &[&str] = &["crates/core/src/", "crates/das/src/", "crates/pool/src/"];
+/// protocol code; the planner crate is in scope because it sits directly
+/// above the protocol layer and must stay a pure function of its inputs.
+const SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/das/src/",
+    "crates/pool/src/",
+    "crates/plan/src/",
+];
 
 /// Identifiers that indicate an out-of-band in-process channel.  `mpsc`
 /// catches both `std::sync::mpsc` paths and `use ... mpsc` imports.
@@ -202,5 +208,16 @@ mod tests {
     fn pool_crate_is_in_scope() {
         let src = "use std::sync::mpsc;";
         assert_eq!(check("crates/pool/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn plan_crate_is_in_scope() {
+        let src = "use std::sync::mpsc;";
+        assert_eq!(check("crates/plan/src/lib.rs", src).len(), 1);
+        // Sockets are banned there like everywhere outside the allowlist.
+        let net = "fn f() { let s = std::net::TcpStream::connect(\"x\"); }";
+        assert_eq!(check("crates/plan/src/lib.rs", net).len(), 2);
+        // A planner crate free of channels and sockets is clean.
+        assert!(check("crates/plan/src/lib.rs", "pub fn plan() {}").is_empty());
     }
 }

@@ -49,6 +49,27 @@ pub struct OpStat {
     pub count: u64,
 }
 
+/// Predicted-vs-observed record for one node of an executed query plan.
+///
+/// Counts are totals over the primitive census; `divergence_ppm` is the
+/// worst per-counter relative error in parts per million (0 = the §6
+/// closed forms matched the measured census exactly).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanNodeStat {
+    /// Node label, e.g. `"r1 ⨝ r2"`.
+    pub label: String,
+    /// Protocol the node ran, e.g. `"pm"`.
+    pub protocol: String,
+    /// Total predicted primitive invocations for this node.
+    pub predicted_ops: u64,
+    /// Total observed primitive invocations for this node.
+    pub observed_ops: u64,
+    /// Worst per-counter predicted-vs-observed error, parts per million.
+    pub divergence_ppm: u64,
+    /// Rows the node's join delivered.
+    pub result_rows: u64,
+}
+
 /// The unified report for one protocol run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
@@ -82,6 +103,10 @@ pub struct RunReport {
     /// from wall clocks), so the vector is reproducible across reruns and
     /// thread counts.
     pub metrics: Vec<(String, u64)>,
+    /// Per-node plan execution rows (chosen protocol plus the
+    /// predicted-vs-observed primitive cross-check); empty for single-join
+    /// runs that did not go through a planner.
+    pub plan: Vec<PlanNodeStat>,
 }
 
 impl RunReport {
@@ -207,6 +232,19 @@ impl RunReport {
                         .collect(),
                 ),
             ),
+            (
+                "plan",
+                Json::arr(self.plan.iter().map(|n| {
+                    Json::obj([
+                        ("label", Json::Str(n.label.clone())),
+                        ("protocol", Json::Str(n.protocol.clone())),
+                        ("predicted_ops", Json::UInt(n.predicted_ops)),
+                        ("observed_ops", Json::UInt(n.observed_ops)),
+                        ("divergence_ppm", Json::UInt(n.divergence_ppm)),
+                        ("result_rows", Json::UInt(n.result_rows)),
+                    ])
+                })),
+            ),
         ])
     }
 
@@ -280,6 +318,36 @@ impl RunReport {
                 .collect();
             rows.push(["total".to_string(), self.total_ops().to_string()]);
             push_table(&mut out, &["primitive", "count"], &rows);
+        }
+
+        if !self.plan.is_empty() {
+            out.push('\n');
+            let rows: Vec<[String; 6]> = self
+                .plan
+                .iter()
+                .map(|n| {
+                    [
+                        n.label.clone(),
+                        n.protocol.clone(),
+                        n.predicted_ops.to_string(),
+                        n.observed_ops.to_string(),
+                        n.divergence_ppm.to_string(),
+                        n.result_rows.to_string(),
+                    ]
+                })
+                .collect();
+            push_table(
+                &mut out,
+                &[
+                    "plan node",
+                    "protocol",
+                    "predicted",
+                    "observed",
+                    "ppm",
+                    "rows",
+                ],
+                &rows,
+            );
         }
 
         if !self.metrics.is_empty() {
@@ -427,6 +495,14 @@ mod tests {
                 ("run.result_rows".to_string(), 12),
                 ("transport.frames".to_string(), 5),
             ],
+            plan: vec![PlanNodeStat {
+                label: "r1 ⨝ r2".to_string(),
+                protocol: "pm".to_string(),
+                predicted_ops: 220,
+                observed_ops: 220,
+                divergence_ppm: 0,
+                result_rows: 12,
+            }],
         }
     }
 
@@ -472,6 +548,7 @@ mod tests {
             r#""outcome":"recovered""#,
             r#""retries":2"#,
             r#""metrics":{"run.result_rows":12,"transport.frames":5}"#,
+            r#""plan":[{"label":"r1 ⨝ r2","protocol":"pm","predicted_ops":220,"observed_ops":220,"divergence_ppm":0,"result_rows":12}]"#,
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }
@@ -492,6 +569,12 @@ mod tests {
         assert!(t.contains("1.500 ms"));
         assert!(t.contains("700 ns"));
         assert!(t.contains("transport.frames"));
+        let plan_header = lines
+            .iter()
+            .position(|l| l.starts_with("plan node"))
+            .unwrap();
+        assert!(lines[plan_header + 1].starts_with("----"));
+        assert!(t.contains("r1 ⨝ r2"));
     }
 
     #[test]

@@ -66,6 +66,11 @@ pub enum RelError {
     Codec(String),
     /// A SQL string could not be parsed.
     Sql(String),
+    /// A bare column reference matched attributes of several tables in
+    /// scope (and is not a join attribute, which would merge them).
+    AmbiguousColumn(String),
+    /// A table alias (or table name) appeared twice in one FROM clause.
+    DuplicateAlias(String),
 }
 
 impl std::fmt::Display for RelError {
@@ -76,6 +81,8 @@ impl std::fmt::Display for RelError {
             RelError::Incompatible(m) => write!(f, "incompatible relations: {m}"),
             RelError::Codec(m) => write!(f, "codec error: {m}"),
             RelError::Sql(m) => write!(f, "SQL parse error: {m}"),
+            RelError::AmbiguousColumn(m) => write!(f, "ambiguous column: {m}"),
+            RelError::DuplicateAlias(m) => write!(f, "duplicate table alias: {m}"),
         }
     }
 }

@@ -1,0 +1,186 @@
+//! Seeded N-table federation generator.
+//!
+//! Produces a chain of relations `t0(k0, v0)`, `t1(k0, k1, v1)`, ...,
+//! `t{N-1}(k{N-2}, v{N-1})` where each adjacent pair shares exactly one
+//! join key.  Key values are drawn uniformly from a domain whose width
+//! controls the join selectivity: with `rows` rows over `key_domain`
+//! values, adjacent tables match on roughly `rows² / key_domain` pairs, so
+//! narrow domains produce dense joins and wide domains sparse ones.
+//!
+//! Everything is drawn from a [`Gen`], so a federation is a pure function
+//! of the generator's label and case index — planner and engine suites can
+//! regenerate the exact catalog of a failing case from the test output.
+
+use std::collections::BTreeMap;
+
+use relalg::{Relation, Schema, Type, Value};
+
+use crate::Gen;
+
+/// Shape parameters of a generated federation.
+#[derive(Debug, Clone, Copy)]
+pub struct FederationSpec {
+    /// Number of tables in the chain (≥ 2).
+    pub tables: usize,
+    /// Rows drawn per table (duplicates are collapsed, so the final count
+    /// may be slightly lower).
+    pub rows: usize,
+    /// Width of each shared-key domain — the selectivity knob.
+    pub key_domain: u64,
+    /// Width of each payload-attribute domain.
+    pub payload_domain: u64,
+}
+
+impl Default for FederationSpec {
+    fn default() -> Self {
+        FederationSpec {
+            tables: 3,
+            rows: 24,
+            key_domain: 12,
+            payload_domain: 1000,
+        }
+    }
+}
+
+/// A generated federation: the catalog plus its natural-join chain query.
+#[derive(Debug, Clone)]
+pub struct Federation {
+    /// Relations by table name (`t0`, `t1`, ...).
+    pub catalog: BTreeMap<String, Relation>,
+}
+
+impl Federation {
+    /// The schemas of the catalog, keyed like the catalog.
+    pub fn schemas(&self) -> BTreeMap<String, Schema> {
+        self.catalog
+            .iter()
+            .map(|(name, rel)| (name.clone(), rel.schema().clone()))
+            .collect()
+    }
+
+    /// The natural-join chain query over every table, in chain order.
+    pub fn query(&self) -> String {
+        let names: Vec<String> = (0..self.catalog.len()).map(|i| format!("t{i}")).collect();
+        format!("select * from {}", names.join(" natural join "))
+    }
+}
+
+/// Generates a chain federation from `g` under `spec`.
+///
+/// # Panics
+///
+/// Panics if `spec.tables < 2` or any domain/row count is zero — those
+/// shapes have no join to mediate.
+pub fn chain(g: &mut Gen, spec: &FederationSpec) -> Federation {
+    assert!(spec.tables >= 2, "a federation needs at least two tables");
+    assert!(
+        spec.rows > 0 && spec.key_domain > 0 && spec.payload_domain > 0,
+        "degenerate federation shape"
+    );
+    let mut catalog = BTreeMap::new();
+    for i in 0..spec.tables {
+        let mut attrs: Vec<(String, Type)> = Vec::new();
+        if i > 0 {
+            attrs.push((format!("k{}", i - 1), Type::Int));
+        }
+        if i + 1 < spec.tables {
+            attrs.push((format!("k{i}"), Type::Int));
+        }
+        attrs.push((format!("v{i}"), Type::Int));
+        let refs: Vec<(&str, Type)> = attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let rows: Vec<Vec<Value>> = (0..spec.rows)
+            .map(|_| {
+                refs.iter()
+                    .map(|(name, _)| {
+                        let bound = if name.starts_with('k') {
+                            spec.key_domain
+                        } else {
+                            spec.payload_domain
+                        };
+                        Value::Int(g.u64_below(bound) as i64)
+                    })
+                    .collect()
+            })
+            .collect();
+        let rel = Relation::build(Schema::new(&refs), rows)
+            .expect("generated rows match the generated schema")
+            .distinct();
+        catalog.insert(format!("t{i}"), rel);
+    }
+    Federation { catalog }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn federations_are_deterministic_per_case() {
+        let spec = FederationSpec::default();
+        let a = chain(&mut Gen::for_case("fed", 5), &spec);
+        let b = chain(&mut Gen::for_case("fed", 5), &spec);
+        for (name, rel) in &a.catalog {
+            assert_eq!(rel.tuples(), b.catalog[name].tuples(), "{name}");
+        }
+        let c = chain(&mut Gen::for_case("fed", 6), &spec);
+        assert_ne!(
+            a.catalog["t0"].tuples(),
+            c.catalog["t0"].tuples(),
+            "different cases diverge"
+        );
+    }
+
+    #[test]
+    fn chain_schemas_share_one_key_per_adjacent_pair() {
+        let fed = chain(
+            &mut Gen::for_case("fed-schema", 0),
+            &FederationSpec {
+                tables: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(fed.catalog.len(), 4);
+        for i in 1..4usize {
+            let prev = fed.catalog[&format!("t{}", i - 1)].schema().attr_names();
+            let cur = fed.catalog[&format!("t{i}")].schema().attr_names();
+            let shared: Vec<_> = prev.iter().filter(|a| cur.contains(a)).collect();
+            assert_eq!(shared, vec![&format!("k{}", i - 1).as_str()].as_slice());
+        }
+    }
+
+    #[test]
+    fn query_parses_and_selectivity_follows_the_domain() {
+        // A narrow key domain joins densely; a huge one sparsely.
+        let dense_spec = FederationSpec {
+            key_domain: 4,
+            ..Default::default()
+        };
+        let sparse_spec = FederationSpec {
+            key_domain: 1_000_000,
+            ..Default::default()
+        };
+        let dense = chain(&mut Gen::for_case("fed-sel", 0), &dense_spec);
+        let sparse = chain(&mut Gen::for_case("fed-sel", 0), &sparse_spec);
+        let catalog = |f: &Federation| {
+            f.catalog
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect::<std::collections::HashMap<_, _>>()
+        };
+        let dense_rows = relalg::sql::parse(&dense.query())
+            .unwrap()
+            .eval(&catalog(&dense))
+            .unwrap()
+            .len();
+        let sparse_rows = relalg::sql::parse(&sparse.query())
+            .unwrap()
+            .eval(&catalog(&sparse))
+            .unwrap()
+            .len();
+        assert!(dense_rows > 0, "narrow domains must actually join");
+        assert!(
+            dense_rows > sparse_rows,
+            "selectivity knob had no effect: {dense_rows} vs {sparse_rows}"
+        );
+    }
+}

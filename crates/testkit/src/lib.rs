@@ -18,6 +18,7 @@ use mpint::rng::Rng;
 use secmed_crypto::drbg::HmacDrbg;
 
 pub mod chaos;
+pub mod federation;
 
 /// A deterministic value generator for property tests.
 ///

@@ -44,6 +44,15 @@ cargo run -q --release --offline -p secmed-lint -- . >/dev/null 2>&1 || true
 cargo run -q --release --offline -p secmed-bench --bin bench_check -- \
   target/bench/BENCH_lint.json --require-timing lint/wall
 
+# The planner trajectory: plan seeded 3/4/5-table chain federations and
+# validate both series classes — nodes/cost/est_rows are deterministic
+# (pure functions of the seeded inputs), wall and plans/sec are timing.
+cargo run -q --release --offline -p secmed-bench --bin plan_bench >/dev/null
+cargo run -q --release --offline -p secmed-bench --bin bench_check -- \
+  target/bench/BENCH_plan.json \
+  --require plan/nodes --require plan/cost --require plan/est_rows \
+  --require plan/plans_per_sec --require-timing plan/wall
+
 # The soak trajectory: >=100 concurrent client sessions against one
 # in-process server over loopback TCP.  Throughput and wall-clock are
 # timing series (machine-local); the per-session byte volumes are a

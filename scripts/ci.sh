@@ -44,6 +44,16 @@ cargo test -q --offline -p secmed-obs profile::
 cargo test -q --offline -p secmed-obs trajectory::
 cargo test -q --offline -p secmed-core --test observability
 
+# The planner layer, run by name: SQL multi-join analysis and eval edge
+# cases (relalg), join-order/protocol choice under leakage budgets
+# (secmed-plan), and the end-to-end plan execution suite — determinism
+# across thread counts, the budget flip, and the per-node §6
+# predicted-vs-observed divergence gate.
+cargo test -q --offline -p relalg --test algebra_edges
+cargo test -q --offline -p secmed-plan
+cargo test -q --offline -p secmed-core --test plan_exec
+echo "planner: relalg edges + plan unit suite + 3-way plan execution ok"
+
 # The BENCH_*.json gate in smoke mode: emit a fresh core trajectory and
 # validate schema + required series (full baseline compare is manual:
 # scripts/bench_check.sh full).

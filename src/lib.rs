@@ -12,6 +12,8 @@
 //! * [`relalg`] — the relational-algebra engine,
 //! * [`das`] — Database-as-a-Service bucketization,
 //! * [`core`] — the Multimedia Mediator and the three JOIN protocols,
+//! * [`plan`] — the cost- and leakage-aware query planner over the three
+//!   protocols,
 //! * [`pool`] — the deterministic fork-join thread pool behind
 //!   [`core::ExecPolicy`],
 //! * [`obs`] — structured tracing, unified run reports, and the bench
@@ -26,4 +28,5 @@ pub use secmed_core as core;
 pub use secmed_crypto as crypto;
 pub use secmed_das as das;
 pub use secmed_obs as obs;
+pub use secmed_plan as plan;
 pub use secmed_pool as pool;
