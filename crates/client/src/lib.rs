@@ -14,7 +14,9 @@
 
 use std::net::SocketAddr;
 
-use secmed_core::{Engine, MedError, RunOptions, RunReport, Scenario, SocketFabric};
+use secmed_core::{
+    Engine, MedError, ReconnectPolicy, RunOptions, RunReport, Scenario, SocketFabric,
+};
 
 /// Runs `scenario` against the server at `addr` as session `session`.
 ///
@@ -29,6 +31,22 @@ pub fn run_session(
     scenario: &mut Scenario,
     opts: &RunOptions,
 ) -> Result<RunReport, MedError> {
-    let fabric = SocketFabric::connect(addr, session, opts.delivery)?;
+    run_session_with(addr, session, scenario, opts, ReconnectPolicy::none())
+}
+
+/// Like [`run_session`], but with a client-side [`ReconnectPolicy`]: a
+/// connection that dies mid-session (or a `ServerBusy` refusal at
+/// connect time) is retried with deterministic capped-exponential
+/// backoff, and the session resumes where it left off.  Because resume
+/// replays exactly the echoes the client missed, the returned
+/// [`RunReport`] is byte-identical to an uninterrupted run.
+pub fn run_session_with(
+    addr: SocketAddr,
+    session: u64,
+    scenario: &mut Scenario,
+    opts: &RunOptions,
+    reconnect: ReconnectPolicy,
+) -> Result<RunReport, MedError> {
+    let fabric = SocketFabric::connect_with(addr, session, opts.delivery, reconnect)?;
     Engine::run_on(fabric, scenario, opts)
 }

@@ -62,7 +62,7 @@ pub use protocol::{
     CommutativeConfig, CommutativeMode, DasConfig, DasSetting, PmConfig, PmEval, PmPayloadMode,
     ProtocolKind, RunReport, Scenario,
 };
-pub use transport::socket::SocketFabric;
+pub use transport::socket::{ReconnectPolicy, SocketFabric};
 pub use transport::{
     DeliveryError, DeliveryFailure, DeliveryPolicy, Envelope, Fabric, FaultKind, FaultPlan,
     LinkMask, OnExhausted, Outage, PartyId, Transport,
@@ -90,6 +90,10 @@ pub enum MedError {
     /// The fabric's infrastructure failed (torn socket, rejected session)
     /// — distinct from a modeled [`FaultKind`] the plan injected.
     Fabric(String),
+    /// The server refused admission (`ServerBusy`): a *retryable* typed
+    /// condition — the caller may back off and dial again, unlike the
+    /// terminal [`MedError::Fabric`] failures.
+    Busy(String),
 }
 
 impl std::fmt::Display for MedError {
@@ -104,6 +108,7 @@ impl std::fmt::Display for MedError {
             MedError::Delivery(e) => write!(f, "delivery failed: {e}"),
             MedError::Protocol(m) => write!(f, "protocol error: {m}"),
             MedError::Fabric(m) => write!(f, "fabric error: {m}"),
+            MedError::Busy(m) => write!(f, "server busy: {m}"),
         }
     }
 }
@@ -119,7 +124,8 @@ impl std::error::Error for MedError {
             MedError::AccessDenied(_)
             | MedError::BadCredential(_)
             | MedError::Protocol(_)
-            | MedError::Fabric(_) => None,
+            | MedError::Fabric(_)
+            | MedError::Busy(_) => None,
         }
     }
 }

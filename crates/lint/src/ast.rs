@@ -328,6 +328,9 @@ pub enum Expr {
     },
     /// A literal (string, char, number, bool).
     Lit {
+        /// Raw token text (`"0"`, `"50_000"`, `"true"`); empty for the
+        /// implicit endpoints of open ranges.
+        text: String,
         /// Source line.
         line: u32,
     },
@@ -361,7 +364,7 @@ impl Expr {
             | Expr::Index { line, .. }
             | Expr::Tuple { line, .. }
             | Expr::Repeat { line, .. }
-            | Expr::Lit { line }
+            | Expr::Lit { line, .. }
             | Expr::Unknown { line } => *line,
             Expr::Block(b) => b.stmts.first().map_or(0, stmt_line),
         }
@@ -1065,7 +1068,10 @@ impl<'a> Parser<'a> {
                 lhs = Expr::Binary {
                     op,
                     lhs: Box::new(lhs),
-                    rhs: Box::new(Expr::Lit { line }),
+                    rhs: Box::new(Expr::Lit {
+                        text: String::new(),
+                        line,
+                    }),
                     line,
                 };
                 continue;
@@ -1303,16 +1309,18 @@ impl<'a> Parser<'a> {
         let line = t.line;
         match (t.kind, t.text.as_str()) {
             (TokenKind::Number, _) | (TokenKind::Literal, _) | (TokenKind::Lifetime, _) => {
+                let text = t.text.clone();
                 self.pos += 1;
                 // A lifetime here is a loop label: `'a: loop { ... }`.
                 if self.eat_punct(":") {
                     return self.primary(structs);
                 }
-                Expr::Lit { line }
+                Expr::Lit { text, line }
             }
             (TokenKind::Ident, "true") | (TokenKind::Ident, "false") => {
+                let text = t.text.clone();
                 self.pos += 1;
-                Expr::Lit { line }
+                Expr::Lit { text, line }
             }
             (TokenKind::Ident, "if") => self.if_expr(),
             (TokenKind::Ident, "while") => {
@@ -1456,13 +1464,19 @@ impl<'a> Parser<'a> {
                 // Prefix range `..n`.
                 self.pos += 1;
                 let rhs = if self.range_rhs_absent() {
-                    Expr::Lit { line }
+                    Expr::Lit {
+                        text: String::new(),
+                        line,
+                    }
                 } else {
                     self.expr_bp(2, structs)
                 };
                 Expr::Binary {
                     op: "..".to_string(),
-                    lhs: Box::new(Expr::Lit { line }),
+                    lhs: Box::new(Expr::Lit {
+                        text: String::new(),
+                        line,
+                    }),
                     rhs: Box::new(rhs),
                     line,
                 }

@@ -9,11 +9,19 @@
 //! without `details` destroys the audit trail the leakage accounting
 //! depends on: a degraded run must say *what* was lost.
 //!
-//! Both checks are structural, over struct-literal expressions in the
+//! PR 10 extends the same discipline to the session-resilience layer:
+//! a `ReconnectPolicy` with `max_reconnects: u32::MAX` redials a dead
+//! server forever, and one with `backoff_cap_ns: 0` turns the capped
+//! exponential backoff into a tight reconnect spin — both are the same
+//! DoS lever wearing a transport hat.
+//!
+//! All checks are structural, over struct-literal expressions in the
 //! AST:
 //!
 //! * `DeliveryPolicy { .. }` must set `max_attempts` explicitly, and not
 //!   to `u32::MAX`,
+//! * `ReconnectPolicy { .. }` must set `max_reconnects` explicitly (not
+//!   `MAX`) and `backoff_cap_ns` explicitly (not a literal zero),
 //! * `RunOutcome::Degraded { .. }` must set `details`, and not to an
 //!   evidently-empty `vec![]` / `Vec::new()`.
 
@@ -29,7 +37,8 @@ impl Rule for RetryDiscipline {
     }
 
     fn description(&self) -> &'static str {
-        "DeliveryPolicy must bound max_attempts; RunOutcome::Degraded must attach details"
+        "DeliveryPolicy and ReconnectPolicy must bound their retry budgets; \
+         RunOutcome::Degraded must attach details"
     }
 
     fn check_workspace(&self, ws: &WorkspaceView<'_>, findings: &mut Vec<Finding>) {
@@ -59,6 +68,9 @@ impl Rule for RetryDiscipline {
                     match path.last().map(String::as_str) {
                         Some("DeliveryPolicy") => {
                             check_policy(file.path, fields, *has_rest, *line, findings)
+                        }
+                        Some("ReconnectPolicy") => {
+                            check_reconnect(file.path, fields, *has_rest, *line, findings)
                         }
                         Some("Degraded") if path.len() >= 2 => {
                             check_degraded(file.path, fields, *line, findings)
@@ -103,6 +115,83 @@ fn check_policy(
                  retry loop in disguise"
                     .to_string(),
             ));
+        }
+    }
+}
+
+/// True when a numeric literal's token text evaluates to zero
+/// (`0`, `0_u64`, `0x0`, ...): digit separators are dropped, any type
+/// suffix is stripped, and what remains must be all zeros.
+fn is_zero_literal(text: &str) -> bool {
+    let compact: String = text.chars().filter(|&c| c != '_').collect();
+    let hex = compact.strip_prefix("0x");
+    let body = hex
+        .or_else(|| compact.strip_prefix("0b"))
+        .or_else(|| compact.strip_prefix("0o"))
+        .unwrap_or(&compact);
+    // The value part ends where a type suffix (`u64`, `usize`) begins.
+    let is_digit = |c: char| {
+        if hex.is_some() {
+            c.is_ascii_hexdigit()
+        } else {
+            c.is_ascii_digit()
+        }
+    };
+    let end = body.find(|c| !is_digit(c)).unwrap_or(body.len());
+    let digits = body.get(..end).unwrap_or("");
+    !digits.is_empty() && digits.chars().all(|c| c == '0')
+}
+
+fn check_reconnect(
+    path: &str,
+    fields: &[crate::ast::FieldInit],
+    has_rest: bool,
+    line: u32,
+    findings: &mut Vec<Finding>,
+) {
+    let finding = |message: String| Finding {
+        file: path.to_string(),
+        line,
+        rule: "retry-discipline",
+        message,
+    };
+    let inherited = if has_rest {
+        " (inherited via `..` functional update)"
+    } else {
+        ""
+    };
+    match fields.iter().find(|f| f.name == "max_reconnects") {
+        None => findings.push(finding(format!(
+            "ReconnectPolicy constructed without an explicit `max_reconnects`{inherited} — \
+             every redial loop must be finitely bounded"
+        ))),
+        Some(f) => {
+            if let Some(Expr::Path { segs, .. }) = &f.value {
+                if segs.last().map(String::as_str) == Some("MAX") {
+                    findings.push(finding(
+                        "ReconnectPolicy sets `max_reconnects` to `MAX` — that is an \
+                         unbounded redial loop in disguise"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    match fields.iter().find(|f| f.name == "backoff_cap_ns") {
+        None => findings.push(finding(format!(
+            "ReconnectPolicy constructed without an explicit `backoff_cap_ns`{inherited} — \
+             the backoff ceiling must be stated where the policy is built"
+        ))),
+        Some(f) => {
+            if let Some(Expr::Lit { text, .. }) = &f.value {
+                if is_zero_literal(text) {
+                    findings.push(finding(
+                        "ReconnectPolicy sets `backoff_cap_ns` to zero — a zero cap \
+                         collapses the exponential backoff into a reconnect spin"
+                            .to_string(),
+                    ));
+                }
+            }
         }
     }
 }
@@ -175,6 +264,49 @@ fn f() {
         assert_eq!(out.len(), 3, "{out:?}");
         assert!(out[1].message.contains("functional update"));
         assert!(out[2].message.contains("unbounded"));
+    }
+
+    #[test]
+    fn bounded_reconnect_policies_pass() {
+        let src = "\
+fn f() -> ReconnectPolicy {
+    let quiet = ReconnectPolicy { max_reconnects: 0, base_backoff_ns: 0, backoff_cap_ns: 1, seed: 0 };
+    ReconnectPolicy { max_reconnects: 8, base_backoff_ns: 200_000, backoff_cap_ns: 50_000_000, seed }
+}
+";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_or_capless_reconnect_policies_are_flagged() {
+        let src = "\
+fn f() {
+    let a = ReconnectPolicy { base_backoff_ns: 1, backoff_cap_ns: 5, seed: 0 };
+    let b = ReconnectPolicy { backoff_cap_ns: 5, ..base };
+    let c = ReconnectPolicy { max_reconnects: u32::MAX, base_backoff_ns: 1, backoff_cap_ns: 5, seed: 0 };
+    let d = ReconnectPolicy { max_reconnects: 4, base_backoff_ns: 1, backoff_cap_ns: 0, seed: 0 };
+    let e = ReconnectPolicy { max_reconnects: 4, base_backoff_ns: 1, backoff_cap_ns: 0_u64, seed: 0 };
+    let g = ReconnectPolicy { max_reconnects: 4, seed: 0, ..base };
+}
+";
+        let out = check(src);
+        assert_eq!(out.len(), 6, "{out:?}");
+        assert!(out[0].message.contains("max_reconnects"));
+        assert!(out[1].message.contains("functional update"));
+        assert!(out[2].message.contains("unbounded redial"));
+        assert!(out[3].message.contains("zero cap"));
+        assert!(out[4].message.contains("zero cap"));
+        assert!(out[5].message.contains("backoff_cap_ns"));
+    }
+
+    #[test]
+    fn zero_literal_detection_handles_rust_spellings() {
+        for zero in ["0", "00", "0_u64", "0u32", "0x0", "0x00_u64", "0b000"] {
+            assert!(is_zero_literal(zero), "{zero} is zero");
+        }
+        for nonzero in ["1", "0x10", "0xA", "10", "2_000_000", "1u64", ""] {
+            assert!(!is_zero_literal(nonzero), "{nonzero} is not zero");
+        }
     }
 
     #[test]

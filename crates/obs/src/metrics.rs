@@ -360,6 +360,13 @@ pub fn observe(class: Class, name: &str, v: u64) {
 pub trait Clock: Send + Sync {
     /// Current time in nanoseconds (monotonic, arbitrary epoch).
     fn now_ns(&self) -> u64;
+
+    /// Blocks the calling thread for `ns` nanoseconds.  The default
+    /// parks the OS thread; [`ManualClock`] just advances itself, so
+    /// tests that drive backoff or drain loops never actually sleep.
+    fn sleep_ns(&self, ns: u64) {
+        std::thread::sleep(std::time::Duration::from_nanos(ns));
+    }
 }
 
 /// A hand-cranked clock for tests.
@@ -382,6 +389,22 @@ impl Clock for ManualClock {
     fn now_ns(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    fn sleep_ns(&self, ns: u64) {
+        self.advance(ns);
+    }
+}
+
+/// The process monotonic clock as an explicit [`Clock`] value, for
+/// components that take a clock by parameter (the server, the socket
+/// fabric's reconnect backoff) rather than through the registry global.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MonotonicClock;
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        crate::trace::now_ns()
+    }
 }
 
 static CLOCK: Mutex<Option<Arc<dyn Clock>>> = Mutex::new(None);
@@ -401,6 +424,18 @@ fn clock_now_ns() -> u64 {
     match installed {
         Some(c) => c.now_ns(),
         None => crate::trace::now_ns(),
+    }
+}
+
+/// Sleeps through the installed clock (or the real one when none is
+/// installed).  Like [`start_timer`], this is the only sanctioned way
+/// instrumented code outside `crates/obs`/`crates/bench` parks a thread
+/// on wall time — under a [`ManualClock`] it merely advances test time.
+pub fn sleep_ns(ns: u64) {
+    let installed = CLOCK.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    match installed {
+        Some(c) => c.sleep_ns(ns),
+        None => MonotonicClock.sleep_ns(ns),
     }
 }
 

@@ -1,28 +1,85 @@
 //! The `secmed-server` binary: a persistent mediation server on loopback.
 //!
 //! ```text
-//! secmed-server [ADDR]        # default 127.0.0.1:7788
+//! secmed-server [ADDR] [--max-sessions N] [--idle-deadline-ms N] [--replay-window N]
 //! ```
+//!
+//! * `ADDR` — listen address, default `127.0.0.1:7788`.
+//! * `--max-sessions N` — admission limit: Hellos beyond `N` live
+//!   sessions are refused with a typed `ServerBusy` NACK.
+//! * `--idle-deadline-ms N` — relay read deadline: a session silent for
+//!   longer is reaped into a typed abort (and a parked session expires).
+//! * `--replay-window N` — resume depth: how many recently echoed blobs
+//!   are retained per session so a reconnecting client can be replayed
+//!   the frames it missed (`0` disables resume).
 //!
 //! Listens until killed; every client connection gets its own relay
 //! thread.  Pair with `secmed-client` (or the `soak` bench) on the same
 //! machine.
 
-use secmed_server::Server;
+use secmed_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: secmed-server [ADDR] [--max-sessions N] [--idle-deadline-ms N] \
+         [--replay-window N]"
+    );
+    std::process::exit(2)
+}
+
+fn parsed<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.map(|v| v.parse::<T>()) {
+        Some(Ok(n)) => n,
+        _ => {
+            eprintln!("secmed-server: {flag} needs a number");
+            usage()
+        }
+    }
+}
 
 fn main() {
-    let addr = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:7788".to_string());
-    let server = match Server::bind_to(&addr) {
+    let mut addr = "127.0.0.1:7788".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-sessions" => config.max_sessions = parsed(&arg, args.next()),
+            "--idle-deadline-ms" => {
+                let ms: u64 = parsed(&arg, args.next());
+                config.idle_deadline_ns = ms.saturating_mul(1_000_000);
+            }
+            "--replay-window" => config.replay_window = parsed(&arg, args.next()),
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => {
+                eprintln!("secmed-server: unknown flag {flag}");
+                usage()
+            }
+            positional => addr = positional.to_string(),
+        }
+    }
+    let server = match Server::bind_to_with(&addr, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("secmed-server: cannot bind {addr}: {e}");
             std::process::exit(1);
         }
     };
+    let config = server.config();
+    let limit = |n: u64, unit: &str| {
+        if n == 0 {
+            "unlimited".to_string()
+        } else {
+            format!("{n}{unit}")
+        }
+    };
     println!("secmed-server listening on {}", server.addr());
-    println!("stop with Ctrl-C; sessions are independent, state is per-connection");
+    println!(
+        "admission limit {} sessions, idle deadline {}, replay window {} blobs",
+        limit(config.max_sessions as u64, ""),
+        limit(config.idle_deadline_ns / 1_000_000, "ms"),
+        config.replay_window
+    );
+    println!("stop with Ctrl-C; sessions resume across reconnects within the replay window");
     secmed_pool::scope(|s| {
         // The handle is dropped without shutdown: serve until the process
         // is killed.

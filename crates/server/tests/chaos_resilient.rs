@@ -1,0 +1,101 @@
+//! The PR 5 chaos grid re-run under *server-side* fire: all 64 seeds ×
+//! 3 protocols × 3 thread counts, with the client-side fault plans of
+//! the original sweep AND a [`ServerFaultPlan`] killing connections,
+//! stalling echoes, and cutting writes short — healed by the client
+//! fabric's reconnect-and-resume.
+//!
+//! The invariants are exactly the shared suite's: typed outcomes only
+//! (never a hang, never a panic), correct-or-honestly-non-clean,
+//! byte-identical reports at 1/2/8 threads (resume replay and the
+//! DRBG-jittered backoff schedule are both thread-count-independent),
+//! and byte accounting that reconciles.  Every session — killed however
+//! many times — must still end in a clean `Goodbye` on the ledger.
+
+use secmed_core::{ProtocolKind, SocketFabric};
+use secmed_server::{Server, ServerConfig, ServerFaultPlan, SessionOutcome};
+use secmed_testkit::chaos;
+
+/// Spins until every session-table entry is reclaimed so a reused
+/// session id cannot race the previous run's teardown.
+fn await_reclaim(server: &Server) {
+    for _ in 0..u64::MAX >> 20 {
+        if server.active_sessions() == 0 {
+            return;
+        }
+        std::hint::spin_loop();
+    }
+    panic!("server never reclaimed its session table entries");
+}
+
+/// The server the grid runs against: resume enabled, a moderate
+/// all-fault mix (decisions keyed per session/frame/incarnation, so one
+/// plan seed serves every case distinctly).
+fn chaotic_server() -> Server {
+    let config = ServerConfig {
+        replay_window: 8,
+        chaos: Some(ServerFaultPlan::for_seed(42)),
+        ..ServerConfig::default()
+    };
+    Server::bind_with(config).expect("bind loopback")
+}
+
+fn sweep_resilient(kind: ProtocolKind) {
+    let server = chaotic_server();
+    let addr = server.addr();
+    secmed_pool::scope(|s| {
+        let handle = server.start(s);
+        chaos::sweep_on(kind, |seed| {
+            await_reclaim(&server);
+            SocketFabric::connect_with(
+                addr,
+                seed + 1,
+                chaos::plan_for(seed).1,
+                chaos::reconnect_for(seed),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: handshake failed: {e}"))
+        });
+        handle.shutdown();
+    });
+    assert_eq!(server.active_sessions(), 0, "session table leaked");
+    assert_eq!(server.parked_sessions(), 0, "parked sessions leaked");
+    let ledger = server.summaries();
+    // Interrupted incarnations leave Suspended lines; the *final*
+    // connection of every session must still say Goodbye.
+    let mut last_per_session = std::collections::BTreeMap::new();
+    for line in &ledger {
+        last_per_session.insert(line.session, line.outcome.clone());
+    }
+    for (session, outcome) in &last_per_session {
+        assert_eq!(
+            *outcome,
+            SessionOutcome::Completed,
+            "session {session} never completed: {outcome:?}"
+        );
+    }
+    // The grid must actually exercise the resume machinery: across 64
+    // seeds × 3 thread counts at these rates, kills are guaranteed.
+    let suspended = ledger
+        .iter()
+        .filter(|l| matches!(l.outcome, SessionOutcome::Suspended(_)))
+        .count();
+    assert!(
+        suspended > 0,
+        "{}: server chaos never struck — nothing was tested",
+        kind.name()
+    );
+}
+
+#[test]
+fn resilient_chaos_das_over_sockets() {
+    sweep_resilient(chaos::DAS);
+}
+
+#[test]
+fn resilient_chaos_commutative_over_sockets() {
+    sweep_resilient(chaos::COMMUTATIVE);
+}
+
+#[test]
+fn resilient_chaos_pm_over_sockets() {
+    sweep_resilient(chaos::PM);
+}

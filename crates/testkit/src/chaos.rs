@@ -18,7 +18,8 @@
 use secmed_core::workload::{Workload, WorkloadSpec};
 use secmed_core::{
     CommutativeConfig, DasConfig, DeliveryPolicy, Engine, Fabric, FaultPlan, OnExhausted, Outage,
-    PartyId, PmConfig, ProtocolKind, RunOptions, RunOutcome, RunReport, ScenarioBuilder, TraceSink,
+    PartyId, PmConfig, ProtocolKind, ReconnectPolicy, RunOptions, RunOutcome, RunReport,
+    ScenarioBuilder, TraceSink,
 };
 
 use crate::Gen;
@@ -98,6 +99,19 @@ pub fn plan_for(seed: u64) -> (FaultPlan, DeliveryPolicy) {
         },
     };
     (plan, policy)
+}
+
+/// The client reconnect discipline for one chaos case: a generous redial
+/// budget (server-side kills can strike several times per run) with fast,
+/// seed-keyed jittered backoff, so sweeps stay quick *and* deterministic
+/// at every thread count.
+pub fn reconnect_for(seed: u64) -> ReconnectPolicy {
+    ReconnectPolicy {
+        max_reconnects: 64,
+        base_backoff_ns: 50_000,
+        backoff_cap_ns: 2_000_000,
+        seed,
+    }
 }
 
 /// One chaos run over a caller-supplied fabric.  Under an installed plan

@@ -59,6 +59,32 @@ pub enum SessionStatus {
     VersionMismatch(u8),
     /// The proposed session id is already live on this server.
     DuplicateSession,
+    /// The server is at its admission limit (or draining toward
+    /// shutdown) and refuses new sessions.  Retryable: the client may
+    /// back off and dial again.
+    ServerBusy,
+}
+
+/// The server's verdict on a [`Frame::Resume`], carried in
+/// [`Frame::ResumeAck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeStatus {
+    /// The parked session was adopted; the body carries the server's
+    /// next expected request sequence number, and echoes for every
+    /// sequence the client is missing are replayed immediately after
+    /// this ack.
+    Resumed,
+    /// The server holds no session (live or parked) under this id — it
+    /// was never opened, already finished, or was reaped past its idle
+    /// deadline.
+    UnknownSession,
+    /// The session is still attached to a live connection.  Transient:
+    /// the server may not yet have noticed the old connection die, so a
+    /// client should back off and retry.
+    SessionLive,
+    /// The client's `next_seq` has fallen out of the server's bounded
+    /// replay window; the gap can no longer be replayed.
+    ReplayGone,
 }
 
 /// The fixed-size header of an encoded frame, parsed without touching the
@@ -197,6 +223,25 @@ pub enum Frame {
         /// The server's verdict.
         status: SessionStatus,
     },
+    /// Session resume: the first frame on a redial after a connection
+    /// died mid-session.  The header's session field names the parked
+    /// session; the body carries the sequence number of the first
+    /// request blob whose echo the client has not received.
+    Resume {
+        /// The client's next unacknowledged frame sequence number.
+        next_seq: u64,
+    },
+    /// Resume verdict, echoing the session id in the header.  On
+    /// [`ResumeStatus::Resumed`] the server immediately replays the
+    /// echoes for sequences in `[client next_seq, server_next_seq)` and
+    /// the relay continues; any other status closes the connection.
+    ResumeAck {
+        /// The server's verdict.
+        status: ResumeStatus,
+        /// The server's next expected request sequence number (0 when
+        /// the resume was refused).
+        server_next_seq: u64,
+    },
     /// Clean session close; the server reclaims the session table entry
     /// and marks the run complete.
     Goodbye,
@@ -218,6 +263,8 @@ const KIND_PM_DELIVERY: u8 = 0x32;
 const KIND_HELLO: u8 = 0x40;
 const KIND_HELLO_ACK: u8 = 0x41;
 const KIND_GOODBYE: u8 = 0x42;
+const KIND_RESUME: u8 = 0x43;
+const KIND_RESUME_ACK: u8 = 0x44;
 
 const TAG_TABLE_ENCRYPTED: u8 = 0x01;
 const TAG_TABLE_PLAIN: u8 = 0x02;
@@ -228,6 +275,11 @@ const TAG_POLY_BUCKETED: u8 = 0x02;
 const TAG_STATUS_ACCEPTED: u8 = 0x01;
 const TAG_STATUS_VERSION_MISMATCH: u8 = 0x02;
 const TAG_STATUS_DUPLICATE_SESSION: u8 = 0x03;
+const TAG_STATUS_SERVER_BUSY: u8 = 0x04;
+const TAG_RESUME_RESUMED: u8 = 0x01;
+const TAG_RESUME_UNKNOWN_SESSION: u8 = 0x02;
+const TAG_RESUME_SESSION_LIVE: u8 = 0x03;
+const TAG_RESUME_REPLAY_GONE: u8 = 0x04;
 
 /// The fixed header length in bytes: magic(2) version(1) kind(1)
 /// session(8) len(4).
@@ -253,6 +305,8 @@ impl Frame {
             Frame::Hello { .. } => KIND_HELLO,
             Frame::HelloAck { .. } => KIND_HELLO_ACK,
             Frame::Goodbye => KIND_GOODBYE,
+            Frame::Resume { .. } => KIND_RESUME,
+            Frame::ResumeAck { .. } => KIND_RESUME_ACK,
         }
     }
 
@@ -275,6 +329,8 @@ impl Frame {
             Frame::Hello { .. } => "hello",
             Frame::HelloAck { .. } => "hello_ack",
             Frame::Goodbye => "goodbye",
+            Frame::Resume { .. } => "resume",
+            Frame::ResumeAck { .. } => "resume_ack",
         }
     }
 
@@ -494,7 +550,23 @@ impl Frame {
                     w.put_u8(*server);
                 }
                 SessionStatus::DuplicateSession => w.put_u8(TAG_STATUS_DUPLICATE_SESSION),
+                SessionStatus::ServerBusy => w.put_u8(TAG_STATUS_SERVER_BUSY),
             },
+            Frame::Resume { next_seq } => {
+                w.put_u64(*next_seq);
+            }
+            Frame::ResumeAck {
+                status,
+                server_next_seq,
+            } => {
+                w.put_u8(match status {
+                    ResumeStatus::Resumed => TAG_RESUME_RESUMED,
+                    ResumeStatus::UnknownSession => TAG_RESUME_UNKNOWN_SESSION,
+                    ResumeStatus::SessionLive => TAG_RESUME_SESSION_LIVE,
+                    ResumeStatus::ReplayGone => TAG_RESUME_REPLAY_GONE,
+                });
+                w.put_u64(*server_next_seq);
+            }
             Frame::Goodbye => {}
         }
     }
@@ -656,9 +728,26 @@ impl Frame {
                     TAG_STATUS_ACCEPTED => SessionStatus::Accepted,
                     TAG_STATUS_VERSION_MISMATCH => SessionStatus::VersionMismatch(r.get_u8()?),
                     TAG_STATUS_DUPLICATE_SESSION => SessionStatus::DuplicateSession,
+                    TAG_STATUS_SERVER_BUSY => SessionStatus::ServerBusy,
                     _ => return Err(WireError::Malformed("unknown session-status tag")),
                 };
                 Ok(Frame::HelloAck { status })
+            }
+            KIND_RESUME => Ok(Frame::Resume {
+                next_seq: r.get_u64()?,
+            }),
+            KIND_RESUME_ACK => {
+                let status = match r.get_u8()? {
+                    TAG_RESUME_RESUMED => ResumeStatus::Resumed,
+                    TAG_RESUME_UNKNOWN_SESSION => ResumeStatus::UnknownSession,
+                    TAG_RESUME_SESSION_LIVE => ResumeStatus::SessionLive,
+                    TAG_RESUME_REPLAY_GONE => ResumeStatus::ReplayGone,
+                    _ => return Err(WireError::Malformed("unknown resume-status tag")),
+                };
+                Ok(Frame::ResumeAck {
+                    status,
+                    server_next_seq: r.get_u64()?,
+                })
             }
             KIND_GOODBYE => Ok(Frame::Goodbye),
             other => Err(WireError::BadKind(other)),
@@ -851,7 +940,28 @@ mod tests {
             Frame::HelloAck {
                 status: SessionStatus::DuplicateSession,
             },
+            Frame::HelloAck {
+                status: SessionStatus::ServerBusy,
+            },
             Frame::Goodbye,
+            Frame::Resume { next_seq: 0 },
+            Frame::Resume { next_seq: u64::MAX },
+            Frame::ResumeAck {
+                status: ResumeStatus::Resumed,
+                server_next_seq: 42,
+            },
+            Frame::ResumeAck {
+                status: ResumeStatus::UnknownSession,
+                server_next_seq: 0,
+            },
+            Frame::ResumeAck {
+                status: ResumeStatus::SessionLive,
+                server_next_seq: 0,
+            },
+            Frame::ResumeAck {
+                status: ResumeStatus::ReplayGone,
+                server_next_seq: 7,
+            },
         ] {
             assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
         }

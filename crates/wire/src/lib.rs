@@ -42,7 +42,9 @@ mod bytesio;
 mod frame;
 pub mod stream;
 
-pub use frame::{DasTable, Frame, FrameHeader, PmPayloadSet, PolyCoeffs, SessionStatus, TupleRef};
+pub use frame::{
+    DasTable, Frame, FrameHeader, PmPayloadSet, PolyCoeffs, ResumeStatus, SessionStatus, TupleRef,
+};
 
 use std::fmt;
 

@@ -60,6 +60,111 @@ pub fn read_blob<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(blob))
 }
 
+/// One step of a deadline-aware blob read (see [`BlobReader::step`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobRead {
+    /// A whole blob arrived.
+    Blob(Vec<u8>),
+    /// Clean end of stream before the first prefix byte.
+    Eof,
+    /// The read deadline elapsed with no progress this step.  Partial
+    /// bytes already consumed stay buffered in the reader, so the
+    /// caller may tick its idle clock and call `step` again — a slow
+    /// peer (Nagle, a stalled pipe) does not lose framing.
+    Timeout,
+}
+
+/// A resumable, deadline-aware blob reader.
+///
+/// Like [`read_blob`], but built for a stream with a short read
+/// timeout: a [`io::ErrorKind::WouldBlock`] or
+/// [`io::ErrorKind::TimedOut`] at *any* point is surfaced as
+/// [`BlobRead::Timeout`] instead of an error.  The reader keeps the
+/// partially read prefix/body across steps, so the caller can enforce
+/// its own idle deadline across as many timeouts as it likes and then
+/// abandon the connection — mid-blob progress is never mistaken for a
+/// framing error.  EOF inside a blob is still
+/// [`io::ErrorKind::UnexpectedEof`].
+#[derive(Debug, Default)]
+pub struct BlobReader {
+    prefix: [u8; 4],
+    filled: usize,
+    /// `Some((buf, got))` once the prefix is complete.
+    body: Option<(Vec<u8>, usize)>,
+}
+
+impl BlobReader {
+    /// A reader with no partial state.
+    pub fn new() -> Self {
+        BlobReader::default()
+    }
+
+    /// Whether a partially read blob is buffered (an EOF now would be
+    /// mid-frame).
+    pub fn mid_blob(&self) -> bool {
+        self.filled > 0 || self.body.is_some()
+    }
+
+    /// Drives the read forward until a whole blob, a clean EOF, a
+    /// timeout, or an error.
+    pub fn step<R: Read>(&mut self, r: &mut R) -> io::Result<BlobRead> {
+        const fn timeout(kind: io::ErrorKind) -> bool {
+            matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        }
+        while self.body.is_none() {
+            let slice = self.prefix.get_mut(self.filled..).unwrap_or(&mut []);
+            match r.read(slice) {
+                Ok(0) => {
+                    if self.filled == 0 {
+                        return Ok(BlobRead::Eof);
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream ended inside a blob length prefix",
+                    ));
+                }
+                Ok(n) => self.filled += n,
+                Err(e) if timeout(e.kind()) => return Ok(BlobRead::Timeout),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            if self.filled == self.prefix.len() {
+                let len = u32::from_be_bytes(self.prefix);
+                if len > MAX_BLOB_LEN {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "blob length prefix exceeds MAX_BLOB_LEN",
+                    ));
+                }
+                self.body = Some((vec![0u8; len as usize], 0));
+            }
+        }
+        loop {
+            let Some((buf, got)) = self.body.as_mut() else {
+                return Err(io::Error::other("blob reader lost its body"));
+            };
+            if *got == buf.len() {
+                let (blob, _) = self.body.take().unwrap_or_default();
+                self.filled = 0;
+                return Ok(BlobRead::Blob(blob));
+            }
+            let slice = buf.get_mut(*got..).unwrap_or(&mut []);
+            match r.read(slice) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream ended inside a blob body",
+                    ));
+                }
+                Ok(n) => *got += n,
+                Err(e) if timeout(e.kind()) => return Ok(BlobRead::Timeout),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +204,106 @@ mod tests {
         let mut r = &bytes[..];
         let err = read_blob(&mut r).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// A reader that yields a scripted sequence of results, modelling a
+    /// socket with a read timeout.  Bytes a step delivers beyond the
+    /// caller's buffer stay pending for the next read.
+    struct Scripted {
+        steps: Vec<Result<Vec<u8>, io::ErrorKind>>,
+        pending: Vec<u8>,
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pending.is_empty() {
+                if self.steps.is_empty() {
+                    return Ok(0);
+                }
+                match self.steps.remove(0) {
+                    Ok(bytes) => self.pending = bytes,
+                    Err(kind) => return Err(io::Error::new(kind, "scripted")),
+                }
+            }
+            let n = self.pending.len().min(buf.len());
+            buf.get_mut(..n)
+                .unwrap_or(&mut [])
+                .copy_from_slice(self.pending.get(..n).unwrap_or(&[]));
+            self.pending.drain(..n);
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn step_read_surfaces_idle_timeouts_and_resumes() {
+        let mut buf = Vec::new();
+        write_blob(&mut buf, &[9, 8, 7]).unwrap();
+        let mut r = Scripted {
+            steps: vec![
+                Err(io::ErrorKind::WouldBlock),
+                Err(io::ErrorKind::TimedOut),
+                Ok(buf.clone()),
+            ],
+            pending: Vec::new(),
+        };
+        let mut reader = BlobReader::new();
+        assert_eq!(reader.step(&mut r).unwrap(), BlobRead::Timeout);
+        assert!(!reader.mid_blob());
+        assert_eq!(reader.step(&mut r).unwrap(), BlobRead::Timeout);
+        assert_eq!(reader.step(&mut r).unwrap(), BlobRead::Blob(vec![9, 8, 7]));
+        assert_eq!(reader.step(&mut r).unwrap(), BlobRead::Eof);
+    }
+
+    #[test]
+    fn step_read_timeout_mid_blob_keeps_partial_state() {
+        let mut buf = Vec::new();
+        write_blob(&mut buf, &[1, 2, 3, 4]).unwrap();
+        // Timeouts striking inside the prefix and inside the body: the
+        // reader buffers the partial bytes and finishes the same blob
+        // on later steps — a slow peer never loses framing.
+        let mut r = Scripted {
+            steps: vec![
+                Ok(buf.get(..2).unwrap_or(&[]).to_vec()),
+                Err(io::ErrorKind::WouldBlock),
+                Ok(buf.get(2..6).unwrap_or(&[]).to_vec()),
+                Err(io::ErrorKind::TimedOut),
+                Ok(buf.get(6..).unwrap_or(&[]).to_vec()),
+            ],
+            pending: Vec::new(),
+        };
+        let mut reader = BlobReader::new();
+        assert_eq!(reader.step(&mut r).unwrap(), BlobRead::Timeout);
+        assert!(reader.mid_blob(), "partial prefix must be buffered");
+        assert_eq!(reader.step(&mut r).unwrap(), BlobRead::Timeout);
+        assert!(reader.mid_blob(), "partial body must be buffered");
+        assert_eq!(
+            reader.step(&mut r).unwrap(),
+            BlobRead::Blob(vec![1, 2, 3, 4])
+        );
+        assert!(!reader.mid_blob(), "state must reset after a whole blob");
+    }
+
+    #[test]
+    fn step_read_retries_interrupted_and_rejects_eof_mid_body() {
+        let mut buf = Vec::new();
+        write_blob(&mut buf, &[5, 6]).unwrap();
+        let mut r = Scripted {
+            steps: vec![
+                Err(io::ErrorKind::Interrupted),
+                Ok(buf.get(..5).unwrap_or(&[]).to_vec()),
+            ],
+            pending: Vec::new(),
+        };
+        let mut reader = BlobReader::new();
+        let err = reader.step(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // EOF inside the length prefix is equally fatal.
+        let mut r = Scripted {
+            steps: vec![Ok(buf.get(..2).unwrap_or(&[]).to_vec())],
+            pending: Vec::new(),
+        };
+        let mut reader = BlobReader::new();
+        let err = reader.step(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

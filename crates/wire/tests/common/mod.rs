@@ -11,7 +11,7 @@ use secmed_crypto::group::{GroupSize, SafePrimeGroup};
 use secmed_crypto::hybrid::{HybridCiphertext, HybridKeyPair, SessionKey};
 use secmed_das::{DasRow, IndexTable, IndexValue, PartitionScheme};
 use secmed_wire::{
-    DasTable, Frame, PmPayloadSet, PolyCoeffs, SessionStatus, TupleRef, WIRE_VERSION,
+    DasTable, Frame, PmPayloadSet, PolyCoeffs, ResumeStatus, SessionStatus, TupleRef, WIRE_VERSION,
 };
 
 /// One frame per [`Frame`] variant, in kind order, fully deterministic.
@@ -106,5 +106,10 @@ pub fn sample_frames() -> Vec<Frame> {
             status: SessionStatus::VersionMismatch(WIRE_VERSION),
         },
         Frame::Goodbye,
+        Frame::Resume { next_seq: 5 },
+        Frame::ResumeAck {
+            status: ResumeStatus::Resumed,
+            server_next_seq: 7,
+        },
     ]
 }

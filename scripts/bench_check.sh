@@ -62,3 +62,26 @@ cargo run -q --release --offline -p secmed-bench --bin bench_check -- \
   target/bench/BENCH_soak.json \
   --require soak/sessions --require soak/sessions_per_sec \
   --require soak/session/bytes --require-timing soak/wall
+
+# The resilience trajectory: admission refusals under overload, resume
+# counts under server-side chaos, and per-session bytes are all
+# deterministic (seeded fault rolls, byte-identical resume); the drain
+# latency and total wall are timing series.  The deterministic series
+# gate against the committed baseline BENCH_resilience.json in full
+# mode (exact — counts are seeded, not raced); refresh it with
+#   cargo run --release -p secmed-bench --bin resilience && \
+#   cp target/bench/BENCH_resilience.json BENCH_resilience.json
+resilience_required=(
+  --require resilience/admitted --require resilience/refused
+  --require resilience/resumed --require resilience/session/bytes
+  --require-timing resilience/drain/wall --require-timing resilience/wall
+)
+cargo run -q --release --offline -p secmed-bench --bin resilience >/dev/null
+if [ "$mode" = full ]; then
+  cargo run -q --release --offline -p secmed-bench --bin bench_check -- \
+    target/bench/BENCH_resilience.json "${resilience_required[@]}" \
+    --baseline BENCH_resilience.json --max-ratio 4.0
+else
+  cargo run -q --release --offline -p secmed-bench --bin bench_check -- \
+    target/bench/BENCH_resilience.json "${resilience_required[@]}"
+fi

@@ -31,6 +31,16 @@ cargo test -q --offline -p secmed-server --test sessions
 cargo test -q --offline -p secmed-server --test chaos_socket
 echo "socket fabric: loopback equivalence + session negotiation + chaos-over-sockets ok"
 
+# The session-resilience layer (PR 10), run by name: reconnect-and-resume
+# byte-equivalence, admission control and drain, idle reaping, the
+# 64-seed chaos grid under *server-side* fire, and the session-table
+# hygiene properties (no leaks, one terminal ledger line per connection,
+# Goodbyes surviving teardown under load).
+cargo test -q --offline -p secmed-server --test resilience
+cargo test -q --offline -p secmed-server --test chaos_resilient
+cargo test -q --offline -p secmed-server --test hygiene
+echo "resilience: resume equivalence + admission/drain + server-chaos grid + hygiene ok"
+
 # Soak smoke, run by name: eight concurrent client sessions against one
 # server process, all Clean, ledger complete, no session-table leak.
 cargo test -q --offline -p secmed-client --test soak_smoke
